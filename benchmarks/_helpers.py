@@ -1,0 +1,13 @@
+"""Helper utilities shared by the benchmark files."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing.
+
+    Population-protocol simulations are too slow for pytest-benchmark's
+    default calibration loop; a single timed round per benchmark keeps the
+    harness fast while still recording wall-clock numbers.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

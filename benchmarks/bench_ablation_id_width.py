@@ -1,0 +1,93 @@
+"""Ablation A3: the identifier width ``k`` of the Theorem 21 protocol.
+
+Theorem 21 chooses ``k = ⌈4 log n⌉`` so that the probability of two nodes
+generating the same maximal identifier is ``O(n / 2^k) = O(n^{-3})``, which
+keeps the expensive always-correct backup off the critical path.  Smaller
+``k`` shrinks the state space (``O(2^k)`` identifiers) but makes collisions
+— and hence reliance on the token-protocol tie-break — more likely.
+
+The ablation sweeps ``k`` on a clique and reports the empirical collision
+probability of the *maximum* identifier, the state count and the
+stabilization time.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import run_leader_election
+from repro.experiments import render_table
+from repro.graphs import clique
+from repro.protocols import IdentifierLeaderElection
+
+from _helpers import run_once
+
+WIDTHS = [2, 4, 8, 16]
+REPETITIONS = 6
+N = 32
+
+
+def _max_identifier_collision_probability(bits: int, trials: int = 4000, seed: int = 0) -> float:
+    """Empirical probability that >= 2 of n uniform k-bit identifiers share the maximum.
+
+    This is the event Lemma 22 bounds by ``n / 2^k``: identifiers are
+    (close to) uniform on ``{2^k, ..., 2^{k+1} - 1}``, and a tie at the
+    maximum is exactly what forces the token-protocol tie-break.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    draws = rng.integers(0, 2**bits, size=(trials, N))
+    maxima = draws.max(axis=1)
+    ties = (draws == maxima[:, None]).sum(axis=1)
+    return float((ties >= 2).mean())
+
+
+def _sweep():
+    graph = clique(N)
+    rows = []
+    for bits in WIDTHS:
+        protocol = IdentifierLeaderElection(N, identifier_bits=bits)
+        steps = []
+        successes = 0
+        for seed in range(REPETITIONS):
+            result = run_leader_election(protocol, graph, rng=seed + 53)
+            steps.append(result.stabilization_step)
+            successes += int(result.stabilized and result.leaders == 1)
+        rows.append(
+            {
+                "k (bits)": bits,
+                "identifier space 2^k": 2**bits,
+                "state count": protocol.state_space_size(),
+                "max-id collision prob": _max_identifier_collision_probability(bits, seed=bits),
+                "Lemma 22 bound n/2^k": min(N / 2**bits, 1.0),
+                "mean steps": sum(steps) / len(steps),
+                "success rate": successes / REPETITIONS,
+            }
+        )
+    return graph, rows
+
+
+@pytest.mark.benchmark(group="ablation-id-width")
+def test_ablation_identifier_width(benchmark, report):
+    graph, rows = run_once(benchmark, _sweep)
+    report(render_table(rows, title=f"A3: identifier-width ablation on {graph.name}"))
+    # Always correct regardless of k (the embedded token protocol breaks
+    # ties), which is the point of the interleaving in Theorem 21.
+    for row in rows:
+        assert row["success rate"] == 1.0
+    # State count grows exponentially in k.
+    assert rows[-1]["state count"] > rows[0]["state count"] * 100
+    # Collision probability decays with k and respects the Lemma 22 bound
+    # (up to Monte-Carlo noise at tiny probabilities).
+    collision_probs = [row["max-id collision prob"] for row in rows]
+    assert collision_probs[0] > collision_probs[-1]
+    for row in rows:
+        assert row["max-id collision prob"] <= row["Lemma 22 bound n/2^k"] + 0.05
+    # Tiny identifier spaces force the token-protocol tie-break and are
+    # therefore slower on average than the paper's k = 4 log n choice.
+    paper_like = rows[-1]["mean steps"]
+    tiny = rows[0]["mean steps"]
+    assert tiny >= paper_like * 0.9

@@ -1,0 +1,82 @@
+"""Ablation A2: the phase length ``L = ⌈2τ·log n⌉`` of the fast protocol.
+
+The tournament of Section 5.2 runs for ``O(log n)`` levels; the constant
+``τ`` controls the failure probability ``O(n^{-τ})`` of the fast path
+(Lemma 33).  Larger ``τ`` means more levels, hence more states and a longer
+elimination phase, but fewer executions that need the slow backup to fix a
+multi-leader outcome.
+
+The ablation sweeps ``τ`` and reports state count, stabilization time and
+how often the fast phase alone already produced a unique leader by the time
+the first node hit the maximum level (measured as "clean finishes").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import LEADER, run_leader_election
+from repro.experiments import render_table
+from repro.graphs import erdos_renyi
+from repro.propagation import broadcast_time_estimate
+from repro.protocols import FastLeaderElection
+from repro.protocols.fast import BACKUP
+from repro.protocols.tokens import CANDIDATE
+
+from _helpers import run_once
+
+TAUS = [0.25, 0.5, 1.0, 1.5]
+REPETITIONS = 3
+
+
+def _sweep():
+    graph = erdos_renyi(48, p=0.4, rng=7)
+    broadcast = broadcast_time_estimate(graph, repetitions=4, max_sources=5, rng=9).value
+    rows = []
+    for tau in TAUS:
+        protocol = FastLeaderElection.for_graph(
+            graph, broadcast_time=broadcast, tau=tau, h_offset=1, alpha=3.0
+        )
+        steps = []
+        successes = 0
+        clean_finishes = 0
+        for seed in range(REPETITIONS):
+            result = run_leader_election(protocol, graph, rng=seed + 31)
+            steps.append(result.stabilization_step)
+            successes += int(result.stabilized and result.leaders == 1)
+            final_states = result.final_configuration.states
+            backup_candidates = sum(
+                1 for s in final_states if s[0] == BACKUP and s[1] == CANDIDATE
+            )
+            fast_leaders = sum(
+                1
+                for s in final_states
+                if s[0] != BACKUP and protocol.output(s) == LEADER
+            )
+            # A clean finish: exactly one leader-capable node overall, i.e.
+            # the tournament had already isolated the winner.
+            clean_finishes += int(backup_candidates + fast_leaders == 1)
+        rows.append(
+            {
+                "tau": tau,
+                "phase length L": protocol.parameters.phase_length,
+                "max level": protocol.parameters.max_level,
+                "state count": protocol.state_space_size(),
+                "mean steps": sum(steps) / len(steps),
+                "clean finishes": clean_finishes,
+                "success rate": successes / REPETITIONS,
+            }
+        )
+    return graph, rows
+
+
+@pytest.mark.benchmark(group="ablation-phase-length")
+def test_ablation_phase_length(benchmark, report):
+    graph, rows = run_once(benchmark, _sweep)
+    report(render_table(rows, title=f"A2: phase-length (τ) ablation on {graph.name}"))
+    for row in rows:
+        assert row["success rate"] == 1.0
+    # More levels => more states and (weakly) more steps.
+    assert rows[-1]["phase length L"] > rows[0]["phase length L"]
+    assert rows[-1]["state count"] > rows[0]["state count"]
+    assert rows[-1]["mean steps"] >= rows[0]["mean steps"] * 0.8

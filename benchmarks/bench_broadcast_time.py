@@ -1,0 +1,118 @@
+"""Experiment THM6-broadcast: broadcast-time bounds (Theorem 6, Lemmas 11–12, Theorem 15).
+
+Paper claims:
+
+* ``B(G) ∈ O(m·min{log n / β, log n + D})``  (Theorem 6),
+* ``B(G) >= (m/Δ)·ln(n−1)``                  (Lemma 12),
+* ``B(G) ∈ Θ(n·max{D, log n})`` for bounded-degree graphs (Theorem 15),
+* ``B(G) ∈ O(n log n)`` w.h.p. on dense ``G(n, p)`` (Lemma 11).
+
+The benchmark estimates ``B(G)`` by Monte-Carlo one-way epidemics on the
+Table 1 graph families and checks that every measurement falls inside the
+analytic envelope, and that the cycle/clique/star ordering matches the
+theory (cycle ``Θ(n^2)`` ≫ star ``Θ(n log n)`` ≈ clique ``Θ(n log n)``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import render_table
+from repro.graphs import clique, cycle, erdos_renyi, star, torus
+from repro.propagation import (
+    bounded_degree_broadcast_order,
+    broadcast_bounds,
+    broadcast_time_estimate,
+)
+
+from _helpers import run_once
+
+GRAPHS = {
+    "clique": lambda: clique(48),
+    "cycle": lambda: cycle(48),
+    "star": lambda: star(48),
+    "torus": lambda: torus(7, 7),
+    "dense-gnp": lambda: erdos_renyi(48, p=0.5, rng=3),
+}
+
+
+def _measure_all():
+    results = {}
+    for name, factory in GRAPHS.items():
+        graph = factory()
+        estimate = broadcast_time_estimate(graph, repetitions=5, max_sources=8, rng=7)
+        bounds = broadcast_bounds(graph)
+        results[name] = (graph, estimate.value, bounds)
+    return results
+
+
+@pytest.mark.benchmark(group="thm6-broadcast")
+def test_broadcast_time_envelope(benchmark, report):
+    results = run_once(benchmark, _measure_all)
+    rows = []
+    for name, (graph, measured, bounds) in results.items():
+        rows.append(
+            {
+                "graph": graph.name,
+                "measured B(G)": measured,
+                "Lemma 12 lower": bounds.lower,
+                "Theorem 6 upper": bounds.upper,
+                "within envelope": bounds.lower * 0.4 <= measured <= bounds.upper * 1.5,
+            }
+        )
+    report(render_table(rows, title="THM6: measured broadcast times vs analytic bounds"))
+    for row in rows:
+        assert row["within envelope"], row
+
+    # Family ordering: cycle (Θ(n^2)) is the slowest; clique, star and the
+    # dense random graph are all Θ(n log n) at the same n and within a
+    # small factor of each other.
+    measured = {name: value for name, (_g, value, _b) in results.items()}
+    assert measured["cycle"] > 2.0 * measured["clique"]
+    assert measured["cycle"] > 2.0 * measured["dense-gnp"]
+    assert measured["star"] < 6.0 * measured["clique"]
+
+
+@pytest.mark.benchmark(group="thm6-broadcast")
+def test_bounded_degree_scaling_matches_theorem15(benchmark, report):
+    """Theorem 15: for bounded-degree graphs B(G) = Θ(n·max{D, log n})."""
+
+    def measure():
+        sizes = [16, 32, 64]
+        rows = []
+        for n in sizes:
+            graph = cycle(n)
+            measured = broadcast_time_estimate(graph, repetitions=4, max_sources=5, rng=11).value
+            order = bounded_degree_broadcast_order(graph)
+            rows.append({"n": n, "measured": measured, "n*max(D, log n)": order,
+                         "ratio": measured / order})
+        return rows
+
+    rows = run_once(benchmark, measure)
+    report(render_table(rows, title="THM15: bounded-degree broadcast scaling (cycles)"))
+    ratios = [row["ratio"] for row in rows]
+    # Θ-consistency: the measured/Θ-shape ratio stays within a constant
+    # band while the raw values grow by ~16x.
+    assert max(ratios) <= 4.0 * min(ratios)
+    assert rows[-1]["measured"] > 8.0 * rows[0]["measured"]
+
+
+@pytest.mark.benchmark(group="thm6-broadcast")
+def test_dense_random_graph_broadcast_is_near_nlogn(benchmark, report):
+    """Lemma 11: on G(n, p) with constant p, B(G) = O(n log n) w.h.p."""
+
+    def measure():
+        rows = []
+        for n in (24, 48, 96):
+            graph = erdos_renyi(n, p=0.5, rng=13)
+            measured = broadcast_time_estimate(graph, repetitions=3, max_sources=5, rng=17).value
+            rows.append({"n": n, "measured": measured, "n log n": n * math.log(n),
+                         "ratio": measured / (n * math.log(n))})
+        return rows
+
+    rows = run_once(benchmark, measure)
+    report(render_table(rows, title="LEM11: dense G(n, 1/2) broadcast vs n log n"))
+    ratios = [row["ratio"] for row in rows]
+    assert max(ratios) <= 3.0 * min(ratios)

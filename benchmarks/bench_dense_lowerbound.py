@@ -1,0 +1,112 @@
+"""Experiment SEC7-density: ingredients of the dense-graph lower bounds.
+
+Paper claims measured here:
+
+* Lemma 41: for ``t <= c·n·log n`` the largest influencer set stays far
+  below ``n`` on dense graphs (``<= n^ε``),
+* Lemma 42: a polynomial number of nodes has not interacted at all by
+  ``o(n·log n)`` steps,
+* Lemma 48: protocols reach fully dense configurations within ``O(n)``
+  steps on dense random graphs,
+* Lemma 51 (consequence): in stabilized configurations every
+  leader-generating set of a constant-state protocol intersects the
+  low-count states — the structural fact the surgery argument exploits.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import run_leader_election
+from repro.experiments import render_table
+from repro.graphs import erdos_renyi
+from repro.lowerbounds import (
+    measure_density_evolution,
+    measure_influencer_growth,
+    measure_untouched_nodes,
+    stable_configuration_has_guarded_generators,
+)
+from repro.protocols import TokenLeaderElection
+
+from _helpers import run_once
+
+
+@pytest.mark.benchmark(group="sec7-density")
+def test_lemma41_lemma42_growth_profiles(benchmark, report):
+    def measure():
+        n = 96
+        graph = erdos_renyi(n, p=0.5, rng=3)
+        budget = int(0.25 * n * math.log(n))
+        checkpoints = [budget // 4, budget // 2, budget]
+        influencers = measure_influencer_growth(graph, checkpoints, rng=5)
+        untouched = measure_untouched_nodes(graph, checkpoints, rng=7)
+        return n, checkpoints, influencers, untouched
+
+    n, checkpoints, influencers, untouched = run_once(benchmark, measure)
+    rows = [
+        {
+            "step": step,
+            "max |I_t(v)|": size,
+            "untouched nodes |S(t)|": remaining,
+        }
+        for step, size, remaining in zip(
+            checkpoints, influencers.max_influencer_sizes, untouched.untouched_counts
+        )
+    ]
+    report(render_table(rows, title=f"LEM41/42: influencer growth on G({n}, 1/2)"))
+    # At t = Θ(n log n)/4 the influencer sets are still well below n and a
+    # polynomially large untouched set remains.
+    assert influencers.max_influencer_sizes[-1] < n / 2
+    assert untouched.untouched_counts[-1] >= n ** 0.5
+
+
+@pytest.mark.benchmark(group="sec7-density")
+def test_lemma48_density_evolution(benchmark, report):
+    def measure():
+        n = 80
+        graph = erdos_renyi(n, p=0.5, rng=11)
+        return n, measure_density_evolution(
+            TokenLeaderElection(), graph, alpha=0.05, max_steps=16 * n, rng=13
+        )
+
+    n, density = run_once(benchmark, measure)
+    rows = [
+        {"step": step, "min density over producible states": value}
+        for step, value in density.min_density_trace[:: max(len(density.min_density_trace) // 8, 1)]
+    ]
+    report(render_table(rows, title=f"LEM48: density evolution of the token protocol on G({n}, 1/2)"))
+    assert density.fully_dense_step is not None
+    assert density.fully_dense_step <= 16 * n
+    assert len(density.producible_states) >= 4
+
+
+@pytest.mark.benchmark(group="sec7-density")
+def test_lemma51_guarded_generators_in_stable_configurations(benchmark, report):
+    def measure():
+        outcomes = []
+        for seed in range(3):
+            graph = erdos_renyi(40, p=0.5, rng=seed)
+            result = run_leader_election(TokenLeaderElection(), graph, rng=seed + 100)
+            verdict = stable_configuration_has_guarded_generators(
+                TokenLeaderElection(),
+                list(result.final_configuration.states),
+                copies_per_state=3,
+            )
+            outcomes.append(
+                {
+                    "seed": seed,
+                    "stabilized": result.stabilized,
+                    "steps": result.stabilization_step,
+                    "generating sets": len(verdict.generating_sets),
+                    "all guarded": verdict.all_generators_guarded,
+                }
+            )
+        return outcomes
+
+    outcomes = run_once(benchmark, measure)
+    report(render_table(outcomes, title="LEM51: guarded leader-generating sets in stable configurations"))
+    for row in outcomes:
+        assert row["stabilized"]
+        assert row["all guarded"]

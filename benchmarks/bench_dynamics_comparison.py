@@ -1,0 +1,64 @@
+"""Supplementary experiment SEC3.1-dynamics: edge- vs node-sampling dynamics.
+
+Section 3.1 of the paper stresses that the population model samples an
+*edge* per step (so high-degree nodes interact more often), whereas
+classical asynchronous rumour-spreading models activate a uniformly random
+*node*.  On regular graphs the two coincide; on irregular graphs they do
+not, and the degree bias is exactly what the fast protocol's streak clocks
+exploit (high-degree nodes tick faster).
+
+This benchmark measures single-source broadcast times under both dynamics
+on a regular graph (cycle — ratios near 1) and on highly irregular graphs
+(star, double star — ratios far from 1), plus the per-node interaction-rate
+imbalance ``Δ/δ`` that explains the difference.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import render_table
+from repro.graphs import cycle, double_star, star
+from repro.propagation import compare_broadcast_dynamics, interaction_rate_imbalance
+
+from _helpers import run_once
+
+
+@pytest.mark.benchmark(group="sec31-dynamics")
+def test_edge_vs_node_sampling_broadcast(benchmark, report):
+    def measure():
+        rows = []
+        cases = [
+            ("cycle-32 (regular)", cycle(32), 0),
+            ("star-32 (leaf source)", star(32), 1),
+            ("double-star-15-15 (leaf source)", double_star(15, 15), 2),
+        ]
+        for label, graph, source in cases:
+            comparison = compare_broadcast_dynamics(graph, source, repetitions=6, rng=7)
+            rows.append(
+                {
+                    "graph": label,
+                    "degree imbalance Δ/δ": interaction_rate_imbalance(graph),
+                    "edge-sampling steps": comparison.edge_sampling.mean,
+                    "node-sampling steps": comparison.node_sampling.mean,
+                    "ratio": comparison.steps_ratio,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, measure)
+    report(render_table(rows, title="SEC3.1: edge-sampling vs node-sampling broadcast"))
+    by_graph = {row["graph"]: row for row in rows}
+    # Regular graph: the two dynamics agree per step (ratio near 1).
+    assert 0.6 <= by_graph["cycle-32 (regular)"]["ratio"] <= 1.6
+    # Strongly irregular graph with two hubs: the dynamics measurably differ
+    # (the population model is not "asynchronous push-pull" once degrees are
+    # unequal) — informing the second hub's leaves is throttled under node
+    # sampling because the hubs activate only 1/n of the time.
+    assert by_graph["double-star-15-15 (leaf source)"]["ratio"] < 0.8
+    # The star alone is a poor discriminator (broadcast is coupon-collector
+    # bound either way), so we only require it to stay in a sane band.
+    assert 0.5 <= by_graph["star-32 (leaf source)"]["ratio"] <= 2.0
+    # And the imbalance measure orders the families as expected.
+    assert by_graph["star-32 (leaf source)"]["degree imbalance Δ/δ"] > 10
+    assert by_graph["cycle-32 (regular)"]["degree imbalance Δ/δ"] == 1.0

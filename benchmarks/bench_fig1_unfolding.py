@@ -1,0 +1,165 @@
+"""Experiment FIG1-unfolding: the influencer-multigraph unfolding of Figure 1.
+
+The paper's only figure illustrates Lemma 45: an internal interaction in a
+leader-generating interaction pattern can be removed by splicing in fresh
+copies of the two participants' histories — at most doubling the pattern's
+size and reducing the internal-interaction count by one.  Repeating the
+operation turns the pattern into a tree that (Lemma 43) embeds into the
+untouched part of a dense graph, which is the engine of the Θ(n log n)
+lower bound of Theorem 40.
+
+The benchmark builds influencer multigraphs from real scheduler runs on a
+dense random graph, measures how many internal interactions they contain at
+the Lemma 44 time scale, performs the full unfolding, and verifies the
+quantitative guarantees of Lemma 45 plus the Lemma 43 embedding.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import RandomScheduler
+from repro.experiments import render_table
+from repro.graphs import erdos_renyi
+from repro.lowerbounds import (
+    build_influencer_multigraph,
+    fresh_nodes,
+    pattern_from_multigraph,
+    tree_embeds_in_fresh_nodes,
+    unfold_once,
+    unfold_to_tree,
+)
+
+from _helpers import run_once
+
+
+def _richest_multigraph(schedule):
+    """The influencer multigraph with the most internal interactions."""
+    candidates = sorted({v for interaction in schedule for v in interaction})
+    multigraphs = [build_influencer_multigraph(v, schedule) for v in candidates]
+    return max(multigraphs, key=lambda m: (m.internal_interaction_count, m.size))
+
+
+def _unfolding_trace(n: int, steps: int, seed: int):
+    graph = erdos_renyi(n, p=0.5, rng=seed)
+    scheduler = RandomScheduler(graph, rng=seed + 1)
+    schedule = scheduler.next_batch(steps)
+    # Root the multigraph at the node with the richest influencer history so
+    # the unfolding trace is informative (most roots have tiny, already
+    # tree-like multigraphs at this time scale — that is Lemma 44's point).
+    pattern = pattern_from_multigraph(_richest_multigraph(schedule))
+    sizes = [pattern.size]
+    internals = [len(pattern.internal_edges())]
+    current = pattern
+    rounds = 0
+    while not current.is_tree_like() and rounds < 64:
+        nxt = unfold_once(current)
+        sizes.append(nxt.size)
+        internals.append(len(nxt.internal_edges()))
+        current = nxt
+        rounds += 1
+    tree = current
+    return graph, pattern, sizes, internals, tree
+
+
+@pytest.mark.benchmark(group="fig1-unfolding")
+def test_figure1_unfolding_invariants(benchmark, report):
+    n = 64
+    steps = int(1.5 * n)  # well inside the Lemma 41/44 regime (t << n log n)
+    graph, pattern, sizes, internals, tree = run_once(
+        benchmark, _unfolding_trace, n, steps, 5
+    )
+    rows = [
+        {
+            "round": i,
+            "pattern size": size,
+            "internal interactions": internal,
+        }
+        for i, (size, internal) in enumerate(zip(sizes, internals))
+    ]
+    report(render_table(rows, title=f"FIG1: unfolding trace on {graph.name} ({steps} steps)"))
+
+    # Lemma 45 invariants along the trace.
+    for before, after in zip(internals, internals[1:]):
+        assert after <= before - 1
+    for before, after in zip(sizes, sizes[1:]):
+        assert after <= 2 * before
+    assert tree.is_tree_like()
+    assert tree.root == pattern.root
+
+
+@pytest.mark.benchmark(group="fig1-unfolding")
+def test_lemma43_embedding_into_untouched_nodes(benchmark, report):
+    """Lemma 42/43: early in the execution a constant fraction of nodes is
+    untouched and the (unfolded) influencer tree embeds into it."""
+
+    def measure():
+        n = 64
+        steps = n // 2
+        graph = erdos_renyi(n, p=0.5, rng=7)
+        scheduler = RandomScheduler(graph, rng=9)
+        schedule = scheduler.next_batch(steps)
+        pattern = pattern_from_multigraph(_richest_multigraph(schedule))
+        tree = unfold_to_tree(pattern)
+        available = fresh_nodes(schedule, graph.n_nodes, up_to_step=steps)
+        embedding = tree_embeds_in_fresh_nodes(graph, tree, available)
+        return graph, n, steps, tree, available, embedding
+
+    graph, n, steps, tree, available, embedding = run_once(benchmark, measure)
+    report(
+        render_table(
+            [
+                {
+                    "steps": steps,
+                    "tree size": tree.size,
+                    "untouched nodes": len(available),
+                    "embedded": embedding is not None,
+                }
+            ],
+            title="LEM43: embedding the unfolded tree into untouched nodes",
+        )
+    )
+    assert len(available) >= n // 4
+    assert embedding is not None
+    for u, v in tree.undirected_skeleton():
+        assert graph.has_edge(embedding[u], embedding[v])
+
+
+@pytest.mark.benchmark(group="fig1-unfolding")
+def test_internal_interactions_stay_logarithmic(benchmark, report):
+    """Lemma 44: at t <= c·n·log n the number of internal interactions in
+    any influencer multigraph is O(log n) w.h.p. — measured across roots."""
+
+    def measure():
+        n = 64
+        steps = int(0.5 * n)
+        graph = erdos_renyi(n, p=0.5, rng=29)
+        scheduler = RandomScheduler(graph, rng=31)
+        schedule = scheduler.next_batch(steps)
+        counts = []
+        sizes = []
+        for root in range(0, n, 4):
+            multigraph = build_influencer_multigraph(root, schedule)
+            counts.append(multigraph.internal_interaction_count)
+            sizes.append(multigraph.size)
+        return n, steps, counts, sizes
+
+    n, steps, counts, sizes = run_once(benchmark, measure)
+    report(
+        render_table(
+            [
+                {
+                    "n": n,
+                    "steps": steps,
+                    "max internal interactions": max(counts),
+                    "c·log n reference": 3 * math.log(n),
+                    "max multigraph size": max(sizes),
+                }
+            ],
+            title="LEM44: internal interactions across roots",
+        )
+    )
+    assert max(counts) <= 3 * math.log(n)
+    assert max(sizes) <= n

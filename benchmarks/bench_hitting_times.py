@@ -1,0 +1,109 @@
+"""Experiment THM16-hitting: hitting times and the constant-state protocol.
+
+Paper claims:
+
+* Lemma 17: ``H_P(G) <= 27·n·H(G)`` (population-model vs classic walk),
+* Lemma 18: ``M(u, v) <= 2·H_P(G)`` (meeting times),
+* Theorem 16: the 6-state token protocol stabilizes in
+  ``O(H(G)·n·log n)`` steps,
+* Proposition 20: ``H(G) ∈ O(n)`` w.h.p. for dense Erdős–Rényi graphs.
+
+The benchmark computes exact hitting/meeting times via linear solves on the
+benchmark families, verifies the two lemma inequalities, checks the
+Proposition 20 scaling, and compares the token protocol's measured
+stabilization time against the Theorem 16 envelope.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import render_table
+from repro.graphs import clique, cycle, erdos_renyi, lollipop, star
+from repro.protocols import TokenLeaderElection
+from repro.core import run_leader_election
+from repro.walks import (
+    hitting_time_report,
+    theorem16_step_bound,
+    worst_case_hitting_time,
+)
+
+from _helpers import run_once
+
+
+@pytest.mark.benchmark(group="thm16-hitting")
+def test_lemma17_and_lemma18_relations(benchmark, report):
+    def measure():
+        rows = []
+        for graph in (clique(16), cycle(16), star(16), lollipop(8, 8)):
+            rep = hitting_time_report(graph, include_meeting_times=graph.n_nodes <= 20)
+            rows.append(
+                {
+                    "graph": graph.name,
+                    "H(G)": rep.classic_worst_case,
+                    "H_P(G)": rep.population_worst_case,
+                    "27·n·H(G)": rep.lemma17_bound,
+                    "max M(u,v)": rep.max_meeting_time,
+                    "2·H_P(G)": rep.lemma18_bound,
+                    "lemma17": rep.lemma17_holds,
+                    "lemma18": rep.lemma18_holds,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, measure)
+    report(render_table(rows, title="LEM17/18: hitting and meeting time relations"))
+    for row in rows:
+        assert row["lemma17"], row
+        assert row["lemma18"] in (True, None), row
+
+
+@pytest.mark.benchmark(group="thm16-hitting")
+def test_proposition20_dense_random_hitting_is_linear(benchmark, report):
+    def measure():
+        rows = []
+        for n in (24, 48, 96):
+            graph = erdos_renyi(n, p=0.5, rng=19)
+            h = worst_case_hitting_time(graph)
+            rows.append({"n": n, "H(G)": h, "H(G)/n": h / n})
+        return rows
+
+    rows = run_once(benchmark, measure)
+    report(render_table(rows, title="PROP20: dense G(n, 1/2) worst-case hitting times"))
+    ratios = [row["H(G)/n"] for row in rows]
+    # H(G)/n stays bounded (Θ(1)) while n grows 4x.
+    assert max(ratios) <= 2.5 * min(ratios)
+    assert max(ratios) <= 6.0
+
+
+@pytest.mark.benchmark(group="thm16-hitting")
+def test_token_protocol_tracks_hitting_time_envelope(benchmark, report):
+    def measure():
+        rows = []
+        for graph in (clique(24), cycle(24), erdos_renyi(24, p=0.5, rng=23)):
+            steps = [
+                run_leader_election(TokenLeaderElection(), graph, rng=seed).stabilization_step
+                for seed in range(3)
+            ]
+            bound = theorem16_step_bound(graph)
+            rows.append(
+                {
+                    "graph": graph.name,
+                    "mean steps": sum(steps) / len(steps),
+                    "max steps": max(steps),
+                    "Thm16 envelope": bound,
+                    "ratio": max(steps) / bound,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, measure)
+    report(render_table(rows, title="THM16: token protocol vs O(H(G)·n·log n) envelope"))
+    for row in rows:
+        assert row["max steps"] <= row["Thm16 envelope"], row
+    # And H(G) explains the cross-family ordering: the cycle (H = Θ(n^2)) is
+    # slower than the clique and the dense random graph (H = Θ(n)).
+    by_graph = {row["graph"]: row["mean steps"] for row in rows}
+    assert by_graph["cycle-24"] > by_graph["clique-24"]

@@ -1,0 +1,82 @@
+"""Experiment LEM14-propagation: distance-k propagation lower bounds.
+
+Paper claims:
+
+* Lemma 13/14: for ``k >= ln n`` the distance-``k`` propagation time is at
+  least ``k·m/(Δ·e^3)`` except with probability ``1/n``;
+* these propagation bounds are what make the renitent covers isolating.
+
+The benchmark measures the empirical violation rate of the Lemma 14
+threshold on cycles and paths (the bounded-degree graphs where the bound is
+tight up to constants) and the growth of the distance-``k`` propagation
+time with ``k``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import render_table
+from repro.graphs import cycle, path
+from repro.propagation import (
+    empirical_violation_rate,
+    propagation_lower_bound_threshold,
+    propagation_time_estimate,
+)
+
+from _helpers import run_once
+
+
+@pytest.mark.benchmark(group="lem14-propagation")
+def test_lemma14_violation_rates(benchmark, report):
+    def measure():
+        rows = []
+        for graph in (cycle(32), path(32)):
+            k = max(int(math.ceil(math.log(graph.n_nodes))), 4)
+            threshold = propagation_lower_bound_threshold(graph, k)
+            rate = empirical_violation_rate(
+                graph, distance=k, threshold=threshold, trials=30, rng=3
+            )
+            rows.append(
+                {
+                    "graph": graph.name,
+                    "k": k,
+                    "threshold k·m/(Δe³)": threshold,
+                    "violation rate": rate,
+                    "paper bound 1/n": 1.0 / graph.n_nodes,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, measure)
+    report(render_table(rows, title="LEM14: propagation-time violation rates"))
+    for row in rows:
+        # The paper guarantees <= 1/n; allow generous Monte-Carlo slack.
+        assert row["violation rate"] <= 0.2, row
+
+
+@pytest.mark.benchmark(group="lem14-propagation")
+def test_propagation_time_grows_superlinearly_in_distance(benchmark, report):
+    """On constant-degree graphs T_k(G) = Ω(k·m) = Ω(k·n): doubling the
+    distance at least doubles the propagation time."""
+
+    def measure():
+        graph = cycle(48)
+        rows = []
+        for k in (4, 8, 16):
+            estimate = propagation_time_estimate(
+                graph, distance=k, repetitions=4, max_sources=6, rng=5
+            )
+            rows.append({"k": k, "measured T_k(G)": estimate.value,
+                         "lower bound k·m/(Δe³)": propagation_lower_bound_threshold(graph, k)})
+        return rows
+
+    rows = run_once(benchmark, measure)
+    report(render_table(rows, title="LEM13/14: distance-k propagation times on cycle-48"))
+    values = [row["measured T_k(G)"] for row in rows]
+    assert values[1] > 1.5 * values[0]
+    assert values[2] > 1.5 * values[1]
+    for row in rows:
+        assert row["measured T_k(G)"] >= row["lower bound k·m/(Δe³)"]

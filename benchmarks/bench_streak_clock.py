@@ -1,0 +1,111 @@
+"""Experiment SEC5-clock: the streak-clock subroutine (Lemmas 26–29).
+
+Paper claims:
+
+* Lemma 27(a): ``E[K] = 2^{h+1} − 2`` interactions per completed streak,
+* Lemma 27(b): ``E[X(d)] = E[K]·m/d`` scheduler steps per streak for a
+  degree-``d`` node (high-degree nodes tick faster),
+* Lemma 28/29: the number of steps to complete ``ℓ >= ln n`` streaks is
+  concentrated within constant factors of its mean.
+
+The benchmark measures the tick frequency across ``h`` and across node
+degrees on a star (the extreme degree spread) and checks the formulas and
+the concentration claim empirically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import render_table
+from repro.graphs import star
+from repro.protocols import (
+    expected_interactions_per_tick,
+    expected_steps_per_tick,
+    simulate_interactions_until_tick,
+    simulate_steps_until_ticks,
+)
+
+from _helpers import run_once
+
+
+@pytest.mark.benchmark(group="sec5-clock")
+def test_lemma27a_expected_interactions_per_tick(benchmark, report):
+    def measure():
+        rng = np.random.default_rng(3)
+        rows = []
+        for h in (1, 2, 3, 4, 5):
+            samples = [simulate_interactions_until_tick(h, rng=rng) for _ in range(2000)]
+            rows.append(
+                {
+                    "h": h,
+                    "measured E[K]": float(np.mean(samples)),
+                    "paper 2^{h+1}-2": expected_interactions_per_tick(h),
+                    "ratio": float(np.mean(samples)) / expected_interactions_per_tick(h),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, measure)
+    report(render_table(rows, title="LEM27a: interactions per streak completion"))
+    for row in rows:
+        assert 0.9 <= row["ratio"] <= 1.1, row
+
+
+@pytest.mark.benchmark(group="sec5-clock")
+def test_lemma27b_degree_dependence_on_star(benchmark, report):
+    def measure():
+        graph = star(24)
+        h = 2
+        rows = []
+        for node in (0, 1):  # centre (degree n-1) vs a leaf (degree 1)
+            samples = [
+                simulate_steps_until_ticks(graph, node, h, rng=seed) for seed in range(25)
+            ]
+            expected = expected_steps_per_tick(h, graph.n_edges, graph.degree(node))
+            rows.append(
+                {
+                    "node": "centre" if node == 0 else "leaf",
+                    "degree": graph.degree(node),
+                    "measured E[X(d)]": float(np.mean(samples)),
+                    "paper E[K]·m/d": expected,
+                    "ratio": float(np.mean(samples)) / expected,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, measure)
+    report(render_table(rows, title="LEM27b: steps per streak vs node degree (star-24)"))
+    for row in rows:
+        assert 0.6 <= row["ratio"] <= 1.6, row
+    # The degree dependence itself: leaves tick ~Δ times slower.
+    centre, leaf = rows[0], rows[1]
+    assert leaf["measured E[X(d)]"] > 5.0 * centre["measured E[X(d)]"]
+
+
+@pytest.mark.benchmark(group="sec5-clock")
+def test_lemma28_concentration_of_many_streaks(benchmark, report):
+    """Lemma 28: R (interactions for ℓ streaks) concentrates in [E[R]/2, 4E[R]]."""
+
+    def measure():
+        rng = np.random.default_rng(11)
+        h, ell = 3, 8
+        totals = []
+        for _ in range(300):
+            total = sum(simulate_interactions_until_tick(h, rng=rng) for _ in range(ell))
+            totals.append(total)
+        expected = expected_interactions_per_tick(h) * ell
+        totals = np.asarray(totals, dtype=float)
+        return {
+            "E[R]": expected,
+            "measured mean": float(totals.mean()),
+            "P[R <= E[R]/2]": float((totals <= expected / 2).mean()),
+            "P[R >= 4 E[R]]": float((totals >= 4 * expected).mean()),
+        }
+
+    summary = run_once(benchmark, measure)
+    report(render_table([summary], title="LEM28: concentration of ℓ-streak completion"))
+    assert summary["measured mean"] == pytest.approx(summary["E[R]"], rel=0.15)
+    assert summary["P[R <= E[R]/2]"] <= 0.05
+    assert summary["P[R >= 4 E[R]]"] <= 0.05

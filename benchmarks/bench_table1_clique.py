@@ -1,0 +1,68 @@
+"""Experiment T1-clique: Table 1, the "Cliques" row group.
+
+Paper claims (Table 1):
+
+* identifier / fast protocols: ``Θ(n log n)`` expected steps,
+* constant-state token protocol: ``Θ(n^2)`` expected steps.
+
+The benchmark sweeps cliques over a range of sizes, measures mean
+stabilization steps for all three protocols, fits growth exponents and
+checks the ordering: the token protocol must grow visibly faster (about one
+power of ``n``) than the other two.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    default_protocol_specs,
+    expected_exponents,
+    render_table,
+    run_table1_family,
+)
+
+from _helpers import run_once
+
+SIZES = [16, 24, 36, 52, 72]
+REPETITIONS = 4
+
+
+@pytest.mark.benchmark(group="table1-clique")
+def test_table1_clique_row_group(benchmark, report):
+    group = run_once(
+        benchmark,
+        run_table1_family,
+        "clique",
+        SIZES,
+        repetitions=REPETITIONS,
+        seed=7,
+    )
+    expected = expected_exponents()["clique"]
+    rows = []
+    by_protocol = {}
+    for row in group.rows:
+        rows.append(
+            {
+                **row.as_dict(),
+                "paper_exponent": expected.get(row.protocol, float("nan")),
+            }
+        )
+        by_protocol[row.protocol] = row
+    report(group.render())
+    report(render_table(rows, columns=["protocol", "exponent", "paper_exponent", "success"],
+                        title="T1-clique: fitted vs paper growth exponents"))
+
+    # Shape checks: every protocol succeeded, and the constant-state
+    # protocol grows at least ~0.5 powers of n faster than the identifier
+    # protocol (paper gap: n^2 vs n log n).
+    for row in group.rows:
+        assert row.success_rate == 1.0
+    token = by_protocol["token-6state"]
+    identifier = by_protocol["identifier-broadcast"]
+    fast = by_protocol["fast-space-efficient"]
+    assert token.fitted_exponent > identifier.fitted_exponent + 0.25
+    assert token.mean_steps[-1] > 2.0 * identifier.mean_steps[-1]
+    # Space complexity ordering: O(1) vs O(log^2 n) vs O(n^4)-capable.
+    assert token.states_observed <= 6
+    assert fast.states_observed < identifier.states_observed

@@ -1,0 +1,63 @@
+"""Experiment T1-dense-random: Table 1, the "Dense random" row group.
+
+Paper claims (Table 1, ``G ~ G(n, p)`` with constant ``p``, average case):
+
+* identifier protocol: ``Θ(n log n)`` steps (Theorem 40 + 21),
+* fast protocol: ``O(n log^2 n)`` steps, ``O(log^2 n)`` states,
+* constant-state protocols: ``o(n^2)`` impossible (Theorem 46) and the
+  token protocol achieves ``O(n^2 log^2 n)`` (with ``H(G) ∈ O(n)``,
+  Proposition 20).
+
+The benchmark sweeps connected ``G(n, 1/2)`` graphs, fits growth exponents
+and checks the quadratic-vs-near-linear separation between the token
+protocol and the identifier/fast protocols — the measurable content of the
+``Ω(n^2)`` average-case lower bound for constant-state protocols.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import expected_exponents, render_table, run_table1_family
+
+from _helpers import run_once
+
+SIZES = [16, 24, 36, 52, 72]
+REPETITIONS = 3
+
+
+@pytest.mark.benchmark(group="table1-dense-random")
+def test_table1_dense_random_row_group(benchmark, report):
+    group = run_once(
+        benchmark,
+        run_table1_family,
+        "dense-gnp",
+        SIZES,
+        repetitions=REPETITIONS,
+        seed=23,
+    )
+    expected = expected_exponents()["dense-gnp"]
+    rows = [
+        {**row.as_dict(), "paper_exponent": expected.get(row.protocol, float("nan"))}
+        for row in group.rows
+    ]
+    report(group.render())
+    report(
+        render_table(
+            rows,
+            columns=["protocol", "exponent", "paper_exponent", "states", "success"],
+            title="T1-dense-random: fitted vs paper growth exponents",
+        )
+    )
+    by_protocol = {row.protocol: row for row in group.rows}
+    for row in group.rows:
+        assert row.success_rate == 1.0
+    token = by_protocol["token-6state"]
+    identifier = by_protocol["identifier-broadcast"]
+    fast = by_protocol["fast-space-efficient"]
+    # Constant-state protocol needs ~ n^2; the others stay near n log n.
+    assert token.fitted_exponent > identifier.fitted_exponent + 0.25
+    assert token.mean_steps[-1] > 2.0 * identifier.mean_steps[-1]
+    # Space: O(1) vs O(log^2 n) vs polynomial.
+    assert token.states_observed <= 6
+    assert fast.states_observed < identifier.states_observed

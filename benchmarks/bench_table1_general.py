@@ -1,0 +1,79 @@
+"""Experiment T1-general: Table 1, the "General" row group.
+
+Paper claims (Table 1, general graphs):
+
+* identifier protocol: ``O(B(G) + n log n)`` steps, ``O(n^4)`` states,
+* fast protocol: ``O(B(G) log n)`` steps, ``O(log^2 n)`` states,
+* token protocol: ``O(H(G) n log n)`` steps, ``O(1)`` states.
+
+The benchmark uses three irregular graphs with very different ``B(G)`` /
+``H(G)`` profiles — a lollipop (worst-case hitting time), a barbell (low
+conductance) and a chord-augmented cycle — and verifies that (a) every
+protocol elects exactly one leader, (b) the identifier protocol's time
+tracks the measured ``B(G)`` rather than ``H(G)·n``, and (c) the ordering
+identifier ≤ token holds on every instance, as the bounds predict for these
+families.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    compare_protocols_on_graph,
+    default_protocol_specs,
+    default_step_budget,
+    get_workload,
+    render_table,
+)
+from repro.propagation import broadcast_time_estimate
+from repro.walks import worst_case_hitting_time
+
+from _helpers import run_once
+
+FAMILIES = ["lollipop", "barbell", "cycle-chords"]
+SIZE = 36
+REPETITIONS = 3
+
+
+def _measure_family(family: str):
+    graph = get_workload(family).build(SIZE, seed=2)
+    budget = default_step_budget(graph, multiplier=400.0)
+    measurements = compare_protocols_on_graph(
+        default_protocol_specs(), graph, repetitions=REPETITIONS, seed=17, max_steps=budget
+    )
+    broadcast = broadcast_time_estimate(graph, repetitions=4, max_sources=6, rng=3).value
+    hitting = worst_case_hitting_time(graph)
+    return graph, measurements, broadcast, hitting
+
+
+@pytest.mark.benchmark(group="table1-general")
+@pytest.mark.parametrize("family", FAMILIES)
+def test_table1_general_family(benchmark, report, family):
+    graph, measurements, broadcast, hitting = run_once(benchmark, _measure_family, family)
+    rows = []
+    for name, measurement in measurements.items():
+        rows.append(
+            {
+                "protocol": name,
+                "mean_steps": measurement.stabilization_steps.mean,
+                "success": measurement.success_rate,
+                "states": measurement.max_states_observed,
+                "B(G)": broadcast,
+                "H(G)": hitting,
+            }
+        )
+    report(render_table(rows, title=f"T1-general: {graph.name} (n={graph.n_nodes}, m={graph.n_edges})"))
+
+    for name, measurement in measurements.items():
+        assert measurement.success_rate == 1.0, (family, name)
+    identifier = measurements["identifier-broadcast"]
+    token = measurements["token-6state"]
+    # Identifier time is O(B + n log n): within a constant factor of the
+    # measured broadcast time plus n log n.
+    import math
+
+    envelope = 30.0 * (broadcast + graph.n_nodes * math.log(graph.n_nodes))
+    assert identifier.stabilization_steps.mean <= envelope
+    # Token protocol is the slowest of the three on these families.
+    assert token.stabilization_steps.mean >= 0.8 * identifier.stabilization_steps.mean

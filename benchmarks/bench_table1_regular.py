@@ -1,0 +1,118 @@
+"""Experiment T1-regular: Table 1, the "Regular" row group.
+
+Paper claims (Table 1, regular graphs with conductance φ):
+
+* identifier protocol: ``O(φ^{-1} n log n)`` steps,
+* fast protocol: ``O(φ^{-1} n log^2 n)`` steps with
+  ``O(log n·log(φ^{-1} log n))`` states (Corollary 25),
+* token protocol: ``O(φ^{-1} n^2 log^2 n)`` steps, ``O(1)`` states.
+
+Measured here on the two extremes of the regular family: the cycle
+(``φ = Θ(1/n)``, so ``B(G) = Θ(n^2)``) and a random 4-regular graph
+(``φ = Θ(1)``, so ``B(G) = Θ(n log n)``), plus a 2-D torus in between.
+The φ-dependence shows up as: at equal ``n``, every protocol is much slower
+on the cycle than on the expander, and the cycle's growth exponent for the
+identifier protocol is about one power of ``n`` above the expander's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    expected_exponents,
+    identifier_protocol_spec,
+    render_table,
+    run_table1_family,
+    token_protocol_spec,
+)
+
+from _helpers import run_once
+
+CYCLE_SIZES = [16, 24, 36, 48]
+EXPANDER_SIZES = [16, 24, 36, 48]
+REPETITIONS = 3
+
+
+@pytest.mark.benchmark(group="table1-regular")
+def test_table1_cycle_row_group(benchmark, report):
+    group = run_once(
+        benchmark,
+        run_table1_family,
+        "cycle",
+        CYCLE_SIZES,
+        repetitions=REPETITIONS,
+        seed=11,
+        step_budget_multiplier=200.0,
+    )
+    report(group.render())
+    by_protocol = {row.protocol: row for row in group.rows}
+    for row in group.rows:
+        assert row.success_rate == 1.0
+    # On cycles B(G) and H(G) are both Θ(n^2): the identifier protocol grows
+    # roughly quadratically and the token protocol at least as fast.
+    identifier = by_protocol["identifier-broadcast"]
+    token = by_protocol["token-6state"]
+    assert identifier.fitted_exponent > 1.4
+    assert token.fitted_exponent >= identifier.fitted_exponent - 0.3
+    assert token.mean_steps[-1] >= identifier.mean_steps[-1]
+
+
+@pytest.mark.benchmark(group="table1-regular")
+def test_table1_random_regular_row_group(benchmark, report):
+    group = run_once(
+        benchmark,
+        run_table1_family,
+        "random-regular",
+        EXPANDER_SIZES,
+        repetitions=REPETITIONS,
+        seed=13,
+    )
+    report(group.render())
+    for row in group.rows:
+        assert row.success_rate == 1.0
+    by_protocol = {row.protocol: row for row in group.rows}
+    # Constant conductance: near-linear growth for the fast protocols.
+    assert by_protocol["identifier-broadcast"].fitted_exponent < 2.0
+    assert (
+        by_protocol["token-6state"].mean_steps[-1]
+        > by_protocol["identifier-broadcast"].mean_steps[-1]
+    )
+
+
+@pytest.mark.benchmark(group="table1-regular")
+def test_conductance_dependence_cycle_vs_expander(benchmark, report):
+    """At equal n, the low-conductance cycle is slower for every protocol."""
+
+    def measure():
+        from repro.experiments import compare_protocols_on_graph, default_step_budget, get_workload
+
+        n = 40
+        specs = [token_protocol_spec(), identifier_protocol_spec()]
+        cycle_graph = get_workload("cycle").build(n, seed=1)
+        expander_graph = get_workload("random-regular").build(n, seed=1)
+        cycle_results = compare_protocols_on_graph(
+            specs, cycle_graph, repetitions=3, seed=5,
+            max_steps=default_step_budget(cycle_graph, multiplier=200.0),
+        )
+        expander_results = compare_protocols_on_graph(
+            specs, expander_graph, repetitions=3, seed=5,
+            max_steps=default_step_budget(expander_graph, multiplier=200.0),
+        )
+        return cycle_results, expander_results
+
+    cycle_results, expander_results = run_once(benchmark, measure)
+    rows = []
+    for name in cycle_results:
+        rows.append(
+            {
+                "protocol": name,
+                "cycle mean steps": cycle_results[name].stabilization_steps.mean,
+                "expander mean steps": expander_results[name].stabilization_steps.mean,
+                "slowdown": cycle_results[name].stabilization_steps.mean
+                / expander_results[name].stabilization_steps.mean,
+            }
+        )
+    report(render_table(rows, title="T1-regular: conductance dependence at n = 40"))
+    for row in rows:
+        assert row["slowdown"] > 1.5, row

@@ -1,0 +1,92 @@
+"""Experiment T1-renitent: Table 1, the "Renitent" row (Ω(B(G)) lower bound).
+
+Paper claims (Theorems 34 and 39): on f-renitent graphs — graphs admitting
+an f(n)-isolating (K, ℓ)-cover — *any* stable leader-election protocol
+needs ``Ω(f(n))`` expected steps, and the Lemma 38 construction realises
+``f(n) = Θ(ℓ·m) = Θ(B(G))``.
+
+The benchmark builds the Lemma 38 construction (four star copies joined by
+long paths), then measures
+
+* the cover's empirical isolation behaviour (``Pr[Y(C) >= t]`` at the
+  Lemma 38 scale must be at least 1/2 — the defining property),
+* the implied Theorem 34 lower bound,
+* the actual stabilization time of the best upper-bound protocol
+  (the identifier protocol, which is ``O(B(G) + n log n)``),
+* the measured broadcast time ``B(G)``,
+
+and checks the sandwich: lower bound ≤ measured stabilization, and measured
+stabilization within a constant factor of ``B(G)`` (time-optimality on this
+family, as the paper concludes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    default_step_budget,
+    identifier_protocol_spec,
+    measure_protocol_on_graph,
+    render_table,
+    renitent_star_construction,
+)
+from repro.lowerbounds import Cover, check_cover, estimate_isolation_time, theorem34_lower_bound
+from repro.propagation import broadcast_time_estimate
+
+from _helpers import run_once
+
+POPULATION_SIZES = [48, 80]
+REPETITIONS = 3
+
+
+def _measure(n_target: int):
+    construction = renitent_star_construction(n_target)
+    graph = construction.graph
+    cover = Cover.from_construction(construction)
+    structure = check_cover(cover, check_isomorphism=False)
+    threshold = 0.05 * construction.expected_isolation_steps
+    isolation = estimate_isolation_time(cover, threshold, trials=8, rng=41)
+    lower_bound = theorem34_lower_bound(threshold, isolation.survival_probability)
+    broadcast = broadcast_time_estimate(graph, repetitions=3, max_sources=5, rng=43).value
+    measurement = measure_protocol_on_graph(
+        identifier_protocol_spec(),
+        graph,
+        repetitions=REPETITIONS,
+        seed=47,
+        max_steps=default_step_budget(graph, multiplier=400.0),
+    )
+    return construction, structure, isolation, lower_bound, broadcast, measurement
+
+
+@pytest.mark.benchmark(group="table1-renitent")
+@pytest.mark.parametrize("n_target", POPULATION_SIZES)
+def test_renitent_lower_bound_sandwich(benchmark, report, n_target):
+    construction, structure, isolation, lower_bound, broadcast, measurement = run_once(
+        benchmark, _measure, n_target
+    )
+    graph = construction.graph
+    rows = [
+        {
+            "graph": graph.name,
+            "n": graph.n_nodes,
+            "m": graph.n_edges,
+            "ell": construction.ell,
+            "isolation Pr[Y>=t]": isolation.survival_probability,
+            "Thm34 lower bound": lower_bound,
+            "measured B(G)": broadcast,
+            "identifier mean steps": measurement.stabilization_steps.mean,
+        }
+    ]
+    report(render_table(rows, title=f"T1-renitent (target n = {n_target})"))
+
+    # Structural cover properties of the Lemma 38 construction.
+    assert structure.covers_all_nodes
+    assert structure.sets_equal_size
+    assert structure.has_disjoint_pair
+    # The cover really is isolating at (a twentieth of) the Θ(ℓ m) scale.
+    assert isolation.survival_probability >= 0.5
+    # Sandwich: Ω(f) lower bound <= measured stabilization <= O(B + n log n).
+    assert measurement.success_rate == 1.0
+    assert measurement.stabilization_steps.mean >= lower_bound
+    assert measurement.stabilization_steps.mean <= 60.0 * broadcast

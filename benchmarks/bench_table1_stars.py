@@ -1,0 +1,88 @@
+"""Experiment T1-stars: Table 1, the "Stars" row.
+
+Paper claim: on stars there is a trivial ``O(1)``-state protocol that
+stabilizes in ``O(1)`` steps (a single interaction), even though broadcast
+on a star takes ``Θ(n log n)`` steps.  This is the paper's illustration
+that graph structure can break symmetry much faster than information can
+spread (Section 6.3).
+
+The benchmark measures (a) the trivial protocol's stabilization time across
+star sizes (it must stay constant), (b) the general-purpose protocols on
+the same stars (they keep working but pay at least the broadcast cost), and
+(c) the measured broadcast time, to exhibit the
+"election ≪ broadcast" gap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    render_table,
+    run_star_row,
+    run_table1_family,
+)
+from repro.propagation import broadcast_time_estimate
+from repro.graphs import star
+
+from _helpers import run_once
+
+SIZES = [16, 32, 64, 128]
+REPETITIONS = 5
+
+
+@pytest.mark.benchmark(group="table1-stars")
+def test_trivial_protocol_is_constant_time(benchmark, report):
+    group = run_once(benchmark, run_star_row, SIZES, repetitions=REPETITIONS, seed=29)
+    report(group.render())
+    row = group.rows[0]
+    assert row.success_rate == 1.0
+    # O(1) stabilization at every size, no growth with n.
+    assert all(steps <= 8 for steps in row.mean_steps)
+    assert abs(row.fitted_exponent) < 0.5
+    assert row.states_observed <= 3
+
+
+@pytest.mark.benchmark(group="table1-stars")
+def test_leader_election_beats_broadcast_on_stars(benchmark, report):
+    def measure():
+        star_group = run_star_row(SIZES[:3], repetitions=REPETITIONS, seed=31)
+        broadcasts = {
+            n: broadcast_time_estimate(star(n), repetitions=4, max_sources=4, rng=5).value
+            for n in SIZES[:3]
+        }
+        return star_group, broadcasts
+
+    star_group, broadcasts = run_once(benchmark, measure)
+    row = star_group.rows[0]
+    rows = [
+        {
+            "n": n,
+            "election steps (trivial protocol)": steps,
+            "broadcast steps B(G)": broadcasts[n],
+            "gap": broadcasts[n] / max(steps, 1.0),
+        }
+        for n, steps in zip(row.sizes, row.mean_steps)
+    ]
+    report(render_table(rows, title="T1-stars: leader election vs broadcast time"))
+    # Broadcast is Θ(n log n) while election is O(1): the gap must grow.
+    gaps = [r["gap"] for r in rows]
+    assert gaps[-1] > gaps[0]
+    assert gaps[-1] > 10.0
+
+
+@pytest.mark.benchmark(group="table1-stars")
+def test_general_protocols_still_work_on_stars(benchmark, report):
+    group = run_once(
+        benchmark,
+        run_table1_family,
+        "star",
+        [16, 32, 64],
+        repetitions=2,
+        seed=37,
+    )
+    report(group.render())
+    for row in group.rows:
+        assert row.success_rate == 1.0
+        # The general-purpose protocols cannot beat the trivial one here.
+        assert min(row.mean_steps) >= 1.0

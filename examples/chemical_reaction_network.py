@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Scenario: leader election in a well-mixed vs compartmentalised "solution".
+
+Population protocols are formally equivalent to stochastic chemical
+reaction networks with unit rates: molecules (agents) collide in pairs and
+change species (states).  A *well-mixed* solution corresponds to the clique
+interaction graph; a solution split into compartments connected by narrow
+channels corresponds to a low-conductance graph (here: a barbell of two
+well-mixed chambers joined by a thin channel).
+
+The example shows how compartmentalisation slows down leader election for
+the constant-state "molecular" protocol (the 6-state token protocol — the
+kind of protocol implementable with a fixed set of chemical species), and
+how much of that slowdown the paper's identifier protocol avoids, at the
+cost of a species alphabet that grows with the population.
+
+It also records the leader-count trajectory over time for the token
+protocol in both settings, the observable a wet-lab experiment would track.
+
+Run with::
+
+    python examples/chemical_reaction_network.py
+"""
+
+from __future__ import annotations
+
+from repro import Simulator, run_leader_election
+from repro.experiments.reporting import render_table
+from repro.graphs import barbell, clique
+from repro.protocols import IdentifierLeaderElection, TokenLeaderElection
+
+
+def leader_trajectory(graph, rng_seed: int, checkpoints: int = 12):
+    """Leader counts over time for the token protocol on ``graph``."""
+    simulator = Simulator(graph, TokenLeaderElection(), rng=rng_seed)
+    budget = 400 * graph.n_nodes * graph.n_nodes
+    result = simulator.run(
+        max_steps=budget,
+        record_leader_trace=True,
+        trace_resolution=checkpoints,
+        check_interval=max(graph.n_edges // 4, 1),
+    )
+    return result
+
+
+def main() -> None:
+    n = 60
+    well_mixed = clique(n)
+    chamber = (n - 4) // 2
+    compartmentalised = barbell(chamber, n - 2 * chamber)
+
+    rows = []
+    trajectories = {}
+    for name, graph in (("well-mixed (clique)", well_mixed),
+                        ("compartmentalised (barbell)", compartmentalised)):
+        token = leader_trajectory(graph, rng_seed=5)
+        identifier = run_leader_election(
+            IdentifierLeaderElection(graph.n_nodes), graph, rng=5
+        )
+        trajectories[name] = token
+        rows.append(
+            {
+                "mixing": name,
+                "n": graph.n_nodes,
+                "token (6 species) steps": token.stabilization_step,
+                "identifier protocol steps": identifier.stabilization_step,
+                "slowdown of 6-species design": token.stabilization_step
+                / max(identifier.stabilization_step, 1),
+            }
+        )
+    print(render_table(rows, title="Molecular leader election: mixing matters"))
+
+    print()
+    for name, result in trajectories.items():
+        print(f"Leader-count trajectory — {name}:")
+        trace_rows = [
+            {"interactions": step, "remaining leader candidates": count}
+            for step, count in result.leader_trace
+        ]
+        print(render_table(trace_rows))
+        print()
+
+    print(
+        "In the well-mixed chamber the candidate count decays quickly\n"
+        "(pairwise annihilation is fast on a clique); the narrow channel of\n"
+        "the compartmentalised solution throttles the random walk of the\n"
+        "tokens, which is exactly the H(G)-dependence in Theorem 16."
+    )
+
+
+if __name__ == "__main__":
+    main()

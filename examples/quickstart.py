@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Quickstart: elect a leader on a random interaction graph.
+
+This example walks through the core public API in a few lines:
+
+1. build an interaction graph,
+2. inspect the structural quantities the paper's bounds depend on
+   (``B(G)``, ``H(G)``, conductance),
+3. run the three leader-election protocols from the paper and compare
+   their stabilization time and space usage.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import run_leader_election
+from repro.experiments.reporting import render_table
+from repro.graphs import erdos_renyi, summarize
+from repro.propagation import broadcast_time_estimate
+from repro.protocols import (
+    FastLeaderElection,
+    IdentifierLeaderElection,
+    TokenLeaderElection,
+)
+from repro.walks import worst_case_hitting_time
+
+
+def main() -> None:
+    # 1. An Erdős–Rényi interaction graph, conditioned on connectivity —
+    #    the "dense random" row of the paper's Table 1.
+    graph = erdos_renyi(n=80, p=0.3, rng=42)
+    print(render_table([summarize(graph)], title="Interaction graph"))
+    print()
+
+    # 2. The quantities the paper's bounds are stated in.
+    broadcast = broadcast_time_estimate(graph, repetitions=5, max_sources=6, rng=1)
+    hitting = worst_case_hitting_time(graph)
+    print(
+        render_table(
+            [{"B(G) (measured)": broadcast.value, "H(G) (exact)": hitting}],
+            title="Broadcast and hitting times",
+        )
+    )
+    print()
+
+    # 3. The three protocols of Table 1.
+    protocols = {
+        "token-6state (Thm 16)": TokenLeaderElection(),
+        "identifier-broadcast (Thm 21)": IdentifierLeaderElection(graph.n_nodes),
+        "fast-space-efficient (Thm 24)": FastLeaderElection.practical_for_graph(
+            graph, broadcast_time=broadcast.value
+        ),
+    }
+    rows = []
+    for name, protocol in protocols.items():
+        result = run_leader_election(protocol, graph, rng=7)
+        rows.append(
+            {
+                "protocol": name,
+                "stabilized": result.stabilized,
+                "leaders": result.leaders,
+                "stabilization steps": result.stabilization_step,
+                "distinct states used": result.distinct_states_observed,
+                "declared state space": protocol.state_space_size(),
+            }
+        )
+    print(render_table(rows, title="Leader election on G(80, 0.3)"))
+    print()
+    print(
+        "Reading the table: all three protocols elect exactly one leader;\n"
+        "the constant-state token protocol pays a ~n^2 running time, while\n"
+        "the identifier protocol is fastest but uses a polynomial state\n"
+        "space and the fast protocol gets close with only polylog states."
+    )
+
+
+if __name__ == "__main__":
+    main()

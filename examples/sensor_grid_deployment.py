@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Scenario: electing a coordinator in a spatially deployed sensor field.
+
+Population protocols were originally motivated by networks of passively
+mobile, resource-constrained sensors.  When the sensors are *not* fully
+mixed — e.g. fixed motes that can only talk to physical neighbours — the
+interaction graph has spatial structure, and this is exactly the regime the
+paper addresses: the complexity of leader election is governed by the
+broadcast time ``B(G)`` of the deployment graph, not by the population size
+alone.
+
+This example compares three deployments with the same number of motes:
+
+* a corridor deployment (a long cycle — low conductance, ``B = Θ(n^2)``),
+* a field deployment (a 2-D torus — ``B = Θ(n^{3/2})``),
+* a dense wireless mesh (random geometric graph with a large radio range).
+
+For each deployment it estimates ``B(G)``, runs the paper's space-efficient
+fast protocol (Theorem 24) sized from that estimate, and reports how the
+election time tracks the broadcast time — the headline message of the
+paper.
+
+Run with::
+
+    python examples/sensor_grid_deployment.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import run_leader_election
+from repro.experiments.reporting import render_table
+from repro.graphs import cycle, random_geometric, torus
+from repro.propagation import broadcast_time_estimate
+from repro.protocols import FastLeaderElection, TokenLeaderElection
+
+
+def build_deployments(n_motes: int):
+    """Three deployments with (approximately) ``n_motes`` sensors."""
+    side = int(round(math.sqrt(n_motes)))
+    return {
+        "corridor (cycle)": cycle(n_motes),
+        "field (torus)": torus(side, side),
+        "dense mesh (geometric)": random_geometric(n_motes, radius=0.45, rng=3),
+    }
+
+
+def main() -> None:
+    n_motes = 64
+    deployments = build_deployments(n_motes)
+    rows = []
+    for name, graph in deployments.items():
+        broadcast = broadcast_time_estimate(graph, repetitions=4, max_sources=6, rng=11)
+        fast = FastLeaderElection.practical_for_graph(graph, broadcast_time=broadcast.value)
+        fast_result = run_leader_election(fast, graph, rng=13)
+        token_result = run_leader_election(TokenLeaderElection(), graph, rng=13)
+        rows.append(
+            {
+                "deployment": name,
+                "motes": graph.n_nodes,
+                "links": graph.n_edges,
+                "B(G) measured": broadcast.value,
+                "fast protocol steps": fast_result.stabilization_step,
+                "fast steps / B(G)": fast_result.stabilization_step / broadcast.value,
+                "token protocol steps": token_result.stabilization_step,
+                "fast states": fast.state_space_size(),
+            }
+        )
+    print(render_table(rows, title=f"Coordinator election across deployments (~{n_motes} motes)"))
+    print()
+    print(
+        "The fast protocol's election time scales with the deployment's\n"
+        "broadcast time (the steps/B(G) column stays within a small factor\n"
+        "across topologies), matching the O(B(G)·log n) bound of Theorem 24,\n"
+        "while the 6-state token protocol degrades much faster on the\n"
+        "corridor, whose random-walk hitting time is Θ(n^2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

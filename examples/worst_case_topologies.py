@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Scenario: stress-testing a deployment against worst-case topologies.
+
+A system designer adopting population-protocol-style gossip for leader
+election may want to know *how bad it can get* if the interaction topology
+degenerates.  Section 6 of the paper answers this with renitent graphs:
+families where every protocol — no matter how clever, even with unbounded
+states — needs ``Ω(B(G))`` steps, and ``B(G)`` can be pushed up to
+``Θ(n^3)``.
+
+This example
+
+1. builds the Lemma 38 renitent construction (four identical clusters
+   joined by long thin paths) for increasing path lengths ``ℓ``,
+2. verifies the isolating-cover property empirically (the clusters stay
+   mutually uninformed for ``Θ(ℓ·m)`` steps),
+3. measures the resulting Theorem 34 lower bound next to the actual
+   stabilization time of the best upper-bound protocol, and
+4. shows the designer-facing conclusion: the gap between the best and the
+   worst topology at the same population size.
+
+Run with::
+
+    python examples/worst_case_topologies.py
+"""
+
+from __future__ import annotations
+
+from repro import run_leader_election
+from repro.experiments.reporting import render_table
+from repro.graphs import clique, four_copies_construction, star
+from repro.lowerbounds import Cover, estimate_isolation_time, theorem34_lower_bound
+from repro.propagation import broadcast_time_estimate
+from repro.protocols import IdentifierLeaderElection
+
+
+def main() -> None:
+    base = star(8)
+    rows = []
+    for ell in (4, 8, 16):
+        construction = four_copies_construction(base, ell)
+        graph = construction.graph
+        cover = Cover.from_construction(construction)
+        threshold = 0.05 * construction.expected_isolation_steps
+        isolation = estimate_isolation_time(cover, threshold, trials=6, rng=1)
+        lower = theorem34_lower_bound(threshold, isolation.survival_probability)
+        broadcast = broadcast_time_estimate(graph, repetitions=3, max_sources=5, rng=2)
+        protocol = IdentifierLeaderElection(graph.n_nodes)
+        result = run_leader_election(protocol, graph, rng=3)
+        rows.append(
+            {
+                "path length ell": ell,
+                "n": graph.n_nodes,
+                "survive isolation": isolation.survival_probability,
+                "Thm 34 lower bound": lower,
+                "measured election steps": result.stabilization_step,
+                "measured B(G)": broadcast.value,
+            }
+        )
+    print(render_table(rows, title="Worst-case (renitent) topologies: lower bound vs reality"))
+
+    # Best-case comparison at the largest size: a clique on the same number
+    # of nodes elects a leader in near-linear time.
+    worst = rows[-1]
+    best_graph = clique(worst["n"])
+    best = run_leader_election(IdentifierLeaderElection(best_graph.n_nodes), best_graph, rng=4)
+    print()
+    print(
+        render_table(
+            [
+                {
+                    "topology": "renitent (worst case)",
+                    "n": worst["n"],
+                    "election steps": worst["measured election steps"],
+                },
+                {
+                    "topology": "clique (best case)",
+                    "n": best_graph.n_nodes,
+                    "election steps": best.stabilization_step,
+                },
+            ],
+            title="Designer's takeaway: topology dominates population size",
+        )
+    )
+    print()
+    print(
+        "The renitent construction forces every leader-election protocol to\n"
+        "wait for information to cross the long paths (Theorem 34): the\n"
+        "measured stabilization time sits above the certified lower bound\n"
+        "and grows with ell, while a clique of the same size finishes orders\n"
+        "of magnitude earlier."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``.  This file
+exists so that fully offline environments (no PyPI access, no ``wheel``
+package available for PEP 660 editable builds) can still do a legacy
+editable install::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+if __name__ == "__main__":
+    setup()

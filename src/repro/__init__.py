@@ -1,0 +1,76 @@
+"""repro — Near-optimal leader election in population protocols on graphs.
+
+A library-quality reproduction of Alistarh, Rybicki and Voitovych,
+*"Near-Optimal Leader Election in Population Protocols on Graphs"*
+(PODC 2022).  The package provides:
+
+* :mod:`repro.core` — the stochastic population-protocol model (states,
+  schedulers, simulator, exact stability checking),
+* :mod:`repro.graphs` — interaction-graph families, properties and the
+  renitent constructions of Section 6,
+* :mod:`repro.propagation` — broadcast / propagation-time dynamics
+  (Section 3),
+* :mod:`repro.walks` — classic and population-model random walks
+  (Section 4.1),
+* :mod:`repro.protocols` — the paper's leader-election protocols
+  (Theorems 16, 21, 24 and the trivial star protocol),
+* :mod:`repro.lowerbounds` — isolating covers, influencer multigraphs and
+  surgery ingredients (Sections 6–7),
+* :mod:`repro.analysis` — concentration bounds and scaling fits,
+* :mod:`repro.experiments` — the benchmark harness that regenerates
+  Table 1.
+
+Quickstart::
+
+    from repro import graphs, protocols, run_leader_election
+
+    graph = graphs.erdos_renyi(100, p=0.3, rng=0)
+    result = run_leader_election(protocols.TokenLeaderElection(), graph, rng=0)
+    print(result.stabilization_step, result.leaders)
+"""
+
+from . import analysis, core, experiments, graphs, lowerbounds, propagation, protocols, walks
+from .core import (
+    FOLLOWER,
+    LEADER,
+    LeaderElectionProtocol,
+    PopulationProtocol,
+    RandomScheduler,
+    SimulationResult,
+    Simulator,
+    run_leader_election,
+)
+from .graphs import Graph
+from .protocols import (
+    FastLeaderElection,
+    IdentifierLeaderElection,
+    StarLeaderElection,
+    TokenLeaderElection,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FOLLOWER",
+    "FastLeaderElection",
+    "Graph",
+    "IdentifierLeaderElection",
+    "LEADER",
+    "LeaderElectionProtocol",
+    "PopulationProtocol",
+    "RandomScheduler",
+    "SimulationResult",
+    "Simulator",
+    "StarLeaderElection",
+    "TokenLeaderElection",
+    "__version__",
+    "analysis",
+    "core",
+    "experiments",
+    "graphs",
+    "lowerbounds",
+    "propagation",
+    "protocols",
+    "run_leader_election",
+    "walks",
+]

@@ -1,0 +1,163 @@
+"""Probability-theoretic tools of Section 2.3 of the paper.
+
+These are the tail bounds the paper's analysis is built on:
+
+* Lemma 1 — Poisson tail bounds,
+* Lemma 2 — multiplicative Chernoff bounds for sums of Bernoulli variables,
+* Lemma 3 — Janson's tail bounds for sums of independent geometric
+  variables,
+* Lemma 4 — Wald's identity for random sums,
+* Lemma 5 — the bound on the time the scheduler needs to sample a fixed
+  edge sequence in order (a direct corollary of Lemma 3).
+
+The functions return the *bound* (a probability upper bound or an expected
+value), so tests and benchmarks can compare them against Monte-Carlo
+estimates and verify the inequalities empirically.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def _validate_probability_inputs(value: float, name: str) -> None:
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+
+
+def poisson_upper_tail(mean: float, factor: float) -> float:
+    """Lemma 1(a): ``Pr[X >= c·λ] <= exp(-λ (c-1)^2 / c)`` for ``c >= 1``."""
+    if mean < 0:
+        raise ValueError("Poisson mean must be non-negative")
+    if factor < 1:
+        raise ValueError("factor c must be at least 1")
+    _validate_probability_inputs(mean, "mean")
+    if factor == 0:
+        return 1.0
+    exponent = -mean * (factor - 1.0) ** 2 / factor
+    return min(1.0, math.exp(exponent))
+
+
+def poisson_lower_tail(mean: float, factor: float) -> float:
+    """Lemma 1(b): ``Pr[X <= c·λ] <= exp(-λ (1-c)^2 / (2-c))`` for ``c <= 1``."""
+    if mean < 0:
+        raise ValueError("Poisson mean must be non-negative")
+    if not (0 <= factor <= 1):
+        raise ValueError("factor c must lie in [0, 1]")
+    exponent = -mean * (1.0 - factor) ** 2 / (2.0 - factor)
+    return min(1.0, math.exp(exponent))
+
+
+def chernoff_upper_tail(expectation: float, relative_deviation: float) -> float:
+    """Lemma 2(a): ``Pr[X >= (1+λ) E[X]] <= exp(-E[X] λ^2 / 3)`` for ``λ >= 1``.
+
+    The paper states the bound for ``λ >= 1``; it also holds (in the weaker
+    form with ``/3``) for ``0 <= λ <= 1``, which is how Lemma 48 uses it, so
+    we accept any non-negative deviation.
+    """
+    if expectation < 0:
+        raise ValueError("expectation must be non-negative")
+    if relative_deviation < 0:
+        raise ValueError("relative deviation must be non-negative")
+    exponent = -expectation * relative_deviation**2 / 3.0
+    return min(1.0, math.exp(exponent))
+
+
+def chernoff_lower_tail(expectation: float, relative_deviation: float) -> float:
+    """Lemma 2(b): ``Pr[X <= (1-λ) E[X]] <= exp(-E[X] λ^2 / 2)`` for ``λ <= 1``."""
+    if expectation < 0:
+        raise ValueError("expectation must be non-negative")
+    if not (0 <= relative_deviation <= 1):
+        raise ValueError("relative deviation must lie in [0, 1]")
+    exponent = -expectation * relative_deviation**2 / 2.0
+    return min(1.0, math.exp(exponent))
+
+
+def geometric_sum_deviation_rate(factor: float) -> float:
+    """The rate function ``c(λ) = λ - 1 - ln λ`` of Lemma 3."""
+    if factor <= 0:
+        raise ValueError("factor λ must be positive")
+    return factor - 1.0 - math.log(factor)
+
+
+def geometric_sum_upper_tail(
+    success_probabilities: Sequence[float], factor: float
+) -> float:
+    """Lemma 3(a): ``Pr[X >= λ E[X]] <= exp(-p* E[X] c(λ))`` for ``λ >= 1``.
+
+    ``success_probabilities`` are the parameters ``p_i`` of the independent
+    geometric summands; ``p*`` is their minimum.
+    """
+    if factor < 1:
+        raise ValueError("factor λ must be at least 1 for the upper tail")
+    p_min, expectation = _geometric_sum_parameters(success_probabilities)
+    exponent = -p_min * expectation * geometric_sum_deviation_rate(factor)
+    return min(1.0, math.exp(exponent))
+
+
+def geometric_sum_lower_tail(
+    success_probabilities: Sequence[float], factor: float
+) -> float:
+    """Lemma 3(b): ``Pr[X <= λ E[X]] <= exp(-p* E[X] c(λ))`` for ``0 < λ <= 1``."""
+    if not (0 < factor <= 1):
+        raise ValueError("factor λ must lie in (0, 1] for the lower tail")
+    p_min, expectation = _geometric_sum_parameters(success_probabilities)
+    exponent = -p_min * expectation * geometric_sum_deviation_rate(factor)
+    return min(1.0, math.exp(exponent))
+
+
+def _geometric_sum_parameters(success_probabilities: Sequence[float]) -> tuple:
+    probs = list(success_probabilities)
+    if not probs:
+        raise ValueError("need at least one geometric summand")
+    for p in probs:
+        if not (0 < p <= 1):
+            raise ValueError("geometric success probabilities must lie in (0, 1]")
+    p_min = min(probs)
+    expectation = sum(1.0 / p for p in probs)
+    return p_min, expectation
+
+
+def walds_identity(expected_count: float, expected_summand: float) -> float:
+    """Lemma 4: ``E[X_1 + ... + X_N] = E[N] · E[X_1]`` for independent ``N``."""
+    if expected_count < 0:
+        raise ValueError("expected count must be non-negative")
+    return expected_count * expected_summand
+
+
+def edge_sequence_expected_steps(sequence_length: int, n_edges: int) -> float:
+    """Lemma 5: the scheduler needs ``k·m`` expected steps to realise a
+    fixed sequence of ``k`` edges in order."""
+    if sequence_length < 0:
+        raise ValueError("sequence length must be non-negative")
+    if n_edges < 1:
+        raise ValueError("graph must have at least one edge")
+    return float(sequence_length * n_edges)
+
+
+def edge_sequence_upper_tail(sequence_length: int, n_edges: int, factor: float) -> float:
+    """Lemma 5(a): ``Pr[X(ρ) > λ k m] <= exp(-k c(λ))`` for ``λ >= 1``."""
+    if factor < 1:
+        raise ValueError("factor λ must be at least 1")
+    if sequence_length < 1:
+        return 1.0
+    exponent = -sequence_length * geometric_sum_deviation_rate(factor)
+    return min(1.0, math.exp(exponent))
+
+
+def edge_sequence_lower_tail(sequence_length: int, n_edges: int, factor: float) -> float:
+    """Lemma 5(b): ``Pr[X(ρ) < λ k m] <= exp(-k c(λ))`` for ``0 < λ <= 1``."""
+    if not (0 < factor <= 1):
+        raise ValueError("factor λ must lie in (0, 1]")
+    if sequence_length < 1:
+        return 1.0
+    exponent = -sequence_length * geometric_sum_deviation_rate(factor)
+    return min(1.0, math.exp(exponent))
+
+
+def harmonic_number(n: int) -> float:
+    """The ``n``-th harmonic number ``H_n`` (appears in Lemma 9 and 12)."""
+    if n < 0:
+        raise ValueError("harmonic number defined for n >= 0")
+    return float(sum(1.0 / i for i in range(1, n + 1)))

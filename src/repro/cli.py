@@ -1,0 +1,196 @@
+"""Command-line interface for the reproduction (``repro-popsim``).
+
+Sub-commands:
+
+* ``workloads``       — list the available graph-family workloads.
+* ``elect``           — run one leader-election protocol on one workload
+  and print the simulation result.
+* ``compare``         — run all three Table 1 protocols on one workload.
+* ``table1``          — regenerate a Table 1 row group (sweep over sizes).
+* ``broadcast``       — estimate ``B(G)`` and print the Theorem 6 bounds.
+* ``graph-info``      — structural properties of a workload graph.
+
+Examples::
+
+    repro-popsim elect --workload clique --size 100 --protocol token
+    repro-popsim table1 --family cycle --sizes 24 36 48 --repetitions 2
+    repro-popsim broadcast --workload torus --size 64
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .experiments.harness import (
+    compare_protocols_on_graph,
+    default_protocol_specs,
+    default_step_budget,
+    fast_protocol_spec,
+    identifier_protocol_spec,
+    measure_protocol_on_graph,
+    star_protocol_spec,
+    token_protocol_spec,
+)
+from .experiments.reporting import render_comparison, render_table
+from .experiments.table1 import graph_parameters_for, run_table1_family
+from .experiments.workloads import available_workloads, get_workload
+from .graphs.properties import summarize
+from .propagation.bounds import broadcast_bounds
+from .propagation.broadcast import broadcast_time_estimate
+
+_PROTOCOL_CHOICES = {
+    "token": token_protocol_spec,
+    "identifier": identifier_protocol_spec,
+    "fast": fast_protocol_spec,
+    "star": star_protocol_spec,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for ``repro-popsim``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-popsim",
+        description="Leader election in population protocols on graphs (PODC 2022 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("workloads", help="list available graph workloads")
+
+    elect = subparsers.add_parser("elect", help="run a single leader election")
+    _add_graph_arguments(elect)
+    elect.add_argument(
+        "--protocol",
+        choices=sorted(_PROTOCOL_CHOICES),
+        default="token",
+        help="which protocol to run",
+    )
+    elect.add_argument("--repetitions", type=int, default=3)
+
+    compare = subparsers.add_parser("compare", help="compare the Table 1 protocols")
+    _add_graph_arguments(compare)
+    compare.add_argument("--repetitions", type=int, default=3)
+
+    table1 = subparsers.add_parser("table1", help="regenerate a Table 1 row group")
+    table1.add_argument("--family", required=True, help="workload name")
+    table1.add_argument("--sizes", type=int, nargs="+", required=True)
+    table1.add_argument("--repetitions", type=int, default=2)
+    table1.add_argument("--seed", type=int, default=0)
+
+    broadcast = subparsers.add_parser("broadcast", help="estimate B(G) and print bounds")
+    _add_graph_arguments(broadcast)
+    broadcast.add_argument("--repetitions", type=int, default=6)
+
+    info = subparsers.add_parser("graph-info", help="structural properties of a workload graph")
+    _add_graph_arguments(info)
+    return parser
+
+
+def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", required=True, help="workload name (see `workloads`)")
+    parser.add_argument("--size", type=int, required=True, help="target population size")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "workloads":
+        return _cmd_workloads()
+    if args.command == "elect":
+        return _cmd_elect(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "table1":
+        return _cmd_table1(args)
+    if args.command == "broadcast":
+        return _cmd_broadcast(args)
+    if args.command == "graph-info":
+        return _cmd_graph_info(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+def _build_graph(args: argparse.Namespace):
+    workload = get_workload(args.workload)
+    return workload.build(args.size, seed=args.seed)
+
+
+def _cmd_workloads() -> int:
+    rows = []
+    for name in available_workloads():
+        workload = get_workload(name)
+        rows.append({"name": name, "description": workload.description, "regular": workload.regular})
+    print(render_table(rows, title="Available workloads"))
+    return 0
+
+
+def _cmd_elect(args: argparse.Namespace) -> int:
+    graph = _build_graph(args)
+    spec = _PROTOCOL_CHOICES[args.protocol]()
+    measurement = measure_protocol_on_graph(
+        spec,
+        graph,
+        repetitions=args.repetitions,
+        seed=args.seed,
+        max_steps=default_step_budget(graph),
+    )
+    print(render_table([measurement.as_dict()], title=f"{spec.name} on {graph.name}"))
+    return 0 if measurement.success_rate == 1.0 else 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    graph = _build_graph(args)
+    measurements = compare_protocols_on_graph(
+        default_protocol_specs(),
+        graph,
+        repetitions=args.repetitions,
+        seed=args.seed,
+        max_steps=default_step_budget(graph),
+    )
+    print(render_comparison(f"Protocol comparison on {graph.name}", measurements))
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    group = run_table1_family(
+        args.family,
+        args.sizes,
+        repetitions=args.repetitions,
+        seed=args.seed,
+    )
+    print(group.render())
+    return 0
+
+
+def _cmd_broadcast(args: argparse.Namespace) -> int:
+    graph = _build_graph(args)
+    estimate = broadcast_time_estimate(graph, repetitions=args.repetitions, rng=args.seed)
+    bounds = broadcast_bounds(graph)
+    rows = [
+        {
+            "graph": graph.name,
+            "measured B(G)": estimate.value,
+            "lower bound (Lem 12)": bounds.lower,
+            "upper (diameter form)": bounds.upper_diameter_form,
+            "upper (expansion form)": bounds.upper_expansion_form,
+        }
+    ]
+    print(render_table(rows, title="Broadcast time"))
+    return 0
+
+
+def _cmd_graph_info(args: argparse.Namespace) -> int:
+    graph = _build_graph(args)
+    rows = [summarize(graph)]
+    print(render_table(rows, title="Graph properties"))
+    extra = graph_parameters_for(graph, estimate_broadcast=False)
+    print()
+    print(render_table([extra], title="Table 1 parameters"))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - direct execution helper
+    sys.exit(main())

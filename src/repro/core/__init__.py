@@ -1,0 +1,53 @@
+"""Core population-protocol machinery: protocols, schedulers, simulator.
+
+This package implements the stochastic population model of Section 2.2 of
+the paper: anonymous finite-state agents on a connected interaction graph,
+activated in ordered pairs by a uniform edge-sampling scheduler.
+"""
+
+from .configuration import (
+    Configuration,
+    initial_configuration_from_inputs,
+    uniform_initial_configuration,
+)
+from .protocol import FOLLOWER, LEADER, LeaderElectionProtocol, PopulationProtocol
+from .scheduler import (
+    Interaction,
+    RandomScheduler,
+    Scheduler,
+    SequenceScheduler,
+    all_ordered_pairs,
+)
+from .simulator import SimulationResult, Simulator, run_leader_election
+from .stability import (
+    StabilityVerdict,
+    StateSpaceTooLarge,
+    always_reaches_single_leader,
+    certificate_is_sound_on,
+    check_stability_by_reachability,
+    reachable_configurations,
+)
+
+__all__ = [
+    "Configuration",
+    "FOLLOWER",
+    "Interaction",
+    "LEADER",
+    "LeaderElectionProtocol",
+    "PopulationProtocol",
+    "RandomScheduler",
+    "Scheduler",
+    "SequenceScheduler",
+    "SimulationResult",
+    "Simulator",
+    "StabilityVerdict",
+    "StateSpaceTooLarge",
+    "all_ordered_pairs",
+    "always_reaches_single_leader",
+    "certificate_is_sound_on",
+    "check_stability_by_reachability",
+    "initial_configuration_from_inputs",
+    "reachable_configurations",
+    "run_leader_election",
+    "uniform_initial_configuration",
+]

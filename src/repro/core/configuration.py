@@ -1,0 +1,128 @@
+"""Configurations of population protocols.
+
+A configuration is a map from nodes to states (Section 2.2).  The simulator
+mutates a plain Python list in place for speed; :class:`Configuration`
+wraps such a list with the counting / comparison helpers the analysis and
+lower-bound modules need (state counts, density, leader multiplicity),
+without copying on every step.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Sequence, Tuple
+
+
+class Configuration:
+    """A snapshot of all node states at some time step.
+
+    Parameters
+    ----------
+    states:
+        One state per node, indexed by node id.
+    step:
+        The number of scheduler interactions that produced this
+        configuration (0 for the initial configuration).
+    """
+
+    __slots__ = ("_states", "step")
+
+    def __init__(self, states: Sequence[Hashable], step: int = 0) -> None:
+        self._states: Tuple[Hashable, ...] = tuple(states)
+        self.step = int(step)
+
+    # ------------------------------------------------------------------
+    # Mapping-like access
+    # ------------------------------------------------------------------
+    def __getitem__(self, node: int) -> Hashable:
+        return self._states[node]
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._states)
+
+    @property
+    def states(self) -> Tuple[Hashable, ...]:
+        """The state tuple (immutable)."""
+        return self._states
+
+    # ------------------------------------------------------------------
+    # Aggregations
+    # ------------------------------------------------------------------
+    def state_counts(self) -> Counter:
+        """Multiset of states (the "counts" view used by Section 7)."""
+        return Counter(self._states)
+
+    def count(self, state: Hashable) -> int:
+        """Number of nodes in the given state."""
+        return self._states.count(state)
+
+    def distinct_states(self) -> int:
+        """Number of distinct states present."""
+        return len(set(self._states))
+
+    def nodes_in_state(self, state: Hashable) -> Tuple[int, ...]:
+        """Indices of nodes currently in ``state``."""
+        return tuple(i for i, s in enumerate(self._states) if s == state)
+
+    def density(self, state: Hashable) -> float:
+        """Fraction of nodes in ``state`` (the α of α-dense configurations)."""
+        if not self._states:
+            return 0.0
+        return self.count(state) / len(self._states)
+
+    def is_alpha_dense(self, states: Iterable[Hashable], alpha: float) -> bool:
+        """Every state in ``states`` is present in count at least ``alpha * n``.
+
+        This is the (non-"fully") α-density notion of Section 7.1.
+        """
+        n = len(self._states)
+        counts = self.state_counts()
+        return all(counts.get(s, 0) >= alpha * n for s in states)
+
+    def is_fully_alpha_dense(self, states: Iterable[Hashable], alpha: float) -> bool:
+        """α-dense with respect to ``states`` and no other state present."""
+        wanted = set(states)
+        if not self.is_alpha_dense(wanted, alpha):
+            return False
+        return set(self._states) <= wanted
+
+    def outputs(self, protocol) -> Tuple[Any, ...]:
+        """Per-node outputs under the given protocol."""
+        return tuple(protocol.output(s) for s in self._states)
+
+    def replace(self, assignments: Dict[int, Hashable], step: int | None = None) -> "Configuration":
+        """A copy with the given node→state assignments applied."""
+        states = list(self._states)
+        for node, state in assignments.items():
+            states[node] = state
+        return Configuration(states, step=self.step if step is None else step)
+
+    # ------------------------------------------------------------------
+    # Comparisons
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return self._states == other._states
+
+    def __hash__(self) -> int:
+        return hash(self._states)
+
+    def __repr__(self) -> str:
+        preview = ", ".join(repr(s) for s in self._states[:6])
+        suffix = ", ..." if len(self._states) > 6 else ""
+        return f"Configuration(step={self.step}, states=[{preview}{suffix}])"
+
+
+def uniform_initial_configuration(protocol, n_nodes: int, input_symbol: Any = None) -> Configuration:
+    """The all-identical initial configuration of Section 2.2."""
+    state = protocol.initial_state(input_symbol)
+    return Configuration([state] * n_nodes, step=0)
+
+
+def initial_configuration_from_inputs(protocol, inputs: Sequence[Any]) -> Configuration:
+    """Initial configuration for per-node inputs (e.g. leader candidates)."""
+    return Configuration([protocol.initial_state(x) for x in inputs], step=0)

@@ -1,0 +1,198 @@
+"""Stochastic schedulers for the population model.
+
+In every discrete time step the scheduler samples an ordered pair ``(u, v)``
+of adjacent nodes uniformly at random among all ``2m`` ordered pairs
+(Section 2.2): equivalently, a uniformly random edge plus a uniformly random
+orientation.  :class:`RandomScheduler` implements exactly this and
+pre-samples interactions in numpy batches, which is what makes pure-Python
+simulation of ``Θ(n^2 log n)``-step executions feasible.
+
+:class:`SequenceScheduler` replays a fixed interaction sequence; the
+lower-bound experiments (isolating covers, influencer multigraphs) and the
+reachability-based stability checker use it to explore specific schedules.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..graphs.random_graphs import RngLike, as_rng
+
+Interaction = Tuple[int, int]
+
+_DEFAULT_BATCH = 65536
+
+
+class Scheduler(abc.ABC):
+    """Produces the infinite sequence of ordered interaction pairs."""
+
+    @abc.abstractmethod
+    def next_interaction(self) -> Interaction:
+        """The next ordered (initiator, responder) pair."""
+
+    @abc.abstractmethod
+    def next_batch(self, size: int) -> List[Interaction]:
+        """The next ``size`` ordered pairs, in order."""
+
+    def interactions(self) -> Iterator[Interaction]:
+        """Iterate over interactions forever (or until exhausted)."""
+        while True:
+            yield self.next_interaction()
+
+
+class RandomScheduler(Scheduler):
+    """The uniform stochastic scheduler of the population model.
+
+    Parameters
+    ----------
+    graph:
+        The interaction graph.
+    rng:
+        Seed or :class:`numpy.random.Generator` for reproducibility.
+    batch_size:
+        Number of interactions pre-sampled per numpy call.
+    """
+
+    def __init__(self, graph: Graph, rng: RngLike = None, batch_size: int = _DEFAULT_BATCH) -> None:
+        if graph.n_edges == 0:
+            raise ValueError("cannot schedule interactions on an edgeless graph")
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self._graph = graph
+        self._rng = as_rng(rng)
+        self._batch_size = int(batch_size)
+        self._edges_u = graph.edges_u
+        self._edges_v = graph.edges_v
+        self._buffer_initiators: np.ndarray = np.zeros(0, dtype=np.int64)
+        self._buffer_responders: np.ndarray = np.zeros(0, dtype=np.int64)
+        self._cursor = 0
+        self._steps_emitted = 0
+
+    @property
+    def steps_emitted(self) -> int:
+        """Total number of interactions handed out so far."""
+        return self._steps_emitted
+
+    @property
+    def graph(self) -> Graph:
+        """The interaction graph being scheduled."""
+        return self._graph
+
+    def _refill(self, minimum: int) -> None:
+        size = max(self._batch_size, minimum)
+        m = self._graph.n_edges
+        edge_indices = self._rng.integers(0, m, size=size)
+        orientations = self._rng.integers(0, 2, size=size).astype(bool)
+        endpoint_a = self._edges_u[edge_indices]
+        endpoint_b = self._edges_v[edge_indices]
+        initiators = np.where(orientations, endpoint_a, endpoint_b)
+        responders = np.where(orientations, endpoint_b, endpoint_a)
+        self._buffer_initiators = initiators
+        self._buffer_responders = responders
+        self._cursor = 0
+
+    def next_interaction(self) -> Interaction:
+        if self._cursor >= self._buffer_initiators.shape[0]:
+            self._refill(1)
+        u = int(self._buffer_initiators[self._cursor])
+        v = int(self._buffer_responders[self._cursor])
+        self._cursor += 1
+        self._steps_emitted += 1
+        return (u, v)
+
+    def next_batch(self, size: int) -> List[Interaction]:
+        if size < 0:
+            raise ValueError("batch size must be non-negative")
+        result: List[Interaction] = []
+        remaining = size
+        while remaining > 0:
+            available = self._buffer_initiators.shape[0] - self._cursor
+            if available == 0:
+                self._refill(remaining)
+                available = self._buffer_initiators.shape[0]
+            take = min(available, remaining)
+            chunk_u = self._buffer_initiators[self._cursor : self._cursor + take]
+            chunk_v = self._buffer_responders[self._cursor : self._cursor + take]
+            result.extend(zip(chunk_u.tolist(), chunk_v.tolist()))
+            self._cursor += take
+            remaining -= take
+        self._steps_emitted += size
+        return result
+
+    def next_arrays(self, size: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Like :meth:`next_batch` but returns numpy arrays (hot loops)."""
+        if size < 0:
+            raise ValueError("batch size must be non-negative")
+        initiators = np.empty(size, dtype=np.int64)
+        responders = np.empty(size, dtype=np.int64)
+        filled = 0
+        while filled < size:
+            available = self._buffer_initiators.shape[0] - self._cursor
+            if available == 0:
+                self._refill(size - filled)
+                available = self._buffer_initiators.shape[0]
+            take = min(available, size - filled)
+            initiators[filled : filled + take] = self._buffer_initiators[
+                self._cursor : self._cursor + take
+            ]
+            responders[filled : filled + take] = self._buffer_responders[
+                self._cursor : self._cursor + take
+            ]
+            self._cursor += take
+            filled += take
+        self._steps_emitted += size
+        return initiators, responders
+
+
+class SequenceScheduler(Scheduler):
+    """Replays a fixed, finite sequence of ordered interactions.
+
+    Used to execute hand-crafted schedules (reachability analysis, the
+    surgery-style arguments in Section 7) and to make simulator unit tests
+    deterministic.  Raises :class:`StopIteration` when exhausted.
+    """
+
+    def __init__(self, graph: Graph, interactions: Iterable[Interaction]) -> None:
+        self._graph = graph
+        self._interactions: List[Interaction] = []
+        for u, v in interactions:
+            u, v = int(u), int(v)
+            if not graph.has_edge(u, v):
+                raise ValueError(f"({u}, {v}) is not an edge of {graph.name}")
+            self._interactions.append((u, v))
+        self._cursor = 0
+
+    @property
+    def remaining(self) -> int:
+        """Number of interactions not yet replayed."""
+        return len(self._interactions) - self._cursor
+
+    def next_interaction(self) -> Interaction:
+        if self._cursor >= len(self._interactions):
+            raise StopIteration("sequence scheduler exhausted")
+        interaction = self._interactions[self._cursor]
+        self._cursor += 1
+        return interaction
+
+    def next_batch(self, size: int) -> List[Interaction]:
+        if size < 0:
+            raise ValueError("batch size must be non-negative")
+        end = self._cursor + size
+        if end > len(self._interactions):
+            raise StopIteration("sequence scheduler exhausted")
+        chunk = self._interactions[self._cursor : end]
+        self._cursor = end
+        return list(chunk)
+
+
+def all_ordered_pairs(graph: Graph) -> List[Interaction]:
+    """All ``2m`` ordered pairs the scheduler may sample (Section 2.2)."""
+    pairs: List[Interaction] = []
+    for u, v in graph.edges():
+        pairs.append((u, v))
+        pairs.append((v, u))
+    return pairs

@@ -1,0 +1,286 @@
+"""Execution engine for population protocols on graphs.
+
+The simulator drives a protocol with a scheduler (Section 2.2): it applies
+the transition function to the sampled (initiator, responder) pairs, keeps
+track of when node outputs last changed, and periodically evaluates the
+protocol's stability certificate.  The *stabilization time* reported in the
+paper is the minimum step ``t`` such that the configuration after ``t``
+interactions is stable and correct; the simulator reports
+
+* ``last_output_change_step`` — the last interaction at which any node's
+  output changed.  For the leader-election protocols in this package the
+  configuration cannot be stable before this step, and it is the primary
+  measurement used by the benchmark harness, and
+* ``certified_step`` — the (interval-aligned) step at which the protocol's
+  stability certificate first held, an upper bound on stabilization time.
+
+The gap between the two is at most one checking interval plus the slack of
+the certificate; the tests cross-validate both against an exhaustive
+reachability check on small instances.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..graphs.graph import Graph
+from ..graphs.random_graphs import RngLike
+from .configuration import Configuration
+from .protocol import LEADER, PopulationProtocol
+from .scheduler import RandomScheduler, Scheduler
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a single protocol execution.
+
+    Attributes
+    ----------
+    stabilized:
+        Whether the stability certificate held before the step budget ran
+        out.
+    certified_step:
+        Step at which the certificate first held (interval resolution), or
+        the total steps executed when not stabilized.
+    last_output_change_step:
+        Last step at which some node's output changed (0 if never).
+    steps_executed:
+        Total interactions simulated.
+    leaders:
+        Number of leaders in the final configuration.
+    final_configuration:
+        The final :class:`Configuration`.
+    distinct_states_observed:
+        Number of distinct states seen over the whole execution — the
+        empirical space complexity.
+    leader_trace:
+        Optional ``(step, leader_count)`` checkpoints.
+    wall_time_seconds:
+        Wall-clock duration of the run.
+    """
+
+    stabilized: bool
+    certified_step: int
+    last_output_change_step: int
+    steps_executed: int
+    leaders: int
+    final_configuration: Configuration
+    distinct_states_observed: int
+    leader_trace: List[Tuple[int, int]] = field(default_factory=list)
+    wall_time_seconds: float = 0.0
+
+    @property
+    def stabilization_step(self) -> int:
+        """Best estimate of the stabilization time (see module docstring)."""
+        if not self.stabilized:
+            return self.steps_executed
+        return max(self.last_output_change_step, 0)
+
+
+class Simulator:
+    """Runs population protocols on a graph.
+
+    Parameters
+    ----------
+    graph:
+        The interaction graph.
+    protocol:
+        The protocol to execute.
+    rng:
+        Seed or generator for the stochastic scheduler.
+    """
+
+    def __init__(self, graph: Graph, protocol: PopulationProtocol, rng: RngLike = None) -> None:
+        if graph.n_nodes < 1:
+            raise ValueError("graph must be non-empty")
+        self.graph = graph
+        self.protocol = protocol
+        self._rng = rng
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        max_steps: int,
+        inputs: Optional[Sequence[Any]] = None,
+        check_interval: Optional[int] = None,
+        scheduler: Optional[Scheduler] = None,
+        record_leader_trace: bool = False,
+        trace_resolution: int = 64,
+    ) -> SimulationResult:
+        """Execute until the stability certificate holds or ``max_steps``.
+
+        Parameters
+        ----------
+        max_steps:
+            Hard budget on the number of interactions.
+        inputs:
+            Optional per-node input symbols (defaults to the uniform
+            ``None`` input of stable leader election).
+        check_interval:
+            How often (in steps) to evaluate the stability certificate.
+            Defaults to ``max(1, m // 4)``, clamped to at most 4096.
+        scheduler:
+            Override the default :class:`RandomScheduler` (used by replay
+            and lower-bound experiments).
+        record_leader_trace:
+            If true, record ``(step, leader_count)`` checkpoints.
+        trace_resolution:
+            Approximate number of trace checkpoints to record.
+        """
+        if max_steps < 0:
+            raise ValueError("max_steps must be non-negative")
+        graph = self.graph
+        protocol = self.protocol
+        n = graph.n_nodes
+        if inputs is None:
+            states: List[Hashable] = [protocol.initial_state(None)] * n
+        else:
+            if len(inputs) != n:
+                raise ValueError("inputs must provide one symbol per node")
+            states = [protocol.initial_state(symbol) for symbol in inputs]
+        if check_interval is None:
+            check_interval = min(max(1, graph.n_edges // 4), 4096)
+        check_interval = max(1, int(check_interval))
+
+        transition = protocol.transition
+        output = protocol.output
+        use_cache = protocol.cacheable_transitions
+        transition_cache: Dict[Tuple[Hashable, Hashable], Tuple[Hashable, Hashable]] = {}
+
+        observed_states = set(states)
+        outputs = [output(s) for s in states]
+        last_output_change = 0
+        leader_count = sum(1 for o in outputs if o == LEADER)
+        trace: List[Tuple[int, int]] = []
+        trace_every = max(1, max_steps // max(trace_resolution, 1)) if record_leader_trace else 0
+        next_trace_step = 0
+
+        start_time = time.perf_counter()
+        step = 0
+        stabilized = False
+        certified_step = 0
+
+        if record_leader_trace:
+            trace.append((0, leader_count))
+            next_trace_step = trace_every
+
+        # Check the initial configuration too (stars stabilize in one step,
+        # and n == 1 graphs are stable immediately).
+        if protocol.is_output_stable_configuration(states, graph):
+            stabilized = True
+            certified_step = 0
+
+        if not stabilized and step < max_steps and scheduler is None:
+            # Created lazily so that trivially-stable single-node runs do not
+            # require a schedulable (edge-carrying) graph.
+            scheduler = RandomScheduler(graph, rng=self._rng)
+
+        while not stabilized and step < max_steps:
+            batch = min(check_interval, max_steps - step)
+            interactions = scheduler.next_batch(batch)
+            for initiator, responder in interactions:
+                step += 1
+                a = states[initiator]
+                b = states[responder]
+                if use_cache:
+                    key = (a, b)
+                    cached = transition_cache.get(key)
+                    if cached is None:
+                        cached = transition(a, b)
+                        transition_cache[key] = cached
+                    new_a, new_b = cached
+                else:
+                    new_a, new_b = transition(a, b)
+                if new_a is not a:
+                    states[initiator] = new_a
+                    observed_states.add(new_a)
+                    out_a = output(new_a)
+                    if out_a != outputs[initiator]:
+                        if out_a == LEADER:
+                            leader_count += 1
+                        elif outputs[initiator] == LEADER:
+                            leader_count -= 1
+                        outputs[initiator] = out_a
+                        last_output_change = step
+                if new_b is not b:
+                    states[responder] = new_b
+                    observed_states.add(new_b)
+                    out_b = output(new_b)
+                    if out_b != outputs[responder]:
+                        if out_b == LEADER:
+                            leader_count += 1
+                        elif outputs[responder] == LEADER:
+                            leader_count -= 1
+                        outputs[responder] = out_b
+                        last_output_change = step
+                if record_leader_trace and step >= next_trace_step:
+                    trace.append((step, leader_count))
+                    next_trace_step += trace_every
+            if protocol.is_output_stable_configuration(states, graph):
+                stabilized = True
+                certified_step = step
+
+        wall = time.perf_counter() - start_time
+        final = Configuration(states, step=step)
+        if record_leader_trace and (not trace or trace[-1][0] != step):
+            trace.append((step, leader_count))
+        return SimulationResult(
+            stabilized=stabilized,
+            certified_step=certified_step if stabilized else step,
+            last_output_change_step=last_output_change,
+            steps_executed=step,
+            leaders=leader_count,
+            final_configuration=final,
+            distinct_states_observed=len(observed_states),
+            leader_trace=trace,
+            wall_time_seconds=wall,
+        )
+
+    def run_fixed_schedule(
+        self,
+        interactions: Sequence[Tuple[int, int]],
+        inputs: Optional[Sequence[Any]] = None,
+    ) -> SimulationResult:
+        """Execute a specific interaction sequence (deterministic replay)."""
+        from .scheduler import SequenceScheduler
+
+        scheduler = SequenceScheduler(self.graph, interactions)
+        return self.run(
+            max_steps=len(list(interactions)),
+            inputs=inputs,
+            check_interval=max(len(list(interactions)), 1),
+            scheduler=scheduler,
+        )
+
+
+def run_leader_election(
+    protocol: PopulationProtocol,
+    graph: Graph,
+    rng: RngLike = None,
+    max_steps: Optional[int] = None,
+    inputs: Optional[Sequence[Any]] = None,
+    check_interval: Optional[int] = None,
+    record_leader_trace: bool = False,
+) -> SimulationResult:
+    """Convenience wrapper: simulate ``protocol`` on ``graph`` until stable.
+
+    ``max_steps`` defaults to a generous ``50 * n^2 * max(log2 n, 1) + 10^4``
+    budget, which covers the constant-state protocol's ``O(H(G) n log n)``
+    bound on the benchmark graph sizes.
+    """
+    n = graph.n_nodes
+    if max_steps is None:
+        import math
+
+        max_steps = int(50 * n * n * max(math.log2(max(n, 2)), 1.0)) + 10_000
+    simulator = Simulator(graph, protocol, rng=rng)
+    return simulator.run(
+        max_steps=max_steps,
+        inputs=inputs,
+        check_interval=check_interval,
+        record_leader_trace=record_leader_trace,
+    )

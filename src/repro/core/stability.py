@@ -1,0 +1,205 @@
+"""Exact stability checking by exhaustive reachability (small instances).
+
+A configuration ``x`` is *stable* when every configuration reachable from
+``x`` assigns every node the same output as ``x`` does (Section 2.2).  For
+small graphs and protocols with finitely many reachable states we can check
+this definition directly by breadth-first search over the configuration
+space, applying every one of the ``2m`` ordered interactions at each
+configuration.
+
+This is exponential and only used in tests, where it cross-validates the
+per-protocol stability certificates (``is_output_stable_configuration``)
+used by the simulator on large instances.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..graphs.graph import Graph
+from .protocol import LEADER, PopulationProtocol
+from .scheduler import all_ordered_pairs
+
+
+class StateSpaceTooLarge(RuntimeError):
+    """Raised when the reachability search exceeds its configuration budget."""
+
+
+@dataclass(frozen=True)
+class StabilityVerdict:
+    """Result of an exhaustive stability check.
+
+    Attributes
+    ----------
+    stable:
+        Whether every reachable configuration preserves all outputs.
+    correct:
+        Whether the starting configuration has exactly one leader.
+    explored:
+        Number of distinct configurations visited.
+    counterexample:
+        A reachable configuration whose outputs differ (``None`` when
+        stable).
+    """
+
+    stable: bool
+    correct: bool
+    explored: int
+    counterexample: Optional[Tuple[Hashable, ...]]
+
+
+def check_stability_by_reachability(
+    protocol: PopulationProtocol,
+    states: Sequence[Hashable],
+    graph: Graph,
+    max_configurations: int = 200_000,
+) -> StabilityVerdict:
+    """Exhaustively decide whether ``states`` is a stable configuration.
+
+    Raises :class:`StateSpaceTooLarge` if more than ``max_configurations``
+    distinct configurations are reachable.
+    """
+    start = tuple(states)
+    if len(start) != graph.n_nodes:
+        raise ValueError("configuration size does not match the graph")
+    target_outputs = tuple(protocol.output(s) for s in start)
+    correct = sum(1 for o in target_outputs if o == LEADER) == 1
+    pairs = all_ordered_pairs(graph)
+
+    visited: Set[Tuple[Hashable, ...]] = {start}
+    frontier: deque = deque([start])
+    while frontier:
+        current = frontier.popleft()
+        for initiator, responder in pairs:
+            a, b = current[initiator], current[responder]
+            new_a, new_b = protocol.transition(a, b)
+            if new_a == a and new_b == b:
+                continue
+            nxt = list(current)
+            nxt[initiator] = new_a
+            nxt[responder] = new_b
+            nxt_tuple = tuple(nxt)
+            if nxt_tuple in visited:
+                continue
+            outputs = tuple(protocol.output(s) for s in nxt_tuple)
+            if outputs != target_outputs:
+                return StabilityVerdict(
+                    stable=False,
+                    correct=correct,
+                    explored=len(visited),
+                    counterexample=nxt_tuple,
+                )
+            visited.add(nxt_tuple)
+            if len(visited) > max_configurations:
+                raise StateSpaceTooLarge(
+                    f"more than {max_configurations} configurations reachable"
+                )
+            frontier.append(nxt_tuple)
+    return StabilityVerdict(
+        stable=True, correct=correct, explored=len(visited), counterexample=None
+    )
+
+
+def reachable_configurations(
+    protocol: PopulationProtocol,
+    states: Sequence[Hashable],
+    graph: Graph,
+    max_configurations: int = 200_000,
+) -> List[Tuple[Hashable, ...]]:
+    """All configurations reachable from ``states`` (small instances only)."""
+    start = tuple(states)
+    pairs = all_ordered_pairs(graph)
+    visited: Set[Tuple[Hashable, ...]] = {start}
+    order: List[Tuple[Hashable, ...]] = [start]
+    frontier: deque = deque([start])
+    while frontier:
+        current = frontier.popleft()
+        for initiator, responder in pairs:
+            a, b = current[initiator], current[responder]
+            new_a, new_b = protocol.transition(a, b)
+            if new_a == a and new_b == b:
+                continue
+            nxt = list(current)
+            nxt[initiator] = new_a
+            nxt[responder] = new_b
+            nxt_tuple = tuple(nxt)
+            if nxt_tuple in visited:
+                continue
+            visited.add(nxt_tuple)
+            if len(visited) > max_configurations:
+                raise StateSpaceTooLarge(
+                    f"more than {max_configurations} configurations reachable"
+                )
+            order.append(nxt_tuple)
+            frontier.append(nxt_tuple)
+    return order
+
+
+def certificate_is_sound_on(
+    protocol: PopulationProtocol,
+    states: Sequence[Hashable],
+    graph: Graph,
+    max_configurations: int = 200_000,
+) -> bool:
+    """Check that a certified-stable configuration really is stable.
+
+    Used by tests: whenever ``protocol.is_output_stable_configuration``
+    returns ``True`` for a configuration, the exhaustive check must agree.
+    Returns ``True`` when either the certificate does not fire or the
+    exhaustive check confirms stability and correctness.
+    """
+    if not protocol.is_output_stable_configuration(list(states), graph):
+        return True
+    verdict = check_stability_by_reachability(
+        protocol, states, graph, max_configurations=max_configurations
+    )
+    return verdict.stable and verdict.correct
+
+
+def always_reaches_single_leader(
+    protocol: PopulationProtocol,
+    graph: Graph,
+    inputs: Optional[Sequence[Hashable]] = None,
+    max_configurations: int = 200_000,
+) -> bool:
+    """Whether every reachable configuration can still reach a correct stable one.
+
+    This is the "stabilizes with probability 1" property: under the uniform
+    random scheduler, a protocol stabilizes almost surely if and only if
+    from every reachable configuration some correct, stable configuration
+    remains reachable (the stochastic scheduler realises every finite
+    schedule with positive probability).  Exponential; tests only.
+    """
+    if inputs is None:
+        start = [protocol.initial_state(None)] * graph.n_nodes
+    else:
+        start = [protocol.initial_state(x) for x in inputs]
+    configs = reachable_configurations(
+        protocol, start, graph, max_configurations=max_configurations
+    )
+    for config in configs:
+        if not _can_reach_stable_correct(protocol, config, graph, max_configurations):
+            return False
+    return True
+
+
+def _can_reach_stable_correct(
+    protocol: PopulationProtocol,
+    states: Tuple[Hashable, ...],
+    graph: Graph,
+    max_configurations: int,
+) -> bool:
+    for config in reachable_configurations(
+        protocol, states, graph, max_configurations=max_configurations
+    ):
+        leaders = sum(1 for s in config if protocol.output(s) == LEADER)
+        if leaders != 1:
+            continue
+        verdict = check_stability_by_reachability(
+            protocol, config, graph, max_configurations=max_configurations
+        )
+        if verdict.stable and verdict.correct:
+            return True
+    return False

@@ -1,0 +1,269 @@
+"""Experiment harness: repeated measurements, sweeps and scaling fits.
+
+This is the layer the benchmarks and the CLI are built on.  It knows how to
+
+* instantiate each of the paper's protocols for a given graph (the fast
+  protocol needs a broadcast-time estimate, the identifier protocol needs
+  ``n``),
+* run repeated leader-election measurements and aggregate them,
+* sweep a workload over a range of population sizes and fit the measured
+  stabilization times to a power law for comparison against Table 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.estimators import SummaryStatistics, summarize_samples
+from ..analysis.scaling import PowerLawFit, fit_power_law
+from ..core.protocol import PopulationProtocol
+from ..core.simulator import SimulationResult, run_leader_election
+from ..graphs.graph import Graph
+from ..propagation.broadcast import broadcast_time_estimate
+from ..protocols.fast import FastLeaderElection
+from ..protocols.identifier import IdentifierLeaderElection
+from ..protocols.star import StarLeaderElection
+from ..protocols.tokens import TokenLeaderElection
+from .workloads import Workload
+
+ProtocolFactory = Callable[[Graph, Optional[int]], PopulationProtocol]
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """A named way of instantiating a protocol for a graph."""
+
+    name: str
+    factory: ProtocolFactory
+    paper_bound: str = ""
+
+
+def token_protocol_spec() -> ProtocolSpec:
+    """Theorem 16: the 6-state token protocol."""
+    return ProtocolSpec(
+        name="token-6state",
+        factory=lambda graph, seed: TokenLeaderElection(),
+        paper_bound="O(H(G) n log n) steps, O(1) states",
+    )
+
+
+def identifier_protocol_spec(identifier_bits: Optional[int] = None) -> ProtocolSpec:
+    """Theorem 21: the identifier-broadcast protocol."""
+
+    def factory(graph: Graph, seed: Optional[int]) -> PopulationProtocol:
+        return IdentifierLeaderElection(
+            graph.n_nodes,
+            identifier_bits=identifier_bits,
+            regular=graph.is_regular(),
+        )
+
+    return ProtocolSpec(
+        name="identifier-broadcast",
+        factory=factory,
+        paper_bound="O(B(G) + n log n) steps, O(n^4) states",
+    )
+
+
+def fast_protocol_spec(
+    tau: float = 0.5,
+    h_offset: int = 1,
+    alpha: float = 3.0,
+    broadcast_repetitions: int = 4,
+) -> ProtocolSpec:
+    """Theorem 24: the fast space-efficient protocol.
+
+    Uses simulation-scale constants by default (see
+    :class:`~repro.protocols.clocks.ClockParameters`); pass ``h_offset=8``
+    and ``tau>=1`` for the paper's parameterisation.
+    """
+
+    def factory(graph: Graph, seed: Optional[int]) -> PopulationProtocol:
+        estimate = broadcast_time_estimate(
+            graph,
+            repetitions=broadcast_repetitions,
+            max_sources=6,
+            rng=seed,
+        )
+        return FastLeaderElection.for_graph(
+            graph,
+            broadcast_time=max(estimate.value, 1.0),
+            tau=tau,
+            h_offset=h_offset,
+            alpha=alpha,
+        )
+
+    return ProtocolSpec(
+        name="fast-space-efficient",
+        factory=factory,
+        paper_bound="O(B(G) log n) steps, O(log^2 n) states",
+    )
+
+
+def star_protocol_spec() -> ProtocolSpec:
+    """The trivial constant-state protocol for stars (Table 1, last row)."""
+    return ProtocolSpec(
+        name="star-trivial",
+        factory=lambda graph, seed: StarLeaderElection(),
+        paper_bound="O(1) steps, O(1) states (stars only)",
+    )
+
+
+def default_protocol_specs() -> List[ProtocolSpec]:
+    """The three protocols compared throughout Table 1."""
+    return [token_protocol_spec(), identifier_protocol_spec(), fast_protocol_spec()]
+
+
+@dataclass
+class Measurement:
+    """Aggregated repeated runs of one protocol on one graph."""
+
+    protocol_name: str
+    graph_name: str
+    n_nodes: int
+    n_edges: int
+    stabilization_steps: SummaryStatistics
+    certified_steps: SummaryStatistics
+    success_rate: float
+    max_states_observed: int
+    state_space_size: Optional[int]
+    results: List[SimulationResult] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        """Flat dictionary used by the report renderer."""
+        return {
+            "protocol": self.protocol_name,
+            "graph": self.graph_name,
+            "n": self.n_nodes,
+            "m": self.n_edges,
+            "mean_steps": self.stabilization_steps.mean,
+            "q90_steps": self.stabilization_steps.q90,
+            "success_rate": self.success_rate,
+            "states_observed": self.max_states_observed,
+            "state_space_size": self.state_space_size,
+        }
+
+
+def measure_protocol_on_graph(
+    spec: ProtocolSpec,
+    graph: Graph,
+    repetitions: int = 5,
+    seed: int = 0,
+    max_steps: Optional[int] = None,
+    keep_results: bool = False,
+) -> Measurement:
+    """Run ``spec`` on ``graph`` ``repetitions`` times and aggregate."""
+    if repetitions < 1:
+        raise ValueError("repetitions must be positive")
+    stabilization: List[float] = []
+    certified: List[float] = []
+    successes = 0
+    max_states = 0
+    kept: List[SimulationResult] = []
+    state_space: Optional[int] = None
+    for rep in range(repetitions):
+        run_seed = seed + 7919 * rep
+        protocol = spec.factory(graph, run_seed)
+        if state_space is None:
+            state_space = protocol.state_space_size()
+        result = run_leader_election(
+            protocol, graph, rng=run_seed, max_steps=max_steps
+        )
+        stabilization.append(float(max(result.stabilization_step, 1)))
+        certified.append(float(max(result.certified_step, 1)))
+        successes += int(result.stabilized and result.leaders == 1)
+        max_states = max(max_states, result.distinct_states_observed)
+        if keep_results:
+            kept.append(result)
+    return Measurement(
+        protocol_name=spec.name,
+        graph_name=graph.name,
+        n_nodes=graph.n_nodes,
+        n_edges=graph.n_edges,
+        stabilization_steps=summarize_samples(stabilization),
+        certified_steps=summarize_samples(certified),
+        success_rate=successes / repetitions,
+        max_states_observed=max_states,
+        state_space_size=state_space,
+        results=kept,
+    )
+
+
+@dataclass
+class SweepResult:
+    """A protocol measured across a sweep of population sizes."""
+
+    protocol_name: str
+    workload_name: str
+    sizes: List[int]
+    measurements: List[Measurement]
+
+    def mean_steps(self) -> List[float]:
+        """Mean stabilization steps per size."""
+        return [m.stabilization_steps.mean for m in self.measurements]
+
+    def fit(self, log_exponent: Optional[float] = 0.0) -> PowerLawFit:
+        """Power-law fit of mean stabilization steps vs the actual graph sizes."""
+        actual_sizes = [m.n_nodes for m in self.measurements]
+        return fit_power_law(actual_sizes, self.mean_steps(), log_exponent=log_exponent)
+
+
+def sweep_protocol_over_sizes(
+    spec: ProtocolSpec,
+    workload: Workload,
+    sizes: Sequence[int],
+    repetitions: int = 3,
+    seed: int = 0,
+    max_steps_fn: Optional[Callable[[Graph], int]] = None,
+) -> SweepResult:
+    """Measure a protocol on a workload for each population size in ``sizes``."""
+    measurements: List[Measurement] = []
+    for index, size in enumerate(sizes):
+        graph = workload.build(size, seed=seed + 101 * index)
+        max_steps = max_steps_fn(graph) if max_steps_fn is not None else None
+        measurements.append(
+            measure_protocol_on_graph(
+                spec,
+                graph,
+                repetitions=repetitions,
+                seed=seed + 1013 * index,
+                max_steps=max_steps,
+            )
+        )
+    return SweepResult(
+        protocol_name=spec.name,
+        workload_name=workload.name,
+        sizes=list(sizes),
+        measurements=measurements,
+    )
+
+
+def compare_protocols_on_graph(
+    specs: Sequence[ProtocolSpec],
+    graph: Graph,
+    repetitions: int = 3,
+    seed: int = 0,
+    max_steps: Optional[int] = None,
+) -> Dict[str, Measurement]:
+    """Measure several protocols on the same graph (the per-row comparison)."""
+    return {
+        spec.name: measure_protocol_on_graph(
+            spec, graph, repetitions=repetitions, seed=seed, max_steps=max_steps
+        )
+        for spec in specs
+    }
+
+
+def default_step_budget(graph: Graph, multiplier: float = 60.0) -> int:
+    """A step budget safely above the constant-state protocol's bound.
+
+    ``multiplier · n^2 · log n`` covers ``O(H(G)·n log n)`` on the benchmark
+    families at benchmark sizes (regular and dense graphs have
+    ``H(G) ∈ O(n^2)`` / ``O(n)``); pathological families (lollipops) are
+    given more room by the caller.
+    """
+    n = graph.n_nodes
+    return int(multiplier * n * n * max(math.log(max(n, 2)), 1.0)) + 10_000

@@ -1,0 +1,95 @@
+"""Plain-text rendering of experiment results.
+
+The paper's evaluation artefact is a table (Table 1); the harness renders
+its measurements in the same spirit: one row per (graph family, protocol),
+columns for population size, measured steps, fitted exponent and the paper
+bound the row should be compared against.  Everything is plain
+fixed-width / markdown text so benchmark output is readable in CI logs and
+can be pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_number(value: object, precision: int = 1) -> str:
+    """Human-friendly formatting: thousands separators, short floats."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6:
+            return f"{value:.2e}"
+        if abs(value) >= 100:
+            return f"{value:,.0f}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of dict rows as a fixed-width text table."""
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = [str(c) for c in columns]
+    body: List[List[str]] = []
+    for row in rows:
+        body.append([format_number(row.get(c)) for c in columns])
+    widths = [len(h) for h in header]
+    for line in body:
+        for i, cell in enumerate(line):
+            widths[i] = max(widths[i], len(cell))
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    parts.append("  ".join("-" * w for w in widths))
+    for line in body:
+        parts.append("  ".join(cell.ljust(w) for cell, w in zip(line, widths)))
+    return "\n".join(parts)
+
+
+def render_markdown_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Render rows as a GitHub-flavoured markdown table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    lines = ["| " + " | ".join(str(c) for c in columns) + " |"]
+    lines.append("|" + "|".join("---" for _ in columns) + "|")
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(format_number(row.get(c)) for c in columns) + " |"
+        )
+    return "\n".join(lines)
+
+
+def render_comparison(
+    title: str,
+    measurements: Mapping[str, object],
+    extra_columns: Optional[Mapping[str, Mapping[str, object]]] = None,
+) -> str:
+    """Render a protocol-comparison block (one graph, several protocols)."""
+    rows = []
+    for name, measurement in measurements.items():
+        row = dict(measurement.as_dict()) if hasattr(measurement, "as_dict") else dict(measurement)
+        if extra_columns and name in extra_columns:
+            row.update(extra_columns[name])
+        rows.append(row)
+    return render_table(rows, title=title)

@@ -1,0 +1,162 @@
+"""Workload generators: the graph families evaluated in Table 1.
+
+Each workload is a named factory mapping a target population size ``n`` (and
+a seed, for random families) to a concrete graph.  The benchmark harness
+sweeps these factories over a range of sizes; keeping them in one registry
+makes the benchmark files declarative and lets the CLI list what is
+available.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..graphs import families, random_graphs
+from ..graphs.graph import Graph
+from ..graphs.renitent import RenitentConstruction, four_copies_construction
+
+WorkloadFactory = Callable[[int, Optional[int]], Graph]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named graph-family workload.
+
+    Attributes
+    ----------
+    name:
+        Registry key (also used in benchmark output).
+    description:
+        What Table 1 row / graph family this corresponds to.
+    factory:
+        Callable ``(n, seed) -> Graph``.  The returned graph has *about*
+        ``n`` nodes (families with structural constraints round as needed).
+    regular:
+        Whether the family produces regular graphs (affects the identifier
+        protocol's parameterisation).
+    """
+
+    name: str
+    description: str
+    factory: WorkloadFactory
+    regular: bool = False
+
+    def build(self, n: int, seed: Optional[int] = None) -> Graph:
+        """Construct the workload graph for the requested size."""
+        return self.factory(n, seed)
+
+
+def _clique(n: int, seed: Optional[int]) -> Graph:
+    return families.clique(max(n, 2))
+
+
+def _cycle(n: int, seed: Optional[int]) -> Graph:
+    return families.cycle(max(n, 3))
+
+
+def _star(n: int, seed: Optional[int]) -> Graph:
+    return families.star(max(n, 2))
+
+
+def _path(n: int, seed: Optional[int]) -> Graph:
+    return families.path(max(n, 2))
+
+
+def _torus(n: int, seed: Optional[int]) -> Graph:
+    side = max(int(round(math.sqrt(max(n, 9)))), 3)
+    return families.torus(side, side)
+
+
+def _hypercube(n: int, seed: Optional[int]) -> Graph:
+    dimension = max(int(round(math.log2(max(n, 2)))), 1)
+    return families.hypercube(dimension)
+
+
+def _dense_gnp(n: int, seed: Optional[int]) -> Graph:
+    return random_graphs.erdos_renyi(max(n, 4), p=0.5, rng=seed)
+
+
+def _sparse_gnp(n: int, seed: Optional[int]) -> Graph:
+    n = max(n, 8)
+    p = min(4.0 * math.log(n) / n, 1.0)
+    return random_graphs.erdos_renyi(n, p=p, rng=seed)
+
+
+def _random_regular(n: int, seed: Optional[int]) -> Graph:
+    n = max(n, 6)
+    if n % 2:
+        n += 1
+    return random_graphs.random_regular(n, degree=4, rng=seed)
+
+
+def _lollipop(n: int, seed: Optional[int]) -> Graph:
+    n = max(n, 6)
+    clique_size = max(n // 2, 3)
+    return families.lollipop(clique_size, n - clique_size)
+
+
+def _barbell(n: int, seed: Optional[int]) -> Graph:
+    n = max(n, 8)
+    clique_size = max(n // 3, 3)
+    bridge = max(n - 2 * clique_size, 1)
+    return families.barbell(clique_size, bridge)
+
+
+def _cycle_chords(n: int, seed: Optional[int]) -> Graph:
+    n = max(n, 8)
+    return families.cycle_with_chords(n, chord_step=max(n // 4, 2))
+
+
+def _renitent_star(n: int, seed: Optional[int]) -> Graph:
+    return renitent_star_construction(n).graph
+
+
+def renitent_star_construction(n: int) -> RenitentConstruction:
+    """The Lemma 38 construction on a star base, sized to roughly ``n`` nodes.
+
+    Four copies of a star on ``n/8`` nodes joined by paths of ``2ℓ`` edges
+    with ``ℓ ≈ n/16``; total size ``≈ n/2 + n/2 = n``.  Broadcast and leader
+    election on this family are both ``Θ(ℓ·m) = Θ(n^2)``-ish at these sizes.
+    """
+    n = max(n, 32)
+    base = families.star(max(n // 8, 3))
+    ell = max(n // 16, base.diameter(), 2)
+    return four_copies_construction(base, ell)
+
+
+_REGISTRY: Dict[str, Workload] = {}
+
+
+def _register(workload: Workload) -> Workload:
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+_register(Workload("clique", "Complete graph (Table 1: Cliques)", _clique, regular=True))
+_register(Workload("cycle", "Cycle (Table 1: Regular, low conductance)", _cycle, regular=True))
+_register(Workload("star", "Star (Table 1: Stars)", _star))
+_register(Workload("path", "Path (sparse general graph)", _path))
+_register(Workload("torus", "2D torus (Table 1: Regular)", _torus, regular=True))
+_register(Workload("hypercube", "Hypercube (Table 1: Regular, expander)", _hypercube, regular=True))
+_register(Workload("dense-gnp", "Erdős–Rényi G(n, 1/2) (Table 1: Dense random)", _dense_gnp))
+_register(Workload("sparse-gnp", "Erdős–Rényi near the connectivity threshold", _sparse_gnp))
+_register(Workload("random-regular", "Random 4-regular graph (Table 1: Regular)", _random_regular, regular=True))
+_register(Workload("lollipop", "Lollipop (Table 1: General, worst-case hitting time)", _lollipop))
+_register(Workload("barbell", "Barbell (Table 1: General, low conductance)", _barbell))
+_register(Workload("cycle-chords", "Cycle with chords (Table 1: General)", _cycle_chords))
+_register(Workload("renitent-star", "Lemma 38 renitent construction (Table 1: Renitent)", _renitent_star))
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload by name; raises ``KeyError`` with suggestions."""
+    if name not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown workload {name!r}; known workloads: {known}")
+    return _REGISTRY[name]
+
+
+def available_workloads() -> List[str]:
+    """Names of all registered workloads."""
+    return sorted(_REGISTRY)

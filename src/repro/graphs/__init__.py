@@ -1,0 +1,81 @@
+"""Graph substrate for the population-protocol reproduction.
+
+Everything the paper assumes about interaction graphs lives here: the core
+:class:`~repro.graphs.graph.Graph` type, deterministic and random graph
+families, structural properties (expansion, conductance, diameter), spectral
+quantities and the renitent-graph constructions of Section 6.
+"""
+
+from .graph import Edge, Graph, GraphError
+from .families import (
+    barbell,
+    binary_tree,
+    circulant,
+    clique,
+    complete_bipartite,
+    cycle,
+    cycle_with_chords,
+    double_star,
+    grid,
+    hypercube,
+    lollipop,
+    path,
+    star,
+    torus,
+)
+from .properties import (
+    ExpansionEstimate,
+    conductance,
+    edge_expansion_estimate,
+    edge_expansion_exact,
+    summarize,
+)
+from .random_graphs import erdos_renyi, random_geometric, random_regular
+from .renitent import (
+    RenitentConstruction,
+    cycle_cover,
+    four_copies_construction,
+    renitent_family_graph,
+    torus_cover,
+)
+from .spectral import (
+    cheeger_bounds,
+    normalized_laplacian_spectral_gap,
+    normalized_laplacian_spectrum,
+)
+
+__all__ = [
+    "Edge",
+    "Graph",
+    "GraphError",
+    "ExpansionEstimate",
+    "RenitentConstruction",
+    "barbell",
+    "binary_tree",
+    "cheeger_bounds",
+    "circulant",
+    "clique",
+    "complete_bipartite",
+    "conductance",
+    "cycle",
+    "cycle_cover",
+    "cycle_with_chords",
+    "double_star",
+    "edge_expansion_estimate",
+    "edge_expansion_exact",
+    "erdos_renyi",
+    "four_copies_construction",
+    "grid",
+    "hypercube",
+    "lollipop",
+    "normalized_laplacian_spectral_gap",
+    "normalized_laplacian_spectrum",
+    "path",
+    "random_geometric",
+    "random_regular",
+    "renitent_family_graph",
+    "star",
+    "summarize",
+    "torus",
+    "torus_cover",
+]

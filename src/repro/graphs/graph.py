@@ -1,0 +1,340 @@
+"""Core graph data structure for the population-protocol simulator.
+
+The paper's model (Section 2.1) works with finite, connected, undirected
+graphs.  The scheduler repeatedly samples an *ordered* pair of adjacent
+nodes uniformly at random among the ``2m`` ordered pairs, so the central
+operation the simulator needs is "sample a uniformly random edge, then a
+uniformly random orientation of it".  :class:`Graph` therefore stores the
+edge list as flat ``numpy`` arrays (for vectorised batch sampling) next to
+plain-Python adjacency lists (for the propagation and random-walk modules).
+
+The class is deliberately immutable: every protocol run, broadcast
+simulation and random-walk experiment shares a single graph object, and the
+experiment harness caches derived quantities (degrees, diameter, expansion
+bounds) on it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+Edge = Tuple[int, int]
+
+
+class GraphError(ValueError):
+    """Raised when a graph is malformed for the population model."""
+
+
+class Graph:
+    """An immutable, connected, simple undirected graph on nodes ``0..n-1``.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes.  Nodes are the integers ``0, 1, ..., n_nodes - 1``.
+    edges:
+        Iterable of 2-tuples ``(u, v)`` with ``u != v``.  Each undirected
+        edge must appear exactly once (either orientation).
+    name:
+        Optional human-readable name, used by the experiment harness when
+        rendering result tables.
+    check_connected:
+        If true (the default), raise :class:`GraphError` when the graph is
+        not connected.  The population-protocol model is only defined on
+        connected graphs (Section 2.1).
+    """
+
+    __slots__ = (
+        "_n",
+        "_edges_u",
+        "_edges_v",
+        "_adjacency",
+        "_degrees",
+        "_name",
+        "_edge_index",
+        "_diameter_cache",
+        "_eccentricity_cache",
+    )
+
+    def __init__(
+        self,
+        n_nodes: int,
+        edges: Iterable[Edge],
+        name: str = "graph",
+        check_connected: bool = True,
+    ) -> None:
+        if n_nodes <= 0:
+            raise GraphError("a graph must have at least one node")
+        edge_list = self._normalise_edges(n_nodes, edges)
+        self._n = int(n_nodes)
+        self._name = str(name)
+        if edge_list:
+            arr = np.asarray(edge_list, dtype=np.int64)
+            self._edges_u = np.ascontiguousarray(arr[:, 0])
+            self._edges_v = np.ascontiguousarray(arr[:, 1])
+        else:
+            self._edges_u = np.zeros(0, dtype=np.int64)
+            self._edges_v = np.zeros(0, dtype=np.int64)
+        adjacency: List[List[int]] = [[] for _ in range(self._n)]
+        for u, v in edge_list:
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+        self._adjacency = tuple(tuple(sorted(neigh)) for neigh in adjacency)
+        self._degrees = np.array([len(a) for a in self._adjacency], dtype=np.int64)
+        self._edge_index: Dict[Edge, int] = {
+            (u, v): i for i, (u, v) in enumerate(edge_list)
+        }
+        self._diameter_cache: int | None = None
+        self._eccentricity_cache: Tuple[int, ...] | None = None
+        if self._n > 1 and check_connected:
+            if self.n_edges == 0:
+                raise GraphError("a multi-node connected graph must have at least one edge")
+            if not self._is_connected():
+                raise GraphError(f"graph {name!r} is not connected")
+
+    @staticmethod
+    def _normalise_edges(n_nodes: int, edges: Iterable[Edge]) -> List[Edge]:
+        seen = set()
+        result: List[Edge] = []
+        for raw in edges:
+            u, v = int(raw[0]), int(raw[1])
+            if u == v:
+                raise GraphError(f"self-loop on node {u} is not allowed")
+            if not (0 <= u < n_nodes and 0 <= v < n_nodes):
+                raise GraphError(f"edge ({u}, {v}) out of range for n={n_nodes}")
+            key = (u, v) if u < v else (v, u)
+            if key in seen:
+                raise GraphError(f"duplicate edge {key}")
+            seen.add(key)
+            result.append(key)
+        return result
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes ``n``."""
+        return self._n
+
+    @property
+    def n_edges(self) -> int:
+        """Number of undirected edges ``m``."""
+        return int(self._edges_u.shape[0])
+
+    @property
+    def name(self) -> str:
+        """Human-readable name of the graph."""
+        return self._name
+
+    @property
+    def nodes(self) -> range:
+        """The node set as a :class:`range`."""
+        return range(self._n)
+
+    @property
+    def edges_u(self) -> np.ndarray:
+        """First endpoints of every edge (read-only view)."""
+        view = self._edges_u.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def edges_v(self) -> np.ndarray:
+        """Second endpoints of every edge (read-only view)."""
+        view = self._edges_v.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Degree of every node (read-only view)."""
+        view = self._degrees.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def max_degree(self) -> int:
+        """Maximum degree ``Δ``."""
+        return int(self._degrees.max()) if self._n else 0
+
+    @property
+    def min_degree(self) -> int:
+        """Minimum degree ``δ``."""
+        return int(self._degrees.min()) if self._n else 0
+
+    def degree(self, node: int) -> int:
+        """Degree of ``node``."""
+        return int(self._degrees[node])
+
+    def neighbors(self, node: int) -> Tuple[int, ...]:
+        """Sorted tuple of neighbours of ``node``."""
+        return self._adjacency[node]
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over undirected edges as ``(u, v)`` with ``u < v``."""
+        for u, v in zip(self._edges_u.tolist(), self._edges_v.tolist()):
+            yield (u, v)
+
+    def edge_at(self, index: int) -> Edge:
+        """Return the edge with the given index (scheduler convention)."""
+        return (int(self._edges_u[index]), int(self._edges_v[index]))
+
+    def edge_index(self, u: int, v: int) -> int:
+        """Index of the undirected edge ``{u, v}``.
+
+        Raises :class:`KeyError` if the edge is not present.
+        """
+        key = (u, v) if u < v else (v, u)
+        return self._edge_index[key]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether ``{u, v}`` is an edge of the graph."""
+        key = (u, v) if u < v else (v, u)
+        return key in self._edge_index
+
+    def is_regular(self) -> bool:
+        """Whether all nodes have the same degree."""
+        return bool(self._n == 0 or (self._degrees == self._degrees[0]).all())
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def bfs_distances(self, source: int) -> np.ndarray:
+        """Distances from ``source`` to every node (``-1`` if unreachable)."""
+        dist = np.full(self._n, -1, dtype=np.int64)
+        dist[source] = 0
+        frontier = [source]
+        d = 0
+        while frontier:
+            d += 1
+            next_frontier: List[int] = []
+            for u in frontier:
+                for w in self._adjacency[u]:
+                    if dist[w] < 0:
+                        dist[w] = d
+                        next_frontier.append(w)
+            frontier = next_frontier
+        return dist
+
+    def distance(self, u: int, v: int) -> int:
+        """Shortest-path distance ``dist(u, v)``."""
+        return int(self.bfs_distances(u)[v])
+
+    def eccentricities(self) -> Tuple[int, ...]:
+        """Eccentricity of every node (cached)."""
+        if self._eccentricity_cache is None:
+            eccs = []
+            for v in range(self._n):
+                dist = self.bfs_distances(v)
+                eccs.append(int(dist.max()))
+            self._eccentricity_cache = tuple(eccs)
+        return self._eccentricity_cache
+
+    def diameter(self) -> int:
+        """Graph diameter ``D(G)`` (cached; exact via all-sources BFS)."""
+        if self._diameter_cache is None:
+            self._diameter_cache = max(self.eccentricities()) if self._n > 1 else 0
+        return self._diameter_cache
+
+    def ball(self, node: int, radius: int) -> frozenset:
+        """Radius-``radius`` neighbourhood ``B_r(node)`` (Section 2.1)."""
+        dist = self.bfs_distances(node)
+        return frozenset(int(v) for v in np.flatnonzero((dist >= 0) & (dist <= radius)))
+
+    def ball_of_set(self, nodes: Iterable[int], radius: int) -> frozenset:
+        """Radius-``radius`` neighbourhood of a node set ``B_r(U)``."""
+        result: set = set()
+        for node in nodes:
+            result |= self.ball(node, radius)
+        return frozenset(result)
+
+    def shortest_path(self, u: int, v: int) -> List[int]:
+        """One shortest path from ``u`` to ``v`` as a list of nodes."""
+        if u == v:
+            return [u]
+        dist = self.bfs_distances(u)
+        if dist[v] < 0:
+            raise GraphError(f"no path between {u} and {v}")
+        path = [v]
+        current = v
+        while current != u:
+            for w in self._adjacency[current]:
+                if dist[w] == dist[current] - 1:
+                    path.append(w)
+                    current = w
+                    break
+        path.reverse()
+        return path
+
+    # ------------------------------------------------------------------
+    # Subgraphs and boundaries
+    # ------------------------------------------------------------------
+    def edge_boundary(self, node_set: Iterable[int]) -> List[Edge]:
+        """Edge boundary ``∂S`` of the node set (Section 2.1)."""
+        inside = set(int(v) for v in node_set)
+        boundary = []
+        for u, v in self.edges():
+            if (u in inside) != (v in inside):
+                boundary.append((u, v))
+        return boundary
+
+    def induced_subgraph(self, node_set: Sequence[int]) -> Tuple["Graph", Dict[int, int]]:
+        """Induced subgraph ``G[S]`` with relabelled nodes.
+
+        Returns the subgraph (nodes relabelled to ``0..|S|-1``) and the
+        mapping from original node ids to new ids.  Connectivity is not
+        enforced on the result.
+        """
+        ordered = sorted(set(int(v) for v in node_set))
+        mapping = {orig: new for new, orig in enumerate(ordered)}
+        sub_edges = [
+            (mapping[u], mapping[v])
+            for u, v in self.edges()
+            if u in mapping and v in mapping
+        ]
+        sub = Graph(
+            len(ordered),
+            sub_edges,
+            name=f"{self._name}[induced]",
+            check_connected=False,
+        )
+        return sub, mapping
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def _is_connected(self) -> bool:
+        if self._n <= 1:
+            return True
+        return int((self.bfs_distances(0) >= 0).sum()) == self._n
+
+    def to_networkx(self):
+        """Convert to a :class:`networkx.Graph` (for property computations)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self._n))
+        g.add_edges_from(self.edges())
+        return g
+
+    @classmethod
+    def from_networkx(cls, nx_graph, name: str = "graph", check_connected: bool = True) -> "Graph":
+        """Build a :class:`Graph` from a networkx graph with integer nodes."""
+        nodes = sorted(nx_graph.nodes())
+        mapping = {node: i for i, node in enumerate(nodes)}
+        edges = [(mapping[u], mapping[v]) for u, v in nx_graph.edges()]
+        return cls(len(nodes), edges, name=name, check_connected=check_connected)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._n == other._n and set(self.edges()) == set(other.edges())
+
+    def __hash__(self) -> int:
+        return hash((self._n, frozenset(self.edges())))
+
+    def __repr__(self) -> str:
+        return f"Graph(name={self._name!r}, n={self._n}, m={self.n_edges})"

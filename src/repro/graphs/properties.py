@@ -1,0 +1,207 @@
+"""Structural graph properties used by the paper's bounds.
+
+The quantities that appear in Table 1 and Theorem 6 are:
+
+* edge expansion ``β(G) = min |∂S| / |S|`` over non-empty ``S`` with
+  ``|S| <= n/2`` (Section 2.1),
+* conductance ``φ = β / Δ`` for regular graphs (Table 1),
+* diameter ``D(G)``, maximum degree ``Δ`` and edge count ``m``.
+
+Computing ``β`` exactly is exponential in ``n``; we provide the exact
+enumeration for small graphs, closed forms for the named families used in
+the benchmarks, and spectral (Cheeger-style) upper/lower bounds for
+everything else.  :func:`edge_expansion_estimate` chooses the best
+available method automatically.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from .graph import Graph
+from .spectral import normalized_laplacian_spectral_gap
+
+EXACT_EXPANSION_NODE_LIMIT = 20
+
+
+@dataclass(frozen=True)
+class ExpansionEstimate:
+    """An estimate of edge expansion with provenance.
+
+    Attributes
+    ----------
+    lower, upper:
+        Certified lower and upper bounds on ``β(G)``.
+    value:
+        The point estimate used by downstream code (geometric mean of the
+        bounds, or the exact value when ``method == "exact"``).
+    method:
+        One of ``"exact"``, ``"closed-form"``, ``"cheeger"``,
+        ``"sweep-cut"``.
+    """
+
+    lower: float
+    upper: float
+    value: float
+    method: str
+
+
+def edge_expansion_exact(graph: Graph) -> float:
+    """Exact edge expansion by enumerating all subsets up to size ``n/2``.
+
+    Exponential in ``n``; guarded to ``n <= EXACT_EXPANSION_NODE_LIMIT``.
+    """
+    n = graph.n_nodes
+    if n < 2:
+        raise ValueError("edge expansion needs at least two nodes")
+    if n > EXACT_EXPANSION_NODE_LIMIT:
+        raise ValueError(
+            f"exact edge expansion limited to n <= {EXACT_EXPANSION_NODE_LIMIT}"
+        )
+    adjacency = [set(graph.neighbors(v)) for v in range(n)]
+    best = math.inf
+    nodes = list(range(n))
+    for size in range(1, n // 2 + 1):
+        for subset in itertools.combinations(nodes, size):
+            inside = set(subset)
+            boundary = 0
+            for u in subset:
+                boundary += len(adjacency[u] - inside)
+            best = min(best, boundary / size)
+    return float(best)
+
+
+def edge_expansion_closed_form(graph: Graph) -> Optional[float]:
+    """Closed-form edge expansion for named families, if recognised.
+
+    Recognition is by the ``name`` attribute set by the family
+    constructors, so ad-hoc graphs fall through to ``None``.
+    """
+    name = graph.name
+    n = graph.n_nodes
+    if name.startswith("clique-"):
+        # beta = ceil(n/2) for K_n: the minimiser is a set of size floor(n/2).
+        half = n // 2
+        return float((n - half) * half / half)
+    if name.startswith("cycle-"):
+        # Minimiser is a contiguous arc of length floor(n/2): boundary 2.
+        return float(2.0 / (n // 2))
+    if name.startswith("path-") and n >= 2:
+        # Minimiser is one end half of the path: boundary 1.
+        return float(1.0 / (n // 2))
+    if name.startswith("star-"):
+        # Any set of floor(n/2) leaves has boundary = its size.
+        return 1.0
+    if name.startswith("hypercube-"):
+        # Harper's theorem: beta(Q_d) = 1 (minimised by a subcube of half size).
+        return 1.0
+    return None
+
+
+def edge_expansion_sweep_cut(graph: Graph) -> float:
+    """Upper bound on ``β`` via a spectral sweep cut (Fiedler ordering).
+
+    Sorts nodes by the Fiedler vector of the normalised Laplacian and takes
+    the best prefix cut; this is the standard constructive half of the
+    Cheeger inequality and always yields a valid *upper* bound.
+    """
+    n = graph.n_nodes
+    if n < 2:
+        raise ValueError("sweep cut needs at least two nodes")
+    from .spectral import fiedler_vector
+
+    order = np.argsort(fiedler_vector(graph))
+    adjacency = [set(graph.neighbors(v)) for v in range(n)]
+    inside: set = set()
+    boundary = 0
+    best = math.inf
+    for idx, node in enumerate(order[: n // 2], start=1):
+        node = int(node)
+        boundary += graph.degree(node) - 2 * len(adjacency[node] & inside)
+        inside.add(node)
+        best = min(best, boundary / idx)
+    return float(best)
+
+
+def edge_expansion_estimate(graph: Graph) -> ExpansionEstimate:
+    """Best-available estimate of edge expansion ``β(G)``.
+
+    Preference order: exact enumeration (small graphs), closed form (named
+    families), then Cheeger lower bound combined with a sweep-cut upper
+    bound.
+    """
+    n = graph.n_nodes
+    if n <= EXACT_EXPANSION_NODE_LIMIT:
+        value = edge_expansion_exact(graph)
+        return ExpansionEstimate(lower=value, upper=value, value=value, method="exact")
+    closed = edge_expansion_closed_form(graph)
+    if closed is not None:
+        return ExpansionEstimate(lower=closed, upper=closed, value=closed, method="closed-form")
+    gap = normalized_laplacian_spectral_gap(graph)
+    max_degree = graph.max_degree
+    min_degree = graph.min_degree
+    # Cheeger: lambda_2 / 2 <= phi <= sqrt(2 lambda_2), with
+    # beta >= phi_conductance-ish scaling by min degree.
+    conductance_lower = gap / 2.0
+    lower = conductance_lower * min_degree
+    upper = min(edge_expansion_sweep_cut(graph), float(max_degree))
+    upper = max(upper, lower)
+    value = math.sqrt(max(lower, 1e-12) * max(upper, 1e-12))
+    return ExpansionEstimate(lower=lower, upper=upper, value=value, method="cheeger")
+
+
+def conductance(graph: Graph, expansion: Optional[float] = None) -> float:
+    """Conductance ``φ = β / Δ`` as used by the paper for regular graphs.
+
+    For non-regular graphs this is the same normalisation the paper uses
+    when instantiating the fast protocol (``h`` depends on ``Δ/β``).
+    """
+    if expansion is None:
+        expansion = edge_expansion_estimate(graph).value
+    max_degree = graph.max_degree
+    if max_degree == 0:
+        return 0.0
+    return float(expansion) / float(max_degree)
+
+
+def degree_statistics(graph: Graph) -> Tuple[int, int, float]:
+    """Return ``(Δ, δ, average degree)``."""
+    degrees = graph.degrees
+    return int(degrees.max()), int(degrees.min()), float(degrees.mean())
+
+
+def is_dense(graph: Graph, density_constant: float = 0.1) -> bool:
+    """Whether ``m >= density_constant * n^2`` (Theorem 40's assumption)."""
+    n = graph.n_nodes
+    return graph.n_edges >= density_constant * n * n
+
+
+def minimum_degree_fraction(graph: Graph) -> float:
+    """``δ / n`` — the paper's Theorem 40 requires ``δ >= λ n^φ``."""
+    if graph.n_nodes == 0:
+        return 0.0
+    return graph.min_degree / graph.n_nodes
+
+
+def summarize(graph: Graph) -> dict:
+    """A dictionary of headline structural properties for reporting."""
+    expansion = edge_expansion_estimate(graph)
+    max_degree, min_degree, avg_degree = degree_statistics(graph)
+    return {
+        "name": graph.name,
+        "n": graph.n_nodes,
+        "m": graph.n_edges,
+        "diameter": graph.diameter(),
+        "max_degree": max_degree,
+        "min_degree": min_degree,
+        "avg_degree": avg_degree,
+        "edge_expansion": expansion.value,
+        "edge_expansion_method": expansion.method,
+        "conductance": conductance(graph, expansion.value),
+        "regular": graph.is_regular(),
+    }

@@ -1,0 +1,222 @@
+"""Renitent graph constructions (Section 6 of the paper).
+
+A graph family is *f-renitent* when every member admits an
+``f(n)``-isolating ``(K, ℓ)``-cover: the nodes can be covered by a constant
+number of sets whose distance-``ℓ`` neighbourhoods are pairwise isomorphic,
+with at least two of those neighbourhoods disjoint, and information is
+unlikely to travel distance ``ℓ`` within ``f(n)`` steps.  Theorem 34 then
+shows leader election needs ``Ω(f(n))`` expected steps on such graphs.
+
+This module builds the constructions the paper uses:
+
+* :func:`cycle_cover` — the warm-up ``Ω(n^2)`` cover of a cycle (Lemma 37),
+* :func:`four_copies_construction` — Lemma 38: four copies of a base graph
+  joined by paths of length ``2ℓ`` into a ring,
+* :func:`renitent_family_graph` — Theorem 39: a family whose leader-election
+  and broadcast complexity is ``Θ(T(n))`` for any target ``T`` between
+  ``n log n`` and ``n^3``.
+
+The cover objects themselves (and the empirical isolation-time estimator)
+live in :mod:`repro.lowerbounds.covers`; the functions here return both the
+constructed graph and the node sets of its canonical cover.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from .families import clique, cycle, star
+from .graph import Edge, Graph, GraphError
+
+
+@dataclass(frozen=True)
+class RenitentConstruction:
+    """A renitent graph together with its canonical ``(K, ℓ)``-cover.
+
+    Attributes
+    ----------
+    graph:
+        The constructed graph ``G'``.
+    cover_sets:
+        The node sets ``V_0, ..., V_{K-1}`` of the cover.
+    ell:
+        The isolation radius ``ℓ``.
+    expected_isolation_steps:
+        The paper's lower-bound scale ``Θ(ℓ m)`` — the number of scheduler
+        steps below which the cover is expected to remain isolated with
+        constant probability.
+    """
+
+    graph: Graph
+    cover_sets: Tuple[Tuple[int, ...], ...]
+    ell: int
+    expected_isolation_steps: int
+
+
+def cycle_cover(n: int) -> RenitentConstruction:
+    """Lemma 37: the four-arc cover showing cycles are ``Ω(n^2)``-renitent.
+
+    The cycle is split into four arcs of roughly ``n/4`` nodes.  The
+    isolation radius ``ℓ`` is chosen just under half an arc length so that
+    the ``ℓ``-neighbourhoods of the two opposite arcs are disjoint; the
+    resulting isolation scale ``ℓ·m ∈ Θ(n^2)`` matches the lemma.
+    """
+    if n < 8:
+        raise GraphError("cycle cover construction requires n >= 8")
+    graph = cycle(n)
+    arc = math.ceil(n / 4)
+    sets: List[Tuple[int, ...]] = []
+    for i in range(4):
+        low = i * arc
+        high = min((i + 1) * arc, n)
+        sets.append(tuple(range(low, high)))
+    # Nodes past 4*arc (when n is not divisible by 4) fold into the last arc
+    # so the cover spans all of V.
+    remainder = set(range(n)) - set(v for s in sets for v in s)
+    if remainder:
+        sets[3] = tuple(sorted(set(sets[3]) | remainder))
+    ell = max((arc - 1) // 2, 1)
+    expected = ell * graph.n_edges
+    return RenitentConstruction(
+        graph=graph,
+        cover_sets=tuple(sets),
+        ell=ell,
+        expected_isolation_steps=expected,
+    )
+
+
+def four_copies_construction(base: Graph, ell: int) -> RenitentConstruction:
+    """Lemma 38: four copies of ``base`` joined into a ring by paths of length ``2ℓ``.
+
+    Node 0 of each copy plays the role of the designated node ``v*``; the
+    ``i``-th copy's ``v*`` is joined to the ``(i+1 mod 4)``-th copy's ``v*``
+    by a fresh path with ``2ℓ`` edges.  The cover set ``V_i`` consists of
+    the ``i``-th copy together with the path that leaves it.
+    """
+    if ell < max(base.diameter(), 1):
+        raise GraphError(
+            "Lemma 38 requires ell >= diameter of the base graph "
+            f"(got ell={ell}, diameter={base.diameter()})"
+        )
+    path_edges = 2 * ell
+    copies = 4
+    base_n = base.n_nodes
+    edges: List[Edge] = []
+    offsets = [i * base_n for i in range(copies)]
+    for offset in offsets:
+        for u, v in base.edges():
+            edges.append((u + offset, v + offset))
+    total = copies * base_n
+    cover_sets: List[List[int]] = [
+        list(range(offset, offset + base_n)) for offset in offsets
+    ]
+    for i in range(copies):
+        source = offsets[i]  # copy i's v*
+        target = offsets[(i + 1) % copies]  # copy i+1's v*
+        previous = source
+        path_nodes: List[int] = []
+        for _ in range(path_edges - 1):
+            edges.append((previous, total))
+            path_nodes.append(total)
+            previous = total
+            total += 1
+        edges.append((previous, target))
+        cover_sets[i].extend(path_nodes)
+    graph = Graph(total, edges, name=f"renitent-{base.name}-ell{ell}")
+    expected = ell * graph.n_edges
+    return RenitentConstruction(
+        graph=graph,
+        cover_sets=tuple(tuple(sorted(s)) for s in cover_sets),
+        ell=ell,
+        expected_isolation_steps=expected,
+    )
+
+
+def renitent_family_graph(n_target: int, time_target: Callable[[int], float]) -> RenitentConstruction:
+    """Theorem 39: a graph on ``Θ(n_target)`` nodes with leader-election time ``Θ(T(n))``.
+
+    ``time_target`` is the increasing function ``T`` with
+    ``n log n <= T(n) <= n^3``.  Following the proof of Theorem 39:
+
+    * if ``T`` grows faster than ``n^2 log n``, the base graph is a clique
+      of size ``N`` and ``ℓ = ceil(T(N) / N^2)``;
+    * otherwise, the base is a star plus ``Θ(T(N)/ℓ)`` extra edges with
+      ``ℓ = ceil(log N + T(N)/(N log N))``.
+    """
+    if n_target < 16:
+        raise GraphError("renitent family construction requires n_target >= 16")
+    big_n = max(n_target // 8, 4)
+    target = float(time_target(big_n))
+    n_log_n = big_n * math.log(max(big_n, 2))
+    if target < n_log_n:
+        raise GraphError("time target must be at least n log n")
+    if target > float(big_n) ** 3:
+        raise GraphError("time target must be at most n^3")
+    if target > big_n * big_n * math.log(max(big_n, 2)):
+        base = clique(big_n)
+        ell = max(int(math.ceil(target / (big_n * big_n))), base.diameter(), 1)
+    else:
+        ell = max(
+            int(math.ceil(math.log(max(big_n, 2)) + target / (big_n * math.log(max(big_n, 2))))),
+            2,
+        )
+        extra_edges = int(max(min(target / ell, big_n * (big_n - 1) / 2 - (big_n - 1)), 0))
+        base = _star_with_extra_edges(big_n, extra_edges)
+        ell = max(ell, base.diameter())
+    return four_copies_construction(base, ell)
+
+
+def _star_with_extra_edges(n: int, extra: int) -> Graph:
+    """A star on ``n`` nodes with ``extra`` additional leaf-leaf edges."""
+    base = star(n)
+    edges = list(base.edges())
+    added = 0
+    for u in range(1, n):
+        for v in range(u + 1, n):
+            if added >= extra:
+                break
+            edges.append((u, v))
+            added += 1
+        if added >= extra:
+            break
+    return Graph(n, edges, name=f"star-plus-{added}-edges-{n}")
+
+
+def torus_cover(rows: int, cols: int) -> RenitentConstruction:
+    """A 16-block cover of a torus, witnessing ``Ω(n^{3/2})``-renitence.
+
+    Section 6.2 notes that ``k``-dimensional toroidal grids are
+    ``Ω(n^{1+1/k})``-renitent because they can be partitioned into constantly
+    many sub-blocks of diameter ``Θ(n^{1/k})``.  We split an
+    ``rows x cols`` torus into a 4x4 grid of blocks (all translates of each
+    other, hence isomorphic together with their neighbourhoods); blocks two
+    apart in both coordinates are more than ``2ℓ`` apart for
+    ``ℓ ≈ min(rows, cols)/8``, so their ``ℓ``-neighbourhoods are disjoint.
+    """
+    from .families import torus
+
+    if rows < 8 or cols < 8:
+        raise GraphError("torus cover requires both dimensions >= 8")
+    if rows % 4 or cols % 4:
+        raise GraphError("torus cover requires dimensions divisible by 4")
+    graph = torus(rows, cols)
+    block_r, block_c = rows // 4, cols // 4
+    sets = []
+    for tile_r in range(4):
+        for tile_c in range(4):
+            block = [
+                (tile_r * block_r + r) * cols + (tile_c * block_c + c)
+                for r in range(block_r)
+                for c in range(block_c)
+            ]
+            sets.append(tuple(sorted(block)))
+    ell = max(min(rows, cols) // 8, 1)
+    expected = ell * graph.n_edges
+    return RenitentConstruction(
+        graph=graph,
+        cover_sets=tuple(sets),
+        ell=ell,
+        expected_isolation_steps=expected,
+    )

@@ -1,0 +1,102 @@
+"""Spectral quantities of graphs.
+
+Lemma 11 of the paper argues via the spectral gap of the normalised
+Laplacian (and the Cheeger inequality) that dense Erdős–Rényi graphs have
+conductance ``1 - o(1)`` and hence broadcast time ``O(n log n)``.  This
+module provides the spectral gap, Fiedler vectors for sweep cuts, and the
+relaxation/mixing-time proxies used by the experiment harness.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .graph import Graph
+
+_DENSE_EIG_LIMIT = 2000
+
+
+def adjacency_matrix(graph: Graph) -> np.ndarray:
+    """Dense adjacency matrix (float64)."""
+    n = graph.n_nodes
+    a = np.zeros((n, n), dtype=np.float64)
+    u = graph.edges_u
+    v = graph.edges_v
+    a[u, v] = 1.0
+    a[v, u] = 1.0
+    return a
+
+
+def laplacian_matrix(graph: Graph) -> np.ndarray:
+    """Combinatorial Laplacian ``L = D - A``."""
+    a = adjacency_matrix(graph)
+    return np.diag(a.sum(axis=1)) - a
+
+
+def normalized_laplacian_matrix(graph: Graph) -> np.ndarray:
+    """Symmetric normalised Laplacian ``I - D^{-1/2} A D^{-1/2}``.
+
+    Degree-zero nodes (only possible in intentionally disconnected test
+    graphs) contribute a zero row/column.
+    """
+    a = adjacency_matrix(graph)
+    degrees = a.sum(axis=1)
+    with np.errstate(divide="ignore"):
+        inv_sqrt = np.where(degrees > 0, 1.0 / np.sqrt(np.maximum(degrees, 1e-300)), 0.0)
+    scaled = a * inv_sqrt[:, None] * inv_sqrt[None, :]
+    lap = np.eye(graph.n_nodes) - scaled
+    return lap
+
+
+def normalized_laplacian_spectrum(graph: Graph) -> np.ndarray:
+    """All eigenvalues of the normalised Laplacian, ascending."""
+    if graph.n_nodes > _DENSE_EIG_LIMIT:
+        raise ValueError(
+            f"dense eigendecomposition limited to n <= {_DENSE_EIG_LIMIT}"
+        )
+    lap = normalized_laplacian_matrix(graph)
+    values = np.linalg.eigvalsh(lap)
+    return np.sort(values)
+
+
+def normalized_laplacian_spectral_gap(graph: Graph) -> float:
+    """Second-smallest eigenvalue ``λ_2`` of the normalised Laplacian.
+
+    By the Cheeger inequality, ``λ_2 / 2 <= φ(G) <= sqrt(2 λ_2)``.
+    """
+    if graph.n_nodes < 2:
+        return 0.0
+    spectrum = normalized_laplacian_spectrum(graph)
+    return float(max(spectrum[1], 0.0))
+
+
+def fiedler_vector(graph: Graph) -> np.ndarray:
+    """Eigenvector of the normalised Laplacian for ``λ_2`` (sweep cuts)."""
+    lap = normalized_laplacian_matrix(graph)
+    values, vectors = np.linalg.eigh(lap)
+    order = np.argsort(values)
+    return np.asarray(vectors[:, order[1]], dtype=np.float64)
+
+
+def cheeger_bounds(graph: Graph) -> Tuple[float, float]:
+    """Return ``(lower, upper)`` bounds on conductance from Cheeger."""
+    gap = normalized_laplacian_spectral_gap(graph)
+    return gap / 2.0, float(np.sqrt(2.0 * gap))
+
+
+def random_walk_relaxation_time(graph: Graph) -> float:
+    """Relaxation time ``1 / λ_2`` of the lazy random walk (mixing proxy)."""
+    gap = normalized_laplacian_spectral_gap(graph)
+    if gap <= 0.0:
+        return float("inf")
+    return 1.0 / gap
+
+
+def algebraic_connectivity(graph: Graph) -> float:
+    """Second-smallest eigenvalue of the combinatorial Laplacian."""
+    if graph.n_nodes < 2:
+        return 0.0
+    values = np.sort(np.linalg.eigvalsh(laplacian_matrix(graph)))
+    return float(max(values[1], 0.0))

@@ -1,0 +1,210 @@
+"""Isolating covers (Section 6.1) and empirical isolation times.
+
+A ``(K, ℓ)``-cover of a graph ``G`` is a collection ``V_0, ..., V_{K-1}``
+of node sets such that (1) the subgraphs induced by the distance-``ℓ``
+neighbourhoods ``B_ℓ(V_i)`` are pairwise isomorphic (via isomorphisms
+mapping ``V_i`` to ``V_j``), (2) at least two of those neighbourhoods are
+disjoint, and (3) the sets cover all of ``V``.  The cover's *isolation
+time* ``Y(C)`` is the first step at which some ``V_i`` is influenced by a
+node outside ``B_ℓ(V_i)``; a cover is ``t``-isolating when
+``Pr[Y(C) >= t] >= 1/2``.
+
+Theorem 34 turns a ``f(n)``-isolating cover into an ``Ω(f(n))`` lower bound
+for stable leader election.  This module verifies the structural cover
+properties and estimates isolation times by Monte-Carlo simulation of the
+influencer dynamics, so the renitent-graph benchmarks can demonstrate the
+lower-bound mechanism quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.estimators import SummaryStatistics, summarize_samples
+from ..graphs.graph import Graph
+from ..graphs.random_graphs import RngLike, as_rng
+from ..graphs.renitent import RenitentConstruction
+from ..propagation.influence import InfluenceProcess
+
+
+@dataclass(frozen=True)
+class Cover:
+    """A candidate ``(K, ℓ)``-cover of a graph."""
+
+    graph: Graph
+    sets: Tuple[Tuple[int, ...], ...]
+    ell: int
+
+    @property
+    def k(self) -> int:
+        """Number of cover sets ``K``."""
+        return len(self.sets)
+
+    def neighbourhoods(self) -> List[frozenset]:
+        """The distance-``ℓ`` neighbourhoods ``B_ℓ(V_i)``."""
+        return [self.graph.ball_of_set(s, self.ell) for s in self.sets]
+
+    @classmethod
+    def from_construction(cls, construction: RenitentConstruction) -> "Cover":
+        """Wrap the canonical cover attached to a renitent construction."""
+        return cls(
+            graph=construction.graph,
+            sets=construction.cover_sets,
+            ell=construction.ell,
+        )
+
+
+@dataclass(frozen=True)
+class CoverCheck:
+    """Outcome of the structural checks on a cover."""
+
+    covers_all_nodes: bool
+    sets_equal_size: bool
+    has_disjoint_pair: bool
+    neighbourhoods_isomorphic: Optional[bool]
+
+    @property
+    def valid(self) -> bool:
+        """All verified properties hold (isomorphism treated as ``True`` if skipped)."""
+        iso = True if self.neighbourhoods_isomorphic is None else self.neighbourhoods_isomorphic
+        return self.covers_all_nodes and self.sets_equal_size and self.has_disjoint_pair and iso
+
+
+def check_cover(cover: Cover, check_isomorphism: bool = True, isomorphism_node_limit: int = 400) -> CoverCheck:
+    """Verify the three defining properties of a ``(K, ℓ)``-cover.
+
+    The isomorphism check (property 1) uses :mod:`networkx` VF2 on the
+    induced neighbourhood subgraphs and is skipped (reported as ``None``)
+    when the neighbourhoods exceed ``isomorphism_node_limit`` nodes.
+    """
+    graph = cover.graph
+    union = set()
+    sizes = set()
+    for node_set in cover.sets:
+        union.update(node_set)
+        sizes.add(len(node_set))
+    covers_all = union == set(range(graph.n_nodes))
+    equal_size = len(sizes) == 1
+
+    neighbourhoods = cover.neighbourhoods()
+    disjoint = False
+    for i in range(len(neighbourhoods)):
+        for j in range(i + 1, len(neighbourhoods)):
+            if not (neighbourhoods[i] & neighbourhoods[j]):
+                disjoint = True
+                break
+        if disjoint:
+            break
+
+    isomorphic: Optional[bool] = None
+    if check_isomorphism:
+        if all(len(nb) <= isomorphism_node_limit for nb in neighbourhoods):
+            isomorphic = _neighbourhoods_isomorphic(graph, neighbourhoods)
+    return CoverCheck(
+        covers_all_nodes=covers_all,
+        sets_equal_size=equal_size,
+        has_disjoint_pair=disjoint,
+        neighbourhoods_isomorphic=isomorphic,
+    )
+
+
+def _neighbourhoods_isomorphic(graph: Graph, neighbourhoods: Sequence[frozenset]) -> bool:
+    import networkx as nx
+    from networkx.algorithms import isomorphism
+
+    subgraphs = []
+    for nb in neighbourhoods:
+        sub, _mapping = graph.induced_subgraph(sorted(nb))
+        subgraphs.append(sub.to_networkx())
+    reference = subgraphs[0]
+    for other in subgraphs[1:]:
+        matcher = isomorphism.GraphMatcher(reference, other)
+        if not matcher.is_isomorphic():
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class IsolationEstimate:
+    """Monte-Carlo estimate of a cover's isolation behaviour.
+
+    Attributes
+    ----------
+    threshold:
+        The step count ``t`` the estimate refers to.
+    survival_probability:
+        Estimated ``Pr[Y(C) >= t]`` — a cover is ``t``-isolating when this
+        is at least one half.
+    isolation_times:
+        Summary of the sampled isolation times ``Y(C)`` (censored samples
+        are recorded at the censoring horizon).
+    """
+
+    threshold: float
+    survival_probability: float
+    isolation_times: SummaryStatistics
+
+
+def estimate_isolation_time(
+    cover: Cover,
+    threshold: float,
+    trials: int = 20,
+    rng: RngLike = None,
+    horizon_factor: float = 4.0,
+) -> IsolationEstimate:
+    """Estimate ``Pr[Y(C) >= threshold]`` by simulating the influencer dynamics.
+
+    Each trial runs the influencer process until some cover set is
+    influenced from outside its ``ℓ``-neighbourhood, or until
+    ``horizon_factor * threshold`` steps have elapsed (censoring).
+    """
+    if trials < 1:
+        raise ValueError("trials must be positive")
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    generator = as_rng(rng)
+    neighbourhoods = cover.neighbourhoods()
+    horizon = int(horizon_factor * threshold)
+    check_every = max(int(threshold // 50), 1)
+    samples: List[float] = []
+    survived = 0
+    for _ in range(trials):
+        process = InfluenceProcess(cover.graph, rng=generator)
+        isolation_step: Optional[int] = None
+        while process.step < horizon:
+            process.advance(min(check_every, horizon - process.step))
+            escaped = any(
+                process.set_escaped(node_set, allowed)
+                for node_set, allowed in zip(cover.sets, neighbourhoods)
+            )
+            if escaped:
+                isolation_step = process.step
+                break
+        if isolation_step is None:
+            isolation_step = horizon
+        samples.append(float(isolation_step))
+        if isolation_step >= threshold:
+            survived += 1
+    return IsolationEstimate(
+        threshold=float(threshold),
+        survival_probability=survived / trials,
+        isolation_times=summarize_samples(samples),
+    )
+
+
+def theorem34_lower_bound(isolation_steps: float, survival_probability: float) -> float:
+    """The ``Ω(f)`` lower bound implied by an ``f``-isolating cover.
+
+    Theorem 34's proof gives ``E[T] >= (1 - C)/4 · f(n)`` for a constant
+    ``C < 1`` depending on ``K``; as a conservative quantitative proxy the
+    harness reports ``survival_probability / 4 · isolation_steps``, which is
+    what the benchmark compares measured stabilization times against.
+    """
+    if isolation_steps < 0:
+        raise ValueError("isolation_steps must be non-negative")
+    if not (0.0 <= survival_probability <= 1.0):
+        raise ValueError("survival_probability must lie in [0, 1]")
+    return survival_probability / 4.0 * isolation_steps

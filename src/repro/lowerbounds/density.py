@@ -1,0 +1,197 @@
+"""Density evolution and influencer growth on dense graphs (Section 7.1).
+
+Two measurable ingredients of the Theorem 40 / Theorem 46 lower bounds:
+
+* **Lemma 41** — for ``t <= c·n·log n`` steps, the influencer set of any
+  node stays small (``<= n^ε``) with overwhelming probability on graphs
+  with ``m >= λ n^2`` edges.
+* **Lemma 48** — starting from the uniform initial configuration, a
+  protocol on a dense Erdős–Rényi graph reaches a *fully α-dense*
+  configuration (every producible state present in count ``>= α n``, no
+  other states) within ``O(n)`` steps with very high probability.
+* **Lemma 42 / 43** — a constant fraction of nodes have not interacted at
+  all by ``o(n log n)`` steps, and the untouched set contains large trees.
+
+The functions here measure these quantities on concrete runs so the
+benchmarks can verify the shape of each lemma.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..core.protocol import PopulationProtocol
+from ..core.scheduler import RandomScheduler
+from ..graphs.graph import Graph
+from ..graphs.random_graphs import RngLike, as_rng
+from ..propagation.influence import InfluenceProcess
+
+
+@dataclass(frozen=True)
+class InfluencerGrowthReport:
+    """Maximum influencer-set size at a sequence of checkpoints (Lemma 41)."""
+
+    checkpoints: Tuple[int, ...]
+    max_influencer_sizes: Tuple[int, ...]
+
+    def max_size_at(self, step: int) -> int:
+        """Largest observed ``|I_t(v)|`` at the latest checkpoint ``<= step``."""
+        best = 1
+        for checkpoint, size in zip(self.checkpoints, self.max_influencer_sizes):
+            if checkpoint <= step:
+                best = size
+        return best
+
+
+def measure_influencer_growth(
+    graph: Graph,
+    checkpoints: Sequence[int],
+    rng: RngLike = None,
+) -> InfluencerGrowthReport:
+    """Run the influencer dynamics and record ``max_v |I_t(v)|`` at checkpoints."""
+    ordered = sorted(set(int(c) for c in checkpoints))
+    if not ordered or ordered[0] < 0:
+        raise ValueError("checkpoints must be non-negative and non-empty")
+    process = InfluenceProcess(graph, rng=rng)
+    sizes: List[int] = []
+    for checkpoint in ordered:
+        process.advance(checkpoint - process.step)
+        sizes.append(max(process.influencer_count(v) for v in range(graph.n_nodes)))
+    return InfluencerGrowthReport(
+        checkpoints=tuple(ordered), max_influencer_sizes=tuple(sizes)
+    )
+
+
+@dataclass(frozen=True)
+class UntouchedNodesReport:
+    """Number of nodes that have not interacted, per checkpoint (Lemma 42)."""
+
+    checkpoints: Tuple[int, ...]
+    untouched_counts: Tuple[int, ...]
+
+
+def measure_untouched_nodes(
+    graph: Graph,
+    checkpoints: Sequence[int],
+    rng: RngLike = None,
+) -> UntouchedNodesReport:
+    """Count nodes with no interactions at each checkpoint."""
+    ordered = sorted(set(int(c) for c in checkpoints))
+    if not ordered or ordered[0] < 0:
+        raise ValueError("checkpoints must be non-negative and non-empty")
+    scheduler = RandomScheduler(graph, rng=rng)
+    touched = np.zeros(graph.n_nodes, dtype=bool)
+    counts: List[int] = []
+    step = 0
+    for checkpoint in ordered:
+        while step < checkpoint:
+            batch = min(8192, checkpoint - step)
+            initiators, responders = scheduler.next_arrays(batch)
+            touched[initiators] = True
+            touched[responders] = True
+            step += batch
+        counts.append(int((~touched).sum()))
+    return UntouchedNodesReport(
+        checkpoints=tuple(ordered), untouched_counts=tuple(counts)
+    )
+
+
+@dataclass(frozen=True)
+class DensityReport:
+    """When the execution reached a fully dense configuration (Lemma 48).
+
+    Attributes
+    ----------
+    producible_states:
+        The states the run produced at least once (a lower bound on the
+        producible set ``Λ`` of the protocol).
+    fully_dense_step:
+        First checkpoint at which every producible state had count at least
+        ``alpha · n`` (``None`` if never observed within the budget).
+    alpha:
+        The density threshold used.
+    min_density_trace:
+        ``(step, min_state_density)`` checkpoints, where the minimum runs
+        over the states producible by the protocol that the run had already
+        discovered.
+    """
+
+    producible_states: Tuple[Hashable, ...]
+    fully_dense_step: Optional[int]
+    alpha: float
+    min_density_trace: Tuple[Tuple[int, float], ...]
+
+
+def measure_density_evolution(
+    protocol: PopulationProtocol,
+    graph: Graph,
+    alpha: float,
+    max_steps: int,
+    check_every: Optional[int] = None,
+    rng: RngLike = None,
+) -> DensityReport:
+    """Track state densities of a protocol run on ``graph`` (Lemma 48).
+
+    The protocol is started from its uniform initial configuration; at each
+    checkpoint the minimum density over all states *observed so far* is
+    recorded, and the first checkpoint at which that minimum is at least
+    ``alpha`` (and no unexpected state is present — trivially true since the
+    observed set is exactly the states present or previously present) is
+    reported as ``fully_dense_step``.
+    """
+    if not (0.0 < alpha < 1.0):
+        raise ValueError("alpha must lie in (0, 1)")
+    if max_steps < 1:
+        raise ValueError("max_steps must be positive")
+    n = graph.n_nodes
+    if check_every is None:
+        check_every = max(n // 4, 1)
+    scheduler = RandomScheduler(graph, rng=rng)
+    states: List[Hashable] = [protocol.initial_state(None)] * n
+    observed: Set[Hashable] = set(states)
+    trace: List[Tuple[int, float]] = []
+    fully_dense_step: Optional[int] = None
+    step = 0
+    while step < max_steps:
+        batch = min(check_every, max_steps - step)
+        for u, v in scheduler.next_batch(batch):
+            new_u, new_v = protocol.transition(states[u], states[v])
+            states[u] = new_u
+            states[v] = new_v
+            observed.add(new_u)
+            observed.add(new_v)
+        step += batch
+        counts: Dict[Hashable, int] = {}
+        for s in states:
+            counts[s] = counts.get(s, 0) + 1
+        min_density = min(counts.get(s, 0) for s in observed) / n
+        trace.append((step, min_density))
+        if fully_dense_step is None and min_density >= alpha:
+            fully_dense_step = step
+    return DensityReport(
+        producible_states=tuple(sorted(observed, key=repr)),
+        fully_dense_step=fully_dense_step,
+        alpha=alpha,
+        min_density_trace=tuple(trace),
+    )
+
+
+def lemma41_size_bound(n_nodes: int, epsilon: float) -> float:
+    """The ``n^ε`` influencer-size bound of Lemma 41."""
+    if n_nodes < 1:
+        raise ValueError("n_nodes must be positive")
+    if not (0.0 < epsilon < 1.0):
+        raise ValueError("epsilon must lie in (0, 1)")
+    return float(n_nodes) ** epsilon
+
+
+def lemma42_untouched_bound(n_nodes: int, epsilon: float) -> float:
+    """The ``N^{1-ε}`` surviving-untouched-nodes bound of Lemma 42."""
+    if n_nodes < 1:
+        raise ValueError("n_nodes must be positive")
+    if not (0.0 < epsilon <= 1.0):
+        raise ValueError("epsilon must lie in (0, 1]")
+    return float(n_nodes) ** (1.0 - epsilon)

@@ -1,0 +1,315 @@
+"""Influencer multigraphs and the unfolding argument (Section 7, Figure 1).
+
+The surgery-style lower bound for dense graphs tracks, for each node ``v``,
+the *multigraph of influencers* ``I_t(v)``: the timestamped directed
+interactions that could have affected ``v``'s state by step ``t``.  An
+interaction is *internal* when both endpoints were already part of the
+multigraph; internal interactions create cycles and obstruct the embedding
+argument, so Lemma 45 (illustrated by the paper's Figure 1) shows how to
+*unfold* one internal interaction at a time — at most doubling the number
+of nodes — until the pattern becomes a tree.
+
+This module provides:
+
+* :class:`InfluencerMultigraph` — construction of ``I_t(v)`` from an
+  interaction schedule, with internal-interaction counting (Lemma 44's
+  measured quantities),
+* :func:`unfold_once` / :func:`unfold_to_tree` — the Lemma 45 / Figure 1
+  transformation, preserving the influence relation on the root,
+* :func:`tree_embeds_in_fresh_nodes` — the Lemma 43-style check that a tree
+  of the unfolded pattern's shape embeds into the set of nodes that have
+  not interacted yet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..graphs.graph import Graph
+
+TimedEdge = Tuple[int, int, int]  # (initiator, responder, timestamp)
+
+
+@dataclass
+class InfluencerMultigraph:
+    """The multigraph of influencers ``I_t(root)``.
+
+    Attributes
+    ----------
+    root:
+        The node whose influencers are tracked.
+    nodes:
+        All nodes appearing in the multigraph (always contains ``root``).
+    edges:
+        Timestamped directed interactions ``(initiator, responder, t)`` in
+        increasing timestamp order.
+    internal_edges:
+        The subset of edges whose endpoints were both already present when
+        the interaction occurred.
+    """
+
+    root: int
+    nodes: Set[int] = field(default_factory=set)
+    edges: List[TimedEdge] = field(default_factory=list)
+    internal_edges: List[TimedEdge] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.nodes.add(self.root)
+
+    @property
+    def size(self) -> int:
+        """Number of distinct nodes in the multigraph."""
+        return len(self.nodes)
+
+    @property
+    def internal_interaction_count(self) -> int:
+        """Number of internal interactions (cycle-creating edges)."""
+        return len(self.internal_edges)
+
+    def is_tree_like(self) -> bool:
+        """Whether the pattern has no internal interactions."""
+        return not self.internal_edges
+
+
+def build_influencer_multigraph(
+    root: int,
+    schedule: Sequence[Tuple[int, int]],
+    up_to_step: Optional[int] = None,
+) -> InfluencerMultigraph:
+    """Construct ``I_t(root)`` from an interaction schedule.
+
+    Follows the reverse-time recurrence of Section 7 (``J_t(v)``): walk the
+    schedule backwards from ``up_to_step`` and add every interaction with at
+    least one endpoint already in the multigraph.  Timestamps are the
+    1-based positions in the schedule, so the result equals the
+    forward-time definition ``I_t(v)``.
+    """
+    if up_to_step is None:
+        up_to_step = len(schedule)
+    if up_to_step > len(schedule):
+        raise ValueError("up_to_step exceeds the schedule length")
+    result = InfluencerMultigraph(root=root)
+    reversed_edges: List[TimedEdge] = []
+    for index in range(up_to_step - 1, -1, -1):
+        initiator, responder = schedule[index]
+        timestamp = index + 1
+        in_initiator = initiator in result.nodes
+        in_responder = responder in result.nodes
+        if not (in_initiator or in_responder):
+            continue
+        edge = (initiator, responder, timestamp)
+        if in_initiator and in_responder:
+            result.internal_edges.append(edge)
+        result.nodes.add(initiator)
+        result.nodes.add(responder)
+        reversed_edges.append(edge)
+    result.edges = list(reversed(reversed_edges))
+    result.internal_edges.sort(key=lambda e: e[2])
+    return result
+
+
+@dataclass(frozen=True)
+class AbstractPattern:
+    """A graph-agnostic interaction pattern (the object Lemma 45 rewrites).
+
+    Nodes are abstract labels (integers); edges are timestamped ordered
+    pairs.  ``root`` is the node whose final state the pattern determines.
+    """
+
+    root: int
+    edges: Tuple[TimedEdge, ...]
+
+    @property
+    def nodes(self) -> Set[int]:
+        result = {self.root}
+        for u, v, _t in self.edges:
+            result.add(u)
+            result.add(v)
+        return result
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+    def internal_edges(self) -> List[TimedEdge]:
+        """Edges that are *internal* in the reverse-time sense of Section 7.
+
+        Walking the edges from the latest timestamp down towards the root
+        (the order in which ``J_t(v)`` is built), an edge is internal when
+        both its endpoints have already been reached — such edges create
+        cycles in the influencer multigraph.
+        """
+        seen: Set[int] = {self.root}
+        internal: List[TimedEdge] = []
+        for u, v, t in sorted(self.edges, key=lambda e: e[2], reverse=True):
+            if u in seen and v in seen:
+                internal.append((u, v, t))
+            seen.add(u)
+            seen.add(v)
+        internal.sort(key=lambda e: e[2])
+        return internal
+
+    def is_tree_like(self) -> bool:
+        return not self.internal_edges()
+
+    def undirected_skeleton(self) -> Set[Tuple[int, int]]:
+        """The underlying undirected edge set (multiplicities dropped)."""
+        return {(min(u, v), max(u, v)) for u, v, _t in self.edges}
+
+
+def pattern_from_multigraph(multigraph: InfluencerMultigraph) -> AbstractPattern:
+    """Forget the concrete node identities' graph context; keep the pattern."""
+    return AbstractPattern(root=multigraph.root, edges=tuple(multigraph.edges))
+
+
+def _influencing_edges(pattern: AbstractPattern, node: int, before: int) -> List[TimedEdge]:
+    """Edges with timestamp < ``before`` that (transitively) influence ``node``."""
+    ordered = sorted((e for e in pattern.edges if e[2] < before), key=lambda e: e[2], reverse=True)
+    influenced: Set[int] = {node}
+    chosen: List[TimedEdge] = []
+    for u, v, t in ordered:
+        if u in influenced or v in influenced:
+            chosen.append((u, v, t))
+            influenced.add(u)
+            influenced.add(v)
+    chosen.reverse()
+    return chosen
+
+
+def unfold_once(pattern: AbstractPattern) -> AbstractPattern:
+    """Apply one step of the Lemma 45 unfolding (the paper's Figure 1).
+
+    Removes the earliest internal interaction ``(u, w, r)`` and replaces it
+    by interactions with fresh copies ``u'``, ``w'`` of the subtrees that
+    influenced ``u`` and ``w`` before time ``r``.  The result influences the
+    root identically (nodes are anonymous), has at least one internal
+    interaction fewer, and at most doubles the node count.
+    """
+    internal = pattern.internal_edges()
+    if not internal:
+        return pattern
+    u, w, r = internal[0]
+    influence_u = _influencing_edges(pattern, u, r)
+    influence_w = _influencing_edges(pattern, w, r)
+
+    next_label = max(pattern.nodes) + 1 if pattern.nodes else 1
+
+    def make_copier() -> Dict[int, int]:
+        return {}
+
+    def copy_label(mapping: Dict[int, int], node: int) -> int:
+        nonlocal next_label
+        if node not in mapping:
+            mapping[node] = next_label
+            next_label += 1
+        return mapping[node]
+
+    new_edges: List[TimedEdge] = []
+    shift = 2 * r + 2
+    for a, b, t in pattern.edges:
+        if (a, b, t) == (u, w, r):
+            continue
+        if t > r:
+            new_edges.append((a, b, t + shift))
+        else:
+            new_edges.append((a, b, t))
+
+    # Copy the influencer trees of u and w with fresh node labels, shifting
+    # their timestamps into the (r, 3r) window so all timestamps stay
+    # distinct (originals keep t <= r, shifted originals move past 3r+2).
+    copy_u_relabel = make_copier()
+    for a, b, t in influence_u:
+        new_edges.append((copy_label(copy_u_relabel, a), copy_label(copy_u_relabel, b), t + r))
+    copy_w_relabel = make_copier()
+    for a, b, t in influence_w:
+        new_edges.append((copy_label(copy_w_relabel, a), copy_label(copy_w_relabel, b), t + 2 * r))
+
+    u_copy = copy_label(copy_u_relabel, u)
+    w_copy = copy_label(copy_w_relabel, w)
+    # The two replacement interactions of Figure 1(b): u meets the copy of
+    # w's history, and w meets the copy of u's history.
+    new_edges.append((u, w_copy, 3 * r + 1))
+    new_edges.append((u_copy, w, 3 * r + 2))
+    return AbstractPattern(root=pattern.root, edges=tuple(sorted(new_edges, key=lambda e: e[2])))
+
+
+def unfold_to_tree(pattern: AbstractPattern, max_rounds: int = 64) -> AbstractPattern:
+    """Repeatedly unfold until the pattern is tree-like (Lemma 45 applied k times)."""
+    current = pattern
+    for _ in range(max_rounds):
+        if current.is_tree_like():
+            return current
+        current = unfold_once(current)
+    if not current.is_tree_like():
+        raise RuntimeError("pattern did not become tree-like within max_rounds")
+    return current
+
+
+def fresh_nodes(schedule: Sequence[Tuple[int, int]], n_nodes: int, up_to_step: int) -> Set[int]:
+    """Nodes that have not interacted during the first ``up_to_step`` interactions.
+
+    This is the set ``S(t)`` of Lemma 42/43: the pool in which an unfolded
+    leader-generating tree must embed for the Theorem 40 argument.
+    """
+    touched: Set[int] = set()
+    for index in range(min(up_to_step, len(schedule))):
+        u, v = schedule[index]
+        touched.add(u)
+        touched.add(v)
+    return set(range(n_nodes)) - touched
+
+
+def tree_embeds_in_fresh_nodes(
+    graph: Graph,
+    pattern: AbstractPattern,
+    available: Set[int],
+) -> Optional[Dict[int, int]]:
+    """Greedy BFS embedding of a tree-like pattern into ``available`` nodes.
+
+    Follows the constructive argument of Lemma 43: order the tree by BFS
+    from the root and map each node to an unused available neighbour of its
+    parent's image.  Returns the embedding or ``None`` when the greedy
+    construction gets stuck (which, per Lemma 43, is unlikely on dense
+    graphs when ``available`` is large).
+    """
+    if not pattern.is_tree_like():
+        raise ValueError("pattern must be tree-like; call unfold_to_tree first")
+    skeleton = pattern.undirected_skeleton()
+    adjacency: Dict[int, List[int]] = {}
+    for u, v in skeleton:
+        adjacency.setdefault(u, []).append(v)
+        adjacency.setdefault(v, []).append(u)
+    adjacency.setdefault(pattern.root, [])
+
+    order: List[int] = []
+    parent: Dict[int, Optional[int]] = {pattern.root: None}
+    queue = [pattern.root]
+    seen = {pattern.root}
+    while queue:
+        current = queue.pop(0)
+        order.append(current)
+        for nxt in adjacency.get(current, []):
+            if nxt not in seen:
+                seen.add(nxt)
+                parent[nxt] = current
+                queue.append(nxt)
+
+    usable = set(available)
+    embedding: Dict[int, int] = {}
+    for tree_node in order:
+        if parent[tree_node] is None:
+            if not usable:
+                return None
+            image = min(usable)
+        else:
+            parent_image = embedding[parent[tree_node]]
+            candidates = [
+                w for w in graph.neighbors(parent_image) if w in usable
+            ]
+            if not candidates:
+                return None
+            image = candidates[0]
+        embedding[tree_node] = image
+        usable.discard(image)
+    return embedding

@@ -1,0 +1,235 @@
+"""Surgery-technique ingredients for constant-state protocols (Section 7.2).
+
+The Theorem 46 lower bound argues about *leader-generating sets*: a set of
+states ``S ⊆ Λ`` is leader generating when, given enough nodes in each
+state of ``S`` on a clique, some finite interaction sequence produces a
+node whose output is leader.  The surgery argument shows that a protocol
+stabilizing in ``o(n^2)`` expected steps on dense random graphs must reach
+configurations where every leader-generating set contains a state of count
+below ``2^{|Λ|}`` — and then derives a contradiction.
+
+For the reproduction we implement the computable pieces:
+
+* :func:`leader_generating_sets` — decide, for a concrete constant-state
+  protocol, which subsets of its (reachable) state space are leader
+  generating, via breadth-first search over capped count-vector
+  configurations on a virtual clique (the cap ``2^{|Λ|}`` is the bound from
+  Alistarh et al. [4, Lemma A.7] cited by the paper);
+* :func:`low_count_states` — the states below the ``2^{|Λ|}`` threshold in
+  a configuration;
+* :func:`stable_configuration_has_guarded_generators` — the empirical check
+  of Lemma 51: in a stable configuration, every leader-generating set must
+  intersect the low-count states;
+* :func:`find_bottlenecks` — ``k``-bottleneck interactions of a schedule
+  (interactions between two states both in count ``<= k``), the quantity
+  whose absence drives Lemma 52.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.protocol import LEADER, PopulationProtocol
+
+
+def reachable_states(protocol: PopulationProtocol, max_states: int = 64) -> FrozenSet[Hashable]:
+    """All states producible from the uniform initial configuration on cliques.
+
+    Closure of the initial state under the transition function (both as
+    initiator and responder, against every known state).  Constant-state
+    protocols only; guarded by ``max_states``.
+    """
+    initial = protocol.initial_state(None)
+    known: Set[Hashable] = {initial}
+    frontier = deque([initial])
+    while frontier:
+        state = frontier.popleft()
+        for other in list(known):
+            for a, b in ((state, other), (other, state)):
+                for produced in protocol.transition(a, b):
+                    if produced not in known:
+                        known.add(produced)
+                        frontier.append(produced)
+                        if len(known) > max_states:
+                            raise ValueError(
+                                f"protocol produces more than {max_states} states; "
+                                "surgery analysis targets constant-state protocols"
+                            )
+    return frozenset(known)
+
+
+def _counts_key(counts: Dict[Hashable, int], order: Sequence[Hashable]) -> Tuple[int, ...]:
+    return tuple(counts.get(state, 0) for state in order)
+
+
+def can_generate_leader_on_clique(
+    protocol: PopulationProtocol,
+    source_states: Iterable[Hashable],
+    copies_per_state: int,
+    max_configurations: int = 250_000,
+) -> bool:
+    """Whether ``copies_per_state`` nodes of each source state can produce a leader.
+
+    Explores reachable *count vectors* (the clique makes node identity
+    irrelevant), capping each count at ``copies_per_state`` donors plus the
+    transient excess, and returns ``True`` as soon as a state with output
+    ``LEADER`` appears.
+    """
+    source_list = sorted(set(source_states), key=repr)
+    if not source_list:
+        return False
+    if copies_per_state < 1:
+        raise ValueError("copies_per_state must be positive")
+    total_nodes = copies_per_state * len(source_list)
+    order = source_list + [
+        s for s in reachable_states(protocol) if s not in source_list
+    ]
+    initial_counts = {state: copies_per_state for state in source_list}
+    if any(protocol.output(state) == LEADER for state in source_list):
+        return True
+    start_key = _counts_key(initial_counts, order)
+    seen = {start_key}
+    frontier = deque([initial_counts])
+    while frontier:
+        counts = frontier.popleft()
+        present = [s for s, c in counts.items() if c > 0]
+        for a in present:
+            for b in present:
+                if a == b and counts[a] < 2:
+                    continue
+                new_a, new_b = protocol.transition(a, b)
+                if new_a == a and new_b == b:
+                    continue
+                next_counts = dict(counts)
+                next_counts[a] -= 1
+                next_counts[b] -= 1
+                next_counts[new_a] = next_counts.get(new_a, 0) + 1
+                next_counts[new_b] = next_counts.get(new_b, 0) + 1
+                if protocol.output(new_a) == LEADER or protocol.output(new_b) == LEADER:
+                    return True
+                for state in (new_a, new_b):
+                    if state not in order:
+                        order.append(state)
+                key = _counts_key(next_counts, order)
+                if key in seen:
+                    continue
+                seen.add(key)
+                if len(seen) > max_configurations:
+                    raise RuntimeError(
+                        "leader-generation search exceeded its configuration budget"
+                    )
+                frontier.append(next_counts)
+    return False
+
+
+def leader_generating_sets(
+    protocol: PopulationProtocol,
+    copies_per_state: Optional[int] = None,
+    max_set_size: Optional[int] = None,
+) -> List[FrozenSet[Hashable]]:
+    """All (inclusion-minimal) leader-generating subsets of the reachable states.
+
+    ``copies_per_state`` defaults to ``2^{|Λ|}`` per [4, Lemma A.7]; for the
+    6-state token protocol that is 64, which makes the count-vector search
+    large, so callers typically pass a small value — by monotonicity a set
+    that generates a leader from fewer copies also does from more.
+    """
+    states = sorted(reachable_states(protocol), key=repr)
+    if copies_per_state is None:
+        copies_per_state = 2 ** len(states)
+    if max_set_size is None:
+        max_set_size = len(states)
+    generating: List[FrozenSet[Hashable]] = []
+    for size in range(1, max_set_size + 1):
+        for subset in itertools.combinations(states, size):
+            candidate = frozenset(subset)
+            if any(existing <= candidate for existing in generating):
+                continue
+            if can_generate_leader_on_clique(protocol, candidate, copies_per_state):
+                generating.append(candidate)
+    return generating
+
+
+def low_count_states(
+    state_counts: Counter, state_space_size: int, threshold: Optional[int] = None
+) -> FrozenSet[Hashable]:
+    """States with count below ``2^{|Λ|}`` (the paper's "low count").
+
+    Includes states with count zero only implicitly: callers should pass
+    the full state space separately when absent states matter.
+    """
+    if threshold is None:
+        threshold = 2**state_space_size
+    return frozenset(state for state, count in state_counts.items() if count < threshold)
+
+
+@dataclass(frozen=True)
+class GuardedGeneratorReport:
+    """Lemma 51's empirical check on one stable configuration."""
+
+    generating_sets: Tuple[FrozenSet[Hashable], ...]
+    low_count: FrozenSet[Hashable]
+    all_generators_guarded: bool
+
+
+def stable_configuration_has_guarded_generators(
+    protocol: PopulationProtocol,
+    final_states: Sequence[Hashable],
+    copies_per_state: int = 3,
+    threshold: Optional[int] = None,
+) -> GuardedGeneratorReport:
+    """Check that every leader-generating set touches a low-count state.
+
+    ``final_states`` is the configuration reached by a (stabilized) run.
+    States *absent* from the configuration count as low-count.  Lemma 51
+    predicts this holds in stable configurations reached quickly on dense
+    random graphs; the benchmark measures how often it holds in practice.
+    """
+    counts = Counter(final_states)
+    all_states = reachable_states(protocol)
+    if threshold is None:
+        threshold = 2 ** len(all_states)
+    low = set(low_count_states(counts, len(all_states), threshold))
+    low.update(state for state in all_states if counts.get(state, 0) == 0)
+    generating = leader_generating_sets(protocol, copies_per_state=copies_per_state)
+    guarded = all(bool(gen & low) for gen in generating)
+    return GuardedGeneratorReport(
+        generating_sets=tuple(generating),
+        low_count=frozenset(low),
+        all_generators_guarded=guarded,
+    )
+
+
+def find_bottlenecks(
+    protocol: PopulationProtocol,
+    initial_states: Sequence[Hashable],
+    schedule: Sequence[Tuple[int, int]],
+    k: int,
+) -> List[int]:
+    """Steps of the schedule that are ``k``-bottleneck interactions.
+
+    A ``k``-bottleneck is an interaction between two nodes whose states both
+    have count at most ``k`` at the moment of the interaction (Section 7.2).
+    The Doty–Soloveichik argument, which Lemma 52 extends, shows fast
+    protocols must have bottleneck-free executions.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    states = list(initial_states)
+    counts = Counter(states)
+    bottleneck_steps: List[int] = []
+    for index, (u, v) in enumerate(schedule, start=1):
+        a, b = states[u], states[v]
+        if counts[a] <= k and counts[b] <= k:
+            bottleneck_steps.append(index)
+        new_a, new_b = protocol.transition(a, b)
+        counts[a] -= 1
+        counts[b] -= 1
+        counts[new_a] += 1
+        counts[new_b] += 1
+        states[u] = new_a
+        states[v] = new_b
+    return bottleneck_steps

@@ -1,0 +1,167 @@
+"""Monte-Carlo estimation of broadcast times (Section 3.2).
+
+The key quantity parameterising the paper's upper bounds is the worst-case
+expected broadcast time
+
+    ``B(G) = max_v E[T(v)]``,
+
+where ``T(v)`` is the number of scheduler steps until a one-way epidemic
+started at ``v`` has reached every node.  This module estimates ``E[T(v)]``
+per source, ``B(G)`` (maximising over all or a sample of sources), and the
+full-information time ``T(G) = max_{u,v} T(v, u)``.
+
+The fast protocol of Theorem 24 is non-uniform: it is parameterised by an
+estimate of ``B(G)·Δ/m``.  :func:`broadcast_time_estimate` is exactly the
+estimator the experiment harness feeds it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.estimators import SummaryStatistics, summarize_samples
+from ..graphs.graph import Graph
+from ..graphs.random_graphs import RngLike, as_rng
+from .influence import InfluenceProcess, single_source_broadcast_steps
+
+
+@dataclass(frozen=True)
+class BroadcastTimeEstimate:
+    """Estimated worst-case expected broadcast time ``B(G)``.
+
+    Attributes
+    ----------
+    value:
+        The estimate of ``B(G)`` (max over sampled sources of the mean
+        broadcast time from that source).
+    per_source:
+        Mapping from source node to its estimated ``E[T(source)]``.
+    repetitions:
+        Number of Monte-Carlo repetitions per source.
+    sources:
+        The sources that were sampled.
+    """
+
+    value: float
+    per_source: Dict[int, float]
+    repetitions: int
+    sources: Sequence[int]
+
+
+def expected_broadcast_time_from(
+    graph: Graph,
+    source: int,
+    repetitions: int = 10,
+    rng: RngLike = None,
+    max_steps: Optional[int] = None,
+) -> SummaryStatistics:
+    """Monte-Carlo estimate of ``E[T(source)]`` with summary statistics."""
+    if repetitions < 1:
+        raise ValueError("repetitions must be positive")
+    generator = as_rng(rng)
+    samples: List[float] = []
+    for _ in range(repetitions):
+        steps = single_source_broadcast_steps(
+            graph, source, rng=generator, max_steps=max_steps
+        )
+        if steps is None:
+            raise RuntimeError(
+                "broadcast did not complete within the step budget; "
+                "increase max_steps"
+            )
+        samples.append(float(steps))
+    return summarize_samples(samples)
+
+
+def broadcast_time_estimate(
+    graph: Graph,
+    repetitions: int = 8,
+    max_sources: Optional[int] = None,
+    rng: RngLike = None,
+    max_steps: Optional[int] = None,
+) -> BroadcastTimeEstimate:
+    """Estimate ``B(G) = max_v E[T(v)]``.
+
+    For graphs with at most ``max_sources`` nodes every node is used as a
+    source; otherwise a degree-stratified sample of sources is used (the
+    maximiser of ``E[T(v)]`` tends to be a low-degree, peripheral node, so
+    the sample always includes the minimum-degree and maximum-eccentricity
+    nodes).
+    """
+    n = graph.n_nodes
+    if n == 1:
+        return BroadcastTimeEstimate(value=0.0, per_source={0: 0.0}, repetitions=0, sources=(0,))
+    generator = as_rng(rng)
+    if max_sources is None:
+        max_sources = 24
+    if n <= max_sources:
+        sources = list(range(n))
+    else:
+        sources = _stratified_sources(graph, max_sources, generator)
+    per_source: Dict[int, float] = {}
+    for source in sources:
+        stats = expected_broadcast_time_from(
+            graph, source, repetitions=repetitions, rng=generator, max_steps=max_steps
+        )
+        per_source[source] = stats.mean
+    value = max(per_source.values())
+    return BroadcastTimeEstimate(
+        value=value, per_source=per_source, repetitions=repetitions, sources=tuple(sources)
+    )
+
+
+def _stratified_sources(graph: Graph, count: int, rng: np.random.Generator) -> List[int]:
+    degrees = graph.degrees
+    eccentricities = graph.eccentricities()
+    forced = {
+        int(np.argmin(degrees)),
+        int(np.argmax(degrees)),
+        int(np.argmax(eccentricities)),
+    }
+    remaining = [v for v in range(graph.n_nodes) if v not in forced]
+    extra_count = max(count - len(forced), 0)
+    extra = (
+        rng.choice(remaining, size=min(extra_count, len(remaining)), replace=False).tolist()
+        if remaining and extra_count
+        else []
+    )
+    return sorted(forced | set(int(v) for v in extra))
+
+
+def full_information_time(
+    graph: Graph,
+    repetitions: int = 5,
+    rng: RngLike = None,
+    max_steps: Optional[int] = None,
+) -> SummaryStatistics:
+    """Monte-Carlo estimate of ``T(G)``: all nodes influenced by all nodes.
+
+    ``T(G) >= T(v)`` for every source, so ``E[T(G)] >= B(G)``; Lemmas 7–9
+    bound exactly this quantity.
+    """
+    if repetitions < 1:
+        raise ValueError("repetitions must be positive")
+    generator = as_rng(rng)
+    if max_steps is None:
+        max_steps = _budget(graph)
+    samples: List[float] = []
+    for _ in range(repetitions):
+        process = InfluenceProcess(graph, rng=generator)
+        steps = process.run_until_full(max_steps=max_steps)
+        if steps is None:
+            raise RuntimeError(
+                "full-information dissemination did not finish within budget"
+            )
+        samples.append(float(steps))
+    return summarize_samples(samples)
+
+
+def _budget(graph: Graph) -> int:
+    n = graph.n_nodes
+    m = graph.n_edges
+    d = graph.diameter()
+    return int(20 * m * (6 * math.log(max(n, 2)) + d)) + 1000

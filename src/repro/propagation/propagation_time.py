@@ -1,0 +1,143 @@
+"""Distance-k propagation times ``T_k(G)`` (Section 3.2, lower bounds).
+
+``T_k(u)`` is the first step at which the message originating at ``u``
+reaches a node at distance exactly ``k``; ``T_k(G) = min_u T_k(u)``.  The
+renitent-graph lower bound (Theorem 34) rests on showing that covers stay
+isolated — i.e. that ``T_ℓ(G)`` is large — so the harness needs Monte-Carlo
+estimates of these quantities to compare against Lemma 13/14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.estimators import SummaryStatistics, summarize_samples
+from ..graphs.graph import Graph
+from ..graphs.random_graphs import RngLike, as_rng
+from .influence import distance_k_propagation_steps
+
+
+@dataclass(frozen=True)
+class PropagationTimeEstimate:
+    """Estimate of ``T_k(G)`` obtained by minimising over sampled sources."""
+
+    distance: int
+    value: float
+    per_source: Dict[int, float]
+    repetitions: int
+
+
+def propagation_time_from(
+    graph: Graph,
+    source: int,
+    distance: int,
+    repetitions: int = 10,
+    rng: RngLike = None,
+    max_steps: Optional[int] = None,
+) -> Optional[SummaryStatistics]:
+    """Monte-Carlo estimate of ``E[T_k(source)]``.
+
+    Returns ``None`` when no node lies at the requested distance from the
+    source (``T_k(source) = ∞`` in the paper's notation).
+    """
+    if repetitions < 1:
+        raise ValueError("repetitions must be positive")
+    generator = as_rng(rng)
+    samples: List[float] = []
+    for _ in range(repetitions):
+        steps = distance_k_propagation_steps(
+            graph, source, distance, rng=generator, max_steps=max_steps
+        )
+        if steps is None:
+            return None
+        samples.append(float(steps))
+    return summarize_samples(samples)
+
+
+def propagation_time_estimate(
+    graph: Graph,
+    distance: int,
+    repetitions: int = 8,
+    max_sources: int = 16,
+    rng: RngLike = None,
+    max_steps: Optional[int] = None,
+) -> PropagationTimeEstimate:
+    """Estimate ``T_k(G) = min_u T_k(u)`` over all (or sampled) sources.
+
+    Only sources that actually have a node at distance ``k`` contribute;
+    if none do, a :class:`ValueError` is raised (``T_k(G) = ∞``).
+    """
+    generator = as_rng(rng)
+    eligible = [
+        v
+        for v in range(graph.n_nodes)
+        if bool((graph.bfs_distances(v) == distance).any())
+    ]
+    if not eligible:
+        raise ValueError(f"no pair of nodes at distance {distance} in {graph.name}")
+    if len(eligible) > max_sources:
+        chosen = generator.choice(np.array(eligible), size=max_sources, replace=False)
+        sources = sorted(int(v) for v in chosen)
+    else:
+        sources = eligible
+    per_source: Dict[int, float] = {}
+    for source in sources:
+        stats = propagation_time_from(
+            graph,
+            source,
+            distance,
+            repetitions=repetitions,
+            rng=generator,
+            max_steps=max_steps,
+        )
+        if stats is not None:
+            per_source[source] = stats.mean
+    if not per_source:
+        raise ValueError("no source produced a finite propagation time")
+    return PropagationTimeEstimate(
+        distance=distance,
+        value=min(per_source.values()),
+        per_source=per_source,
+        repetitions=repetitions,
+    )
+
+
+def empirical_violation_rate(
+    graph: Graph,
+    distance: int,
+    threshold: float,
+    trials: int = 50,
+    rng: RngLike = None,
+    sources: Optional[Sequence[int]] = None,
+    max_steps: Optional[int] = None,
+) -> float:
+    """Fraction of trials where ``T_k(source) < threshold`` (Lemma 14 check).
+
+    Lemma 14 claims this rate is at most ``1/n`` when the threshold is
+    ``k·m/(Δ·e^3)`` and ``k >= ln n``; the benchmark compares the measured
+    rate against that guarantee.
+    """
+    if trials < 1:
+        raise ValueError("trials must be positive")
+    generator = as_rng(rng)
+    if sources is None:
+        eligible = [
+            v
+            for v in range(graph.n_nodes)
+            if bool((graph.bfs_distances(v) == distance).any())
+        ]
+        if not eligible:
+            raise ValueError(f"no node has a distance-{distance} peer in {graph.name}")
+        sources = eligible
+    violations = 0
+    for trial in range(trials):
+        source = int(sources[trial % len(sources)])
+        steps = distance_k_propagation_steps(
+            graph, source, distance, rng=generator, max_steps=max_steps
+        )
+        if steps is not None and steps < threshold:
+            violations += 1
+    return violations / trials

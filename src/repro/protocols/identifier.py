@@ -1,0 +1,145 @@
+"""The time-efficient identifier-based protocol of Theorem 21.
+
+Every node generates a ``k``-bit identifier using the initiator/responder
+coin implicit in the scheduler (rule 1), broadcasts the maximum generated
+identifier (rule 2), and runs the 6-state token protocol *within the
+instance labelled by that identifier* to break the (unlikely) ties
+(rule 3).  With ``k = ⌈4 log n⌉`` the protocol uses ``O(n^4)`` states and
+stabilizes in ``O(B(G) + n log n)`` expected steps; on regular graphs
+``k = ⌈3 log n⌉`` suffices for ``O(n^3)`` states.
+
+Faithfulness notes (see DESIGN.md):
+
+* rules (1) and (2) are evaluated against the partner's *pre-interaction*
+  identifier, which makes ``Ξ`` a pure function of the state pair as
+  required by the model;
+* rule (3) — the embedded token-protocol step — is applied only when both
+  nodes belong to the same instance (equal identifiers ``>= 2^k``) after
+  rules (1)–(2).  The paper describes instances as *labelled* by their
+  identifier; gating the token step on the label is what keeps tokens from
+  leaking between instances and preserves the "always exactly one black
+  token per surviving instance" invariant that the correctness argument
+  relies on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional, Sequence, Tuple
+
+from ..core.protocol import FOLLOWER, LEADER, LeaderElectionProtocol
+from .tokens import (
+    ALL_TOKEN_STATES,
+    CANDIDATE,
+    TokenState,
+    count_tokens,
+    token_initial_state,
+    token_transition,
+)
+
+IdentifierState = Tuple[int, TokenState]
+
+
+def default_identifier_bits(n_nodes: int, regular: bool = False) -> int:
+    """The identifier width ``k`` used by Theorem 21.
+
+    ``k = ⌈4 log2 n⌉`` in general and ``⌈3 log2 n⌉`` on regular graphs,
+    giving ``O(n^4)`` / ``O(n^3)`` states respectively.
+    """
+    if n_nodes < 1:
+        raise ValueError("population size must be positive")
+    factor = 3 if regular else 4
+    return max(factor * int(math.ceil(math.log2(max(n_nodes, 2)))), 1)
+
+
+class IdentifierLeaderElection(LeaderElectionProtocol):
+    """Theorem 21's ``O(B(G) + n log n)``-step, polynomial-state protocol.
+
+    Parameters
+    ----------
+    n_nodes:
+        Population size (the protocol is non-uniform: ``k`` depends on it).
+    identifier_bits:
+        Overrides ``k``.  Benchmarks use smaller ``k`` for ablations; the
+        protocol remains always-correct for any ``k >= 1`` because of the
+        embedded token protocol.
+    regular:
+        Use the regular-graph parameterisation ``k = ⌈3 log n⌉``.
+    """
+
+    name = "identifier-broadcast"
+
+    def __init__(
+        self,
+        n_nodes: int,
+        identifier_bits: Optional[int] = None,
+        regular: bool = False,
+    ) -> None:
+        if n_nodes < 1:
+            raise ValueError("population size must be positive")
+        if identifier_bits is None:
+            identifier_bits = default_identifier_bits(n_nodes, regular=regular)
+        if identifier_bits < 1:
+            raise ValueError("identifier_bits must be at least 1")
+        self.n_nodes = int(n_nodes)
+        self.identifier_bits = int(identifier_bits)
+        self.generation_threshold = 1 << self.identifier_bits
+
+    def initial_state(self, input_symbol: Any = None) -> IdentifierState:
+        return (1, token_initial_state(False))
+
+    def transition(
+        self, initiator: IdentifierState, responder: IdentifierState
+    ) -> Tuple[IdentifierState, IdentifierState]:
+        threshold = self.generation_threshold
+        pre_ids = (initiator[0], responder[0])
+        states = [initiator, responder]
+        new_ids = [initiator[0], responder[0]]
+        new_subs = [initiator[1], responder[1]]
+        for i in (0, 1):
+            own_id, own_sub = states[i]
+            partner_id = pre_ids[1 - i]
+            # Rule (1): extend the identifier with the role bit.
+            if own_id < threshold:
+                own_id = 2 * own_id + i
+                if own_id >= threshold:
+                    own_sub = token_initial_state(True)
+            # Rule (2): adopt a larger, fully generated identifier.
+            if own_id < partner_id and partner_id >= threshold:
+                own_id = partner_id
+                own_sub = token_initial_state(False)
+            new_ids[i] = own_id
+            new_subs[i] = own_sub
+        # Rule (3): run the token protocol within a common instance.
+        if new_ids[0] == new_ids[1] and new_ids[0] >= threshold:
+            new_subs[0], new_subs[1] = token_transition(new_subs[0], new_subs[1])
+        return (new_ids[0], new_subs[0]), (new_ids[1], new_subs[1])
+
+    def output(self, state: IdentifierState) -> str:
+        return LEADER if state[1][0] == CANDIDATE else FOLLOWER
+
+    def state_space_size(self) -> Optional[int]:
+        # Identifiers take values in {1, ..., 2^{k+1} - 1}; each pairs with
+        # one of the 6 token states.
+        return (2 ** (self.identifier_bits + 1) - 1) * len(ALL_TOKEN_STATES)
+
+    def is_output_stable_configuration(self, states: Sequence[IdentifierState], graph) -> bool:
+        threshold = self.generation_threshold
+        first_id = states[0][0]
+        if first_id < threshold:
+            return False
+        for identifier, _sub in states:
+            if identifier != first_id:
+                return False
+        candidates, blacks, whites = count_tokens([sub for _id, sub in states])
+        return candidates == 1 and blacks == 1 and whites == 0
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info.update(
+            {
+                "identifier_bits": self.identifier_bits,
+                "generation_threshold": self.generation_threshold,
+            }
+        )
+        return info

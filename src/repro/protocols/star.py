@@ -1,0 +1,80 @@
+"""The trivial constant-state protocol for star graphs (Table 1, last row).
+
+Section 1.3 and 6.3 of the paper point out that on a star there is an
+``O(1)``-state protocol that elects a leader after a *single* interaction:
+the graph structure itself breaks symmetry, because after the first
+interaction the centre is "used up" and no two fresh nodes are ever
+adjacent again.
+
+States:
+
+* ``FRESH`` — initial state, outputs follower;
+* ``LEADER_DONE`` — outputs leader, never changes again;
+* ``FOLLOWER_DONE`` — outputs follower, never changes again.
+
+Rules: two fresh nodes interacting produce one ``LEADER_DONE`` (the
+responder) and one ``FOLLOWER_DONE`` (the initiator); a fresh node
+interacting with a done node becomes ``FOLLOWER_DONE``.
+
+On a star this is correct and stabilizes at the first interaction: the
+first interaction necessarily involves the centre, afterwards no two fresh
+nodes are adjacent, so no second leader can ever appear.  On general graphs
+the protocol is *not* correct (two disjoint edges can both create leaders)
+— the stability certificate below is still sound on any graph, it simply
+never fires in the multi-leader case.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Tuple
+
+from ..core.protocol import FOLLOWER, LEADER, LeaderElectionProtocol
+
+FRESH = "fresh"
+LEADER_DONE = "leader"
+FOLLOWER_DONE = "follower"
+
+StarState = str
+
+ALL_STAR_STATES: Tuple[StarState, ...] = (FRESH, LEADER_DONE, FOLLOWER_DONE)
+
+
+class StarLeaderElection(LeaderElectionProtocol):
+    """The 3-state, single-interaction protocol for star graphs."""
+
+    name = "star-trivial"
+
+    def initial_state(self, input_symbol: Any = None) -> StarState:
+        return FRESH
+
+    def transition(self, initiator: StarState, responder: StarState) -> Tuple[StarState, StarState]:
+        if initiator == FRESH and responder == FRESH:
+            return FOLLOWER_DONE, LEADER_DONE
+        if initiator == FRESH:
+            return FOLLOWER_DONE, responder
+        if responder == FRESH:
+            return initiator, FOLLOWER_DONE
+        return initiator, responder
+
+    def output(self, state: StarState) -> str:
+        return LEADER if state == LEADER_DONE else FOLLOWER
+
+    def state_space_size(self) -> Optional[int]:
+        return len(ALL_STAR_STATES)
+
+    def is_output_stable_configuration(self, states: Sequence[StarState], graph) -> bool:
+        """Sound on any graph: one leader and no edge joining two fresh nodes.
+
+        ``LEADER_DONE`` nodes never change, fresh nodes output follower and
+        can only become leaders through a fresh–fresh interaction, which the
+        no-fresh-edge condition rules out forever (fresh nodes never
+        reappear).
+        """
+        leaders = sum(1 for s in states if s == LEADER_DONE)
+        if leaders != 1:
+            return False
+        state_list = list(states)
+        for u, v in graph.edges():
+            if state_list[u] == FRESH and state_list[v] == FRESH:
+                return False
+        return True

@@ -1,0 +1,132 @@
+"""The 6-state token-based leader-election protocol (Theorem 16).
+
+This is the constant-state protocol of Beauquier, Blanchard and Burman
+[OPODIS 2013], used by the paper both as the constant-state baseline of
+Table 1 and as the always-correct backup embedded in the faster protocols.
+
+Protocol sketch (Section 4.1):
+
+* every leader candidate starts holding a *black* token;
+* on every interaction the two nodes swap their tokens;
+* when two black tokens meet, one is recoloured *white*;
+* when a candidate holds a white token, it becomes a follower and removes
+  the token from the system.
+
+Node states are pairs ``(role, token)`` with ``role ∈ {candidate,
+follower}`` and ``token ∈ {none, black, white}`` — exactly 6 states.
+
+Invariant (used by the stability certificate and checked by property
+tests): ``#candidates = #black + #white`` and ``#black >= 1`` in every
+reachable configuration.  The configuration with one black token and no
+white tokens is therefore correct (a single candidate) and stable (white
+tokens can no longer be created, so the last candidate can never be
+demoted).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Tuple
+
+from ..core.protocol import FOLLOWER, LEADER, LeaderElectionProtocol
+
+# Roles
+CANDIDATE = "C"
+FOLLOWER_ROLE = "F"
+# Tokens
+NO_TOKEN = "-"
+BLACK = "B"
+WHITE = "W"
+
+TokenState = Tuple[str, str]
+
+#: The six states of the protocol, for reference and tests.
+ALL_TOKEN_STATES: Tuple[TokenState, ...] = (
+    (CANDIDATE, NO_TOKEN),
+    (CANDIDATE, BLACK),
+    (CANDIDATE, WHITE),
+    (FOLLOWER_ROLE, NO_TOKEN),
+    (FOLLOWER_ROLE, BLACK),
+    (FOLLOWER_ROLE, WHITE),
+)
+
+
+def token_initial_state(is_candidate: bool) -> TokenState:
+    """``init(leader)`` / ``init(follower)`` of the token protocol.
+
+    A candidate starts holding a fresh black token; a follower starts with
+    no token.
+    """
+    if is_candidate:
+        return (CANDIDATE, BLACK)
+    return (FOLLOWER_ROLE, NO_TOKEN)
+
+
+def token_transition(initiator: TokenState, responder: TokenState) -> Tuple[TokenState, TokenState]:
+    """One interaction of the token protocol.
+
+    The steps are applied in sequence: swap tokens, resolve black–black
+    meetings (the responder's token is whitened), then demote any candidate
+    left holding a white token (removing that token).
+    """
+    role_a, token_a = initiator
+    role_b, token_b = responder
+    # 1. Swap tokens.
+    token_a, token_b = token_b, token_a
+    # 2. Two black tokens meet: one of them turns white.
+    if token_a == BLACK and token_b == BLACK:
+        token_b = WHITE
+    # 3. A candidate holding a white token becomes a follower; the white
+    #    token leaves the system.
+    if role_a == CANDIDATE and token_a == WHITE:
+        role_a, token_a = FOLLOWER_ROLE, NO_TOKEN
+    if role_b == CANDIDATE and token_b == WHITE:
+        role_b, token_b = FOLLOWER_ROLE, NO_TOKEN
+    return (role_a, token_a), (role_b, token_b)
+
+
+def count_tokens(states: Sequence[TokenState]) -> Tuple[int, int, int]:
+    """Return ``(#candidates, #black, #white)`` for a token-state sequence."""
+    candidates = blacks = whites = 0
+    for role, token in states:
+        if role == CANDIDATE:
+            candidates += 1
+        if token == BLACK:
+            blacks += 1
+        elif token == WHITE:
+            whites += 1
+    return candidates, blacks, whites
+
+
+def token_states_stable(states: Sequence[TokenState]) -> bool:
+    """Certificate: one black token, no white tokens (hence one candidate)."""
+    candidates, blacks, whites = count_tokens(states)
+    return blacks == 1 and whites == 0 and candidates == 1
+
+
+class TokenLeaderElection(LeaderElectionProtocol):
+    """The 6-state protocol as a standalone leader-election protocol.
+
+    The input symbol selects whether a node starts as a leader candidate.
+    The default input ``None`` makes every node a candidate, which is the
+    uniform-start configuration used for stable leader election from
+    identical states (Table 1 rows "O(1) states").
+    """
+
+    name = "token-6state"
+
+    def initial_state(self, input_symbol: Any = None) -> TokenState:
+        if input_symbol is None:
+            return token_initial_state(True)
+        return token_initial_state(bool(input_symbol))
+
+    def transition(self, initiator: TokenState, responder: TokenState) -> Tuple[TokenState, TokenState]:
+        return token_transition(initiator, responder)
+
+    def output(self, state: TokenState) -> str:
+        return LEADER if state[0] == CANDIDATE else FOLLOWER
+
+    def state_space_size(self) -> Optional[int]:
+        return len(ALL_TOKEN_STATES)
+
+    def is_output_stable_configuration(self, states: Sequence[TokenState], graph) -> bool:
+        return token_states_stable(list(states))

@@ -1,0 +1,170 @@
+"""Classic random walks on graphs (Section 4.1).
+
+The paper's baseline (Theorem 16) is parameterised by the worst-case
+expected hitting time ``H(G)`` of a *classic* random walk — the walk that,
+at every step, moves to a uniformly random neighbour of its current
+position.  This module provides exact hitting times via linear solves,
+simulation of walk trajectories, and cover-time estimation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..graphs.random_graphs import RngLike, as_rng
+
+_EXACT_HITTING_NODE_LIMIT = 400
+
+
+def transition_matrix(graph: Graph) -> np.ndarray:
+    """Transition matrix ``P`` of the classic random walk (rows sum to 1)."""
+    n = graph.n_nodes
+    p = np.zeros((n, n), dtype=np.float64)
+    for v in range(n):
+        neighbors = graph.neighbors(v)
+        if not neighbors:
+            p[v, v] = 1.0
+            continue
+        weight = 1.0 / len(neighbors)
+        for w in neighbors:
+            p[v, w] = weight
+    return p
+
+
+def hitting_times_to(graph: Graph, target: int) -> np.ndarray:
+    """Exact expected hitting times ``H(u, target)`` for all start nodes ``u``.
+
+    Solves the linear system ``h(u) = 1 + (1/deg(u)) Σ_{w ~ u} h(w)`` with
+    ``h(target) = 0``.
+    """
+    n = graph.n_nodes
+    if not (0 <= target < n):
+        raise ValueError("target out of range")
+    if n > _EXACT_HITTING_NODE_LIMIT:
+        raise ValueError(
+            f"exact hitting times limited to n <= {_EXACT_HITTING_NODE_LIMIT}"
+        )
+    if n == 1:
+        return np.zeros(1)
+    others = [v for v in range(n) if v != target]
+    index = {v: i for i, v in enumerate(others)}
+    size = n - 1
+    a = np.zeros((size, size), dtype=np.float64)
+    b = np.ones(size, dtype=np.float64)
+    for v in others:
+        i = index[v]
+        a[i, i] = 1.0
+        degree = graph.degree(v)
+        for w in graph.neighbors(v):
+            if w == target:
+                continue
+            a[i, index[w]] -= 1.0 / degree
+    solution = np.linalg.solve(a, b)
+    result = np.zeros(n, dtype=np.float64)
+    for v in others:
+        result[v] = solution[index[v]]
+    return result
+
+
+def worst_case_hitting_time(graph: Graph) -> float:
+    """``H(G) = max_{u,v} H(u, v)`` computed exactly via linear solves."""
+    n = graph.n_nodes
+    if n == 1:
+        return 0.0
+    worst = 0.0
+    for target in range(n):
+        times = hitting_times_to(graph, target)
+        worst = max(worst, float(times.max()))
+    return worst
+
+
+def hitting_time(graph: Graph, start: int, target: int) -> float:
+    """Exact expected hitting time ``H(start, target)``."""
+    return float(hitting_times_to(graph, target)[start])
+
+
+@dataclass(frozen=True)
+class WalkTrajectory:
+    """A simulated walk: visited nodes plus the step at which all were covered."""
+
+    positions: Tuple[int, ...]
+    cover_step: Optional[int]
+
+
+def simulate_walk(
+    graph: Graph,
+    start: int,
+    steps: int,
+    rng: RngLike = None,
+    record_positions: bool = False,
+) -> WalkTrajectory:
+    """Simulate ``steps`` moves of the classic random walk from ``start``."""
+    if steps < 0:
+        raise ValueError("steps must be non-negative")
+    generator = as_rng(rng)
+    position = int(start)
+    visited = {position}
+    n = graph.n_nodes
+    cover_step: Optional[int] = 0 if n == 1 else None
+    positions: List[int] = [position] if record_positions else []
+    for step in range(1, steps + 1):
+        neighbors = graph.neighbors(position)
+        position = int(neighbors[generator.integers(0, len(neighbors))])
+        if record_positions:
+            positions.append(position)
+        if cover_step is None:
+            visited.add(position)
+            if len(visited) == n:
+                cover_step = step
+    return WalkTrajectory(
+        positions=tuple(positions) if record_positions else (int(start),),
+        cover_step=cover_step,
+    )
+
+
+def estimate_cover_time(
+    graph: Graph,
+    start: int = 0,
+    repetitions: int = 10,
+    rng: RngLike = None,
+    max_steps: Optional[int] = None,
+) -> float:
+    """Monte-Carlo estimate of the cover time of the classic walk from ``start``.
+
+    The cover time upper-bounds all hitting times and appears in the
+    refined ``O(C(G)·n log n)`` bound for the constant-state protocol
+    mentioned in Section 1.3.
+    """
+    if repetitions < 1:
+        raise ValueError("repetitions must be positive")
+    generator = as_rng(rng)
+    n = graph.n_nodes
+    if max_steps is None:
+        max_steps = 64 * n**3 + 1000
+    total = 0.0
+    for _ in range(repetitions):
+        position = int(start)
+        visited = {position}
+        step = 0
+        while len(visited) < n:
+            step += 1
+            if step > max_steps:
+                raise RuntimeError("cover time exceeded the step budget")
+            neighbors = graph.neighbors(position)
+            position = int(neighbors[generator.integers(0, len(neighbors))])
+            visited.add(position)
+        total += step
+    return total / repetitions
+
+
+def stationary_distribution(graph: Graph) -> np.ndarray:
+    """Stationary distribution ``π(v) = deg(v) / 2m`` of the classic walk."""
+    degrees = graph.degrees.astype(np.float64)
+    total = degrees.sum()
+    if total == 0:
+        return np.full(graph.n_nodes, 1.0 / max(graph.n_nodes, 1))
+    return degrees / total

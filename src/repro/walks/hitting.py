@@ -1,0 +1,104 @@
+"""Hitting-time relations and bounds used by Theorem 16.
+
+Ties together the classic-walk and population-model-walk computations:
+
+* Lemma 17: ``H_P(G) <= 27 n · H(G)``,
+* Lemma 18: ``M(u, v) <= 2 · H_P(G)``,
+* Theorem 16's time bound ``O(H(G) · n log n)`` for the constant-state
+  protocol,
+* Proposition 20: ``H(G) ∈ O(n)`` w.h.p. for dense Erdős–Rényi graphs,
+* the classic facts ``H(G) ∈ O(n^3)`` in general and ``O(n^2)`` on regular
+  graphs [35].
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..graphs.graph import Graph
+from .classic import worst_case_hitting_time
+from .population_walk import (
+    exact_meeting_times,
+    population_worst_case_hitting_time,
+)
+
+
+@dataclass(frozen=True)
+class HittingTimeReport:
+    """Exact hitting-time quantities for a graph plus the paper's relations."""
+
+    classic_worst_case: float
+    population_worst_case: float
+    lemma17_bound: float
+    max_meeting_time: Optional[float]
+    lemma18_bound: Optional[float]
+
+    @property
+    def lemma17_holds(self) -> bool:
+        """Whether ``H_P(G) <= 27 n H(G)`` held on this graph."""
+        return self.population_worst_case <= self.lemma17_bound + 1e-9
+
+    @property
+    def lemma18_holds(self) -> Optional[bool]:
+        """Whether ``max M(u,v) <= 2 H_P(G)`` held (``None`` if not computed)."""
+        if self.max_meeting_time is None or self.lemma18_bound is None:
+            return None
+        return self.max_meeting_time <= self.lemma18_bound + 1e-9
+
+
+def hitting_time_report(graph: Graph, include_meeting_times: bool = True) -> HittingTimeReport:
+    """Compute ``H(G)``, ``H_P(G)`` and (optionally) meeting times exactly."""
+    classic = worst_case_hitting_time(graph)
+    population = population_worst_case_hitting_time(graph)
+    lemma17 = 27.0 * graph.n_nodes * classic
+    max_meeting = None
+    lemma18 = None
+    if include_meeting_times and graph.n_nodes <= 45:
+        meeting = exact_meeting_times(graph)
+        off_diagonal = [
+            meeting[u, v]
+            for u in range(graph.n_nodes)
+            for v in range(graph.n_nodes)
+            if u != v
+        ]
+        max_meeting = float(max(off_diagonal)) if off_diagonal else 0.0
+        lemma18 = 2.0 * population
+    return HittingTimeReport(
+        classic_worst_case=classic,
+        population_worst_case=population,
+        lemma17_bound=lemma17,
+        max_meeting_time=max_meeting,
+        lemma18_bound=lemma18,
+    )
+
+
+def theorem16_step_bound(graph: Graph, constant: float = 108.0) -> float:
+    """The ``O(H(G)·n·log n)`` stabilization bound of Theorem 16, in steps.
+
+    The proof of Lemma 19 covers the execution with ``k log n`` intervals of
+    ``108·n·H(G)`` scheduler steps each (``H_P(G) <= 27 n H(G)`` by
+    Lemma 17, doubled twice for Markov + meeting); ``constant`` controls the
+    leading factor the benchmarks use when comparing measured stabilization
+    times against this shape.
+    """
+    n = graph.n_nodes
+    if n <= 1:
+        return 0.0
+    return constant * worst_case_hitting_time(graph) * n * math.log(n)
+
+
+def general_graph_hitting_upper_bound(n: int) -> float:
+    """Classic fact: ``H(G) ∈ O(n^3)`` for any connected graph ([35])."""
+    return float(n) ** 3
+
+
+def regular_graph_hitting_upper_bound(n: int) -> float:
+    """Classic fact: ``H(G) ∈ O(n^2)`` for connected regular graphs ([35])."""
+    return float(n) ** 2
+
+
+def dense_random_graph_hitting_order(n: int) -> float:
+    """Proposition 20: ``H(G) ∈ O(n)`` w.h.p. for ``G(n, p)`` with constant p."""
+    return float(n)

@@ -1,0 +1,192 @@
+"""Random walks in the population model (Section 4.1).
+
+A token performing a random walk in the population model moves whenever the
+scheduler samples an edge incident to its current position — it then jumps
+to the other endpoint.  The jump chain is therefore the classic random walk,
+but the holding time at a node ``v`` is geometric with mean ``m / deg(v)``:
+high-degree nodes move more often.
+
+The constant-state protocol of Theorem 16 is analysed through the hitting
+and meeting times of these walks (Lemmas 17–19); this module provides both
+exact linear-algebra computations and Monte-Carlo estimators for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..graphs.random_graphs import RngLike, as_rng
+from ..core.scheduler import RandomScheduler
+
+_EXACT_NODE_LIMIT = 400
+_EXACT_MEETING_NODE_LIMIT = 45
+
+
+def population_hitting_times_to(graph: Graph, target: int) -> np.ndarray:
+    """Exact ``H_P(u, target)`` for all ``u`` (population-model walk).
+
+    System: ``h(u) = m/deg(u) + (1/deg(u)) Σ_{w ~ u} h(w)`` for ``u != target``.
+    """
+    n = graph.n_nodes
+    if not (0 <= target < n):
+        raise ValueError("target out of range")
+    if n > _EXACT_NODE_LIMIT:
+        raise ValueError(f"exact computation limited to n <= {_EXACT_NODE_LIMIT}")
+    if n == 1:
+        return np.zeros(1)
+    m = graph.n_edges
+    others = [v for v in range(n) if v != target]
+    index = {v: i for i, v in enumerate(others)}
+    size = n - 1
+    a = np.zeros((size, size), dtype=np.float64)
+    b = np.zeros(size, dtype=np.float64)
+    for v in others:
+        i = index[v]
+        degree = graph.degree(v)
+        a[i, i] = 1.0
+        b[i] = m / degree
+        for w in graph.neighbors(v):
+            if w == target:
+                continue
+            a[i, index[w]] -= 1.0 / degree
+    solution = np.linalg.solve(a, b)
+    result = np.zeros(n, dtype=np.float64)
+    for v in others:
+        result[v] = solution[index[v]]
+    return result
+
+
+def population_worst_case_hitting_time(graph: Graph) -> float:
+    """``H_P(G) = max_{u,v} H_P(u, v)``."""
+    n = graph.n_nodes
+    if n == 1:
+        return 0.0
+    worst = 0.0
+    for target in range(n):
+        worst = max(worst, float(population_hitting_times_to(graph, target).max()))
+    return worst
+
+
+def exact_meeting_times(graph: Graph) -> np.ndarray:
+    """Exact expected meeting times ``M(u, v)`` of two population-model walks.
+
+    Two walks *meet* at step ``t`` when the sampled edge ``e_t`` has the two
+    walks at its endpoints (Section 4.1).  The pair process is a Markov
+    chain on ordered pairs of distinct positions, absorbed when the edge
+    joining the two walks fires; a single sampled edge can never merge two
+    distinct walks onto the same node without such a meeting, so diagonal
+    states are unreachable and set to zero.  Solving the ``n^2``-dimensional
+    linear system directly limits this to small graphs; it is used to
+    validate the Monte-Carlo estimator and Lemma 18.
+    """
+    n = graph.n_nodes
+    if n > _EXACT_MEETING_NODE_LIMIT:
+        raise ValueError(
+            f"exact meeting times limited to n <= {_EXACT_MEETING_NODE_LIMIT}"
+        )
+    m = graph.n_edges
+    size = n * n
+    a = np.eye(size, dtype=np.float64)
+    b = np.zeros(size, dtype=np.float64)
+
+    def idx(x: int, y: int) -> int:
+        return x * n + y
+
+    for x in range(n):
+        for y in range(n):
+            row = idx(x, y)
+            if x == y:
+                # Unreachable from distinct starting positions; define as 0.
+                continue
+            b[row] = 1.0
+            for u, v in graph.edges():
+                prob = 1.0 / m
+                if (x == u and y == v) or (x == v and y == u):
+                    # The joining edge fired: the walks meet (absorption).
+                    continue
+                new_x, new_y = x, y
+                if x == u:
+                    new_x = v
+                elif x == v:
+                    new_x = u
+                if y == u:
+                    new_y = v
+                elif y == v:
+                    new_y = u
+                a[row, idx(new_x, new_y)] -= prob
+    solution = np.linalg.solve(a, b)
+    return solution.reshape(n, n)
+
+
+@dataclass(frozen=True)
+class TokenWalkResult:
+    """Monte-Carlo estimates for token walks started at every node."""
+
+    mean_pairwise_meeting_steps: float
+    max_pairwise_meeting_steps: float
+    repetitions: int
+
+
+def simulate_meeting_time(
+    graph: Graph,
+    start_a: int,
+    start_b: int,
+    rng: RngLike = None,
+    max_steps: Optional[int] = None,
+) -> Optional[int]:
+    """Steps until two population-model walks meet (single trajectory)."""
+    if start_a == start_b:
+        # Any edge incident to the shared node is a meeting.
+        pass
+    generator = as_rng(rng)
+    if max_steps is None:
+        max_steps = 200 * graph.n_nodes * graph.n_edges + 1000
+    scheduler = RandomScheduler(graph, rng=generator)
+    pos_a, pos_b = int(start_a), int(start_b)
+    step = 0
+    while step < max_steps:
+        batch = min(8192, max_steps - step)
+        for u, v in scheduler.next_batch(batch):
+            step += 1
+            a_on_edge = pos_a == u or pos_a == v
+            b_on_edge = pos_b == u or pos_b == v
+            if a_on_edge and b_on_edge:
+                return step
+            if a_on_edge:
+                pos_a = v if pos_a == u else u
+            if b_on_edge:
+                pos_b = v if pos_b == u else u
+    return None
+
+
+def simulate_population_hitting_time(
+    graph: Graph,
+    start: int,
+    target: int,
+    rng: RngLike = None,
+    max_steps: Optional[int] = None,
+) -> Optional[int]:
+    """Steps until a population-model walk from ``start`` reaches ``target``."""
+    if start == target:
+        return 0
+    generator = as_rng(rng)
+    if max_steps is None:
+        max_steps = 200 * graph.n_nodes * graph.n_edges + 1000
+    scheduler = RandomScheduler(graph, rng=generator)
+    position = int(start)
+    step = 0
+    while step < max_steps:
+        batch = min(8192, max_steps - step)
+        for u, v in scheduler.next_batch(batch):
+            step += 1
+            if position == u:
+                position = v
+            elif position == v:
+                position = u
+            if position == target:
+                return step
+    return None

@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import clique, cycle, erdos_renyi, path, star, torus
+
+
+@pytest.fixture
+def rng():
+    """A deterministic numpy generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_clique():
+    """Complete graph on 8 nodes."""
+    return clique(8)
+
+
+@pytest.fixture
+def small_cycle():
+    """Cycle on 10 nodes."""
+    return cycle(10)
+
+
+@pytest.fixture
+def small_star():
+    """Star on 12 nodes (centre 0)."""
+    return star(12)
+
+
+@pytest.fixture
+def small_path():
+    """Path on 9 nodes."""
+    return path(9)
+
+
+@pytest.fixture
+def small_torus():
+    """3x4 torus (12 nodes, 4-regular)."""
+    return torus(3, 4)
+
+
+@pytest.fixture
+def small_dense_random():
+    """Connected G(20, 0.4) with a fixed seed."""
+    return erdos_renyi(20, p=0.4, rng=7)

@@ -1,0 +1,123 @@
+"""Tests for broadcast-time estimation and the Theorem 6 / Lemma 12 bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graphs import Graph, clique, cycle, path, star, torus
+from repro.propagation import (
+    bounded_degree_broadcast_order,
+    broadcast_bounds,
+    broadcast_lower_bound,
+    broadcast_time_estimate,
+    broadcast_upper_bound_diameter,
+    broadcast_upper_bound_expansion,
+    dense_random_graph_broadcast_order,
+    expected_broadcast_time_from,
+    full_information_time,
+    propagation_lower_bound_threshold,
+    trivial_broadcast_lower_bound,
+)
+
+
+class TestAnalyticBounds:
+    def test_diameter_form_formula(self):
+        g = cycle(20)
+        expected = g.n_edges * max(6 * math.log(20), g.diameter()) + 2
+        assert broadcast_upper_bound_diameter(g) == pytest.approx(expected)
+
+    def test_expansion_form_requires_positive_expansion(self):
+        g = Graph(4, [(0, 1), (2, 3)], check_connected=False)
+        assert broadcast_upper_bound_expansion(g, expansion=0.0) is None
+
+    def test_lower_bound_formula(self):
+        g = star(50)
+        expected = g.n_edges / g.max_degree * math.log(49)
+        assert broadcast_lower_bound(g) == pytest.approx(expected)
+
+    def test_bounds_ordered(self):
+        for g in (clique(16), cycle(16), star(16), torus(4, 4)):
+            bounds = broadcast_bounds(g)
+            assert bounds.lower <= bounds.upper
+
+    def test_single_node_bounds_zero(self):
+        g = Graph(1, [])
+        assert broadcast_upper_bound_diameter(g) == 0.0
+        assert broadcast_lower_bound(g) == 0.0
+
+    def test_propagation_threshold(self):
+        g = cycle(20)
+        assert propagation_lower_bound_threshold(g, 5) == pytest.approx(
+            5 * 20 / (2 * math.exp(3))
+        )
+
+    def test_trivial_lower_bound(self):
+        assert trivial_broadcast_lower_bound(clique(30)) == 15.0
+
+    def test_shape_helpers(self):
+        assert bounded_degree_broadcast_order(cycle(100)) == pytest.approx(100 * 50)
+        assert dense_random_graph_broadcast_order(100) == pytest.approx(100 * math.log(100))
+        assert dense_random_graph_broadcast_order(1) == 0.0
+
+
+class TestMonteCarloEstimates:
+    def test_per_source_estimate_within_theorem6_envelope(self):
+        g = clique(20)
+        stats = expected_broadcast_time_from(g, 0, repetitions=5, rng=0)
+        assert broadcast_lower_bound(g) * 0.5 <= stats.mean <= broadcast_upper_bound_diameter(g)
+
+    def test_broadcast_estimate_cycle_between_bounds(self):
+        g = cycle(20)
+        estimate = broadcast_time_estimate(g, repetitions=4, rng=0)
+        bounds = broadcast_bounds(g)
+        assert bounds.lower * 0.5 <= estimate.value <= bounds.upper * 2
+
+    def test_estimate_uses_all_sources_on_small_graphs(self):
+        g = path(6)
+        estimate = broadcast_time_estimate(g, repetitions=3, rng=1)
+        assert set(estimate.sources) == set(range(6))
+        assert set(estimate.per_source) == set(range(6))
+
+    def test_estimate_samples_sources_on_large_graphs(self):
+        g = cycle(60)
+        estimate = broadcast_time_estimate(g, repetitions=2, max_sources=8, rng=2)
+        assert len(estimate.sources) <= 10
+        assert estimate.value == max(estimate.per_source.values())
+
+    def test_single_node(self):
+        estimate = broadcast_time_estimate(Graph(1, []), rng=0)
+        assert estimate.value == 0.0
+
+    def test_star_broadcast_coupon_collector_scale(self):
+        # Broadcast on a star is Θ(n log n): each leaf must act after the
+        # centre is informed.
+        n = 40
+        g = star(n)
+        estimate = broadcast_time_estimate(g, repetitions=4, max_sources=4, rng=3)
+        assert estimate.value >= n - 2
+        assert estimate.value <= 20 * n * math.log(n)
+
+    def test_invalid_repetitions(self):
+        with pytest.raises(ValueError):
+            expected_broadcast_time_from(clique(5), 0, repetitions=0)
+        with pytest.raises(ValueError):
+            full_information_time(clique(5), repetitions=0)
+
+    def test_budget_too_small_raises(self):
+        with pytest.raises(RuntimeError):
+            expected_broadcast_time_from(cycle(30), 0, repetitions=1, rng=0, max_steps=3)
+
+
+class TestFullInformationTime:
+    def test_full_information_at_least_single_source(self):
+        g = clique(12)
+        full = full_information_time(g, repetitions=3, rng=4)
+        single = expected_broadcast_time_from(g, 0, repetitions=3, rng=4)
+        assert full.mean >= single.mean * 0.8
+
+    def test_full_information_lemma8_envelope(self):
+        g = clique(12)
+        full = full_information_time(g, repetitions=3, rng=5)
+        assert full.mean <= broadcast_upper_bound_diameter(g)

@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_elect_arguments(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["elect", "--workload", "clique", "--size", "20", "--protocol", "token"]
+        )
+        assert args.command == "elect"
+        assert args.size == 20
+        assert args.protocol == "token"
+
+    def test_invalid_protocol_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(
+                ["elect", "--workload", "clique", "--size", "20", "--protocol", "bogus"]
+            )
+
+
+class TestCommands:
+    def test_workloads_command(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "clique" in out
+        assert "dense-gnp" in out
+
+    def test_elect_command(self, capsys):
+        code = main(
+            [
+                "elect",
+                "--workload",
+                "clique",
+                "--size",
+                "16",
+                "--protocol",
+                "token",
+                "--repetitions",
+                "2",
+                "--seed",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "token-6state" in out
+
+    def test_elect_star_protocol(self, capsys):
+        code = main(
+            [
+                "elect",
+                "--workload",
+                "star",
+                "--size",
+                "20",
+                "--protocol",
+                "star",
+                "--repetitions",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "star-trivial" in capsys.readouterr().out
+
+    def test_graph_info_command(self, capsys):
+        assert main(["graph-info", "--workload", "cycle", "--size", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "Graph properties" in out
+        assert "Table 1 parameters" in out
+
+    def test_broadcast_command(self, capsys):
+        code = main(
+            ["broadcast", "--workload", "clique", "--size", "16", "--repetitions", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Broadcast time" in out
+        assert "measured B(G)" in out
+
+    def test_table1_command(self, capsys):
+        code = main(
+            [
+                "table1",
+                "--family",
+                "star",
+                "--sizes",
+                "10",
+                "16",
+                "--repetitions",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_unknown_workload_errors(self):
+        with pytest.raises(KeyError):
+            main(["graph-info", "--workload", "bogus", "--size", "10"])

@@ -1,0 +1,164 @@
+"""Tests for the streak-clock subroutine (Section 5.1, Lemmas 26–29)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import clique, star
+from repro.protocols import (
+    ClockParameters,
+    expected_interactions_for_streaks,
+    expected_interactions_per_tick,
+    expected_steps_per_tick,
+    simulate_interactions_until_tick,
+    simulate_steps_until_ticks,
+    streak_update,
+)
+
+
+class TestStreakUpdate:
+    def test_initiator_increments(self):
+        assert streak_update(0, True, 3) == (1, False)
+        assert streak_update(1, True, 3) == (2, False)
+
+    def test_responder_resets(self):
+        assert streak_update(2, False, 3) == (0, False)
+
+    def test_completion_resets_and_signals(self):
+        assert streak_update(2, True, 3) == (0, True)
+
+    def test_streak_length_one_ticks_every_initiation(self):
+        assert streak_update(0, True, 1) == (0, True)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            streak_update(0, True, 0)
+        with pytest.raises(ValueError):
+            streak_update(5, True, 3)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    streak=st.integers(min_value=0, max_value=9),
+    is_initiator=st.booleans(),
+    length=st.integers(min_value=1, max_value=10),
+)
+def test_streak_update_stays_in_range(streak, is_initiator, length):
+    if streak >= length:
+        return
+    new_streak, completed = streak_update(streak, is_initiator, length)
+    assert 0 <= new_streak < length
+    if completed:
+        assert is_initiator and streak == length - 1
+
+
+class TestExpectations:
+    def test_expected_interactions_per_tick_formula(self):
+        # Lemma 27(a): E[K] = 2^{h+1} - 2.
+        assert expected_interactions_per_tick(1) == 2
+        assert expected_interactions_per_tick(3) == 14
+        assert expected_interactions_per_tick(5) == 62
+
+    def test_expected_interactions_matches_simulation(self):
+        h = 3
+        rng = np.random.default_rng(0)
+        samples = [simulate_interactions_until_tick(h, rng=rng) for _ in range(3000)]
+        assert np.mean(samples) == pytest.approx(expected_interactions_per_tick(h), rel=0.1)
+
+    def test_expected_steps_per_tick_scales_inversely_with_degree(self):
+        # Lemma 27(b): E[X(d)] = E[K] * m / d.
+        assert expected_steps_per_tick(3, n_edges=100, degree=10) == pytest.approx(140.0)
+        assert expected_steps_per_tick(3, 100, 20) == pytest.approx(70.0)
+
+    def test_expected_interactions_for_streaks(self):
+        # Lemma 28(a): E[R] = (2^{h+1} - 2) * ell.
+        assert expected_interactions_for_streaks(2, 5) == 30
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            expected_interactions_per_tick(0)
+        with pytest.raises(ValueError):
+            expected_steps_per_tick(2, 0, 1)
+        with pytest.raises(ValueError):
+            expected_steps_per_tick(2, 10, 0)
+        with pytest.raises(ValueError):
+            expected_interactions_for_streaks(2, -1)
+
+
+class TestSchedulerDrivenClock:
+    def test_steps_until_tick_matches_lemma27b_on_star_centre(self):
+        # The centre of a star interacts every step, so X(d) with d = m.
+        graph = star(16)
+        h = 2
+        samples = [
+            simulate_steps_until_ticks(graph, 0, h, rng=seed) for seed in range(40)
+        ]
+        expected = expected_steps_per_tick(h, graph.n_edges, graph.degree(0))
+        assert np.mean(samples) == pytest.approx(expected, rel=0.3)
+
+    def test_low_degree_nodes_tick_slower(self):
+        graph = star(16)
+        h = 2
+        centre = np.mean(
+            [simulate_steps_until_ticks(graph, 0, h, rng=seed) for seed in range(15)]
+        )
+        leaf = np.mean(
+            [simulate_steps_until_ticks(graph, 1, h, rng=100 + seed) for seed in range(15)]
+        )
+        assert leaf > centre
+
+    def test_multiple_ticks_take_longer(self):
+        graph = clique(10)
+        one = simulate_steps_until_ticks(graph, 0, 2, n_ticks=1, rng=7)
+        five = simulate_steps_until_ticks(graph, 0, 2, n_ticks=5, rng=7)
+        assert five > one
+
+    def test_budget_exhaustion_returns_none(self):
+        graph = clique(10)
+        assert simulate_steps_until_ticks(graph, 0, 8, rng=0, max_steps=5) is None
+
+    def test_invalid_ticks(self):
+        with pytest.raises(ValueError):
+            simulate_steps_until_ticks(clique(5), 0, 2, n_ticks=0)
+
+
+class TestClockParameters:
+    def test_from_graph_uses_paper_formula(self):
+        graph = clique(32)
+        broadcast = 300.0
+        params = ClockParameters.from_graph(graph, broadcast, tau=1.0, h_offset=8)
+        ratio = broadcast * graph.max_degree / graph.n_edges
+        assert params.streak_length == 8 + math.ceil(math.log2(ratio))
+        assert params.phase_length == math.ceil(2 * math.log(32))
+        assert params.max_level > params.phase_length
+
+    def test_practical_parameters_are_smaller(self):
+        graph = clique(32)
+        paper = ClockParameters.from_graph(graph, 300.0)
+        practical = ClockParameters.practical(graph, 300.0)
+        assert practical.streak_length < paper.streak_length
+        assert practical.state_count < paper.state_count
+
+    def test_state_count_matches_layout(self):
+        params = ClockParameters(streak_length=3, phase_length=4, max_level=12)
+        assert params.state_count == 3 * 2 * 13 + 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClockParameters(streak_length=0, phase_length=2, max_level=4)
+        with pytest.raises(ValueError):
+            ClockParameters(streak_length=2, phase_length=2, max_level=2)
+        with pytest.raises(ValueError):
+            ClockParameters.from_graph(clique(8), broadcast_time=0.0)
+
+    def test_state_count_is_polylogarithmic(self):
+        # O(log n * h) states: for a dense graph the ratio B*Δ/m is
+        # O(log n), so h is O(log log n) and the count grows very slowly.
+        small = ClockParameters.from_graph(clique(32), 32 * math.log(32) * 2)
+        large = ClockParameters.from_graph(clique(256), 256 * math.log(256) * 2)
+        assert large.state_count <= small.state_count * 4

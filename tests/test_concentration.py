@@ -1,0 +1,179 @@
+"""Tests for the concentration bounds of Section 2.3 (Lemmas 1–5)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    edge_sequence_expected_steps,
+    edge_sequence_lower_tail,
+    edge_sequence_upper_tail,
+    geometric_sum_deviation_rate,
+    geometric_sum_lower_tail,
+    geometric_sum_upper_tail,
+    harmonic_number,
+    poisson_lower_tail,
+    poisson_upper_tail,
+    walds_identity,
+)
+
+
+class TestPoissonTails:
+    def test_upper_tail_bounds_monte_carlo(self, rng):
+        mean, factor = 20.0, 2.0
+        samples = rng.poisson(mean, size=20_000)
+        empirical = float((samples >= factor * mean).mean())
+        assert empirical <= poisson_upper_tail(mean, factor) + 0.01
+
+    def test_lower_tail_bounds_monte_carlo(self, rng):
+        mean, factor = 20.0, 0.5
+        samples = rng.poisson(mean, size=20_000)
+        empirical = float((samples <= factor * mean).mean())
+        assert empirical <= poisson_lower_tail(mean, factor) + 0.01
+
+    def test_tails_decrease_with_mean(self):
+        assert poisson_upper_tail(100, 2) < poisson_upper_tail(10, 2)
+        assert poisson_lower_tail(100, 0.5) < poisson_lower_tail(10, 0.5)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            poisson_upper_tail(-1, 2)
+        with pytest.raises(ValueError):
+            poisson_upper_tail(5, 0.5)
+        with pytest.raises(ValueError):
+            poisson_lower_tail(5, 1.5)
+
+
+class TestChernoff:
+    def test_upper_tail_bounds_binomial(self, rng):
+        n, p = 200, 0.3
+        expectation = n * p
+        samples = rng.binomial(n, p, size=20_000)
+        empirical = float((samples >= 2 * expectation).mean())
+        assert empirical <= chernoff_upper_tail(expectation, 1.0) + 0.01
+
+    def test_lower_tail_bounds_binomial(self, rng):
+        n, p = 200, 0.3
+        expectation = n * p
+        samples = rng.binomial(n, p, size=20_000)
+        empirical = float((samples <= 0.5 * expectation).mean())
+        assert empirical <= chernoff_lower_tail(expectation, 0.5) + 0.01
+
+    def test_bounds_never_exceed_one(self):
+        assert chernoff_upper_tail(0.1, 0.01) <= 1.0
+        assert chernoff_lower_tail(0.1, 0.01) <= 1.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            chernoff_upper_tail(-1, 1)
+        with pytest.raises(ValueError):
+            chernoff_lower_tail(5, 2.0)
+
+
+class TestGeometricSums:
+    def test_rate_function_zero_at_one(self):
+        assert geometric_sum_deviation_rate(1.0) == pytest.approx(0.0)
+
+    def test_rate_function_positive_away_from_one(self):
+        assert geometric_sum_deviation_rate(2.0) > 0
+        assert geometric_sum_deviation_rate(0.5) > 0
+
+    def test_upper_tail_bounds_monte_carlo(self, rng):
+        p, k, factor = 0.2, 30, 1.5
+        samples = rng.geometric(p, size=(20_000, k)).sum(axis=1)
+        expectation = k / p
+        empirical = float((samples >= factor * expectation).mean())
+        bound = geometric_sum_upper_tail([p] * k, factor)
+        assert empirical <= bound + 0.01
+
+    def test_lower_tail_bounds_monte_carlo(self, rng):
+        p, k, factor = 0.2, 30, 0.6
+        samples = rng.geometric(p, size=(20_000, k)).sum(axis=1)
+        expectation = k / p
+        empirical = float((samples <= factor * expectation).mean())
+        bound = geometric_sum_lower_tail([p] * k, factor)
+        assert empirical <= bound + 0.01
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            geometric_sum_upper_tail([0.0, 0.5], 2.0)
+        with pytest.raises(ValueError):
+            geometric_sum_upper_tail([], 2.0)
+
+    def test_factor_domain(self):
+        with pytest.raises(ValueError):
+            geometric_sum_upper_tail([0.5], 0.5)
+        with pytest.raises(ValueError):
+            geometric_sum_lower_tail([0.5], 1.5)
+
+
+class TestEdgeSequenceBounds:
+    def test_expected_steps(self):
+        assert edge_sequence_expected_steps(5, 10) == 50.0
+
+    def test_upper_tail_matches_simulation(self, rng):
+        # Sample the time to see a fixed sequence of 5 specific edges in
+        # order on a "graph" with 12 edges.
+        k, m, lam = 5, 12, 2.0
+        samples = rng.geometric(1.0 / m, size=(20_000, k)).sum(axis=1)
+        empirical = float((samples > lam * k * m).mean())
+        assert empirical <= edge_sequence_upper_tail(k, m, lam) + 0.01
+
+    def test_lower_tail_matches_simulation(self, rng):
+        k, m, lam = 5, 12, 0.4
+        samples = rng.geometric(1.0 / m, size=(20_000, k)).sum(axis=1)
+        empirical = float((samples < lam * k * m).mean())
+        assert empirical <= edge_sequence_lower_tail(k, m, lam) + 0.01
+
+    def test_zero_length_sequence(self):
+        assert edge_sequence_upper_tail(0, 10, 2.0) == 1.0
+
+
+class TestWaldAndHarmonic:
+    def test_walds_identity(self):
+        assert walds_identity(10, 3.5) == 35.0
+
+    def test_walds_identity_matches_simulation(self, rng):
+        # N ~ Poisson(8), X_i ~ Exp(1/2): E[sum] = 8 * 2.
+        totals = []
+        for _ in range(4000):
+            n = rng.poisson(8)
+            totals.append(rng.exponential(2.0, size=n).sum() if n else 0.0)
+        assert np.mean(totals) == pytest.approx(walds_identity(8, 2.0), rel=0.1)
+
+    def test_harmonic_number_values(self):
+        assert harmonic_number(1) == 1.0
+        assert harmonic_number(4) == pytest.approx(1 + 0.5 + 1 / 3 + 0.25)
+        assert harmonic_number(0) == 0.0
+
+    def test_harmonic_number_log_bracket(self):
+        n = 1000
+        h = harmonic_number(n)
+        assert math.log(n) <= h <= math.log(n) + 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    mean=st.floats(min_value=0.5, max_value=100),
+    factor=st.floats(min_value=1.0, max_value=10),
+)
+def test_poisson_upper_tail_is_probability(mean, factor):
+    value = poisson_upper_tail(mean, factor)
+    assert 0.0 <= value <= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    probs=st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=1, max_size=10),
+    factor=st.floats(min_value=1.0, max_value=5.0),
+)
+def test_geometric_upper_tail_is_probability(probs, factor):
+    value = geometric_sum_upper_tail(probs, factor)
+    assert 0.0 <= value <= 1.0

@@ -1,0 +1,104 @@
+"""Tests for isolating covers and empirical isolation times (Section 6.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import cycle, cycle_cover, four_copies_construction, star
+from repro.lowerbounds import (
+    Cover,
+    check_cover,
+    estimate_isolation_time,
+    theorem34_lower_bound,
+)
+
+
+class TestCoverStructure:
+    def test_cover_from_construction(self):
+        construction = cycle_cover(24)
+        cover = Cover.from_construction(construction)
+        assert cover.k == 4
+        assert cover.ell == construction.ell
+        assert cover.graph is construction.graph
+
+    def test_neighbourhoods(self):
+        construction = cycle_cover(24)
+        cover = Cover.from_construction(construction)
+        neighbourhoods = cover.neighbourhoods()
+        assert len(neighbourhoods) == 4
+        for node_set, nb in zip(cover.sets, neighbourhoods):
+            assert set(node_set) <= nb
+
+    def test_invalid_cover_detected(self):
+        graph = cycle(12)
+        bad = Cover(graph=graph, sets=((0, 1, 2), (6, 7, 8)), ell=1)
+        result = check_cover(bad, check_isomorphism=False)
+        assert not result.covers_all_nodes
+        assert not result.valid
+
+    def test_overlapping_neighbourhoods_detected(self):
+        graph = cycle(12)
+        adjacent = Cover(graph=graph, sets=(tuple(range(6)), tuple(range(6, 12))), ell=2)
+        result = check_cover(adjacent, check_isomorphism=False)
+        assert result.covers_all_nodes
+        assert not result.has_disjoint_pair
+
+    def test_isomorphism_check_on_renitent_construction(self):
+        construction = four_copies_construction(star(5), ell=3)
+        cover = Cover.from_construction(construction)
+        result = check_cover(cover, check_isomorphism=True)
+        assert result.neighbourhoods_isomorphic is True
+        assert result.valid
+
+    def test_isomorphism_check_skipped_when_too_large(self):
+        construction = four_copies_construction(star(5), ell=3)
+        cover = Cover.from_construction(construction)
+        result = check_cover(cover, check_isomorphism=True, isomorphism_node_limit=2)
+        assert result.neighbourhoods_isomorphic is None
+
+
+class TestIsolationTimes:
+    def test_cycle_cover_is_isolating_at_the_lemma37_scale(self):
+        construction = cycle_cover(32)
+        cover = Cover.from_construction(construction)
+        # Lemma 37: with threshold a small fraction of ell*m, the cover
+        # should survive in (at least) half of the trials.
+        threshold = 0.1 * construction.expected_isolation_steps
+        estimate = estimate_isolation_time(cover, threshold, trials=10, rng=0)
+        assert estimate.survival_probability >= 0.5
+        assert estimate.threshold == pytest.approx(threshold)
+
+    def test_huge_threshold_not_isolating(self):
+        construction = cycle_cover(16)
+        cover = Cover.from_construction(construction)
+        threshold = 500 * construction.expected_isolation_steps
+        estimate = estimate_isolation_time(
+            cover, threshold, trials=5, rng=1, horizon_factor=1.5
+        )
+        assert estimate.survival_probability <= 0.5
+
+    def test_isolation_times_summary_present(self):
+        construction = cycle_cover(16)
+        cover = Cover.from_construction(construction)
+        estimate = estimate_isolation_time(cover, 100.0, trials=4, rng=2)
+        assert estimate.isolation_times.n_samples == 4
+        assert estimate.isolation_times.minimum > 0
+
+    def test_invalid_arguments(self):
+        cover = Cover.from_construction(cycle_cover(16))
+        with pytest.raises(ValueError):
+            estimate_isolation_time(cover, threshold=0.0, trials=3)
+        with pytest.raises(ValueError):
+            estimate_isolation_time(cover, threshold=10.0, trials=0)
+
+
+class TestTheorem34:
+    def test_lower_bound_scales_with_isolation(self):
+        assert theorem34_lower_bound(1000.0, 0.8) == pytest.approx(200.0)
+        assert theorem34_lower_bound(1000.0, 0.0) == 0.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            theorem34_lower_bound(-1.0, 0.5)
+        with pytest.raises(ValueError):
+            theorem34_lower_bound(10.0, 1.5)

@@ -1,0 +1,115 @@
+"""Tests for density evolution and influencer growth (Section 7.1)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graphs import clique, cycle, erdos_renyi
+from repro.lowerbounds import (
+    lemma41_size_bound,
+    lemma42_untouched_bound,
+    measure_density_evolution,
+    measure_influencer_growth,
+    measure_untouched_nodes,
+)
+from repro.protocols import TokenLeaderElection
+
+
+class TestInfluencerGrowth:
+    def test_sizes_monotone_in_checkpoints(self):
+        graph = erdos_renyi(40, p=0.5, rng=0)
+        report = measure_influencer_growth(graph, checkpoints=[0, 20, 60, 120], rng=1)
+        assert report.checkpoints == (0, 20, 60, 120)
+        sizes = report.max_influencer_sizes
+        assert sizes[0] == 1
+        assert all(a <= b for a, b in zip(sizes, sizes[1:]))
+
+    def test_max_size_at(self):
+        graph = clique(20)
+        report = measure_influencer_growth(graph, checkpoints=[10, 40], rng=2)
+        assert report.max_size_at(5) == 1
+        assert report.max_size_at(40) == report.max_influencer_sizes[-1]
+
+    def test_lemma41_growth_is_slow_on_dense_graphs(self):
+        # At t = n/2 steps only ~n interactions happened, so the largest
+        # influencer set is far below n.
+        n = 60
+        graph = erdos_renyi(n, p=0.5, rng=3)
+        report = measure_influencer_growth(graph, checkpoints=[n // 2], rng=4)
+        assert report.max_influencer_sizes[0] <= n // 3
+
+    def test_invalid_checkpoints(self):
+        with pytest.raises(ValueError):
+            measure_influencer_growth(clique(5), checkpoints=[])
+        with pytest.raises(ValueError):
+            measure_influencer_growth(clique(5), checkpoints=[-1, 3])
+
+
+class TestUntouchedNodes:
+    def test_counts_decrease(self):
+        graph = erdos_renyi(50, p=0.5, rng=5)
+        report = measure_untouched_nodes(graph, checkpoints=[0, 10, 30, 80], rng=6)
+        counts = report.untouched_counts
+        assert counts[0] == 50
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+    def test_lemma42_fraction_survives_linear_time(self):
+        # After n/4 interactions at most n/2 nodes were touched, so at least
+        # half the population is still untouched.
+        n = 64
+        graph = erdos_renyi(n, p=0.5, rng=7)
+        report = measure_untouched_nodes(graph, checkpoints=[n // 4], rng=8)
+        assert report.untouched_counts[0] >= n // 2
+
+    def test_invalid_checkpoints(self):
+        with pytest.raises(ValueError):
+            measure_untouched_nodes(clique(5), checkpoints=[])
+
+
+class TestDensityEvolution:
+    def test_token_protocol_reaches_full_density_on_dense_graph(self):
+        # Lemma 48 shape: every producible state reaches constant density in
+        # O(n) steps.  For the 6-state token protocol started from the
+        # all-candidate configuration, the relevant producible states on a
+        # short run are (C, B) and the demoted (F, -), plus transient ones;
+        # use a small alpha and a linear budget.
+        graph = erdos_renyi(50, p=0.5, rng=9)
+        protocol = TokenLeaderElection()
+        report = measure_density_evolution(
+            protocol, graph, alpha=0.05, max_steps=12 * graph.n_nodes, rng=10
+        )
+        assert report.fully_dense_step is not None
+        assert report.fully_dense_step <= 12 * graph.n_nodes
+
+    def test_trace_recorded(self):
+        graph = clique(20)
+        report = measure_density_evolution(
+            TokenLeaderElection(), graph, alpha=0.05, max_steps=100, check_every=20, rng=11
+        )
+        assert len(report.min_density_trace) == 5
+        steps = [step for step, _d in report.min_density_trace]
+        assert steps == sorted(steps)
+        assert len(report.producible_states) >= 2
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            measure_density_evolution(TokenLeaderElection(), clique(5), alpha=1.5, max_steps=10)
+        with pytest.raises(ValueError):
+            measure_density_evolution(TokenLeaderElection(), clique(5), alpha=0.5, max_steps=0)
+
+
+class TestBoundHelpers:
+    def test_lemma41_bound(self):
+        assert lemma41_size_bound(100, 0.5) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            lemma41_size_bound(100, 1.5)
+        with pytest.raises(ValueError):
+            lemma41_size_bound(0, 0.5)
+
+    def test_lemma42_bound(self):
+        assert lemma42_untouched_bound(100, 0.5) == pytest.approx(10.0)
+        assert lemma42_untouched_bound(100, 1.0) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            lemma42_untouched_bound(100, 0.0)

@@ -1,0 +1,96 @@
+"""Tests for statistical estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    bootstrap_mean_interval,
+    empirical_tail_probability,
+    geometric_mean,
+    ratio_to_bound,
+    summarize_samples,
+)
+
+
+class TestSummaries:
+    def test_basic_statistics(self):
+        stats = summarize_samples([1.0, 2.0, 3.0, 4.0])
+        assert stats.n_samples == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.median == pytest.approx(2.5)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+
+    def test_single_sample(self):
+        stats = summarize_samples([5.0])
+        assert stats.std == 0.0
+        assert stats.ci_low == stats.ci_high == 5.0
+
+    def test_confidence_interval_contains_mean(self):
+        stats = summarize_samples(list(range(100)))
+        assert stats.ci_low <= stats.mean <= stats.ci_high
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_samples([])
+
+    def test_as_dict_keys(self):
+        stats = summarize_samples([1.0, 2.0])
+        d = stats.as_dict()
+        for key in ("n_samples", "mean", "std", "ci_low", "ci_high", "median"):
+            assert key in d
+
+
+class TestTailAndRatios:
+    def test_empirical_tail_probability(self):
+        assert empirical_tail_probability([1, 2, 3, 4], 3) == pytest.approx(0.5)
+        assert empirical_tail_probability([1, 2], 10) == 0.0
+
+    def test_empty_tail_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_tail_probability([], 1)
+
+    def test_ratio_to_bound(self):
+        assert ratio_to_bound(50, 100) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            ratio_to_bound(1, 0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4, 16]) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            geometric_mean([1, -1])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+class TestBootstrap:
+    def test_interval_brackets_mean_of_symmetric_sample(self):
+        data = list(np.random.default_rng(0).normal(10, 1, size=200))
+        low, high = bootstrap_mean_interval(data, n_resamples=500, seed=1)
+        assert low <= 10.2 and high >= 9.8
+        assert low < high
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_interval([1.0, 2.0], confidence=1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_interval([])
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+def test_summary_invariants(samples):
+    stats = summarize_samples(samples)
+    # Allow a tiny tolerance: averaging values of very different magnitudes
+    # can push the floating-point mean marginally outside [min, max].
+    spread = max(abs(stats.minimum), abs(stats.maximum), 1.0)
+    tolerance = 1e-9 * spread
+    assert stats.minimum <= stats.median <= stats.maximum
+    assert stats.minimum - tolerance <= stats.mean <= stats.maximum + tolerance
+    assert stats.n_samples == len(samples)

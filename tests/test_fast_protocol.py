@@ -1,0 +1,253 @@
+"""Tests for the fast space-efficient protocol of Theorem 24."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import LEADER, RandomScheduler, run_leader_election
+from repro.graphs import clique, cycle, erdos_renyi, star, torus
+from repro.protocols import ClockParameters, FastLeaderElection
+from repro.protocols.fast import BACKUP, FAST
+from repro.protocols.tokens import CANDIDATE, FOLLOWER_ROLE, NO_TOKEN, BLACK
+
+PARAMS = ClockParameters(streak_length=2, phase_length=3, max_level=9)
+
+
+def make_protocol() -> FastLeaderElection:
+    return FastLeaderElection(PARAMS)
+
+
+class TestConstruction:
+    def test_for_graph_uses_broadcast_estimate(self):
+        graph = clique(32)
+        protocol = FastLeaderElection.for_graph(graph, broadcast_time=200.0, h_offset=2)
+        assert protocol.parameters.streak_length >= 2
+        assert protocol.state_space_size() == protocol.parameters.state_count
+
+    def test_practical_constructor(self):
+        graph = cycle(32)
+        protocol = FastLeaderElection.practical_for_graph(graph, broadcast_time=500.0)
+        assert protocol.parameters.phase_length >= 2
+
+    def test_describe(self):
+        info = make_protocol().describe()
+        assert info["streak_length"] == 2
+        assert info["phase_length"] == 3
+        assert info["max_level"] == 9
+
+    def test_initial_state_is_fast_leader_at_level_zero(self):
+        protocol = make_protocol()
+        assert protocol.initial_state(None) == (FAST, 0, True, 0)
+        assert protocol.output(protocol.initial_state(None)) == LEADER
+
+
+class TestFastPhaseRules:
+    def test_responder_resets_streak(self):
+        protocol = make_protocol()
+        a = (FAST, 1, True, 0)
+        b = (FAST, 1, True, 0)
+        new_a, new_b = protocol.transition(a, b)
+        # Initiator completes its streak (length 2) and climbs a level; the
+        # responder resets its streak counter.
+        assert new_a == (FAST, 0, True, 1)
+        assert new_b == (FAST, 0, True, 0)
+
+    def test_followers_do_not_gain_levels(self):
+        protocol = make_protocol()
+        follower = (FAST, 1, False, 0)
+        other = (FAST, 0, False, 0)
+        new_follower, _ = protocol.transition(follower, other)
+        assert new_follower[3] == 0
+
+    def test_rule2_eliminates_lower_level_node(self):
+        protocol = make_protocol()
+        low_leader = (FAST, 0, True, 1)
+        high_leader = (FAST, 0, True, protocol.parameters.phase_length)
+        new_low, new_high = protocol.transition(low_leader, high_leader)
+        assert new_low[2] is False  # eliminated
+        assert new_high[2] is True
+
+    def test_rule3_propagates_levels_in_elimination_phase(self):
+        protocol = make_protocol()
+        low = (FAST, 0, False, 0)
+        high = (FAST, 0, True, protocol.parameters.phase_length + 1)
+        new_low, _ = protocol.transition(low, high)
+        assert new_low[3] == protocol.parameters.phase_length + 1
+
+    def test_levels_below_phase_length_do_not_propagate(self):
+        protocol = make_protocol()
+        low = (FAST, 0, True, 0)
+        mid = (FAST, 0, True, protocol.parameters.phase_length - 1)
+        new_low, _ = protocol.transition(low, mid)
+        assert new_low[3] == 0
+        assert new_low[2] is True  # and no elimination either
+
+    def test_equal_levels_do_not_eliminate(self):
+        protocol = make_protocol()
+        level = protocol.parameters.phase_length
+        a = (FAST, 0, True, level)
+        b = (FAST, 0, True, level)
+        new_a, new_b = protocol.transition(a, b)
+        assert new_a[2] is True or new_a[0] == BACKUP
+        assert new_b[2] is True or new_b[0] == BACKUP
+
+
+class TestBackupPhase:
+    def test_leader_reaching_max_level_becomes_backup_candidate(self):
+        protocol = make_protocol()
+        leader = (FAST, 1, True, protocol.parameters.max_level - 1)
+        other = (FAST, 0, False, protocol.parameters.max_level - 1)
+        new_leader, _ = protocol.transition(leader, other)
+        assert new_leader[0] == BACKUP
+        assert new_leader[1] == CANDIDATE
+        assert new_leader[2] == BLACK
+
+    def test_follower_copying_max_level_becomes_backup_follower(self):
+        protocol = make_protocol()
+        follower = (FAST, 0, False, protocol.parameters.phase_length)
+        backup_node = (BACKUP, CANDIDATE, BLACK)
+        new_follower, new_backup = protocol.transition(follower, backup_node)
+        assert new_follower[0] == BACKUP
+        assert new_follower[1] == FOLLOWER_ROLE
+        # The backup candidate stays a candidate; the instance still carries
+        # exactly one black token (possibly handed to the newcomer).
+        assert new_backup[1] == CANDIDATE
+        from repro.protocols.tokens import count_tokens
+
+        candidates, blacks, whites = count_tokens(
+            [(new_follower[1], new_follower[2]), (new_backup[1], new_backup[2])]
+        )
+        assert candidates == 1 and blacks == 1 and whites == 0
+
+    def test_leader_below_max_is_demoted_when_meeting_backup(self):
+        protocol = make_protocol()
+        leader = (FAST, 0, True, protocol.parameters.phase_length)
+        backup_node = (BACKUP, FOLLOWER_ROLE, BLACK)
+        new_leader, _ = protocol.transition(leader, backup_node)
+        # The backup node's implicit level (max_level) exceeds the leader's,
+        # so rule (2) fires before the leader enters the backup.
+        assert new_leader[0] == BACKUP
+        assert new_leader[1] == FOLLOWER_ROLE
+
+    def test_backup_nodes_run_token_protocol(self):
+        protocol = make_protocol()
+        a = (BACKUP, CANDIDATE, BLACK)
+        b = (BACKUP, CANDIDATE, BLACK)
+        new_a, new_b = protocol.transition(a, b)
+        roles = sorted([new_a[1], new_b[1]])
+        assert roles == [CANDIDATE, FOLLOWER_ROLE]
+
+    def test_output_in_backup_follows_token_role(self):
+        protocol = make_protocol()
+        assert protocol.output((BACKUP, CANDIDATE, NO_TOKEN)) == LEADER
+        assert protocol.output((BACKUP, FOLLOWER_ROLE, BLACK)) != LEADER
+
+
+class TestInvariants:
+    def test_at_least_one_leader_and_max_level_leader_invariant(self):
+        """Section 5.2: some node holding the maximum level is always a leader."""
+        graph = clique(16)
+        protocol = FastLeaderElection(ClockParameters(2, 3, 9))
+        scheduler = RandomScheduler(graph, rng=3)
+        states = [protocol.initial_state(None)] * graph.n_nodes
+        for u, v in scheduler.next_batch(6000):
+            states[u], states[v] = protocol.transition(states[u], states[v])
+            levels = [protocol._level(s) for s in states]
+            outputs = [protocol.output(s) for s in states]
+            assert outputs.count(LEADER) >= 1
+            max_level = max(levels)
+            assert any(
+                level == max_level and output == LEADER
+                for level, output in zip(levels, outputs)
+            )
+
+    def test_followers_never_become_leaders_in_fast_phase(self):
+        protocol = make_protocol()
+        follower = (FAST, 0, False, 2)
+        for other in [
+            (FAST, 0, True, 0),
+            (FAST, 1, True, 5),
+            (BACKUP, CANDIDATE, BLACK),
+        ]:
+            new_follower, _ = protocol.transition(follower, other)
+            assert protocol.output(new_follower) != LEADER
+
+
+class TestStabilityCertificate:
+    def test_unique_max_level_leader_is_certified(self):
+        protocol = make_protocol()
+        graph = clique(4)
+        states = [
+            (FAST, 0, True, 5),
+            (FAST, 0, False, 5),
+            (FAST, 0, False, 4),
+            (FAST, 0, False, 5),
+        ]
+        assert protocol.is_output_stable_configuration(states, graph)
+
+    def test_leader_not_at_max_level_not_certified(self):
+        protocol = make_protocol()
+        graph = clique(3)
+        states = [(FAST, 0, True, 4), (FAST, 0, False, 5), (FAST, 0, False, 5)]
+        assert not protocol.is_output_stable_configuration(states, graph)
+
+    def test_multiple_leaders_not_certified(self):
+        protocol = make_protocol()
+        graph = clique(3)
+        states = [(FAST, 0, True, 5), (FAST, 0, True, 5), (FAST, 0, False, 5)]
+        assert not protocol.is_output_stable_configuration(states, graph)
+
+    def test_backup_with_white_token_not_certified(self):
+        protocol = make_protocol()
+        graph = clique(3)
+        from repro.protocols.tokens import WHITE
+
+        states = [
+            (BACKUP, CANDIDATE, BLACK),
+            (BACKUP, FOLLOWER_ROLE, WHITE),
+            (BACKUP, FOLLOWER_ROLE, NO_TOKEN),
+        ]
+        assert not protocol.is_output_stable_configuration(states, graph)
+
+    def test_backup_single_candidate_certified(self):
+        protocol = make_protocol()
+        graph = clique(3)
+        states = [
+            (BACKUP, CANDIDATE, BLACK),
+            (BACKUP, FOLLOWER_ROLE, NO_TOKEN),
+            (FAST, 0, False, 5),
+        ]
+        assert protocol.is_output_stable_configuration(states, graph)
+
+
+class TestElections:
+    @pytest.mark.parametrize(
+        "graph",
+        [clique(12), cycle(12), star(12), torus(3, 4)],
+        ids=["clique", "cycle", "star", "torus"],
+    )
+    def test_elects_unique_leader(self, graph):
+        protocol = FastLeaderElection(ClockParameters(2, 3, 9))
+        result = run_leader_election(protocol, graph, rng=13)
+        assert result.stabilized
+        assert result.leaders == 1
+
+    def test_elects_on_dense_random_graph(self):
+        graph = erdos_renyi(20, p=0.4, rng=9)
+        protocol = FastLeaderElection.practical_for_graph(graph, broadcast_time=150.0)
+        result = run_leader_election(protocol, graph, rng=10)
+        assert result.stabilized and result.leaders == 1
+
+    def test_space_usage_far_below_identifier_protocol(self):
+        graph = clique(24)
+        fast = FastLeaderElection.practical_for_graph(graph, broadcast_time=120.0)
+        from repro.protocols import IdentifierLeaderElection
+
+        identifier = IdentifierLeaderElection(24)
+        assert fast.state_space_size() < identifier.state_space_size() / 100
+
+    def test_observed_states_within_declared_space(self):
+        graph = clique(16)
+        protocol = FastLeaderElection(ClockParameters(2, 3, 9))
+        result = run_leader_election(protocol, graph, rng=15)
+        assert result.distinct_states_observed <= protocol.state_space_size()

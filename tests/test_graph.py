@@ -1,0 +1,209 @@
+"""Unit tests for the core Graph data structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Graph, GraphError, clique, cycle, path, star
+
+
+class TestConstruction:
+    def test_single_node_graph(self):
+        g = Graph(1, [])
+        assert g.n_nodes == 1
+        assert g.n_edges == 0
+        assert g.diameter() == 0
+
+    def test_basic_triangle(self):
+        g = Graph(3, [(0, 1), (1, 2), (2, 0)])
+        assert g.n_nodes == 3
+        assert g.n_edges == 3
+        assert g.degree(0) == 2
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(GraphError):
+            Graph(0, [])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(0, 0), (0, 1), (1, 2)])
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(0, 1), (1, 0), (1, 2)])
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(0, 3)])
+
+    def test_rejects_disconnected_by_default(self):
+        with pytest.raises(GraphError):
+            Graph(4, [(0, 1), (2, 3)])
+
+    def test_allows_disconnected_when_requested(self):
+        g = Graph(4, [(0, 1), (2, 3)], check_connected=False)
+        assert g.n_edges == 2
+
+    def test_rejects_edgeless_multinode(self):
+        with pytest.raises(GraphError):
+            Graph(3, [])
+
+    def test_edges_normalised_to_sorted_pairs(self):
+        g = Graph(3, [(2, 1), (1, 0)])
+        assert set(g.edges()) == {(1, 2), (0, 1)}
+
+    def test_name_recorded(self):
+        g = Graph(2, [(0, 1)], name="tiny")
+        assert g.name == "tiny"
+        assert "tiny" in repr(g)
+
+
+class TestAccessors:
+    def test_degrees_of_star(self, small_star):
+        assert small_star.degree(0) == small_star.n_nodes - 1
+        assert small_star.max_degree == small_star.n_nodes - 1
+        assert small_star.min_degree == 1
+
+    def test_neighbors_sorted(self):
+        g = Graph(4, [(0, 3), (0, 1), (0, 2)])
+        assert g.neighbors(0) == (1, 2, 3)
+
+    def test_edge_index_roundtrip(self, small_cycle):
+        for index, (u, v) in enumerate(small_cycle.edges()):
+            assert small_cycle.edge_index(u, v) == index
+            assert small_cycle.edge_index(v, u) == index
+            assert small_cycle.edge_at(index) == (u, v)
+
+    def test_edge_index_missing_raises(self, small_cycle):
+        with pytest.raises(KeyError):
+            small_cycle.edge_index(0, 5)
+
+    def test_has_edge(self, small_cycle):
+        assert small_cycle.has_edge(0, 1)
+        assert small_cycle.has_edge(1, 0)
+        assert not small_cycle.has_edge(0, 5)
+
+    def test_is_regular(self, small_cycle, small_star):
+        assert small_cycle.is_regular()
+        assert not small_star.is_regular()
+
+    def test_edge_arrays_read_only(self, small_cycle):
+        with pytest.raises(ValueError):
+            small_cycle.edges_u[0] = 99
+        with pytest.raises(ValueError):
+            small_cycle.degrees[0] = 99
+
+    def test_degree_sum_is_twice_edges(self, small_torus):
+        assert int(small_torus.degrees.sum()) == 2 * small_torus.n_edges
+
+
+class TestDistances:
+    def test_bfs_distances_on_path(self):
+        g = path(5)
+        dist = g.bfs_distances(0)
+        assert dist.tolist() == [0, 1, 2, 3, 4]
+
+    def test_distance_symmetry(self, small_cycle):
+        assert small_cycle.distance(0, 4) == small_cycle.distance(4, 0)
+
+    def test_cycle_diameter(self):
+        assert cycle(10).diameter() == 5
+        assert cycle(11).diameter() == 5
+
+    def test_clique_diameter(self):
+        assert clique(7).diameter() == 1
+
+    def test_star_diameter(self):
+        assert star(9).diameter() == 2
+
+    def test_eccentricities_max_is_diameter(self, small_torus):
+        assert max(small_torus.eccentricities()) == small_torus.diameter()
+
+    def test_ball_radius_zero(self, small_cycle):
+        assert small_cycle.ball(3, 0) == frozenset({3})
+
+    def test_ball_radius_one_on_cycle(self, small_cycle):
+        assert small_cycle.ball(0, 1) == frozenset({9, 0, 1})
+
+    def test_ball_covers_graph_at_diameter(self, small_cycle):
+        assert small_cycle.ball(0, small_cycle.diameter()) == frozenset(range(10))
+
+    def test_ball_of_set(self, small_cycle):
+        result = small_cycle.ball_of_set([0, 5], 1)
+        assert result == frozenset({9, 0, 1, 4, 5, 6})
+
+    def test_shortest_path_endpoints_and_length(self, small_cycle):
+        p = small_cycle.shortest_path(0, 4)
+        assert p[0] == 0 and p[-1] == 4
+        assert len(p) == small_cycle.distance(0, 4) + 1
+        for a, b in zip(p, p[1:]):
+            assert small_cycle.has_edge(a, b)
+
+    def test_shortest_path_same_node(self, small_cycle):
+        assert small_cycle.shortest_path(3, 3) == [3]
+
+
+class TestSubgraphsAndBoundaries:
+    def test_edge_boundary_of_arc(self, small_cycle):
+        boundary = small_cycle.edge_boundary({0, 1, 2})
+        assert len(boundary) == 2
+
+    def test_edge_boundary_of_full_set_empty(self, small_cycle):
+        assert small_cycle.edge_boundary(range(10)) == []
+
+    def test_induced_subgraph_of_clique(self):
+        g = clique(6)
+        sub, mapping = g.induced_subgraph([1, 3, 5])
+        assert sub.n_nodes == 3
+        assert sub.n_edges == 3
+        assert set(mapping.keys()) == {1, 3, 5}
+
+    def test_induced_subgraph_preserves_adjacency(self, small_cycle):
+        sub, mapping = small_cycle.induced_subgraph([0, 1, 2, 3])
+        assert sub.n_edges == 3
+
+
+class TestConversionsAndEquality:
+    def test_networkx_roundtrip(self, small_torus):
+        nx_graph = small_torus.to_networkx()
+        back = Graph.from_networkx(nx_graph, name="roundtrip")
+        assert back == small_torus
+
+    def test_equality_and_hash(self):
+        a = Graph(3, [(0, 1), (1, 2)])
+        b = Graph(3, [(1, 2), (0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_different_edges(self):
+        a = Graph(3, [(0, 1), (1, 2)])
+        b = Graph(3, [(0, 1), (0, 2)])
+        assert a != b
+
+    def test_equality_against_other_type(self):
+        assert Graph(2, [(0, 1)]) != "graph"
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(min_value=3, max_value=12))
+def test_cycle_structure_properties(n):
+    """Property: cycles are connected, 2-regular, with n edges."""
+    g = cycle(n)
+    assert g.n_edges == n
+    assert g.is_regular()
+    assert g.max_degree == 2
+    assert (g.bfs_distances(0) >= 0).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(min_value=2, max_value=12))
+def test_clique_distances_all_one(n):
+    """Property: in a clique every pair of distinct nodes is at distance 1."""
+    g = clique(n)
+    for v in range(n):
+        dist = g.bfs_distances(v)
+        assert dist[v] == 0
+        assert all(dist[u] == 1 for u in range(n) if u != v)

@@ -1,0 +1,110 @@
+"""Tests for the experiment harness (protocol specs, sweeps, fits)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    compare_protocols_on_graph,
+    default_protocol_specs,
+    default_step_budget,
+    fast_protocol_spec,
+    get_workload,
+    identifier_protocol_spec,
+    measure_protocol_on_graph,
+    star_protocol_spec,
+    sweep_protocol_over_sizes,
+    token_protocol_spec,
+)
+from repro.graphs import clique, star
+
+
+class TestProtocolSpecs:
+    def test_default_specs_cover_the_three_table1_protocols(self):
+        names = {spec.name for spec in default_protocol_specs()}
+        assert names == {"token-6state", "identifier-broadcast", "fast-space-efficient"}
+
+    def test_token_spec_builds_protocol(self):
+        spec = token_protocol_spec()
+        protocol = spec.factory(clique(10), 0)
+        assert protocol.state_space_size() == 6
+        assert "H(G)" in spec.paper_bound
+
+    def test_identifier_spec_adapts_to_graph(self):
+        spec = identifier_protocol_spec()
+        regular = spec.factory(clique(16), 0)
+        irregular = spec.factory(star(16), 0)
+        assert regular.identifier_bits < irregular.identifier_bits
+
+    def test_fast_spec_uses_broadcast_estimate(self):
+        spec = fast_protocol_spec()
+        protocol = spec.factory(clique(16), 0)
+        assert protocol.parameters.phase_length >= 2
+
+    def test_star_spec(self):
+        spec = star_protocol_spec()
+        protocol = spec.factory(star(10), 0)
+        assert protocol.state_space_size() == 3
+
+
+class TestMeasurements:
+    def test_measurement_aggregates_repetitions(self):
+        measurement = measure_protocol_on_graph(
+            token_protocol_spec(), clique(12), repetitions=3, seed=1
+        )
+        assert measurement.stabilization_steps.n_samples == 3
+        assert measurement.success_rate == 1.0
+        assert measurement.n_nodes == 12
+        assert measurement.max_states_observed <= 6
+        assert measurement.state_space_size == 6
+
+    def test_measurement_as_dict(self):
+        measurement = measure_protocol_on_graph(
+            token_protocol_spec(), clique(10), repetitions=2, seed=2
+        )
+        row = measurement.as_dict()
+        for key in ("protocol", "graph", "n", "m", "mean_steps", "success_rate"):
+            assert key in row
+
+    def test_keep_results(self):
+        measurement = measure_protocol_on_graph(
+            token_protocol_spec(), clique(10), repetitions=2, seed=3, keep_results=True
+        )
+        assert len(measurement.results) == 2
+
+    def test_invalid_repetitions(self):
+        with pytest.raises(ValueError):
+            measure_protocol_on_graph(token_protocol_spec(), clique(10), repetitions=0)
+
+    def test_budget_exhaustion_lowers_success_rate(self):
+        measurement = measure_protocol_on_graph(
+            token_protocol_spec(), clique(20), repetitions=2, seed=4, max_steps=5
+        )
+        assert measurement.success_rate == 0.0
+
+    def test_compare_protocols(self):
+        results = compare_protocols_on_graph(
+            [token_protocol_spec(), star_protocol_spec()], star(10), repetitions=2, seed=5
+        )
+        assert set(results) == {"token-6state", "star-trivial"}
+
+
+class TestSweeps:
+    def test_sweep_and_fit(self):
+        sweep = sweep_protocol_over_sizes(
+            token_protocol_spec(),
+            get_workload("clique"),
+            sizes=[10, 16, 24],
+            repetitions=2,
+            seed=0,
+        )
+        assert len(sweep.measurements) == 3
+        assert sweep.sizes == [10, 16, 24]
+        fit = sweep.fit()
+        # Θ(n^2) on cliques: the fitted exponent should be clearly
+        # super-linear even at these tiny sizes.
+        assert fit.exponent > 1.2
+        assert all(steps > 0 for steps in sweep.mean_steps())
+
+    def test_step_budget_monotone_in_n(self):
+        assert default_step_budget(clique(40)) > default_step_budget(clique(10))

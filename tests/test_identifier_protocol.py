@@ -1,0 +1,203 @@
+"""Tests for the identifier-broadcast protocol of Theorem 21."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LEADER, RandomScheduler, run_leader_election
+from repro.graphs import clique, cycle, erdos_renyi, path, star
+from repro.protocols import IdentifierLeaderElection, default_identifier_bits
+from repro.protocols.tokens import (
+    CANDIDATE,
+    FOLLOWER_ROLE,
+    count_tokens,
+    token_initial_state,
+)
+
+
+class TestParameterisation:
+    def test_default_bits_general(self):
+        assert default_identifier_bits(16) == 4 * 4
+        assert default_identifier_bits(100) == 4 * 7
+
+    def test_default_bits_regular(self):
+        assert default_identifier_bits(16, regular=True) == 3 * 4
+
+    def test_state_space_size_matches_polynomial_bound(self):
+        n = 16
+        protocol = IdentifierLeaderElection(n)
+        # k = 4 log2 n  =>  about 2 * n^4 identifiers, times 6 sub-states.
+        assert protocol.state_space_size() == (2 ** (protocol.identifier_bits + 1) - 1) * 6
+        assert protocol.state_space_size() >= n**4
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            IdentifierLeaderElection(0)
+        with pytest.raises(ValueError):
+            IdentifierLeaderElection(10, identifier_bits=0)
+        with pytest.raises(ValueError):
+            default_identifier_bits(0)
+
+    def test_describe_contains_bits(self):
+        protocol = IdentifierLeaderElection(8, identifier_bits=5)
+        info = protocol.describe()
+        assert info["identifier_bits"] == 5
+        assert info["generation_threshold"] == 32
+
+
+class TestTransitionMechanics:
+    def test_initial_state(self):
+        protocol = IdentifierLeaderElection(8)
+        assert protocol.initial_state(None) == (1, token_initial_state(False))
+
+    def test_identifier_generation_appends_role_bit(self):
+        protocol = IdentifierLeaderElection(8, identifier_bits=3)
+        start = protocol.initial_state(None)
+        new_initiator, new_responder = protocol.transition(start, start)
+        assert new_initiator[0] == 2  # 2*1 + 0
+        assert new_responder[0] == 3  # 2*1 + 1
+
+    def test_completed_identifier_starts_candidate_instance(self):
+        protocol = IdentifierLeaderElection(8, identifier_bits=1)
+        start = protocol.initial_state(None)
+        new_initiator, new_responder = protocol.transition(start, start)
+        # With k = 1 a single interaction completes generation (id >= 2).
+        assert new_initiator[0] >= 2 and new_responder[0] >= 2
+        assert new_initiator[1][0] == CANDIDATE
+        assert new_responder[1][0] == CANDIDATE
+
+    def test_smaller_instance_joins_larger(self):
+        protocol = IdentifierLeaderElection(8, identifier_bits=2)
+        big = (7, token_initial_state(True))
+        small = (4, token_initial_state(True))
+        new_small, new_big = protocol.transition(small, big)
+        assert new_small[0] == 7
+        assert new_big[0] == 7
+        # The joining node is demoted to follower; the joined instance keeps
+        # exactly one candidate and one black token (its own).
+        assert new_small[1][0] != CANDIDATE
+        candidates, blacks, whites = count_tokens([new_small[1], new_big[1]])
+        assert candidates == 1 and blacks == 1 and whites == 0
+
+    def test_generating_node_joins_completed_partner(self):
+        protocol = IdentifierLeaderElection(8, identifier_bits=3)
+        generating = (2, token_initial_state(False))
+        completed = (12, token_initial_state(True))
+        new_gen, new_done = protocol.transition(generating, completed)
+        assert new_gen[0] == 12
+        assert new_done[0] == 12
+
+    def test_equal_instances_run_token_protocol(self):
+        protocol = IdentifierLeaderElection(8, identifier_bits=2)
+        a = (6, token_initial_state(True))
+        b = (6, token_initial_state(True))
+        new_a, new_b = protocol.transition(a, b)
+        candidates, blacks, whites = count_tokens([new_a[1], new_b[1]])
+        assert candidates == 1 and blacks == 1 and whites == 0
+
+    def test_token_step_not_applied_across_instances(self):
+        protocol = IdentifierLeaderElection(8, identifier_bits=2)
+        # The initiator completes generation in this very step and lands in
+        # instance 6, while the responder is in instance 5 and, judging from
+        # the initiator's pre-interaction identifier (3 < threshold), does
+        # not join.  The instances differ, so rule (3) must not swap their
+        # tokens — otherwise instance 6's black token could later be wiped.
+        completing = (3, token_initial_state(False))
+        other_instance = (5, token_initial_state(True))
+        new_completing, new_other = protocol.transition(completing, other_instance)
+        assert new_completing[0] == 6
+        assert new_other[0] == 5
+        assert new_completing[1] == token_initial_state(True)
+        assert new_other[1] == token_initial_state(True)
+
+    def test_identifiers_never_decrease(self):
+        protocol = IdentifierLeaderElection(8, identifier_bits=3)
+        rng_states = [
+            (1, token_initial_state(False)),
+            (5, token_initial_state(False)),
+            (9, token_initial_state(True)),
+            (15, token_initial_state(True)),
+        ]
+        for a in rng_states:
+            for b in rng_states:
+                new_a, new_b = protocol.transition(a, b)
+                assert new_a[0] >= a[0]
+                assert new_b[0] >= b[0]
+
+
+class TestStabilityCertificate:
+    def test_certificate_requires_common_completed_identifier(self):
+        protocol = IdentifierLeaderElection(4, identifier_bits=2)
+        graph = clique(3)
+        threshold = protocol.generation_threshold
+        good = [
+            (threshold + 1, token_initial_state(True)),
+            (threshold + 1, token_initial_state(False)),
+            (threshold + 1, token_initial_state(False)),
+        ]
+        assert protocol.is_output_stable_configuration(good, graph)
+        still_generating = [(1, token_initial_state(False))] * 3
+        assert not protocol.is_output_stable_configuration(still_generating, graph)
+        mixed_ids = list(good)
+        mixed_ids[2] = (threshold + 2, token_initial_state(False))
+        assert not protocol.is_output_stable_configuration(mixed_ids, graph)
+
+    def test_certificate_requires_single_candidate(self):
+        protocol = IdentifierLeaderElection(4, identifier_bits=2)
+        graph = clique(3)
+        threshold = protocol.generation_threshold
+        two_candidates = [
+            (threshold, token_initial_state(True)),
+            (threshold, token_initial_state(True)),
+            (threshold, token_initial_state(False)),
+        ]
+        assert not protocol.is_output_stable_configuration(two_candidates, graph)
+
+
+class TestElections:
+    @pytest.mark.parametrize(
+        "graph",
+        [clique(10), cycle(10), star(10), path(8)],
+        ids=["clique", "cycle", "star", "path"],
+    )
+    def test_elects_unique_leader(self, graph):
+        protocol = IdentifierLeaderElection(graph.n_nodes)
+        result = run_leader_election(protocol, graph, rng=11)
+        assert result.stabilized
+        assert result.leaders == 1
+
+    def test_elects_on_dense_random_graph(self):
+        graph = erdos_renyi(24, p=0.4, rng=5)
+        protocol = IdentifierLeaderElection(graph.n_nodes)
+        result = run_leader_election(protocol, graph, rng=6)
+        assert result.stabilized and result.leaders == 1
+
+    def test_small_identifier_space_still_always_correct(self):
+        # With k = 1 collisions are certain, so the embedded token protocol
+        # must resolve the tie.
+        graph = clique(12)
+        protocol = IdentifierLeaderElection(graph.n_nodes, identifier_bits=1)
+        result = run_leader_election(protocol, graph, rng=3)
+        assert result.stabilized and result.leaders == 1
+
+    def test_observed_states_bounded_by_state_space(self):
+        graph = clique(16)
+        protocol = IdentifierLeaderElection(graph.n_nodes)
+        result = run_leader_election(protocol, graph, rng=9)
+        assert result.distinct_states_observed <= protocol.state_space_size()
+
+    def test_faster_than_token_protocol_on_large_cycle(self):
+        # Theorem 21 vs Theorem 16: O(B + n log n) = O(n^2) vs
+        # O(H n log n) = O(n^3 log n) on cycles — the gap shows up quickly.
+        graph = cycle(32)
+        from repro.protocols import TokenLeaderElection
+
+        identifier_steps = run_leader_election(
+            IdentifierLeaderElection(32), graph, rng=1
+        ).stabilization_step
+        token_steps = run_leader_election(
+            TokenLeaderElection(), graph, rng=1
+        ).stabilization_step
+        assert identifier_steps < token_steps

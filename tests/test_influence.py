@@ -1,0 +1,122 @@
+"""Tests for the influencer-set / one-way-epidemic dynamics (Section 3.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import Graph, clique, cycle, path, star
+from repro.propagation import (
+    InfluenceProcess,
+    distance_k_propagation_steps,
+    single_source_broadcast_steps,
+)
+
+
+class TestInfluenceProcess:
+    def test_initial_influencers_are_self(self, small_cycle):
+        process = InfluenceProcess(small_cycle, rng=0)
+        snapshot = process.snapshot()
+        for v in range(small_cycle.n_nodes):
+            assert snapshot.influencers(v) == frozenset({v})
+            assert snapshot.influencer_count(v) == 1
+
+    def test_influencer_sets_grow_monotonically(self, small_cycle):
+        process = InfluenceProcess(small_cycle, rng=1)
+        before = [process.influencer_count(v) for v in range(small_cycle.n_nodes)]
+        process.advance(50)
+        after = [process.influencer_count(v) for v in range(small_cycle.n_nodes)]
+        assert all(b <= a for b, a in zip(before, after))
+        assert process.step == 50
+
+    def test_interaction_merges_both_sets(self):
+        graph = path(2)
+        process = InfluenceProcess(graph, rng=0)
+        process.advance(1)
+        snapshot = process.snapshot()
+        assert snapshot.influencers(0) == frozenset({0, 1})
+        assert snapshot.influencers(1) == frozenset({0, 1})
+
+    def test_run_until_full_completes_on_clique(self):
+        graph = clique(10)
+        process = InfluenceProcess(graph, rng=2)
+        steps = process.run_until_full(max_steps=100_000)
+        assert steps is not None
+        assert steps >= graph.n_nodes / 2  # everyone must interact at least once
+
+    def test_run_until_full_budget_exhaustion(self):
+        graph = cycle(20)
+        process = InfluenceProcess(graph, rng=3)
+        assert process.run_until_full(max_steps=5) is None
+
+    def test_run_until_full_trivial_single_node(self):
+        graph = Graph(1, [])
+        process = InfluenceProcess.__new__(InfluenceProcess)
+        # Single-node graphs have no edges, so construct manually and check
+        # the full-mask logic via a 1-node bitset.
+        process.graph = graph
+        process._bitsets = [1]
+        process._step = 0
+        assert process.run_until_full(max_steps=0) == 0
+
+    def test_set_escaped(self):
+        graph = path(4)
+        process = InfluenceProcess(graph, rng=0)
+        # Initially node 0's influencers are {0}, inside its 1-ball {0, 1}.
+        assert not process.set_escaped([0], [0, 1])
+        # Escape w.r.t. an empty allowed set is immediate.
+        assert process.set_escaped([0], [])
+
+    def test_advance_rejects_negative(self, small_cycle):
+        with pytest.raises(ValueError):
+            InfluenceProcess(small_cycle, rng=0).advance(-1)
+
+
+class TestSingleSourceBroadcast:
+    def test_completes_and_respects_trivial_bound(self, small_clique):
+        steps = single_source_broadcast_steps(small_clique, 0, rng=0)
+        assert steps is not None
+        # Informing n-1 further nodes needs at least n-1 informative steps...
+        assert steps >= small_clique.n_nodes - 1
+
+    def test_single_node_graph(self):
+        assert single_source_broadcast_steps(Graph(1, []), 0, rng=0) == 0
+
+    def test_budget_exhaustion_returns_none(self, small_cycle):
+        assert single_source_broadcast_steps(small_cycle, 0, rng=0, max_steps=3) is None
+
+    def test_source_out_of_range(self, small_cycle):
+        with pytest.raises(ValueError):
+            single_source_broadcast_steps(small_cycle, 99, rng=0)
+
+    def test_cycle_slower_than_clique(self):
+        # B(G) is Θ(n^2) on cycles and Θ(n log n) on cliques; at n = 24 the
+        # gap is already large.
+        n = 24
+        cycle_steps = single_source_broadcast_steps(cycle(n), 0, rng=1)
+        clique_steps = single_source_broadcast_steps(clique(n), 0, rng=1)
+        assert cycle_steps > clique_steps
+
+
+class TestDistanceKPropagation:
+    def test_distance_zero_is_immediate(self, small_cycle):
+        assert distance_k_propagation_steps(small_cycle, 0, 0, rng=0) == 0
+
+    def test_no_node_at_distance_returns_none(self, small_clique):
+        assert distance_k_propagation_steps(small_clique, 0, 5, rng=0) is None
+
+    def test_propagation_time_increases_with_distance(self):
+        graph = path(30)
+        near = distance_k_propagation_steps(graph, 0, 2, rng=0)
+        far = distance_k_propagation_steps(graph, 0, 20, rng=0)
+        assert near is not None and far is not None
+        assert far > near
+
+    def test_propagation_bounded_by_full_broadcast(self):
+        graph = cycle(16)
+        k = graph.diameter()
+        propagation = distance_k_propagation_steps(graph, 0, k, rng=5)
+        broadcast = single_source_broadcast_steps(graph, 0, rng=5)
+        assert propagation is not None and broadcast is not None
+        # Same seed => same schedule, and reaching distance k cannot take
+        # longer than informing every node.
+        assert propagation <= broadcast

@@ -1,0 +1,181 @@
+"""Tests for influencer multigraphs and the Lemma 45 / Figure 1 unfolding."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RandomScheduler
+from repro.graphs import clique, cycle, erdos_renyi, path
+from repro.lowerbounds import (
+    AbstractPattern,
+    build_influencer_multigraph,
+    fresh_nodes,
+    pattern_from_multigraph,
+    tree_embeds_in_fresh_nodes,
+    unfold_once,
+    unfold_to_tree,
+)
+
+
+def random_schedule(graph, steps, seed):
+    scheduler = RandomScheduler(graph, rng=seed)
+    return scheduler.next_batch(steps)
+
+
+class TestMultigraphConstruction:
+    def test_empty_schedule(self):
+        multigraph = build_influencer_multigraph(0, [])
+        assert multigraph.size == 1
+        assert multigraph.edges == []
+        assert multigraph.is_tree_like()
+
+    def test_single_interaction_with_root(self):
+        multigraph = build_influencer_multigraph(0, [(1, 0)])
+        assert multigraph.nodes == {0, 1}
+        assert multigraph.edges == [(1, 0, 1)]
+        assert multigraph.internal_interaction_count == 0
+
+    def test_interaction_not_touching_root_ignored_if_late(self):
+        # (2, 3) happens after (1, 0), so it cannot influence the root.
+        multigraph = build_influencer_multigraph(0, [(1, 0), (2, 3)])
+        assert multigraph.nodes == {0, 1}
+
+    def test_interaction_influences_root_transitively(self):
+        # (2, 1) then (1, 0): node 2 influences node 0 through node 1.
+        multigraph = build_influencer_multigraph(0, [(2, 1), (1, 0)])
+        assert multigraph.nodes == {0, 1, 2}
+        assert len(multigraph.edges) == 2
+
+    def test_internal_interaction_detected(self):
+        # 1 and 2 both influence the root via later edges; their earlier
+        # mutual interaction is internal (creates a cycle).
+        schedule = [(1, 2), (1, 0), (2, 0)]
+        multigraph = build_influencer_multigraph(0, schedule)
+        assert multigraph.internal_interaction_count == 1
+        assert not multigraph.is_tree_like()
+
+    def test_up_to_step_prefix(self):
+        schedule = [(1, 0), (2, 0), (3, 0)]
+        multigraph = build_influencer_multigraph(0, schedule, up_to_step=2)
+        assert multigraph.nodes == {0, 1, 2}
+        with pytest.raises(ValueError):
+            build_influencer_multigraph(0, schedule, up_to_step=5)
+
+    def test_multigraph_size_bounded_by_interaction_count(self):
+        graph = clique(20)
+        schedule = random_schedule(graph, 50, seed=0)
+        multigraph = build_influencer_multigraph(5, schedule)
+        assert multigraph.size <= 2 * 50 + 1
+
+
+class TestPatternsAndUnfolding:
+    def test_pattern_roundtrip(self):
+        multigraph = build_influencer_multigraph(0, [(2, 1), (1, 0)])
+        pattern = pattern_from_multigraph(multigraph)
+        assert pattern.root == 0
+        assert pattern.nodes == {0, 1, 2}
+        assert pattern.is_tree_like()
+
+    def test_pattern_internal_edges_match_multigraph(self):
+        schedule = [(1, 2), (1, 0), (2, 0)]
+        multigraph = build_influencer_multigraph(0, schedule)
+        pattern = pattern_from_multigraph(multigraph)
+        assert len(pattern.internal_edges()) == multigraph.internal_interaction_count
+
+    def test_unfold_once_reduces_internal_count(self):
+        schedule = [(1, 2), (1, 0), (2, 0)]
+        pattern = pattern_from_multigraph(build_influencer_multigraph(0, schedule))
+        before = len(pattern.internal_edges())
+        unfolded = unfold_once(pattern)
+        after = len(unfolded.internal_edges())
+        assert after <= before - 1
+
+    def test_unfold_once_at_most_doubles_size(self):
+        schedule = [(1, 2), (1, 0), (2, 0)]
+        pattern = pattern_from_multigraph(build_influencer_multigraph(0, schedule))
+        unfolded = unfold_once(pattern)
+        assert unfolded.size <= 2 * pattern.size
+
+    def test_unfold_once_noop_on_trees(self):
+        pattern = pattern_from_multigraph(build_influencer_multigraph(0, [(1, 0), (2, 0)]))
+        assert unfold_once(pattern) is pattern
+
+    def test_unfold_to_tree(self):
+        graph = clique(10)
+        schedule = random_schedule(graph, 20, seed=3)
+        pattern = pattern_from_multigraph(build_influencer_multigraph(0, schedule))
+        tree = unfold_to_tree(pattern, max_rounds=200)
+        assert tree.is_tree_like()
+        assert tree.root == pattern.root
+
+    def test_unfold_to_tree_respects_round_budget(self):
+        graph = clique(12)
+        schedule = random_schedule(graph, 60, seed=4)
+        pattern = pattern_from_multigraph(build_influencer_multigraph(0, schedule))
+        if pattern.internal_edges():
+            with pytest.raises(RuntimeError):
+                unfold_to_tree(pattern, max_rounds=0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_unfolding_invariants_on_random_schedules(seed):
+    """Property: each unfolding step removes an internal interaction and at
+    most doubles the node count (Lemma 45)."""
+    graph = clique(8)
+    schedule = random_schedule(graph, 25, seed=seed)
+    pattern = pattern_from_multigraph(build_influencer_multigraph(0, schedule))
+    current = pattern
+    for _ in range(10):
+        internal = current.internal_edges()
+        if not internal:
+            break
+        unfolded = unfold_once(current)
+        assert len(unfolded.internal_edges()) <= len(internal) - 1
+        assert unfolded.size <= 2 * current.size
+        current = unfolded
+
+
+class TestFreshNodesAndEmbedding:
+    def test_fresh_nodes_counts(self):
+        schedule = [(0, 1), (2, 3)]
+        fresh = fresh_nodes(schedule, n_nodes=6, up_to_step=2)
+        assert fresh == {4, 5}
+        assert fresh_nodes(schedule, 6, up_to_step=0) == set(range(6))
+
+    def test_tree_embeds_into_clique_fresh_nodes(self):
+        graph = clique(30)
+        schedule = random_schedule(graph, 10, seed=1)
+        pattern = pattern_from_multigraph(build_influencer_multigraph(0, schedule))
+        tree = unfold_to_tree(pattern)
+        available = fresh_nodes(schedule, graph.n_nodes, up_to_step=10)
+        if len(available) > tree.size:
+            embedding = tree_embeds_in_fresh_nodes(graph, tree, available)
+            assert embedding is not None
+            images = set(embedding.values())
+            assert len(images) == len(embedding)
+            assert images <= available
+
+    def test_embedding_requires_tree(self):
+        schedule = [(1, 2), (1, 0), (2, 0)]
+        pattern = pattern_from_multigraph(build_influencer_multigraph(0, schedule))
+        if not pattern.is_tree_like():
+            with pytest.raises(ValueError):
+                tree_embeds_in_fresh_nodes(clique(10), pattern, set(range(10)))
+
+    def test_embedding_fails_when_no_nodes_available(self):
+        pattern = pattern_from_multigraph(build_influencer_multigraph(0, [(1, 0)]))
+        assert tree_embeds_in_fresh_nodes(clique(5), pattern, set()) is None
+
+    def test_embedding_preserves_adjacency(self):
+        graph = erdos_renyi(40, p=0.5, rng=2)
+        schedule = random_schedule(graph, 15, seed=5)
+        pattern = pattern_from_multigraph(build_influencer_multigraph(3, schedule))
+        tree = unfold_to_tree(pattern)
+        available = fresh_nodes(schedule, graph.n_nodes, up_to_step=15)
+        embedding = tree_embeds_in_fresh_nodes(graph, tree, available)
+        if embedding is not None:
+            for u, v in tree.undirected_skeleton():
+                assert graph.has_edge(embedding[u], embedding[v])

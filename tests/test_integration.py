@@ -1,0 +1,147 @@
+"""Integration tests: cross-module end-to-end checks of the paper's claims.
+
+These tests exercise the whole stack (graphs → scheduler → protocols →
+measurements → analysis) on small instances, checking the *relationships*
+the paper proves rather than individual units:
+
+* all three protocols elect exactly one leader on every Table 1 family;
+* the protocol ordering of Table 1 (identifier faster than token on
+  low-conductance graphs, both polynomial on cliques);
+* the broadcast-time estimates respect the Theorem 6 envelope on the same
+  graphs used for elections;
+* the space/time trade-off: the fast protocol uses orders of magnitude
+  fewer states than the identifier protocol at comparable time.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import certificate_is_sound_on, run_leader_election
+from repro.experiments import (
+    compare_protocols_on_graph,
+    default_protocol_specs,
+    default_step_budget,
+    get_workload,
+)
+from repro.graphs import clique, cycle, erdos_renyi, star, torus
+from repro.propagation import broadcast_bounds, broadcast_time_estimate
+from repro.protocols import (
+    ClockParameters,
+    FastLeaderElection,
+    IdentifierLeaderElection,
+    TokenLeaderElection,
+)
+from repro.walks import worst_case_hitting_time
+
+
+FAMILIES = ["clique", "cycle", "star", "torus", "dense-gnp", "random-regular"]
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_all_protocols_elect_one_leader_on_every_family(family):
+    graph = get_workload(family).build(16, seed=11)
+    budget = default_step_budget(graph, multiplier=200.0)
+    results = compare_protocols_on_graph(
+        default_protocol_specs(), graph, repetitions=1, seed=3, max_steps=budget
+    )
+    for name, measurement in results.items():
+        assert measurement.success_rate == 1.0, (family, name)
+
+
+def test_protocol_ordering_on_cycles_matches_table1():
+    """On cycles: identifier O(n^2) beats token O(n^3 log n)."""
+    graph = cycle(28)
+    identifier = run_leader_election(IdentifierLeaderElection(28), graph, rng=0)
+    token = run_leader_election(TokenLeaderElection(), graph, rng=0)
+    assert identifier.stabilized and token.stabilized
+    assert identifier.stabilization_step < token.stabilization_step
+
+
+def test_fast_protocol_space_time_tradeoff_on_clique():
+    """Theorem 24 vs 21: exponentially fewer states, at most a log-ish slowdown."""
+    graph = clique(24)
+    estimate = broadcast_time_estimate(graph, repetitions=3, max_sources=4, rng=1)
+    fast = FastLeaderElection.practical_for_graph(graph, estimate.value)
+    identifier = IdentifierLeaderElection(24)
+    assert fast.state_space_size() * 50 < identifier.state_space_size()
+
+    fast_result = run_leader_election(fast, graph, rng=2)
+    identifier_result = run_leader_election(identifier, graph, rng=2)
+    assert fast_result.stabilized and identifier_result.stabilized
+    # The fast protocol may be slower, but only by a bounded factor at this
+    # size — not by the polynomial gap that separates the token protocol.
+    token_result = run_leader_election(TokenLeaderElection(), cycle(24), rng=2)
+    assert fast_result.stabilization_step < token_result.stabilization_step * 10
+
+
+def test_broadcast_envelope_holds_on_election_graphs():
+    for graph in (clique(20), cycle(20), star(20), torus(4, 5)):
+        estimate = broadcast_time_estimate(graph, repetitions=3, max_sources=5, rng=4)
+        bounds = broadcast_bounds(graph)
+        assert estimate.value >= 0.4 * bounds.lower
+        assert estimate.value <= 3.0 * bounds.upper
+
+
+def test_token_protocol_time_tracks_hitting_time():
+    """Theorem 16: stabilization ≲ O(H(G)·n·log n); cross-family comparison."""
+    fast_graph = clique(18)   # H(G) = n - 1
+    slow_graph = cycle(18)    # H(G) = Θ(n^2)
+    fast_steps = []
+    slow_steps = []
+    for seed in range(3):
+        fast_steps.append(
+            run_leader_election(TokenLeaderElection(), fast_graph, rng=seed).stabilization_step
+        )
+        slow_steps.append(
+            run_leader_election(TokenLeaderElection(), slow_graph, rng=seed).stabilization_step
+        )
+    assert sum(slow_steps) > sum(fast_steps)
+    # And the measured times stay below the Theorem 16 envelope with the
+    # explicit constant from Lemma 19.
+    for graph, steps in ((fast_graph, fast_steps), (slow_graph, slow_steps)):
+        bound = 108 * worst_case_hitting_time(graph) * graph.n_nodes * math.log(graph.n_nodes)
+        assert max(steps) <= bound
+
+
+def test_certificates_validated_by_reachability_on_tiny_graphs():
+    protocols = [
+        TokenLeaderElection(),
+        IdentifierLeaderElection(4, identifier_bits=1),
+        FastLeaderElection(ClockParameters(1, 2, 5)),
+    ]
+    graph = cycle(4)
+    for protocol in protocols:
+        result = run_leader_election(protocol, graph, rng=6, check_interval=1)
+        assert result.stabilized, protocol.name
+        assert certificate_is_sound_on(
+            protocol, result.final_configuration.states, graph, max_configurations=500_000
+        ), protocol.name
+
+
+def test_dense_random_graph_elections_scale_like_table1():
+    """On G(n, 1/2): token Θ(n^2)-ish vs identifier Θ(n log n)-ish."""
+    small, large = 16, 32
+    token_ratio = []
+    identifier_ratio = []
+    for seed in range(2):
+        graphs = {
+            n: erdos_renyi(n, p=0.5, rng=seed) for n in (small, large)
+        }
+        token_steps = {
+            n: run_leader_election(TokenLeaderElection(), g, rng=seed).stabilization_step
+            for n, g in graphs.items()
+        }
+        identifier_steps = {
+            n: run_leader_election(
+                IdentifierLeaderElection(g.n_nodes), g, rng=seed
+            ).stabilization_step
+            for n, g in graphs.items()
+        }
+        token_ratio.append(token_steps[large] / token_steps[small])
+        identifier_ratio.append(identifier_steps[large] / identifier_steps[small])
+    # Doubling n should inflate the constant-state protocol's time more than
+    # the identifier protocol's (quadratic vs near-linear growth).
+    assert sum(token_ratio) > sum(identifier_ratio)

@@ -1,0 +1,68 @@
+"""Tests for distance-k propagation-time estimation (Lemmas 13–14)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graphs import clique, cycle, path
+from repro.propagation import (
+    empirical_violation_rate,
+    propagation_lower_bound_threshold,
+    propagation_time_estimate,
+    propagation_time_from,
+)
+
+
+class TestPropagationEstimates:
+    def test_per_source_estimate(self):
+        g = path(20)
+        stats = propagation_time_from(g, 0, distance=10, repetitions=4, rng=0)
+        assert stats is not None
+        assert stats.mean > 0
+
+    def test_no_node_at_distance_returns_none(self):
+        g = clique(8)
+        assert propagation_time_from(g, 0, distance=3, repetitions=2, rng=0) is None
+
+    def test_graph_level_estimate_is_minimum(self):
+        g = cycle(20)
+        estimate = propagation_time_estimate(g, distance=5, repetitions=3, rng=1)
+        assert estimate.value == min(estimate.per_source.values())
+        assert estimate.distance == 5
+
+    def test_impossible_distance_raises(self):
+        g = clique(6)
+        with pytest.raises(ValueError):
+            propagation_time_estimate(g, distance=4, repetitions=2, rng=0)
+
+    def test_invalid_repetitions(self):
+        with pytest.raises(ValueError):
+            propagation_time_from(cycle(8), 0, 2, repetitions=0)
+
+
+class TestLemma14:
+    def test_violation_rate_small_on_cycle(self):
+        # Lemma 14: for k >= ln n the probability of beating the
+        # km/(Δe^3) threshold is at most 1/n; empirically it should be rare.
+        g = cycle(24)
+        k = max(int(math.ceil(math.log(g.n_nodes))), 4)
+        threshold = propagation_lower_bound_threshold(g, k)
+        rate = empirical_violation_rate(g, distance=k, threshold=threshold, trials=20, rng=2)
+        assert rate <= 0.2
+
+    def test_violation_rate_reaches_one_for_huge_threshold(self):
+        g = cycle(16)
+        rate = empirical_violation_rate(
+            g, distance=2, threshold=10_000_000.0, trials=5, rng=3
+        )
+        assert rate == 1.0
+
+    def test_invalid_trials(self):
+        with pytest.raises(ValueError):
+            empirical_violation_rate(cycle(8), 2, 10.0, trials=0)
+
+    def test_impossible_distance_raises(self):
+        with pytest.raises(ValueError):
+            empirical_violation_rate(clique(6), 3, 10.0, trials=2)

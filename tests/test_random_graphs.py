@@ -1,0 +1,113 @@
+"""Tests for the random graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import GraphError, erdos_renyi, random_geometric, random_regular
+from repro.graphs.random_graphs import as_rng, connected_gnp_threshold
+
+
+class TestRngCoercion:
+    def test_from_seed(self):
+        rng = as_rng(42)
+        assert isinstance(rng, np.random.Generator)
+
+    def test_from_none(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_passthrough(self):
+        rng = np.random.default_rng(1)
+        assert as_rng(rng) is rng
+
+
+class TestErdosRenyi:
+    def test_connected_by_default(self):
+        g = erdos_renyi(30, p=0.3, rng=0)
+        assert (g.bfs_distances(0) >= 0).all()
+
+    def test_reproducible_with_seed(self):
+        a = erdos_renyi(25, p=0.4, rng=3)
+        b = erdos_renyi(25, p=0.4, rng=3)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = erdos_renyi(25, p=0.4, rng=3)
+        b = erdos_renyi(25, p=0.4, rng=4)
+        assert a != b
+
+    def test_p_one_is_clique(self):
+        g = erdos_renyi(10, p=1.0, rng=0)
+        assert g.n_edges == 45
+
+    def test_single_node(self):
+        g = erdos_renyi(1, p=0.5, rng=0)
+        assert g.n_nodes == 1
+
+    def test_edge_count_concentrates(self):
+        n, p = 60, 0.5
+        g = erdos_renyi(n, p=p, rng=5)
+        expected = p * n * (n - 1) / 2
+        assert 0.8 * expected <= g.n_edges <= 1.2 * expected
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(10, p=1.5)
+
+    def test_disconnected_allowed_when_not_required(self):
+        g = erdos_renyi(20, p=0.0, rng=0, require_connected=False)
+        assert g.n_edges == 0
+
+    def test_impossible_connectivity_raises(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(10, p=0.0, rng=0, require_connected=True, max_attempts=3)
+
+
+class TestRandomRegular:
+    def test_degree_and_connectivity(self):
+        g = random_regular(20, degree=4, rng=1)
+        assert g.is_regular()
+        assert g.max_degree == 4
+        assert (g.bfs_distances(0) >= 0).all()
+
+    def test_reproducible(self):
+        assert random_regular(16, 3, rng=9) == random_regular(16, 3, rng=9)
+
+    def test_odd_product_rejected(self):
+        with pytest.raises(GraphError):
+            random_regular(7, 3)
+
+    def test_degree_bounds_enforced(self):
+        with pytest.raises(GraphError):
+            random_regular(10, 10)
+        with pytest.raises(GraphError):
+            random_regular(10, 0)
+
+    def test_degree_one_is_matching_rejected_for_connectivity(self):
+        # A 1-regular graph on more than 2 nodes cannot be connected.
+        with pytest.raises(GraphError):
+            random_regular(6, 1, rng=0, max_attempts=5)
+
+    def test_two_nodes_degree_one(self):
+        g = random_regular(2, 1, rng=0)
+        assert g.n_edges == 1
+
+
+class TestRandomGeometric:
+    def test_large_radius_is_clique(self):
+        g = random_geometric(12, radius=2.0, rng=0)
+        assert g.n_edges == 12 * 11 // 2
+
+    def test_connectivity(self):
+        g = random_geometric(30, radius=0.5, rng=2)
+        assert (g.bfs_distances(0) >= 0).all()
+
+    def test_rejects_nonpositive_radius(self):
+        with pytest.raises(GraphError):
+            random_geometric(10, radius=0.0)
+
+
+def test_connectivity_threshold_monotone():
+    assert connected_gnp_threshold(10) > connected_gnp_threshold(1000)
+    assert connected_gnp_threshold(2) <= 1.0

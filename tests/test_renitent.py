@@ -1,0 +1,139 @@
+"""Tests for the renitent graph constructions (Section 6)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graphs import (
+    GraphError,
+    clique,
+    cycle_cover,
+    four_copies_construction,
+    renitent_family_graph,
+    star,
+    torus_cover,
+)
+from repro.lowerbounds import Cover, check_cover
+
+
+class TestCycleCover:
+    def test_cover_spans_all_nodes(self):
+        construction = cycle_cover(20)
+        covered = set()
+        for node_set in construction.cover_sets:
+            covered.update(node_set)
+        assert covered == set(range(20))
+
+    def test_has_four_sets(self):
+        assert len(cycle_cover(24).cover_sets) == 4
+
+    def test_expected_isolation_scale_is_quadratic(self):
+        construction = cycle_cover(40)
+        # ell * m with ell ~ n/8 and m = n  =>  Θ(n^2).
+        assert construction.expected_isolation_steps == construction.ell * 40
+        assert construction.expected_isolation_steps >= (40 // 8 - 1) * 40
+
+    def test_opposite_arcs_have_disjoint_neighbourhoods(self):
+        construction = cycle_cover(32)
+        graph = construction.graph
+        ball_0 = graph.ball_of_set(construction.cover_sets[0], construction.ell)
+        ball_2 = graph.ball_of_set(construction.cover_sets[2], construction.ell)
+        assert not (ball_0 & ball_2)
+
+    def test_rejects_tiny_cycles(self):
+        with pytest.raises(GraphError):
+            cycle_cover(6)
+
+    def test_structural_check_passes(self):
+        construction = cycle_cover(32)
+        cover = Cover.from_construction(construction)
+        result = check_cover(cover, check_isomorphism=False)
+        assert result.covers_all_nodes
+        assert result.has_disjoint_pair
+
+
+class TestFourCopiesConstruction:
+    def test_node_and_edge_counts(self):
+        base = clique(5)
+        ell = 3
+        construction = four_copies_construction(base, ell)
+        graph = construction.graph
+        # 4 copies of the base plus 4 paths with 2*ell edges each
+        # (each path contributes 2*ell - 1 internal nodes).
+        assert graph.n_nodes == 4 * 5 + 4 * (2 * ell - 1)
+        assert graph.n_edges == 4 * base.n_edges + 4 * 2 * ell
+
+    def test_cover_properties(self):
+        construction = four_copies_construction(star(6), ell=4)
+        cover = Cover.from_construction(construction)
+        result = check_cover(cover, check_isomorphism=True)
+        assert result.covers_all_nodes
+        assert result.sets_equal_size
+        assert result.has_disjoint_pair
+        assert result.neighbourhoods_isomorphic in (True, None)
+        assert result.valid
+
+    def test_requires_ell_at_least_diameter(self):
+        base = star(8)  # diameter 2
+        with pytest.raises(GraphError):
+            four_copies_construction(base, ell=1)
+
+    def test_connected(self):
+        construction = four_copies_construction(clique(4), ell=2)
+        graph = construction.graph
+        assert (graph.bfs_distances(0) >= 0).all()
+
+    def test_diameter_scales_with_ell(self):
+        small = four_copies_construction(clique(4), ell=2).graph
+        large = four_copies_construction(clique(4), ell=8).graph
+        assert large.diameter() > small.diameter()
+
+
+class TestRenitentFamily:
+    def test_quadratic_target(self):
+        construction = renitent_family_graph(64, lambda n: n * n)
+        graph = construction.graph
+        assert graph.n_nodes >= 16
+        assert construction.ell >= 2
+        assert construction.expected_isolation_steps == construction.ell * graph.n_edges
+
+    def test_nlogn_target(self):
+        construction = renitent_family_graph(64, lambda n: n * math.log(max(n, 2)) * 1.2)
+        assert construction.graph.n_nodes >= 16
+
+    def test_cubic_target_uses_clique_base(self):
+        construction = renitent_family_graph(80, lambda n: n**3)
+        # With T(n) = n^3 > n^2 log n the base is a clique of size ~n/8.
+        assert construction.graph.n_edges >= (80 // 8) * (80 // 8 - 1) // 2
+
+    def test_rejects_target_below_nlogn(self):
+        with pytest.raises(GraphError):
+            renitent_family_graph(64, lambda n: float(n))
+
+    def test_rejects_target_above_cubic(self):
+        with pytest.raises(GraphError):
+            renitent_family_graph(64, lambda n: float(n) ** 4)
+
+    def test_rejects_tiny_population(self):
+        with pytest.raises(GraphError):
+            renitent_family_graph(8, lambda n: n * n)
+
+
+class TestTorusCover:
+    def test_quadrants_cover_and_disjoint(self):
+        construction = torus_cover(8, 8)
+        cover = Cover.from_construction(construction)
+        result = check_cover(cover, check_isomorphism=False)
+        assert result.covers_all_nodes
+        assert result.sets_equal_size
+        assert result.has_disjoint_pair
+
+    def test_rejects_odd_dimensions(self):
+        with pytest.raises(GraphError):
+            torus_cover(9, 8)
+
+    def test_rejects_small_dimensions(self):
+        with pytest.raises(GraphError):
+            torus_cover(4, 8)

@@ -1,0 +1,81 @@
+"""Tests for report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    format_number,
+    measure_protocol_on_graph,
+    render_comparison,
+    render_markdown_table,
+    render_table,
+    token_protocol_spec,
+)
+from repro.graphs import clique
+
+
+class TestFormatNumber:
+    def test_none(self):
+        assert format_number(None) == "-"
+
+    def test_booleans(self):
+        assert format_number(True) == "yes"
+        assert format_number(False) == "no"
+
+    def test_integers_with_separators(self):
+        assert format_number(1234567) == "1,234,567"
+
+    def test_floats(self):
+        assert format_number(0.0) == "0"
+        assert format_number(3.14159) == "3.1"
+        assert format_number(1234.5) == "1,234"
+        assert format_number(2.5e7) == "2.50e+07"
+
+    def test_strings_passthrough(self):
+        assert format_number("hello") == "hello"
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        text = render_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+        # All body lines have the same width as the header separator line.
+        assert len(lines[3]) <= len(lines[2]) + 2
+
+    def test_render_table_empty(self):
+        assert "(no rows)" in render_table([], title="empty")
+
+    def test_render_table_column_selection(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = render_table(rows, columns=["c", "a"])
+        header = text.splitlines()[0]
+        assert "c" in header and "a" in header and "b" not in header
+
+    def test_render_markdown_table(self):
+        rows = [{"x": 1, "y": 2.5}]
+        text = render_markdown_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("| x | y |")
+        assert lines[1].startswith("|---")
+        assert "2.5" in lines[2]
+
+    def test_render_markdown_empty(self):
+        assert render_markdown_table([]) == "(no rows)"
+
+    def test_render_comparison_with_measurements(self):
+        measurement = measure_protocol_on_graph(
+            token_protocol_spec(), clique(8), repetitions=2, seed=0
+        )
+        text = render_comparison(
+            "demo comparison",
+            {"token-6state": measurement},
+            extra_columns={"token-6state": {"paper": "O(n^2)"}},
+        )
+        assert "demo comparison" in text
+        assert "token-6state" in text
+        assert "O(n^2)" in text

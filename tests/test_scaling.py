@@ -1,0 +1,96 @@
+"""Tests for scaling-law fitting."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    compare_orderings,
+    exponent_matches,
+    fit_power_law,
+    normalized_growth,
+)
+
+
+class TestPowerLawFits:
+    def test_recovers_quadratic(self):
+        sizes = [10, 20, 40, 80, 160]
+        values = [3.0 * n**2 for n in sizes]
+        fit = fit_power_law(sizes, values)
+        assert fit.exponent == pytest.approx(2.0, abs=1e-6)
+        assert fit.constant == pytest.approx(3.0, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0, abs=1e-9)
+
+    def test_recovers_nlogn_with_fixed_log_power(self):
+        sizes = [16, 32, 64, 128, 256]
+        values = [2.0 * n * math.log(n) for n in sizes]
+        fit = fit_power_law(sizes, values, log_exponent=1.0)
+        assert fit.exponent == pytest.approx(1.0, abs=1e-6)
+        assert fit.log_exponent == 1.0
+
+    def test_fit_log_power_jointly(self):
+        sizes = [16, 32, 64, 128, 256, 512]
+        values = [5.0 * n * math.log(n) ** 2 for n in sizes]
+        fit = fit_power_law(sizes, values, log_exponent=None)
+        assert fit.exponent == pytest.approx(1.0, abs=0.05)
+        assert fit.log_exponent == pytest.approx(2.0, abs=0.2)
+
+    def test_predict(self):
+        fit = fit_power_law([10, 100], [10.0, 1000.0])
+        assert fit.predict(100) == pytest.approx(1000.0, rel=1e-6)
+        with pytest.raises(ValueError):
+            fit.predict(1)
+
+    def test_nlogn_misread_as_small_exponent_without_log_term(self):
+        # Fitting Θ(n log n) data with a pure power law gives an exponent a
+        # little above 1 — the reason benchmarks divide out known log factors.
+        sizes = [16, 64, 256, 1024]
+        values = [n * math.log(n) for n in sizes]
+        fit = fit_power_law(sizes, values, log_exponent=0.0)
+        assert 1.0 < fit.exponent < 1.5
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([10], [5.0])
+        with pytest.raises(ValueError):
+            fit_power_law([10, 20], [5.0])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [1.0, 2.0])  # sizes must exceed 1
+        with pytest.raises(ValueError):
+            fit_power_law([2, 3], [0.0, 1.0])
+        with pytest.raises(ValueError):
+            fit_power_law([2, 3], [1.0, 2.0], log_exponent=None)  # needs 3 points
+
+
+class TestHelpers:
+    def test_exponent_matches(self):
+        fit = fit_power_law([10, 20, 40], [100, 400, 1600])
+        assert exponent_matches(fit, 2.0)
+        assert not exponent_matches(fit, 1.0)
+
+    def test_compare_orderings(self):
+        order = compare_orderings({"fast": 10.0, "slow": 100.0, "medium": 50.0})
+        assert order == ["fast", "medium", "slow"]
+
+    def test_normalized_growth(self):
+        ratios = normalized_growth([1, 2, 3], [10.0, 40.0, 90.0])
+        assert ratios == [pytest.approx(4.0), pytest.approx(2.25)]
+        with pytest.raises(ValueError):
+            normalized_growth([1], [1.0])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    exponent=st.floats(min_value=0.5, max_value=3.0),
+    constant=st.floats(min_value=0.1, max_value=100.0),
+)
+def test_fit_recovers_arbitrary_power_laws(exponent, constant):
+    sizes = [8, 16, 32, 64, 128]
+    values = [constant * n**exponent for n in sizes]
+    fit = fit_power_law(sizes, values)
+    assert fit.exponent == pytest.approx(exponent, abs=1e-6)
+    assert fit.constant == pytest.approx(constant, rel=1e-4)

@@ -1,0 +1,103 @@
+"""Tests for spectral graph quantities."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    cheeger_bounds,
+    clique,
+    cycle,
+    erdos_renyi,
+    normalized_laplacian_spectral_gap,
+    normalized_laplacian_spectrum,
+    path,
+    star,
+)
+from repro.graphs.spectral import (
+    adjacency_matrix,
+    algebraic_connectivity,
+    fiedler_vector,
+    laplacian_matrix,
+    normalized_laplacian_matrix,
+    random_walk_relaxation_time,
+)
+
+
+class TestMatrices:
+    def test_adjacency_symmetric(self):
+        a = adjacency_matrix(cycle(8))
+        assert np.allclose(a, a.T)
+        assert a.sum() == 2 * 8
+
+    def test_laplacian_row_sums_zero(self):
+        lap = laplacian_matrix(star(7))
+        assert np.allclose(lap.sum(axis=1), 0.0)
+
+    def test_normalized_laplacian_diagonal_ones(self):
+        lap = normalized_laplacian_matrix(clique(6))
+        assert np.allclose(np.diag(lap), 1.0)
+
+
+class TestSpectra:
+    def test_spectrum_sorted_and_starts_at_zero(self):
+        spectrum = normalized_laplacian_spectrum(cycle(10))
+        assert spectrum[0] == pytest.approx(0.0, abs=1e-9)
+        assert np.all(np.diff(spectrum) >= -1e-12)
+
+    def test_clique_spectral_gap(self):
+        # Normalised Laplacian of K_n has eigenvalues 0 and n/(n-1).
+        n = 10
+        gap = normalized_laplacian_spectral_gap(clique(n))
+        assert gap == pytest.approx(n / (n - 1), rel=1e-6)
+
+    def test_cycle_spectral_gap_formula(self):
+        # lambda_2 = 1 - cos(2 pi / n) for C_n.
+        n = 12
+        gap = normalized_laplacian_spectral_gap(cycle(n))
+        assert gap == pytest.approx(1 - math.cos(2 * math.pi / n), rel=1e-6)
+
+    def test_spectrum_bounded_by_two(self):
+        spectrum = normalized_laplacian_spectrum(star(9))
+        assert spectrum[-1] <= 2.0 + 1e-9
+
+    def test_single_node_gap_zero(self):
+        from repro.graphs import Graph
+
+        assert normalized_laplacian_spectral_gap(Graph(1, [])) == 0.0
+
+
+class TestDerivedQuantities:
+    def test_cheeger_bounds_order(self):
+        low, high = cheeger_bounds(cycle(16))
+        assert 0 <= low <= high
+
+    def test_cheeger_brackets_true_conductance_of_cycle(self):
+        n = 16
+        low, high = cheeger_bounds(cycle(n))
+        true_conductance = (2 / (n // 2)) / 2  # beta / Delta
+        assert low <= true_conductance + 1e-9
+        assert high >= true_conductance - 1e-9
+
+    def test_relaxation_time_larger_for_cycle_than_clique(self):
+        assert random_walk_relaxation_time(cycle(20)) > random_walk_relaxation_time(clique(20))
+
+    def test_fiedler_vector_shape_and_orthogonality(self):
+        g = path(10)
+        vec = fiedler_vector(g)
+        assert vec.shape == (10,)
+        # Fiedler vector of a path changes sign (separates the two halves).
+        assert (vec > 0).any() and (vec < 0).any()
+
+    def test_algebraic_connectivity_clique(self):
+        # Combinatorial Laplacian of K_n has lambda_2 = n.
+        assert algebraic_connectivity(clique(8)) == pytest.approx(8.0, rel=1e-6)
+
+    def test_dense_random_graph_has_large_gap(self):
+        # Lemma 11's ingredient: dense G(n, p) has conductance 1 - o(1),
+        # i.e. a normalised-Laplacian gap bounded away from zero.
+        g = erdos_renyi(60, p=0.5, rng=1)
+        assert normalized_laplacian_spectral_gap(g) > 0.3

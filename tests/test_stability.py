@@ -1,0 +1,119 @@
+"""Tests for the exhaustive reachability-based stability checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    StateSpaceTooLarge,
+    always_reaches_single_leader,
+    certificate_is_sound_on,
+    check_stability_by_reachability,
+    reachable_configurations,
+)
+from repro.graphs import clique, cycle, path, star
+from repro.protocols import StarLeaderElection, TokenLeaderElection
+from repro.protocols.tokens import BLACK, CANDIDATE, FOLLOWER_ROLE, NO_TOKEN, WHITE
+
+
+class TestReachabilityChecker:
+    def test_single_leader_token_configuration_is_stable(self):
+        graph = cycle(3)
+        protocol = TokenLeaderElection()
+        states = [(CANDIDATE, BLACK), (FOLLOWER_ROLE, NO_TOKEN), (FOLLOWER_ROLE, NO_TOKEN)]
+        verdict = check_stability_by_reachability(protocol, states, graph)
+        assert verdict.stable
+        assert verdict.correct
+        assert verdict.counterexample is None
+
+    def test_all_candidate_initial_configuration_is_unstable(self):
+        graph = cycle(3)
+        protocol = TokenLeaderElection()
+        states = [protocol.initial_state(None)] * 3
+        verdict = check_stability_by_reachability(protocol, states, graph)
+        assert not verdict.stable
+        assert verdict.counterexample is not None
+
+    def test_white_token_near_candidate_is_unstable(self):
+        graph = path(2)
+        protocol = TokenLeaderElection()
+        # A candidate next to a follower holding a white token can still be
+        # demoted, so two-candidate remnants are not stable.
+        states = [(CANDIDATE, BLACK), (CANDIDATE, WHITE)]
+        verdict = check_stability_by_reachability(protocol, states, graph)
+        assert not verdict.stable
+
+    def test_configuration_size_mismatch_raises(self):
+        graph = cycle(3)
+        with pytest.raises(ValueError):
+            check_stability_by_reachability(TokenLeaderElection(), [(CANDIDATE, BLACK)], graph)
+
+    def test_budget_exceeded_raises(self):
+        graph = clique(6)
+        protocol = TokenLeaderElection()
+        # All-follower configurations never change outputs, so the search
+        # keeps exploring token placements until it exhausts its budget.
+        states = [(FOLLOWER_ROLE, BLACK)] * 6
+        with pytest.raises(StateSpaceTooLarge):
+            check_stability_by_reachability(protocol, states, graph, max_configurations=5)
+
+
+class TestReachableConfigurations:
+    def test_contains_start(self):
+        graph = path(3)
+        protocol = TokenLeaderElection()
+        start = [protocol.initial_state(None)] * 3
+        configs = reachable_configurations(protocol, start, graph)
+        assert tuple(start) in configs
+
+    def test_star_protocol_on_edge_has_three_configurations(self):
+        graph = path(2)
+        protocol = StarLeaderElection()
+        start = [protocol.initial_state(None)] * 2
+        configs = reachable_configurations(protocol, start, graph)
+        # fresh/fresh, plus the two resolved orientations.
+        assert len(configs) == 3
+
+
+class TestCertificateSoundness:
+    def test_token_certificate_sound_on_small_graphs(self):
+        protocol = TokenLeaderElection()
+        for graph in (cycle(3), path(3), star(4)):
+            # A certified configuration: one candidate with the black token.
+            states = [(FOLLOWER_ROLE, NO_TOKEN)] * graph.n_nodes
+            states[0] = (CANDIDATE, BLACK)
+            assert protocol.is_output_stable_configuration(states, graph)
+            assert certificate_is_sound_on(protocol, states, graph)
+
+    def test_non_certified_configuration_trivially_sound(self):
+        protocol = TokenLeaderElection()
+        graph = cycle(3)
+        states = [protocol.initial_state(None)] * 3
+        assert not protocol.is_output_stable_configuration(states, graph)
+        assert certificate_is_sound_on(protocol, states, graph)
+
+    def test_star_certificate_sound(self):
+        protocol = StarLeaderElection()
+        graph = star(4)
+        from repro.protocols.star import FOLLOWER_DONE, FRESH, LEADER_DONE
+
+        states = [FOLLOWER_DONE, LEADER_DONE, FRESH, FRESH]
+        assert protocol.is_output_stable_configuration(states, graph)
+        assert certificate_is_sound_on(protocol, states, graph)
+
+
+class TestAlmostSureStabilization:
+    def test_token_protocol_always_stabilizes_on_triangle(self):
+        assert always_reaches_single_leader(TokenLeaderElection(), cycle(3))
+
+    def test_token_protocol_always_stabilizes_on_path(self):
+        assert always_reaches_single_leader(TokenLeaderElection(), path(3))
+
+    def test_star_protocol_always_stabilizes_on_star(self):
+        assert always_reaches_single_leader(StarLeaderElection(), star(4))
+
+    def test_star_protocol_can_fail_on_a_path_of_four(self):
+        # On a path 0-1-2-3 two disjoint fresh-fresh interactions can create
+        # two immortal leaders, so the trivial protocol does not always
+        # stabilize outside stars.
+        assert not always_reaches_single_leader(StarLeaderElection(), path(4))

@@ -1,0 +1,90 @@
+"""Tests for the trivial star-graph protocol (Table 1, last row)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import LEADER, Simulator, run_leader_election
+from repro.graphs import path, star
+from repro.protocols import StarLeaderElection
+from repro.protocols.star import ALL_STAR_STATES, FOLLOWER_DONE, FRESH, LEADER_DONE
+
+protocol = StarLeaderElection()
+
+
+class TestTransitions:
+    def test_fresh_fresh_resolves(self):
+        a, b = protocol.transition(FRESH, FRESH)
+        assert a == FOLLOWER_DONE
+        assert b == LEADER_DONE
+
+    def test_fresh_meets_done(self):
+        a, b = protocol.transition(FRESH, LEADER_DONE)
+        assert a == FOLLOWER_DONE and b == LEADER_DONE
+        a, b = protocol.transition(FOLLOWER_DONE, FRESH)
+        assert a == FOLLOWER_DONE and b == FOLLOWER_DONE
+
+    def test_done_states_never_change(self):
+        for x in (LEADER_DONE, FOLLOWER_DONE):
+            for y in (LEADER_DONE, FOLLOWER_DONE):
+                assert protocol.transition(x, y) == (x, y)
+
+    def test_three_states(self):
+        assert protocol.state_space_size() == 3
+        assert len(ALL_STAR_STATES) == 3
+
+    def test_outputs(self):
+        assert protocol.output(LEADER_DONE) == LEADER
+        assert protocol.output(FRESH) != LEADER
+        assert protocol.output(FOLLOWER_DONE) != LEADER
+
+
+class TestCertificate:
+    def test_certificate_on_star_after_first_interaction(self):
+        graph = star(6)
+        states = [FOLLOWER_DONE, LEADER_DONE, FRESH, FRESH, FRESH, FRESH]
+        assert protocol.is_output_stable_configuration(states, graph)
+
+    def test_certificate_rejects_adjacent_fresh_nodes(self):
+        graph = path(3)
+        states = [LEADER_DONE, FRESH, FRESH]
+        assert not protocol.is_output_stable_configuration(states, graph)
+
+    def test_certificate_rejects_zero_or_two_leaders(self):
+        graph = star(4)
+        assert not protocol.is_output_stable_configuration(
+            [FOLLOWER_DONE, FOLLOWER_DONE, FOLLOWER_DONE, FOLLOWER_DONE], graph
+        )
+        assert not protocol.is_output_stable_configuration(
+            [FOLLOWER_DONE, LEADER_DONE, LEADER_DONE, FOLLOWER_DONE], graph
+        )
+
+
+class TestElections:
+    def test_stabilizes_in_exactly_one_interaction_on_stars(self):
+        for n in (2, 5, 20, 60):
+            result = run_leader_election(
+                protocol, star(n), rng=n, check_interval=1
+            )
+            assert result.stabilized
+            assert result.stabilization_step == 1
+            assert result.leaders == 1
+
+    def test_stabilization_time_independent_of_population_size(self):
+        steps = [
+            run_leader_election(protocol, star(n), rng=1, check_interval=1).stabilization_step
+            for n in (10, 40, 160)
+        ]
+        assert steps == [1, 1, 1]
+
+    def test_constant_states_observed(self):
+        result = run_leader_election(protocol, star(30), rng=2, check_interval=1)
+        assert result.distinct_states_observed <= 3
+
+    def test_can_produce_two_leaders_on_a_path(self):
+        # Not a star: the first interactions 0-1 and 2-3 each create a
+        # leader, demonstrating why this protocol is star-specific.
+        graph = path(4)
+        simulator = Simulator(graph, protocol, rng=0)
+        result = simulator.run_fixed_schedule([(0, 1), (2, 3)])
+        assert result.leaders == 2

@@ -1,0 +1,156 @@
+"""Tests for the surgery-technique ingredients (Section 7.2)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.core import RandomScheduler, run_leader_election
+from repro.graphs import clique, erdos_renyi
+from repro.lowerbounds import (
+    can_generate_leader_on_clique,
+    find_bottlenecks,
+    leader_generating_sets,
+    low_count_states,
+    reachable_states,
+    stable_configuration_has_guarded_generators,
+)
+from repro.protocols import StarLeaderElection, TokenLeaderElection
+from repro.protocols.star import FOLLOWER_DONE, FRESH, LEADER_DONE
+from repro.protocols.tokens import (
+    BLACK,
+    CANDIDATE,
+    FOLLOWER_ROLE,
+    NO_TOKEN,
+    WHITE,
+)
+
+
+class TestReachableStates:
+    def test_token_protocol_reachable_states(self):
+        states = reachable_states(TokenLeaderElection())
+        # From the all-candidate start, a candidate holding a white token is
+        # never left standing, so 5 of the 6 states are reachable as
+        # post-interaction values (plus the initial state itself).
+        assert (CANDIDATE, BLACK) in states
+        assert (FOLLOWER_ROLE, NO_TOKEN) in states
+        assert (CANDIDATE, WHITE) not in states
+        assert 4 <= len(states) <= 6
+
+    def test_star_protocol_reachable_states(self):
+        states = reachable_states(StarLeaderElection())
+        assert states == frozenset({FRESH, LEADER_DONE, FOLLOWER_DONE})
+
+    def test_state_budget_enforced(self):
+        with pytest.raises(ValueError):
+            reachable_states(TokenLeaderElection(), max_states=2)
+
+
+class TestLeaderGeneration:
+    def test_states_containing_leader_state_generate(self):
+        protocol = TokenLeaderElection()
+        assert can_generate_leader_on_clique(protocol, [(CANDIDATE, BLACK)], 2)
+        assert can_generate_leader_on_clique(protocol, [(CANDIDATE, NO_TOKEN)], 2)
+
+    def test_pure_followers_without_tokens_cannot_generate(self):
+        protocol = TokenLeaderElection()
+        assert not can_generate_leader_on_clique(protocol, [(FOLLOWER_ROLE, NO_TOKEN)], 4)
+        assert not can_generate_leader_on_clique(
+            protocol, [(FOLLOWER_ROLE, NO_TOKEN), (FOLLOWER_ROLE, BLACK)], 4
+        )
+
+    def test_fresh_star_states_generate(self):
+        assert can_generate_leader_on_clique(StarLeaderElection(), [FRESH], 2)
+        assert not can_generate_leader_on_clique(StarLeaderElection(), [FOLLOWER_DONE], 4)
+
+    def test_empty_set_does_not_generate(self):
+        assert not can_generate_leader_on_clique(TokenLeaderElection(), [], 2)
+
+    def test_invalid_copy_count(self):
+        with pytest.raises(ValueError):
+            can_generate_leader_on_clique(TokenLeaderElection(), [(CANDIDATE, BLACK)], 0)
+
+    def test_minimal_generating_sets_of_token_protocol(self):
+        generating = leader_generating_sets(TokenLeaderElection(), copies_per_state=3)
+        # Every singleton leader state is generating; follower-only states
+        # are not (followers can never become candidates).
+        singletons = {frozenset({s}) for s in reachable_states(TokenLeaderElection()) if s[0] == CANDIDATE}
+        for singleton in singletons:
+            assert singleton in generating
+        for gen in generating:
+            assert any(state[0] == CANDIDATE for state in gen)
+
+    def test_minimal_generating_sets_of_star_protocol(self):
+        generating = leader_generating_sets(StarLeaderElection(), copies_per_state=3)
+        assert frozenset({LEADER_DONE}) in generating
+        assert frozenset({FRESH}) in generating
+        assert frozenset({FOLLOWER_DONE}) not in generating
+
+
+class TestLowCountsAndGuards:
+    def test_low_count_states(self):
+        counts = Counter({"a": 100, "b": 3, "c": 1})
+        low = low_count_states(counts, state_space_size=3, threshold=4)
+        assert low == frozenset({"b", "c"})
+
+    def test_default_threshold_is_exponential(self):
+        counts = Counter({"a": 10})
+        assert low_count_states(counts, state_space_size=2) == frozenset()
+
+    def test_stable_token_configuration_has_guarded_generators(self):
+        # Lemma 51's conclusion: in a stabilized configuration every
+        # leader-generating set contains a low-count state.  For the token
+        # protocol a stable configuration has exactly one candidate and one
+        # black token, so candidate-containing sets are automatically
+        # guarded.
+        graph = erdos_renyi(20, p=0.5, rng=0)
+        result = run_leader_election(TokenLeaderElection(), graph, rng=1)
+        assert result.stabilized
+        report = stable_configuration_has_guarded_generators(
+            TokenLeaderElection(),
+            list(result.final_configuration.states),
+            copies_per_state=3,
+        )
+        assert report.all_generators_guarded
+        assert len(report.generating_sets) >= 1
+
+    def test_unstable_all_candidate_configuration_not_guarded(self):
+        protocol = TokenLeaderElection()
+        states = [(CANDIDATE, BLACK)] * 40
+        report = stable_configuration_has_guarded_generators(
+            protocol, states, copies_per_state=3
+        )
+        assert not report.all_generators_guarded
+
+
+class TestBottlenecks:
+    def test_no_bottlenecks_in_high_count_prefix(self):
+        protocol = TokenLeaderElection()
+        graph = clique(30)
+        scheduler = RandomScheduler(graph, rng=2)
+        schedule = scheduler.next_batch(30)
+        initial = [protocol.initial_state(None)] * graph.n_nodes
+        # With k = 2 and every state in count >= 28 at the start, the first
+        # few interactions cannot be bottlenecks.
+        bottlenecks = find_bottlenecks(protocol, initial, schedule[:5], k=2)
+        assert bottlenecks == []
+
+    def test_bottlenecks_detected_for_rare_states(self):
+        protocol = TokenLeaderElection()
+        graph = clique(4)
+        # Configuration with each state in count <= 2: every interaction is
+        # a 2-bottleneck.
+        states = [
+            (CANDIDATE, BLACK),
+            (CANDIDATE, NO_TOKEN),
+            (FOLLOWER_ROLE, BLACK),
+            (FOLLOWER_ROLE, NO_TOKEN),
+        ]
+        schedule = [(0, 1), (2, 3)]
+        bottlenecks = find_bottlenecks(protocol, states, schedule, k=2)
+        assert bottlenecks == [1, 2]
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            find_bottlenecks(TokenLeaderElection(), [(CANDIDATE, BLACK)], [], k=0)

@@ -1,0 +1,81 @@
+"""Tests for the Table 1 experiment drivers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    expected_exponents,
+    graph_parameters_for,
+    run_star_row,
+    run_table1_family,
+    star_protocol_spec,
+    token_protocol_spec,
+)
+from repro.graphs import clique, cycle
+
+
+class TestGraphParameters:
+    def test_contains_table1_quantities(self):
+        params = graph_parameters_for(cycle(16), estimate_broadcast=True, seed=0)
+        for key in ("n", "m", "D", "beta", "phi", "H(G)", "B(G)"):
+            assert key in params
+        assert params["n"] == 16
+        assert params["B(G)"] > 0
+
+    def test_broadcast_estimation_optional(self):
+        params = graph_parameters_for(clique(12), estimate_broadcast=False)
+        assert "B(G)" not in params
+
+
+class TestRowGroups:
+    def test_star_row_is_constant_time(self):
+        group = run_star_row(sizes=[10, 20, 40], repetitions=3, seed=0)
+        assert group.family == "star"
+        row = group.rows[0]
+        assert row.protocol == "star-trivial"
+        # O(1) stabilization: all sizes stabilize in a handful of steps and
+        # the fitted exponent is near zero.
+        assert all(steps <= 16 for steps in row.mean_steps)
+        assert abs(row.fitted_exponent) < 0.6
+        assert row.success_rate == 1.0
+
+    def test_clique_row_group_orders_protocols_correctly(self):
+        group = run_table1_family(
+            "clique",
+            sizes=[12, 20],
+            specs=[token_protocol_spec()],
+            repetitions=2,
+            seed=1,
+        )
+        assert group.family == "clique"
+        assert len(group.rows) == 1
+        row = group.rows[0]
+        assert row.sizes == [12, 20]
+        assert row.mean_steps[1] > row.mean_steps[0]
+        assert row.states_observed <= 6
+
+    def test_render_produces_text(self):
+        group = run_table1_family(
+            "clique", sizes=[10, 14], specs=[token_protocol_spec()], repetitions=1, seed=2
+        )
+        text = group.render()
+        assert "Table 1" in text
+        assert "clique" in text
+        assert "token-6state" in text
+
+    def test_requires_at_least_two_sizes(self):
+        with pytest.raises(ValueError):
+            run_table1_family("clique", sizes=[10], specs=[star_protocol_spec()])
+
+
+class TestExpectedExponents:
+    def test_families_present(self):
+        exponents = expected_exponents()
+        for family in ("clique", "cycle", "dense-gnp", "star", "torus"):
+            assert family in exponents
+
+    def test_clique_ordering_matches_paper(self):
+        exponents = expected_exponents()["clique"]
+        assert exponents["token-6state"] > exponents["identifier-broadcast"]
+        assert exponents["fast-space-efficient"] <= exponents["token-6state"]

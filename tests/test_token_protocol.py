@@ -1,0 +1,189 @@
+"""Tests for the 6-state token protocol (Theorem 16)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    LEADER,
+    Simulator,
+    certificate_is_sound_on,
+    run_leader_election,
+)
+from repro.graphs import clique, cycle, erdos_renyi, path, star, torus
+from repro.protocols import TokenLeaderElection, count_tokens, token_states_stable
+from repro.protocols.tokens import (
+    ALL_TOKEN_STATES,
+    BLACK,
+    CANDIDATE,
+    FOLLOWER_ROLE,
+    NO_TOKEN,
+    WHITE,
+    token_initial_state,
+    token_transition,
+)
+
+protocol = TokenLeaderElection()
+
+state_strategy = st.sampled_from(ALL_TOKEN_STATES)
+
+
+class TestTransitionRules:
+    def test_tokens_swap(self):
+        a, b = token_transition((FOLLOWER_ROLE, BLACK), (FOLLOWER_ROLE, NO_TOKEN))
+        assert a == (FOLLOWER_ROLE, NO_TOKEN)
+        assert b == (FOLLOWER_ROLE, BLACK)
+
+    def test_black_black_meeting_whitens_one(self):
+        a, b = token_transition((FOLLOWER_ROLE, BLACK), (FOLLOWER_ROLE, BLACK))
+        tokens = sorted([a[1], b[1]])
+        assert tokens == [BLACK, WHITE]
+
+    def test_candidate_receiving_white_is_demoted(self):
+        a, b = token_transition((FOLLOWER_ROLE, WHITE), (CANDIDATE, NO_TOKEN))
+        # The white token moves to the responder (swap), which demotes it.
+        assert b == (FOLLOWER_ROLE, NO_TOKEN)
+        assert a == (FOLLOWER_ROLE, NO_TOKEN)
+
+    def test_two_candidates_with_black_tokens(self):
+        a, b = token_transition((CANDIDATE, BLACK), (CANDIDATE, BLACK))
+        roles = sorted([a[0], b[0]])
+        assert roles == [CANDIDATE, FOLLOWER_ROLE]
+        _, blacks, whites = count_tokens([a, b])
+        assert blacks == 1 and whites == 0
+
+    def test_follower_never_becomes_candidate(self):
+        for x in ALL_TOKEN_STATES:
+            for y in ALL_TOKEN_STATES:
+                new_x, new_y = token_transition(x, y)
+                if x[0] == FOLLOWER_ROLE:
+                    assert new_x[0] == FOLLOWER_ROLE
+                if y[0] == FOLLOWER_ROLE:
+                    assert new_y[0] == FOLLOWER_ROLE
+
+    def test_state_space_is_six(self):
+        assert protocol.state_space_size() == 6
+        assert len(set(ALL_TOKEN_STATES)) == 6
+
+    def test_initial_states(self):
+        assert token_initial_state(True) == (CANDIDATE, BLACK)
+        assert token_initial_state(False) == (FOLLOWER_ROLE, NO_TOKEN)
+        assert protocol.initial_state(None) == (CANDIDATE, BLACK)
+        assert protocol.initial_state(False) == (FOLLOWER_ROLE, NO_TOKEN)
+
+    def test_output_mapping(self):
+        assert protocol.output((CANDIDATE, NO_TOKEN)) == LEADER
+        assert protocol.output((FOLLOWER_ROLE, BLACK)) != LEADER
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=state_strategy, b=state_strategy)
+def test_transition_preserves_candidate_token_balance(a, b):
+    """Invariant: Δ(#candidates) = Δ(#black + #white) for every interaction.
+
+    Together with the all-candidate initial configuration this gives the
+    global invariant  #candidates = #black + #white  used by the
+    stability certificate.
+    """
+    before_c, before_b, before_w = count_tokens([a, b])
+    new_a, new_b = token_transition(a, b)
+    after_c, after_b, after_w = count_tokens([new_a, new_b])
+    assert after_c - before_c == (after_b + after_w) - (before_b + before_w)
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=state_strategy, b=state_strategy)
+def test_transition_never_creates_black_tokens_or_candidates(a, b):
+    before_c, before_b, _ = count_tokens([a, b])
+    new_a, new_b = token_transition(a, b)
+    after_c, after_b, _ = count_tokens([new_a, new_b])
+    assert after_b <= before_b
+    assert after_c <= before_c
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=state_strategy, b=state_strategy)
+def test_no_candidate_ever_holds_a_white_token_after_interacting(a, b):
+    new_a, new_b = token_transition(a, b)
+    assert not (new_a[0] == CANDIDATE and new_a[1] == WHITE)
+    assert not (new_b[0] == CANDIDATE and new_b[1] == WHITE)
+
+
+class TestGlobalInvariantsDuringExecution:
+    def test_invariant_holds_throughout_a_run(self):
+        graph = clique(12)
+        # Replay a random prefix manually, checking the invariant at every step.
+        from repro.core import RandomScheduler
+
+        scheduler = RandomScheduler(graph, rng=1)
+        states = [protocol.initial_state(None)] * graph.n_nodes
+        for u, v in scheduler.next_batch(3000):
+            states[u], states[v] = token_transition(states[u], states[v])
+            candidates, blacks, whites = count_tokens(states)
+            assert candidates == blacks + whites
+            assert blacks >= 1
+
+    def test_certificate_definition(self):
+        stable_states = [(CANDIDATE, BLACK)] + [(FOLLOWER_ROLE, NO_TOKEN)] * 4
+        assert token_states_stable(stable_states)
+        assert not token_states_stable([(CANDIDATE, BLACK)] * 2 + [(FOLLOWER_ROLE, NO_TOKEN)])
+        assert not token_states_stable(
+            [(CANDIDATE, BLACK), (FOLLOWER_ROLE, WHITE), (CANDIDATE, NO_TOKEN)]
+        )
+
+
+class TestElections:
+    @pytest.mark.parametrize(
+        "graph",
+        [clique(10), cycle(10), star(10), path(8), torus(3, 4)],
+        ids=["clique", "cycle", "star", "path", "torus"],
+    )
+    def test_elects_unique_leader_on_families(self, graph):
+        result = run_leader_election(protocol, graph, rng=7)
+        assert result.stabilized
+        assert result.leaders == 1
+        assert result.distinct_states_observed <= 6
+
+    def test_elects_on_dense_random_graph(self):
+        graph = erdos_renyi(25, p=0.4, rng=1)
+        result = run_leader_election(protocol, graph, rng=2)
+        assert result.stabilized and result.leaders == 1
+
+    def test_candidate_input_restricts_leaders(self):
+        graph = cycle(12)
+        inputs = [i in (0, 6) for i in range(12)]
+        simulator = Simulator(graph, protocol, rng=3)
+        result = simulator.run(max_steps=200_000, inputs=inputs, check_interval=16)
+        assert result.stabilized
+        leader_nodes = [
+            i
+            for i, s in enumerate(result.final_configuration.states)
+            if protocol.output(s) == LEADER
+        ]
+        assert len(leader_nodes) == 1
+        # The winner must be one of the two initial candidates: followers
+        # can never become candidates.
+        assert leader_nodes[0] in (0, 6)
+
+    def test_certificate_cross_validated_by_reachability(self):
+        graph = cycle(4)
+        result = run_leader_election(protocol, graph, rng=5, check_interval=1)
+        assert result.stabilized
+        assert certificate_is_sound_on(
+            protocol, result.final_configuration.states, graph
+        )
+
+    def test_clique_election_faster_than_cycle_on_average(self):
+        n = 16
+        clique_steps = []
+        cycle_steps = []
+        for seed in range(4):
+            clique_steps.append(
+                run_leader_election(protocol, clique(n), rng=seed).stabilization_step
+            )
+            cycle_steps.append(
+                run_leader_election(protocol, cycle(n), rng=seed).stabilization_step
+            )
+        assert sum(clique_steps) < sum(cycle_steps)

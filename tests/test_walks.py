@@ -1,0 +1,168 @@
+"""Tests for classic and population-model random walks (Section 4.1)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, clique, cycle, lollipop, path, star
+from repro.walks import (
+    dense_random_graph_hitting_order,
+    estimate_cover_time,
+    exact_meeting_times,
+    general_graph_hitting_upper_bound,
+    hitting_time,
+    hitting_time_report,
+    hitting_times_to,
+    population_hitting_times_to,
+    population_worst_case_hitting_time,
+    regular_graph_hitting_upper_bound,
+    simulate_meeting_time,
+    simulate_population_hitting_time,
+    simulate_walk,
+    stationary_distribution,
+    theorem16_step_bound,
+    transition_matrix,
+    worst_case_hitting_time,
+)
+
+
+class TestClassicWalks:
+    def test_transition_matrix_rows_sum_to_one(self, small_torus):
+        p = transition_matrix(small_torus)
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_clique_hitting_time_is_n_minus_1(self):
+        # On K_n the hitting time between distinct nodes is exactly n - 1.
+        n = 9
+        g = clique(n)
+        assert hitting_time(g, 0, 1) == pytest.approx(n - 1)
+        assert worst_case_hitting_time(g) == pytest.approx(n - 1)
+
+    def test_star_hitting_times(self):
+        # Leaf -> centre = 1; centre -> leaf = 2n - 3; leaf -> leaf = 2n - 2.
+        n = 10
+        g = star(n)
+        assert hitting_time(g, 1, 0) == pytest.approx(1.0)
+        assert hitting_time(g, 0, 1) == pytest.approx(2 * n - 3)
+        assert hitting_time(g, 2, 1) == pytest.approx(2 * n - 2)
+
+    def test_path_end_to_end_hitting_time(self):
+        # H(0, n-1) on a path is (n-1)^2.
+        n = 8
+        g = path(n)
+        assert hitting_time(g, 0, n - 1) == pytest.approx((n - 1) ** 2)
+
+    def test_cycle_worst_case_hitting_time(self):
+        # max_k k(n-k) = floor(n/2) * ceil(n/2).
+        n = 10
+        g = cycle(n)
+        assert worst_case_hitting_time(g) == pytest.approx((n // 2) * ((n + 1) // 2))
+
+    def test_hitting_times_to_target_zero_at_target(self, small_cycle):
+        times = hitting_times_to(small_cycle, 3)
+        assert times[3] == 0.0
+        assert (times[np.arange(10) != 3] > 0).all()
+
+    def test_target_out_of_range(self, small_cycle):
+        with pytest.raises(ValueError):
+            hitting_times_to(small_cycle, 99)
+
+    def test_lollipop_hitting_time_is_superquadratic(self):
+        # The lollipop is the classic Θ(n^3) hitting-time example: from the
+        # clique into the far end of the tail.
+        g = lollipop(8, 8)
+        h = worst_case_hitting_time(g)
+        assert h > g.n_nodes ** 2
+
+    def test_stationary_distribution(self, small_star):
+        pi = stationary_distribution(small_star)
+        assert pi.sum() == pytest.approx(1.0)
+        assert pi[0] == pytest.approx(small_star.degree(0) / (2 * small_star.n_edges))
+
+    def test_simulate_walk_cover(self, small_cycle):
+        trajectory = simulate_walk(small_cycle, 0, steps=2000, rng=0)
+        assert trajectory.cover_step is not None
+        assert trajectory.cover_step <= 2000
+
+    def test_simulate_walk_records_positions(self, small_cycle):
+        trajectory = simulate_walk(small_cycle, 0, steps=10, rng=1, record_positions=True)
+        assert len(trajectory.positions) == 11
+        for a, b in zip(trajectory.positions, trajectory.positions[1:]):
+            assert small_cycle.has_edge(a, b)
+
+    def test_estimate_cover_time_close_to_known_value_on_clique(self):
+        # Cover time of K_n is ~ n H_n (coupon collector).
+        n = 10
+        g = clique(n)
+        estimate = estimate_cover_time(g, repetitions=30, rng=2)
+        expected = n * sum(1 / i for i in range(1, n))
+        assert estimate == pytest.approx(expected, rel=0.35)
+
+
+class TestPopulationWalks:
+    def test_population_hitting_time_scales_by_m_over_degree(self):
+        # On a regular graph, H_P(u, v) = (m / d) * H(u, v) exactly, because
+        # every jump of the classic chain waits Geom(d/m) steps.
+        g = cycle(10)
+        classic = hitting_times_to(g, 0)
+        population = population_hitting_times_to(g, 0)
+        ratio = g.n_edges / 2
+        assert np.allclose(population[1:], classic[1:] * ratio, rtol=1e-9)
+
+    def test_population_worst_case_positive(self, small_star):
+        assert population_worst_case_hitting_time(small_star) > 0
+
+    def test_lemma17_relation_on_families(self):
+        for g in (cycle(12), star(12), clique(12), path(12)):
+            report = hitting_time_report(g, include_meeting_times=False)
+            assert report.lemma17_holds
+
+    def test_lemma18_meeting_time_bound(self):
+        for g in (cycle(10), star(10), clique(8)):
+            report = hitting_time_report(g, include_meeting_times=True)
+            assert report.lemma18_holds
+
+    def test_exact_meeting_times_symmetric_zero_diagonal(self):
+        g = cycle(8)
+        meeting = exact_meeting_times(g)
+        assert np.allclose(np.diag(meeting), 0.0)
+        assert np.allclose(meeting, meeting.T, rtol=1e-8)
+
+    def test_exact_meeting_times_size_limit(self):
+        with pytest.raises(ValueError):
+            exact_meeting_times(cycle(60))
+
+    def test_simulated_meeting_time_matches_exact_on_path(self):
+        g = path(4)
+        exact = exact_meeting_times(g)[0, 3]
+        samples = [simulate_meeting_time(g, 0, 3, rng=seed) for seed in range(60)]
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(exact, rel=0.35)
+
+    def test_simulated_population_hitting_matches_exact(self):
+        g = cycle(6)
+        exact = population_hitting_times_to(g, 0)[3]
+        samples = [simulate_population_hitting_time(g, 3, 0, rng=seed) for seed in range(60)]
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(exact, rel=0.35)
+
+    def test_hitting_same_node_is_zero(self, small_cycle):
+        assert simulate_population_hitting_time(small_cycle, 2, 2, rng=0) == 0
+
+
+class TestBoundsHelpers:
+    def test_theorem16_bound_scales_with_hitting_time(self):
+        slow = theorem16_step_bound(lollipop(8, 8))
+        fast = theorem16_step_bound(clique(16))
+        assert slow > fast
+
+    def test_theorem16_bound_single_node(self):
+        assert theorem16_step_bound(Graph(1, [])) == 0.0
+
+    def test_asymptotic_helpers(self):
+        assert general_graph_hitting_upper_bound(10) == 1000
+        assert regular_graph_hitting_upper_bound(10) == 100
+        assert dense_random_graph_hitting_order(10) == 10

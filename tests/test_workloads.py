@@ -1,0 +1,62 @@
+"""Tests for the workload registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import available_workloads, get_workload
+from repro.experiments.workloads import renitent_star_construction
+
+
+class TestRegistry:
+    def test_available_workloads_nonempty_and_sorted(self):
+        names = available_workloads()
+        assert names == sorted(names)
+        assert "clique" in names
+        assert "dense-gnp" in names
+        assert "renitent-star" in names
+
+    def test_unknown_workload_raises_with_suggestions(self):
+        with pytest.raises(KeyError) as excinfo:
+            get_workload("nonexistent")
+        assert "clique" in str(excinfo.value)
+
+    def test_every_workload_builds_a_connected_graph(self):
+        for name in available_workloads():
+            workload = get_workload(name)
+            graph = workload.build(24, seed=3)
+            assert graph.n_nodes >= 2
+            assert (graph.bfs_distances(0) >= 0).all(), name
+
+    def test_regular_flag_consistent(self):
+        for name in available_workloads():
+            workload = get_workload(name)
+            if workload.regular:
+                graph = workload.build(20, seed=1)
+                assert graph.is_regular(), name
+
+    def test_sizes_roughly_respected(self):
+        for name in ("clique", "cycle", "star", "dense-gnp", "lollipop"):
+            graph = get_workload(name).build(30, seed=0)
+            assert 0.5 * 30 <= graph.n_nodes <= 2 * 30, name
+
+    def test_random_workloads_reproducible(self):
+        a = get_workload("dense-gnp").build(20, seed=5)
+        b = get_workload("dense-gnp").build(20, seed=5)
+        assert a == b
+
+    def test_descriptions_mention_table1(self):
+        described = [get_workload(n).description for n in available_workloads()]
+        assert any("Table 1" in d for d in described)
+
+
+class TestRenitentWorkload:
+    def test_construction_has_cover(self):
+        construction = renitent_star_construction(64)
+        assert len(construction.cover_sets) == 4
+        assert construction.ell >= 2
+        assert construction.graph.n_nodes >= 32
+
+    def test_workload_wraps_construction(self):
+        graph = get_workload("renitent-star").build(64, seed=0)
+        assert graph.n_nodes == renitent_star_construction(64).graph.n_nodes
