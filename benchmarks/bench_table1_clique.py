@@ -29,7 +29,7 @@ REPETITIONS = 4
 
 
 @pytest.mark.benchmark(group="table1-clique")
-def test_table1_clique_row_group(benchmark, report):
+def test_table1_clique_row_group(benchmark, report, engine):
     group = run_once(
         benchmark,
         run_table1_family,
@@ -37,6 +37,7 @@ def test_table1_clique_row_group(benchmark, report):
         SIZES,
         repetitions=REPETITIONS,
         seed=7,
+        engine=engine,
     )
     expected = expected_exponents()["clique"]
     rows = []

@@ -27,7 +27,7 @@ REPETITIONS = 3
 
 
 @pytest.mark.benchmark(group="table1-dense-random")
-def test_table1_dense_random_row_group(benchmark, report):
+def test_table1_dense_random_row_group(benchmark, report, engine):
     group = run_once(
         benchmark,
         run_table1_family,
@@ -35,6 +35,7 @@ def test_table1_dense_random_row_group(benchmark, report):
         SIZES,
         repetitions=REPETITIONS,
         seed=23,
+        engine=engine,
     )
     expected = expected_exponents()["dense-gnp"]
     rows = [

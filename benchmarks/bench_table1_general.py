@@ -36,11 +36,16 @@ SIZE = 36
 REPETITIONS = 3
 
 
-def _measure_family(family: str):
+def _measure_family(family: str, engine: str = "auto"):
     graph = get_workload(family).build(SIZE, seed=2)
     budget = default_step_budget(graph, multiplier=400.0)
     measurements = compare_protocols_on_graph(
-        default_protocol_specs(), graph, repetitions=REPETITIONS, seed=17, max_steps=budget
+        default_protocol_specs(),
+        graph,
+        repetitions=REPETITIONS,
+        seed=17,
+        max_steps=budget,
+        engine=engine,
     )
     broadcast = broadcast_time_estimate(graph, repetitions=4, max_sources=6, rng=3).value
     hitting = worst_case_hitting_time(graph)
@@ -49,8 +54,10 @@ def _measure_family(family: str):
 
 @pytest.mark.benchmark(group="table1-general")
 @pytest.mark.parametrize("family", FAMILIES)
-def test_table1_general_family(benchmark, report, family):
-    graph, measurements, broadcast, hitting = run_once(benchmark, _measure_family, family)
+def test_table1_general_family(benchmark, report, family, engine):
+    graph, measurements, broadcast, hitting = run_once(
+        benchmark, _measure_family, family, engine
+    )
     rows = []
     for name, measurement in measurements.items():
         rows.append(

@@ -35,7 +35,7 @@ REPETITIONS = 3
 
 
 @pytest.mark.benchmark(group="table1-regular")
-def test_table1_cycle_row_group(benchmark, report):
+def test_table1_cycle_row_group(benchmark, report, engine):
     group = run_once(
         benchmark,
         run_table1_family,
@@ -44,6 +44,7 @@ def test_table1_cycle_row_group(benchmark, report):
         repetitions=REPETITIONS,
         seed=11,
         step_budget_multiplier=200.0,
+        engine=engine,
     )
     report(group.render())
     by_protocol = {row.protocol: row for row in group.rows}
@@ -59,7 +60,7 @@ def test_table1_cycle_row_group(benchmark, report):
 
 
 @pytest.mark.benchmark(group="table1-regular")
-def test_table1_random_regular_row_group(benchmark, report):
+def test_table1_random_regular_row_group(benchmark, report, engine):
     group = run_once(
         benchmark,
         run_table1_family,
@@ -67,6 +68,7 @@ def test_table1_random_regular_row_group(benchmark, report):
         EXPANDER_SIZES,
         repetitions=REPETITIONS,
         seed=13,
+        engine=engine,
     )
     report(group.render())
     for row in group.rows:
@@ -81,7 +83,7 @@ def test_table1_random_regular_row_group(benchmark, report):
 
 
 @pytest.mark.benchmark(group="table1-regular")
-def test_conductance_dependence_cycle_vs_expander(benchmark, report):
+def test_conductance_dependence_cycle_vs_expander(benchmark, report, engine):
     """At equal n, the low-conductance cycle is slower for every protocol."""
 
     def measure():
@@ -94,10 +96,12 @@ def test_conductance_dependence_cycle_vs_expander(benchmark, report):
         cycle_results = compare_protocols_on_graph(
             specs, cycle_graph, repetitions=3, seed=5,
             max_steps=default_step_budget(cycle_graph, multiplier=200.0),
+            engine=engine,
         )
         expander_results = compare_protocols_on_graph(
             specs, expander_graph, repetitions=3, seed=5,
             max_steps=default_step_budget(expander_graph, multiplier=200.0),
+            engine=engine,
         )
         return cycle_results, expander_results
 

@@ -40,7 +40,7 @@ POPULATION_SIZES = [48, 80]
 REPETITIONS = 3
 
 
-def _measure(n_target: int):
+def _measure(n_target: int, engine: str = "auto"):
     construction = renitent_star_construction(n_target)
     graph = construction.graph
     cover = Cover.from_construction(construction)
@@ -55,15 +55,16 @@ def _measure(n_target: int):
         repetitions=REPETITIONS,
         seed=47,
         max_steps=default_step_budget(graph, multiplier=400.0),
+        engine=engine,
     )
     return construction, structure, isolation, lower_bound, broadcast, measurement
 
 
 @pytest.mark.benchmark(group="table1-renitent")
 @pytest.mark.parametrize("n_target", POPULATION_SIZES)
-def test_renitent_lower_bound_sandwich(benchmark, report, n_target):
+def test_renitent_lower_bound_sandwich(benchmark, report, n_target, engine):
     construction, structure, isolation, lower_bound, broadcast, measurement = run_once(
-        benchmark, _measure, n_target
+        benchmark, _measure, n_target, engine
     )
     graph = construction.graph
     rows = [

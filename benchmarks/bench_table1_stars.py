@@ -32,8 +32,10 @@ REPETITIONS = 5
 
 
 @pytest.mark.benchmark(group="table1-stars")
-def test_trivial_protocol_is_constant_time(benchmark, report):
-    group = run_once(benchmark, run_star_row, SIZES, repetitions=REPETITIONS, seed=29)
+def test_trivial_protocol_is_constant_time(benchmark, report, engine):
+    group = run_once(
+        benchmark, run_star_row, SIZES, repetitions=REPETITIONS, seed=29, engine=engine
+    )
     report(group.render())
     row = group.rows[0]
     assert row.success_rate == 1.0
@@ -44,9 +46,9 @@ def test_trivial_protocol_is_constant_time(benchmark, report):
 
 
 @pytest.mark.benchmark(group="table1-stars")
-def test_leader_election_beats_broadcast_on_stars(benchmark, report):
+def test_leader_election_beats_broadcast_on_stars(benchmark, report, engine):
     def measure():
-        star_group = run_star_row(SIZES[:3], repetitions=REPETITIONS, seed=31)
+        star_group = run_star_row(SIZES[:3], repetitions=REPETITIONS, seed=31, engine=engine)
         broadcasts = {
             n: broadcast_time_estimate(star(n), repetitions=4, max_sources=4, rng=5).value
             for n in SIZES[:3]
@@ -72,7 +74,7 @@ def test_leader_election_beats_broadcast_on_stars(benchmark, report):
 
 
 @pytest.mark.benchmark(group="table1-stars")
-def test_general_protocols_still_work_on_stars(benchmark, report):
+def test_general_protocols_still_work_on_stars(benchmark, report, engine):
     group = run_once(
         benchmark,
         run_table1_family,
@@ -80,6 +82,7 @@ def test_general_protocols_still_work_on_stars(benchmark, report):
         [16, 32, 64],
         repetitions=2,
         seed=37,
+        engine=engine,
     )
     report(group.render())
     for row in group.rows:

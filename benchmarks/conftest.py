@@ -24,6 +24,32 @@ if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
 
+def pytest_addoption(parser):
+    """``--engine`` switches every benchmark between execution engines.
+
+    ``auto`` (default) uses the compiled engine where possible; ``reference``
+    forces the pure-Python interpreter (the escape hatch for semantic
+    comparisons); ``compiled`` requires compilation and fails loudly when a
+    protocol cannot be compiled.  The ``REPRO_ENGINE`` environment variable
+    provides the default so CI matrices can set it without editing
+    commands.  Measured *values* are identical across engines for a fixed
+    seed — only the wall-clock differs.
+    """
+    parser.addoption(
+        "--engine",
+        action="store",
+        default=os.environ.get("REPRO_ENGINE", "auto"),
+        choices=["auto", "compiled", "reference"],
+        help="execution engine for all benchmarks (default: auto)",
+    )
+
+
+@pytest.fixture
+def engine(request):
+    """The engine selected via ``--engine`` / ``REPRO_ENGINE``."""
+    return request.config.getoption("--engine")
+
+
 @pytest.fixture
 def report(capsys):
     """Print a report section even under pytest's output capture."""

@@ -6,6 +6,8 @@ A library-quality reproduction of Alistarh, Rybicki and Voitovych,
 
 * :mod:`repro.core` — the stochastic population-protocol model (states,
   schedulers, simulator, exact stability checking),
+* :mod:`repro.engine` — the compiled execution engine (protocol → lookup
+  tables, vectorized/native stepping, stacked multi-replica runs),
 * :mod:`repro.graphs` — interaction-graph families, properties and the
   renitent constructions of Section 6,
 * :mod:`repro.propagation` — broadcast / propagation-time dynamics
@@ -29,7 +31,18 @@ Quickstart::
     print(result.stabilization_step, result.leaders)
 """
 
-from . import analysis, core, experiments, graphs, lowerbounds, propagation, protocols, walks
+from . import (
+    analysis,
+    core,
+    engine,
+    experiments,
+    graphs,
+    lowerbounds,
+    propagation,
+    protocols,
+    walks,
+)
+from .engine import run_replicas
 from .core import (
     FOLLOWER,
     LEADER,
@@ -66,11 +79,13 @@ __all__ = [
     "__version__",
     "analysis",
     "core",
+    "engine",
     "experiments",
     "graphs",
     "lowerbounds",
     "propagation",
     "protocols",
     "run_leader_election",
+    "run_replicas",
     "walks",
 ]

@@ -3,6 +3,7 @@
 Sub-commands:
 
 * ``workloads``       — list the available graph-family workloads.
+* ``engines``         — show the available execution engines / backends.
 * ``elect``           — run one leader-election protocol on one workload
   and print the simulation result.
 * ``compare``         — run all three Table 1 protocols on one workload.
@@ -10,10 +11,18 @@ Sub-commands:
 * ``broadcast``       — estimate ``B(G)`` and print the Theorem 6 bounds.
 * ``graph-info``      — structural properties of a workload graph.
 
+``elect``, ``compare`` and ``table1`` accept ``--engine
+{auto,compiled,reference}``: ``compiled`` runs through the table-driven
+engine (:mod:`repro.engine`), ``reference`` through the pure-Python
+interpreter, and ``auto`` (the default) prefers the compiled engine and
+falls back when a protocol cannot be compiled.  Results are identical
+across engines for a given seed.
+
 Examples::
 
     repro-popsim elect --workload clique --size 100 --protocol token
     repro-popsim table1 --family cycle --sizes 24 36 48 --repetitions 2
+    repro-popsim elect --workload clique --size 100 --engine reference
     repro-popsim broadcast --workload torus --size 64
 """
 
@@ -58,6 +67,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("workloads", help="list available graph workloads")
 
+    subparsers.add_parser("engines", help="show available execution engines/backends")
+
     elect = subparsers.add_parser("elect", help="run a single leader election")
     _add_graph_arguments(elect)
     elect.add_argument(
@@ -67,16 +78,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="which protocol to run",
     )
     elect.add_argument("--repetitions", type=int, default=3)
+    _add_engine_argument(elect)
 
     compare = subparsers.add_parser("compare", help="compare the Table 1 protocols")
     _add_graph_arguments(compare)
     compare.add_argument("--repetitions", type=int, default=3)
+    _add_engine_argument(compare)
 
     table1 = subparsers.add_parser("table1", help="regenerate a Table 1 row group")
     table1.add_argument("--family", required=True, help="workload name")
     table1.add_argument("--sizes", type=int, nargs="+", required=True)
     table1.add_argument("--repetitions", type=int, default=2)
     table1.add_argument("--seed", type=int, default=0)
+    _add_engine_argument(table1)
 
     broadcast = subparsers.add_parser("broadcast", help="estimate B(G) and print bounds")
     _add_graph_arguments(broadcast)
@@ -93,12 +107,23 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        choices=["auto", "compiled", "reference"],
+        default="auto",
+        help="execution engine (results are seed-identical across engines)",
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "workloads":
         return _cmd_workloads()
+    if args.command == "engines":
+        return _cmd_engines()
     if args.command == "elect":
         return _cmd_elect(args)
     if args.command == "compare":
@@ -127,6 +152,28 @@ def _cmd_workloads() -> int:
     return 0
 
 
+def _cmd_engines() -> int:
+    from .engine import available_backends
+
+    backends = available_backends()
+    rows = [
+        {
+            "engine": "reference",
+            "description": "pure-Python interpreter (semantic reference)",
+        },
+        {
+            "engine": "compiled",
+            "description": "table-driven engine; backends: " + ", ".join(backends),
+        },
+        {
+            "engine": "auto",
+            "description": "compiled when possible, reference otherwise (default)",
+        },
+    ]
+    print(render_table(rows, title="Execution engines"))
+    return 0
+
+
 def _cmd_elect(args: argparse.Namespace) -> int:
     graph = _build_graph(args)
     spec = _PROTOCOL_CHOICES[args.protocol]()
@@ -136,6 +183,7 @@ def _cmd_elect(args: argparse.Namespace) -> int:
         repetitions=args.repetitions,
         seed=args.seed,
         max_steps=default_step_budget(graph),
+        engine=args.engine,
     )
     print(render_table([measurement.as_dict()], title=f"{spec.name} on {graph.name}"))
     return 0 if measurement.success_rate == 1.0 else 1
@@ -149,6 +197,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         repetitions=args.repetitions,
         seed=args.seed,
         max_steps=default_step_budget(graph),
+        engine=args.engine,
     )
     print(render_comparison(f"Protocol comparison on {graph.name}", measurements))
     return 0
@@ -160,6 +209,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         args.sizes,
         repetitions=args.repetitions,
         seed=args.seed,
+        engine=args.engine,
     )
     print(group.render())
     return 0

@@ -74,6 +74,30 @@ class PopulationProtocol(abc.ABC, Generic[State]):
         """
         return None
 
+    def enumerate_states(self) -> Optional[Sequence[State]]:
+        """All states of ``Λ``, if they can be enumerated cheaply.
+
+        Used by the compiled engine (:mod:`repro.engine`) to pre-register
+        state codes and size its lookup tables once.  Returning ``None``
+        (the default) makes the engine discover states lazily as they
+        appear in an execution, which is the right choice for protocols
+        whose state *universe* is huge but whose reachable set is small
+        (e.g. the identifier protocol's ``O(n^4)`` states).
+        """
+        return None
+
+    def compile_key(self) -> Optional[Hashable]:
+        """Identity of this protocol's transition function, for table reuse.
+
+        Two instances with equal, non-``None`` keys must implement exactly
+        the same transition, output and initialisation functions; the
+        compiled engine then shares one set of lookup tables between them
+        (e.g. across the repeated trials of a Monte-Carlo measurement).
+        Returning ``None`` (the default) restricts table reuse to the
+        instance itself.
+        """
+        return None
+
     def is_output_stable_configuration(self, states: Sequence[State], graph) -> bool:
         """Protocol-specific certificate that a configuration is stable.
 

@@ -24,7 +24,13 @@ from ..graphs.random_graphs import RngLike, as_rng
 
 Interaction = Tuple[int, int]
 
-_DEFAULT_BATCH = 65536
+# Pre-sample size per RNG refill.  4096 keeps the sampling fully
+# vectorised while wasting little work on short runs (stabilization-bound
+# executions often need only a few thousand interactions).  Note: the
+# refill size is part of the seeded stream definition — changing it
+# changes every seeded trajectory (last changed from 65536 in the engine
+# PR; see CHANGES.md).
+_DEFAULT_BATCH = 4096
 
 
 class Scheduler(abc.ABC):

@@ -79,6 +79,21 @@ class SimulationResult:
         return max(self.last_output_change_step, 0)
 
 
+#: Engines accepted by :class:`Simulator`.
+ENGINES = ("reference", "compiled", "auto")
+
+
+def default_check_interval(graph: Graph) -> int:
+    """Default certificate-checking cadence: ``max(1, m // 4)``, ≤ 4096.
+
+    Shared by the reference interpreter, the compiled engine and the
+    multi-replica runner — all three must use the same cadence (and hence
+    the same scheduler batch sizes) for their results to stay
+    bit-identical.
+    """
+    return min(max(1, graph.n_edges // 4), 4096)
+
+
 class Simulator:
     """Runs population protocols on a graph.
 
@@ -90,13 +105,41 @@ class Simulator:
         The protocol to execute.
     rng:
         Seed or generator for the stochastic scheduler.
+    engine:
+        Default execution engine for :meth:`run`:
+
+        * ``"reference"`` — the pure-Python interpreter below, the
+          semantic reference;
+        * ``"compiled"`` — the table-driven engine (:mod:`repro.engine`),
+          which produces bit-identical results and is typically 3–100×
+          faster; raises if the protocol cannot be compiled;
+        * ``"auto"`` — compiled when possible, reference otherwise.
+    backend:
+        Compiled-engine backend (``"auto"``, ``"native"``, ``"vector"``,
+        ``"scalar"``); see :class:`repro.engine.stepper.CompiledRun`.
+    max_states:
+        Bound on the compiled state table size (default
+        :data:`repro.engine.compiler.DEFAULT_MAX_STATES`).
     """
 
-    def __init__(self, graph: Graph, protocol: PopulationProtocol, rng: RngLike = None) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        protocol: PopulationProtocol,
+        rng: RngLike = None,
+        engine: str = "reference",
+        backend: str = "auto",
+        max_states: Optional[int] = None,
+    ) -> None:
         if graph.n_nodes < 1:
             raise ValueError("graph must be non-empty")
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.graph = graph
         self.protocol = protocol
+        self.engine = engine
+        self.backend = backend
+        self.max_states = max_states
         self._rng = rng
 
     # ------------------------------------------------------------------
@@ -110,6 +153,9 @@ class Simulator:
         scheduler: Optional[Scheduler] = None,
         record_leader_trace: bool = False,
         trace_resolution: int = 64,
+        engine: Optional[str] = None,
+        backend: Optional[str] = None,
+        max_states: Optional[int] = None,
     ) -> SimulationResult:
         """Execute until the stability certificate holds or ``max_steps``.
 
@@ -130,9 +176,51 @@ class Simulator:
             If true, record ``(step, leader_count)`` checkpoints.
         trace_resolution:
             Approximate number of trace checkpoints to record.
+        engine / backend / max_states:
+            Override the simulator-level engine selection (see
+            :class:`Simulator`).  The compiled engine consumes the same
+            scheduler stream and reproduces the reference results exactly.
         """
         if max_steps < 0:
             raise ValueError("max_steps must be non-negative")
+        engine = self.engine if engine is None else engine
+        backend = self.backend if backend is None else backend
+        max_states = self.max_states if max_states is None else max_states
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        if engine != "reference":
+            scheduler_ok = scheduler is None or hasattr(scheduler, "next_arrays")
+            if not scheduler_ok and engine == "compiled":
+                raise ValueError(
+                    "engine='compiled' requires a scheduler with next_arrays(); "
+                    "use the reference engine for replayed schedules"
+                )
+            if engine == "auto" and not self._auto_prefers_compiled(max_states):
+                scheduler_ok = False
+            if scheduler_ok:
+                from ..engine.compiler import ProtocolCompilationError
+
+                # A mid-run compilation failure cannot fall back cleanly when
+                # the scheduler stream is not re-creatable from a seed.
+                import numpy as _np
+
+                replayable = scheduler is None and not isinstance(
+                    self._rng, _np.random.Generator
+                )
+                try:
+                    return self._run_compiled(
+                        max_steps=max_steps,
+                        inputs=inputs,
+                        check_interval=check_interval,
+                        scheduler=scheduler,
+                        record_leader_trace=record_leader_trace,
+                        trace_resolution=trace_resolution,
+                        backend=backend,
+                        max_states=max_states,
+                    )
+                except ProtocolCompilationError:
+                    if engine == "compiled" or not replayable:
+                        raise
         graph = self.graph
         protocol = self.protocol
         n = graph.n_nodes
@@ -143,7 +231,7 @@ class Simulator:
                 raise ValueError("inputs must provide one symbol per node")
             states = [protocol.initial_state(symbol) for symbol in inputs]
         if check_interval is None:
-            check_interval = min(max(1, graph.n_edges // 4), 4096)
+            check_interval = default_check_interval(graph)
         check_interval = max(1, int(check_interval))
 
         transition = protocol.transition
@@ -240,6 +328,100 @@ class Simulator:
             wall_time_seconds=wall,
         )
 
+    def _auto_prefers_compiled(self, max_states: Optional[int]) -> bool:
+        """Whether ``engine="auto"`` should try the compiled engine.
+
+        See :func:`repro.engine.compiler.compilation_worthwhile`;
+        ``engine="compiled"`` bypasses this heuristic.
+        """
+        from ..engine.compiler import compilation_worthwhile
+
+        return compilation_worthwhile(self.protocol, max_states)
+
+    def _run_compiled(
+        self,
+        max_steps: int,
+        inputs: Optional[Sequence[Any]],
+        check_interval: Optional[int],
+        scheduler: Optional[Scheduler],
+        record_leader_trace: bool,
+        trace_resolution: int,
+        backend: str,
+        max_states: Optional[int],
+    ) -> SimulationResult:
+        """Compiled-engine twin of :meth:`run` (identical semantics).
+
+        The loop structure mirrors the reference interpreter exactly: same
+        initial certificate check, same lazily created scheduler, same
+        ``min(check_interval, remaining)`` batch sizes (so the scheduler's
+        RNG stream is consumed identically), and the same certificate
+        cadence.  Only the inner per-interaction application is replaced by
+        :class:`repro.engine.stepper.CompiledRun`.
+        """
+        from ..engine.compiler import DEFAULT_MAX_STATES, get_compiled
+        from ..engine.stepper import CompiledRun
+
+        graph = self.graph
+        protocol = self.protocol
+        n = graph.n_nodes
+        if inputs is None:
+            states: List[Hashable] = [protocol.initial_state(None)] * n
+        else:
+            if len(inputs) != n:
+                raise ValueError("inputs must provide one symbol per node")
+            states = [protocol.initial_state(symbol) for symbol in inputs]
+        if check_interval is None:
+            check_interval = default_check_interval(graph)
+        check_interval = max(1, int(check_interval))
+
+        compiled = get_compiled(
+            protocol, max_states=max_states if max_states is not None else DEFAULT_MAX_STATES
+        )
+        start_time = time.perf_counter()
+        trace_every = (
+            max(1, max_steps // max(trace_resolution, 1)) if record_leader_trace else 0
+        )
+        run = CompiledRun(
+            compiled,
+            compiled.encode(states),
+            backend=backend,
+            record_trace=record_leader_trace,
+            trace_every=trace_every,
+        )
+
+        stabilized = False
+        certified_step = 0
+        if protocol.is_output_stable_configuration(states, graph):
+            stabilized = True
+
+        if not stabilized and run.step < max_steps and scheduler is None:
+            scheduler = RandomScheduler(graph, rng=self._rng)
+
+        while not stabilized and run.step < max_steps:
+            batch = min(check_interval, max_steps - run.step)
+            initiators, responders = scheduler.next_arrays(batch)
+            run.apply_block(initiators, responders)
+            if protocol.is_output_stable_configuration(run.current_states(), graph):
+                stabilized = True
+                certified_step = run.step
+
+        wall = time.perf_counter() - start_time
+        final = Configuration(run.current_states(), step=run.step)
+        trace = run.trace
+        if record_leader_trace and (not trace or trace[-1][0] != run.step):
+            trace.append((run.step, run.leader_count))
+        return SimulationResult(
+            stabilized=stabilized,
+            certified_step=certified_step if stabilized else run.step,
+            last_output_change_step=run.last_change,
+            steps_executed=run.step,
+            leaders=run.leader_count,
+            final_configuration=final,
+            distinct_states_observed=run.distinct_observed(),
+            leader_trace=trace,
+            wall_time_seconds=wall,
+        )
+
     def run_fixed_schedule(
         self,
         interactions: Sequence[Tuple[int, int]],
@@ -257,6 +439,18 @@ class Simulator:
         )
 
 
+def default_max_steps(n_nodes: int) -> int:
+    """The generous default step budget used by :func:`run_leader_election`.
+
+    ``50 · n² · max(log2 n, 1) + 10^4`` covers the constant-state
+    protocol's ``O(H(G) n log n)`` bound on the benchmark graph sizes.
+    """
+    import math
+
+    n = n_nodes
+    return int(50 * n * n * max(math.log2(max(n, 2)), 1.0)) + 10_000
+
+
 def run_leader_election(
     protocol: PopulationProtocol,
     graph: Graph,
@@ -265,19 +459,20 @@ def run_leader_election(
     inputs: Optional[Sequence[Any]] = None,
     check_interval: Optional[int] = None,
     record_leader_trace: bool = False,
+    engine: str = "reference",
+    backend: str = "auto",
 ) -> SimulationResult:
     """Convenience wrapper: simulate ``protocol`` on ``graph`` until stable.
 
     ``max_steps`` defaults to a generous ``50 * n^2 * max(log2 n, 1) + 10^4``
     budget, which covers the constant-state protocol's ``O(H(G) n log n)``
-    bound on the benchmark graph sizes.
+    bound on the benchmark graph sizes.  ``engine`` selects the execution
+    engine (see :class:`Simulator`); results are identical across engines
+    for the same ``rng`` seed.
     """
-    n = graph.n_nodes
     if max_steps is None:
-        import math
-
-        max_steps = int(50 * n * n * max(math.log2(max(n, 2)), 1.0)) + 10_000
-    simulator = Simulator(graph, protocol, rng=rng)
+        max_steps = default_max_steps(graph.n_nodes)
+    simulator = Simulator(graph, protocol, rng=rng, engine=engine, backend=backend)
     return simulator.run(
         max_steps=max_steps,
         inputs=inputs,

@@ -1,0 +1,203 @@
+"""Optional C kernel for the compiled engine.
+
+The packed transition tables built by :mod:`repro.engine.compiler` are
+self-contained: applying one interaction is two array reads, one table read
+and two writes.  That inner loop is branch-light and memory-resident, so on
+machines with a system C compiler we compile a ~30-line kernel once, cache
+the shared object under ``src/repro/engine/_build/`` and drive it through
+:mod:`ctypes`.  This removes the interpreter from the hot path entirely
+(roughly two orders of magnitude over the reference interpreter) while
+executing the *same* table entries as the NumPy and scalar backends.
+
+Everything degrades gracefully: no compiler, a failed build, or
+``REPRO_DISABLE_NATIVE=1`` simply means :func:`get_kernel` returns ``None``
+and the stepper falls back to the NumPy/scalar backends.  The kernel stops
+at the first table miss and returns how far it got, so lazy pair discovery
+(and table growth) stays in Python.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+import shutil
+import subprocess
+from typing import Optional
+
+_KERNEL_VERSION = 2
+
+_KERNEL_SOURCE = r"""
+#include <stdint.h>
+
+/* Applies interactions [0, nsteps) sequentially against the packed table.
+ *
+ * Packed entry layout (see repro/engine/compiler.py):
+ *   entry = ((na * k + nb) << 4) | ((dl + 2) << 1) | chg,  -1 == missing.
+ *
+ * Returns the number of interactions applied; a return value < nsteps
+ * means entry (iu[ret], iv[ret]) is missing and must be filled by the
+ * caller before resuming at offset ret.
+ */
+int64_t repro_run_block(int64_t *codes,
+                        const int64_t *iu,
+                        const int64_t *iv,
+                        int64_t nsteps,
+                        const int32_t *dpack,
+                        int64_t k,
+                        int32_t kshift,
+                        uint8_t *seen,
+                        int64_t step0,
+                        int64_t *last_change_io,
+                        int64_t *leaders_io)
+{
+    const int64_t kmask = k - 1;
+    int64_t last = *last_change_io;
+    int64_t leaders = *leaders_io;
+    int64_t i;
+    for (i = 0; i < nsteps; i++) {
+        int64_t u = iu[i];
+        int64_t v = iv[i];
+        int64_t a = codes[u];
+        int64_t b = codes[v];
+        int32_t pk = dpack[a * k + b];
+        int64_t val, na, nb;
+        if (pk < 0)
+            break;
+        val = (int64_t)(pk >> 4);
+        na = val >> kshift;
+        nb = val & kmask;
+        codes[u] = na;
+        codes[v] = nb;
+        seen[na] = 1;
+        seen[nb] = 1;
+        if (pk & 1)
+            last = step0 + i + 1;
+        leaders += ((pk >> 1) & 7) - 2;
+    }
+    *last_change_io = last;
+    *leaders_io = leaders;
+    return i;
+}
+
+/* One block of the single-source epidemic (broadcast-time estimator).
+ *
+ * Spreads the informed flag across interactions until either the block is
+ * exhausted or all n nodes are informed.  Returns the number of
+ * interactions consumed; *count_io holds the updated informed count.
+ */
+int64_t repro_broadcast_block(uint8_t *informed,
+                              const int64_t *iu,
+                              const int64_t *iv,
+                              int64_t nsteps,
+                              int64_t n,
+                              int64_t *count_io)
+{
+    int64_t count = *count_io;
+    int64_t i;
+    for (i = 0; i < nsteps; i++) {
+        int64_t u = iu[i];
+        int64_t v = iv[i];
+        uint8_t a = informed[u];
+        uint8_t b = informed[v];
+        if (a != b) {
+            informed[u] = 1;
+            informed[v] = 1;
+            count++;
+            if (count == n) {
+                i++;
+                break;
+            }
+        }
+    }
+    *count_io = count;
+    return i;
+}
+"""
+
+_UNSET = object()
+_cached_kernel = _UNSET
+
+
+def _build_directory() -> str:
+    path = os.path.join(os.path.dirname(os.path.abspath(__file__)), "_build")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def _compile_kernel() -> Optional[ctypes.CDLL]:
+    compiler = shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
+    if compiler is None:
+        return None
+    build_dir = _build_directory()
+    src_path = os.path.join(build_dir, f"_kernel_v{_KERNEL_VERSION}.c")
+    so_path = os.path.join(build_dir, f"_kernel_v{_KERNEL_VERSION}.so")
+    if not os.path.exists(so_path):
+        with open(src_path, "w", encoding="utf-8") as handle:
+            handle.write(_KERNEL_SOURCE)
+        tmp_path = so_path + f".tmp{os.getpid()}"
+        subprocess.run(
+            [compiler, "-O2", "-shared", "-fPIC", "-o", tmp_path, src_path],
+            check=True,
+            capture_output=True,
+            timeout=120,
+        )
+        os.replace(tmp_path, so_path)
+    library = ctypes.CDLL(so_path)
+    run_block = library.repro_run_block
+    run_block.restype = ctypes.c_int64
+    run_block.argtypes = [
+        ctypes.c_void_p,  # codes
+        ctypes.c_void_p,  # iu
+        ctypes.c_void_p,  # iv
+        ctypes.c_int64,  # nsteps
+        ctypes.c_void_p,  # dpack
+        ctypes.c_int64,  # k
+        ctypes.c_int32,  # kshift
+        ctypes.c_void_p,  # seen
+        ctypes.c_int64,  # step0
+        ctypes.POINTER(ctypes.c_int64),  # last_change_io
+        ctypes.POINTER(ctypes.c_int64),  # leaders_io
+    ]
+    broadcast_block = library.repro_broadcast_block
+    broadcast_block.restype = ctypes.c_int64
+    broadcast_block.argtypes = [
+        ctypes.c_void_p,  # informed
+        ctypes.c_void_p,  # iu
+        ctypes.c_void_p,  # iv
+        ctypes.c_int64,  # nsteps
+        ctypes.c_int64,  # n
+        ctypes.POINTER(ctypes.c_int64),  # count_io
+    ]
+    return run_block, broadcast_block
+
+
+def _kernels():
+    global _cached_kernel
+    if _cached_kernel is not _UNSET:
+        return _cached_kernel
+    if os.environ.get("REPRO_DISABLE_NATIVE"):
+        _cached_kernel = None
+        return None
+    try:
+        _cached_kernel = _compile_kernel()
+    except Exception:
+        _cached_kernel = None
+    return _cached_kernel
+
+
+def get_kernel():
+    """The compiled protocol-stepping entry point, or ``None``."""
+    kernels = _kernels()
+    return None if kernels is None else kernels[0]
+
+
+def get_broadcast_kernel():
+    """The compiled single-source-epidemic entry point, or ``None``."""
+    kernels = _kernels()
+    return None if kernels is None else kernels[1]
+
+
+def reset_kernel_cache() -> None:
+    """Forget the cached kernel handle (tests toggling the env var)."""
+    global _cached_kernel
+    _cached_kernel = _UNSET

@@ -37,6 +37,7 @@ def stabilization_scaling_series(
     repetitions: int = 3,
     seed: int = 0,
     step_budget_multiplier: float = 100.0,
+    engine: str = "auto",
 ) -> List[Dict[str, object]]:
     """Stabilization steps vs population size for every protocol.
 
@@ -52,7 +53,12 @@ def stabilization_scaling_series(
         budget = default_step_budget(graph, multiplier=step_budget_multiplier)
         for spec in specs:
             measurement = measure_protocol_on_graph(
-                spec, graph, repetitions=repetitions, seed=seed + 13 * index, max_steps=budget
+                spec,
+                graph,
+                repetitions=repetitions,
+                seed=seed + 13 * index,
+                max_steps=budget,
+                engine=engine,
             )
             rows.append(
                 {

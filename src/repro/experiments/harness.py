@@ -21,7 +21,8 @@ import numpy as np
 from ..analysis.estimators import SummaryStatistics, summarize_samples
 from ..analysis.scaling import PowerLawFit, fit_power_law
 from ..core.protocol import PopulationProtocol
-from ..core.simulator import SimulationResult, run_leader_election
+from ..core.simulator import SimulationResult, default_max_steps, run_leader_election
+from ..engine import ProtocolCompilationError, run_replicas
 from ..graphs.graph import Graph
 from ..propagation.broadcast import broadcast_time_estimate
 from ..protocols.fast import FastLeaderElection
@@ -147,6 +148,46 @@ class Measurement:
         }
 
 
+def _run_measurement_batch(
+    protocols: Sequence[PopulationProtocol],
+    graph: Graph,
+    run_seeds: Sequence[int],
+    max_steps: Optional[int],
+    engine: str,
+    backend: str,
+) -> List[SimulationResult]:
+    """Execute one measurement's repetitions with the requested engine.
+
+    Repetitions whose protocol instances share a ``compile_key`` go through
+    :func:`repro.engine.run_replicas` (one table set, no recompilation);
+    heterogeneous instances (e.g. the fast protocol when its estimated
+    clock parameters differ between trials) run one by one.  A protocol
+    that turns out not to be compilable demotes ``engine="auto"`` to the
+    reference interpreter — the measured values are identical either way.
+    """
+    if engine != "reference":
+        from ..engine.compiler import compilation_worthwhile
+
+        keys = [protocol.compile_key() for protocol in protocols]
+        worthwhile = engine == "compiled" or compilation_worthwhile(protocols[0])
+        if worthwhile and keys[0] is not None and all(key == keys[0] for key in keys):
+            budget = max_steps if max_steps is not None else default_max_steps(graph.n_nodes)
+            try:
+                return run_replicas(
+                    protocols[0], graph, run_seeds, max_steps=budget, backend=backend
+                )
+            except ProtocolCompilationError:
+                if engine == "compiled":
+                    raise
+                engine = "reference"
+    return [
+        run_leader_election(
+            protocol, graph, rng=run_seed, max_steps=max_steps, engine=engine, backend=backend
+        )
+        for protocol, run_seed in zip(protocols, run_seeds)
+    ]
+
+
 def measure_protocol_on_graph(
     spec: ProtocolSpec,
     graph: Graph,
@@ -154,8 +195,19 @@ def measure_protocol_on_graph(
     seed: int = 0,
     max_steps: Optional[int] = None,
     keep_results: bool = False,
+    engine: str = "auto",
+    backend: str = "auto",
 ) -> Measurement:
-    """Run ``spec`` on ``graph`` ``repetitions`` times and aggregate."""
+    """Run ``spec`` on ``graph`` ``repetitions`` times and aggregate.
+
+    ``engine`` selects the execution engine (see
+    :class:`~repro.core.simulator.Simulator`); results are identical across
+    engines for a given ``seed``.  With a non-reference engine, repetitions
+    whose protocol instances share a transition table (equal
+    ``compile_key``) are dispatched through the multi-replica runner
+    (:func:`repro.engine.run_replicas`), which reuses one compiled table
+    set across all trials.
+    """
     if repetitions < 1:
         raise ValueError("repetitions must be positive")
     stabilization: List[float] = []
@@ -163,15 +215,11 @@ def measure_protocol_on_graph(
     successes = 0
     max_states = 0
     kept: List[SimulationResult] = []
-    state_space: Optional[int] = None
-    for rep in range(repetitions):
-        run_seed = seed + 7919 * rep
-        protocol = spec.factory(graph, run_seed)
-        if state_space is None:
-            state_space = protocol.state_space_size()
-        result = run_leader_election(
-            protocol, graph, rng=run_seed, max_steps=max_steps
-        )
+    run_seeds = [seed + 7919 * rep for rep in range(repetitions)]
+    protocols = [spec.factory(graph, run_seed) for run_seed in run_seeds]
+    state_space: Optional[int] = protocols[0].state_space_size()
+    results = _run_measurement_batch(protocols, graph, run_seeds, max_steps, engine, backend)
+    for result in results:
         stabilization.append(float(max(result.stabilization_step, 1)))
         certified.append(float(max(result.certified_step, 1)))
         successes += int(result.stabilized and result.leaders == 1)
@@ -218,6 +266,8 @@ def sweep_protocol_over_sizes(
     repetitions: int = 3,
     seed: int = 0,
     max_steps_fn: Optional[Callable[[Graph], int]] = None,
+    engine: str = "auto",
+    backend: str = "auto",
 ) -> SweepResult:
     """Measure a protocol on a workload for each population size in ``sizes``."""
     measurements: List[Measurement] = []
@@ -231,6 +281,8 @@ def sweep_protocol_over_sizes(
                 repetitions=repetitions,
                 seed=seed + 1013 * index,
                 max_steps=max_steps,
+                engine=engine,
+                backend=backend,
             )
         )
     return SweepResult(
@@ -247,11 +299,19 @@ def compare_protocols_on_graph(
     repetitions: int = 3,
     seed: int = 0,
     max_steps: Optional[int] = None,
+    engine: str = "auto",
+    backend: str = "auto",
 ) -> Dict[str, Measurement]:
     """Measure several protocols on the same graph (the per-row comparison)."""
     return {
         spec.name: measure_protocol_on_graph(
-            spec, graph, repetitions=repetitions, seed=seed, max_steps=max_steps
+            spec,
+            graph,
+            repetitions=repetitions,
+            seed=seed,
+            max_steps=max_steps,
+            engine=engine,
+            backend=backend,
         )
         for spec in specs
     }

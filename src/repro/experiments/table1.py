@@ -105,6 +105,8 @@ def run_table1_family(
     repetitions: int = 3,
     seed: int = 0,
     step_budget_multiplier: float = 60.0,
+    engine: str = "auto",
+    backend: str = "auto",
 ) -> Table1RowGroup:
     """Measure all protocols on one Table 1 graph family.
 
@@ -122,6 +124,11 @@ def run_table1_family(
         Base seed for reproducibility.
     step_budget_multiplier:
         Scales the per-run step budget (see ``default_step_budget``).
+    engine / backend:
+        Execution engine for the simulations (see
+        :class:`~repro.core.simulator.Simulator`).  The default ``"auto"``
+        uses the compiled engine where possible; measured values are
+        identical to the reference interpreter for any given seed.
     """
     if len(sizes) < 2:
         raise ValueError("need at least two sizes for a scaling fit")
@@ -139,6 +146,8 @@ def run_table1_family(
             max_steps_fn=lambda graph: default_step_budget(
                 graph, multiplier=step_budget_multiplier
             ),
+            engine=engine,
+            backend=backend,
         )
         rows.append(_row_from_sweep(family, spec, sweep))
     reference_graph = workload.build(sizes[-1], seed=seed)
@@ -165,7 +174,11 @@ def _row_from_sweep(family: str, spec: ProtocolSpec, sweep: SweepResult) -> Tabl
 
 
 def run_star_row(
-    sizes: Sequence[int], repetitions: int = 5, seed: int = 0
+    sizes: Sequence[int],
+    repetitions: int = 5,
+    seed: int = 0,
+    engine: str = "auto",
+    backend: str = "auto",
 ) -> Table1RowGroup:
     """The "Stars: O(1) time, O(1) states" row, using the trivial protocol."""
     return run_table1_family(
@@ -174,6 +187,8 @@ def run_star_row(
         specs=[star_protocol_spec()],
         repetitions=repetitions,
         seed=seed,
+        engine=engine,
+        backend=backend,
     )
 
 

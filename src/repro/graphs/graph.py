@@ -224,14 +224,51 @@ class Graph:
         return int(self.bfs_distances(u)[v])
 
     def eccentricities(self) -> Tuple[int, ...]:
-        """Eccentricity of every node (cached)."""
+        """Eccentricity of every node (cached).
+
+        Dense low-diameter graphs use all-sources BFS in level-synchronous
+        matrix form (one matrix product per level); the cost of that form
+        scales with the diameter, so sparse high-diameter graphs (cycles,
+        paths, renitent constructions) keep the per-source BFS walk.
+        """
         if self._eccentricity_cache is None:
-            eccs = []
-            for v in range(self._n):
-                dist = self.bfs_distances(v)
-                eccs.append(int(dist.max()))
-            self._eccentricity_cache = tuple(eccs)
+            n = self._n
+            if n <= 1:
+                self._eccentricity_cache = tuple(0 for _ in range(n))
+            elif self.n_edges * 8 >= n * (n - 1):
+                # Dense graphs have small diameters: a handful of matrix
+                # levels beats n Python BFS walks.
+                self._eccentricity_cache = self._eccentricities_matrix()
+            else:
+                eccs = []
+                for v in range(n):
+                    dist = self.bfs_distances(v)
+                    eccs.append(int(dist.max()))
+                self._eccentricity_cache = tuple(eccs)
         return self._eccentricity_cache
+
+    def _eccentricities_matrix(self) -> Tuple[int, ...]:
+        n = self._n
+        # int64 accumulators: a uint8 matmul would wrap mod 256 when 256+
+        # frontier nodes share an unvisited neighbour.
+        adjacency = np.zeros((n, n), dtype=np.int64)
+        adjacency[self._edges_u, self._edges_v] = 1
+        adjacency[self._edges_v, self._edges_u] = 1
+        distances = np.full((n, n), -1, dtype=np.int64)
+        np.fill_diagonal(distances, 0)
+        frontier = np.eye(n, dtype=np.int64)
+        level = 0
+        while True:
+            level += 1
+            reached = (frontier @ adjacency) > 0
+            frontier_mask = reached & (distances < 0)
+            if not frontier_mask.any():
+                break
+            distances[frontier_mask] = level
+            frontier = frontier_mask.astype(np.int64)
+        # Disconnected pairs keep -1; report the max finite distance,
+        # matching the per-source BFS behaviour.
+        return tuple(int(e) for e in distances.max(axis=1))
 
     def diameter(self) -> int:
         """Graph diameter ``D(G)`` (cached; exact via all-sources BFS)."""

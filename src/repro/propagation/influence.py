@@ -172,6 +172,32 @@ def single_source_broadcast_steps(
     if max_steps is None:
         max_steps = _default_broadcast_budget(graph)
     scheduler = RandomScheduler(graph, rng=rng)
+    from ..engine.native import get_broadcast_kernel
+
+    kernel = get_broadcast_kernel()
+    if kernel is not None:
+        # Same process, same scheduler stream, C inner loop.
+        import ctypes
+
+        informed_u8 = np.zeros(n, dtype=np.uint8)
+        informed_u8[source] = 1
+        count = ctypes.c_int64(1)
+        step = 0
+        while step < max_steps:
+            batch = min(8192, max_steps - step)
+            initiators, responders = scheduler.next_arrays(batch)
+            consumed = kernel(
+                informed_u8.ctypes.data,
+                np.ascontiguousarray(initiators, dtype=np.int64).ctypes.data,
+                np.ascontiguousarray(responders, dtype=np.int64).ctypes.data,
+                batch,
+                n,
+                ctypes.byref(count),
+            )
+            step += int(consumed)
+            if count.value == n:
+                return step
+        return None
     informed = np.zeros(n, dtype=bool)
     informed[source] = True
     informed_count = 1

@@ -164,6 +164,29 @@ class FastLeaderElection(LeaderElectionProtocol):
     def state_space_size(self) -> Optional[int]:
         return self.parameters.state_count
 
+    def enumerate_states(self) -> Sequence[ProtocolState]:
+        """All fast-phase states (streak × status × level) plus backup."""
+        from .tokens import ALL_TOKEN_STATES
+
+        params = self.parameters
+        states: list = [
+            (FAST, streak, is_leader, level)
+            for streak in range(params.streak_length)
+            for is_leader in (True, False)
+            for level in range(params.max_level + 1)
+        ]
+        states.extend((BACKUP, role, token) for role, token in ALL_TOKEN_STATES)
+        return states
+
+    def compile_key(self) -> Tuple[str, int, int, int]:
+        # The transition depends only on the three clock parameters.
+        return (
+            "fast-space-efficient",
+            self.parameters.streak_length,
+            self.parameters.phase_length,
+            self.parameters.max_level,
+        )
+
     def is_output_stable_configuration(self, states: Sequence[ProtocolState], graph) -> bool:
         """Sound stability certificate (see DESIGN.md §4).
 

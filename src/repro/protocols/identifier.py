@@ -123,6 +123,26 @@ class IdentifierLeaderElection(LeaderElectionProtocol):
         # one of the 6 token states.
         return (2 ** (self.identifier_bits + 1) - 1) * len(ALL_TOKEN_STATES)
 
+    def enumerate_states(self) -> Optional[Sequence[IdentifierState]]:
+        """Full enumeration only for small ``k``.
+
+        At realistic widths the state universe is ``O(n^4)`` while a run
+        touches a few thousand states, so the compiled engine's lazy
+        discovery is the right mode and we return ``None``.
+        """
+        size = self.state_space_size()
+        if size is None or size > 2048:
+            return None
+        return [
+            (identifier, token)
+            for identifier in range(1, self.generation_threshold * 2)
+            for token in ALL_TOKEN_STATES
+        ]
+
+    def compile_key(self) -> Tuple[str, int]:
+        # The transition depends only on the generation threshold 2^k.
+        return ("identifier-broadcast", self.identifier_bits)
+
     def is_output_stable_configuration(self, states: Sequence[IdentifierState], graph) -> bool:
         threshold = self.generation_threshold
         first_id = states[0][0]

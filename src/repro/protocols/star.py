@@ -62,6 +62,13 @@ class StarLeaderElection(LeaderElectionProtocol):
     def state_space_size(self) -> Optional[int]:
         return len(ALL_STAR_STATES)
 
+    def enumerate_states(self) -> Tuple[StarState, ...]:
+        return ALL_STAR_STATES
+
+    def compile_key(self) -> Tuple[str, ...]:
+        # The protocol is parameter-free: all instances share one table set.
+        return ("star-trivial",)
+
     def is_output_stable_configuration(self, states: Sequence[StarState], graph) -> bool:
         """Sound on any graph: one leader and no edge joining two fresh nodes.
 

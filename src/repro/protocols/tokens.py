@@ -128,5 +128,12 @@ class TokenLeaderElection(LeaderElectionProtocol):
     def state_space_size(self) -> Optional[int]:
         return len(ALL_TOKEN_STATES)
 
+    def enumerate_states(self) -> Tuple[TokenState, ...]:
+        return ALL_TOKEN_STATES
+
+    def compile_key(self) -> Tuple[str, ...]:
+        # The protocol is parameter-free: all instances share one table set.
+        return ("token-6state",)
+
     def is_output_stable_configuration(self, states: Sequence[TokenState], graph) -> bool:
         return token_states_stable(list(states))

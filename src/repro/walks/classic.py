@@ -50,23 +50,23 @@ def hitting_times_to(graph: Graph, target: int) -> np.ndarray:
         )
     if n == 1:
         return np.zeros(1)
-    others = [v for v in range(n) if v != target]
-    index = {v: i for i, v in enumerate(others)}
-    size = n - 1
-    a = np.zeros((size, size), dtype=np.float64)
-    b = np.ones(size, dtype=np.float64)
-    for v in others:
-        i = index[v]
-        a[i, i] = 1.0
-        degree = graph.degree(v)
-        for w in graph.neighbors(v):
-            if w == target:
-                continue
-            a[i, index[w]] -= 1.0 / degree
+    # Assemble I - P restricted to the non-target nodes with array ops
+    # (the entries are identical to the per-edge construction: each
+    # neighbour w of v contributes -1/deg(v)).
+    probabilities = np.zeros((n, n), dtype=np.float64)
+    inverse_degree = 1.0 / np.asarray(
+        [max(graph.degree(v), 1) for v in range(n)], dtype=np.float64
+    )
+    edges_u = graph.edges_u
+    edges_v = graph.edges_v
+    probabilities[edges_u, edges_v] = inverse_degree[edges_u]
+    probabilities[edges_v, edges_u] = inverse_degree[edges_v]
+    keep = np.arange(n) != target
+    a = np.eye(n - 1, dtype=np.float64) - probabilities[np.ix_(keep, keep)]
+    b = np.ones(n - 1, dtype=np.float64)
     solution = np.linalg.solve(a, b)
     result = np.zeros(n, dtype=np.float64)
-    for v in others:
-        result[v] = solution[index[v]]
+    result[keep] = solution
     return result
 
 

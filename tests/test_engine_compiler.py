@@ -1,0 +1,177 @@
+"""Unit tests for the protocol compiler (repro.engine.compiler)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import FOLLOWER, LEADER, PopulationProtocol
+from repro.engine.compiler import (
+    DEFAULT_MAX_STATES,
+    CompiledProtocol,
+    ProtocolCompilationError,
+    clear_compilation_cache,
+    compilation_worthwhile,
+    compile_protocol,
+    get_compiled,
+)
+from repro.protocols import (
+    ALL_STAR_STATES,
+    ALL_TOKEN_STATES,
+    StarLeaderElection,
+    TokenLeaderElection,
+)
+
+
+class CountingProtocol(PopulationProtocol):
+    """Unbounded counter protocol used to exercise table growth."""
+
+    name = "counting"
+
+    def initial_state(self, input_symbol=None):
+        return 0
+
+    def transition(self, initiator, responder):
+        return initiator + 1, responder
+
+    def output(self, state):
+        return LEADER if state == 0 else FOLLOWER
+
+
+class TestCompiledProtocol:
+    def test_token_states_enumerated_eagerly(self):
+        compiled = compile_protocol(TokenLeaderElection())
+        assert compiled.n_states == len(ALL_TOKEN_STATES)
+        # Eager pair fill for tiny protocols: tables are complete up front.
+        assert compiled.tables_complete
+        assert compiled.filled_pairs == len(ALL_TOKEN_STATES) ** 2
+
+    def test_packed_entries_roundtrip(self):
+        protocol = TokenLeaderElection()
+        compiled = compile_protocol(protocol)
+        stride = compiled.stride
+        for a, state_a in enumerate(compiled.states):
+            for b, state_b in enumerate(compiled.states):
+                packed = int(compiled.dpack[a * stride + b])
+                assert packed >= 0
+                successors = packed >> 4
+                na, nb = successors >> compiled.kshift, successors & (stride - 1)
+                expected = protocol.transition(state_a, state_b)
+                assert compiled.states[na] == expected[0]
+                assert compiled.states[nb] == expected[1]
+                # Flag bits: output change and leader delta.
+                chg = packed & 1
+                delta = ((packed >> 1) & 7) - 2
+                out = protocol.output
+                assert chg == int(
+                    out(expected[0]) != out(state_a) or out(expected[1]) != out(state_b)
+                )
+                leaders_before = sum(out(s) == LEADER for s in (state_a, state_b))
+                leaders_after = sum(out(s) == LEADER for s in expected)
+                assert delta == leaders_after - leaders_before
+
+    def test_scalar_entries_match_tables(self):
+        protocol = StarLeaderElection()
+        compiled = compile_protocol(protocol)
+        for a in range(compiled.n_states):
+            for b in range(compiled.n_states):
+                entry = compiled.scalar_entry(a, b)
+                expected = protocol.transition(compiled.states[a], compiled.states[b])
+                if entry is None:
+                    # Exact no-op: successors equal inputs, no output change.
+                    assert expected == (compiled.states[a], compiled.states[b])
+                else:
+                    na, nb, _dl, _chg = entry
+                    assert compiled.states[na] == expected[0]
+                    assert compiled.states[nb] == expected[1]
+
+    def test_lookup_block_fills_lazily(self):
+        compiled = compile_protocol(CountingProtocol(), max_states=64)
+        zero = compiled.code_for(0)
+        packed = compiled.lookup_block(
+            np.array([zero], dtype=np.int64), np.array([zero], dtype=np.int64)
+        )
+        successors = int(packed[0]) >> 4
+        na = successors >> compiled.kshift
+        assert compiled.states[na] == 1
+
+    def test_growth_preserves_entries(self):
+        compiled = compile_protocol(CountingProtocol(), max_states=512)
+        zero = compiled.code_for(0)
+        # Force discovery past the initial stride of 64.
+        codes = np.array([zero], dtype=np.int64)
+        for _ in range(130):
+            packed = compiled.lookup_block(codes, codes)
+            successors = int(packed[0]) >> 4
+            codes = np.array([successors >> compiled.kshift], dtype=np.int64)
+        assert compiled.n_states > 64
+        assert compiled.stride >= 128
+        # Every previously-filled entry survived the repack.
+        for value in range(compiled.n_states - 1):
+            entry = compiled.scalar_entry(
+                compiled.code_for(value), compiled.code_for(0)
+            )
+            assert entry is not None
+            assert compiled.states[entry[0]] == value + 1
+
+    def test_state_explosion_raises(self):
+        compiled = compile_protocol(CountingProtocol(), max_states=32)
+        with pytest.raises(ProtocolCompilationError):
+            for value in range(40):
+                compiled.code_for(value)
+
+    def test_non_memoisable_protocol_rejected(self):
+        class RandomisedProtocol(CountingProtocol):
+            cacheable_transitions = False
+
+        with pytest.raises(ProtocolCompilationError):
+            compile_protocol(RandomisedProtocol())
+
+    def test_max_states_capped_at_packing_limit(self):
+        compiled = compile_protocol(TokenLeaderElection(), max_states=10**9)
+        assert compiled.max_states <= 8192
+
+
+class TestCompilationCache:
+    def setup_method(self):
+        clear_compilation_cache()
+
+    def test_equal_compile_keys_share_tables(self):
+        first = get_compiled(TokenLeaderElection())
+        second = get_compiled(TokenLeaderElection())
+        assert first is second
+
+    def test_keyless_protocols_cached_per_instance(self):
+        protocol = CountingProtocol()
+        assert protocol.compile_key() is None
+        first = get_compiled(protocol)
+        assert get_compiled(protocol) is first
+        assert get_compiled(CountingProtocol()) is not first
+
+    def test_compilation_worthwhile_heuristic(self):
+        from repro.protocols import IdentifierLeaderElection
+
+        assert compilation_worthwhile(TokenLeaderElection())
+        assert compilation_worthwhile(StarLeaderElection())
+        # Full-width identifier protocol: huge universe, no enumeration.
+        assert not compilation_worthwhile(IdentifierLeaderElection(100))
+        # Narrow identifier instances enumerate their states.
+        assert compilation_worthwhile(IdentifierLeaderElection(100, identifier_bits=4))
+
+
+class TestProtocolHooks:
+    def test_enumerate_states_hooks(self):
+        from repro.propagation import broadcast_time_estimate
+        from repro.graphs.families import clique
+        from repro.protocols import FastLeaderElection, IdentifierLeaderElection
+
+        assert tuple(TokenLeaderElection().enumerate_states()) == ALL_TOKEN_STATES
+        assert tuple(StarLeaderElection().enumerate_states()) == ALL_STAR_STATES
+        assert IdentifierLeaderElection(100).enumerate_states() is None
+        graph = clique(16)
+        broadcast = broadcast_time_estimate(graph, repetitions=2, rng=0).value
+        fast = FastLeaderElection.practical_for_graph(graph, max(broadcast, 1.0))
+        states = fast.enumerate_states()
+        assert states is not None
+        assert fast.initial_state(None) in set(states)
+        assert len(set(states)) == len(list(states))

@@ -207,3 +207,26 @@ def test_clique_distances_all_one(n):
         dist = g.bfs_distances(v)
         assert dist[v] == 0
         assert all(dist[u] == 1 for u in range(n) if u != v)
+
+
+def test_eccentricities_with_wide_bfs_frontiers():
+    """Regression: the matrix-BFS accumulator must not wrap at 256.
+
+    On a double star where 256 middle nodes all neighbour the far hub, a
+    uint8 matmul would sum the frontier mod 256 and report the hub as
+    unreachable at level 2.
+    """
+    middle = range(1, 257)
+    edges = [(0, i) for i in middle] + [(i, 257) for i in middle]
+    g = Graph(258, edges, name="wide-frontier")
+    assert int(g.bfs_distances(0)[257]) == 2
+    eccs = g.eccentricities()
+    assert eccs[0] == 2
+    assert g.diameter() == 2
+    # Dense variant that takes the matrix-BFS path: K_{129,129} has 256+
+    # frontier nodes sharing every level-2 target.
+    from repro.graphs.families import complete_bipartite
+
+    kb = complete_bipartite(129, 129)
+    assert kb.eccentricities()[0] == 2
+    assert kb.diameter() == 2
