@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""CI gate: a 2-worker parallel sweep is byte-identical to the serial path.
+
+Runs a tiny two-protocol scenario twice through the orchestrator — once
+serially, once sharded over two worker processes — with the result store
+disabled (CI must never read from or populate ``.repro_cache/``; cached
+results would mask a divergence, which is exactly what this job exists to
+catch).  The two canonical JSON aggregates must match byte for byte.
+
+Exit code 0 on equality, 1 with a diff summary otherwise.
+
+Usage::
+
+    PYTHONPATH=src python scripts/ci_parallel_equivalence.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main() -> int:
+    from repro.orchestration import ProtocolConfig, Scenario, run_scenario
+
+    scenario = Scenario(
+        name="ci-parallel-equivalence",
+        workload="clique",
+        sizes=(10, 14),
+        protocols=(ProtocolConfig("token"), ProtocolConfig("star")),
+        repetitions=4,
+        seed=2022,
+    )
+    serial = run_scenario(scenario, jobs=1, cache=False)
+    parallel = run_scenario(scenario, jobs=2, cache=False)
+
+    serial_bytes = serial.canonical_json().encode("utf-8")
+    parallel_bytes = parallel.canonical_json().encode("utf-8")
+    if serial_bytes != parallel_bytes:
+        print("FAIL: parallel aggregate differs from the serial path")
+        print(f"  serial   ({len(serial_bytes)} bytes): {serial_bytes[:400]!r}")
+        print(f"  parallel ({len(parallel_bytes)} bytes): {parallel_bytes[:400]!r}")
+        return 1
+    print(
+        "OK: 2-worker parallel sweep is byte-identical to the serial path "
+        f"({len(serial_bytes)} canonical bytes, "
+        f"{serial.total_units} work units, serial {serial.wall_time_seconds:.2f}s, "
+        f"parallel {parallel.wall_time_seconds:.2f}s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

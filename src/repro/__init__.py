@@ -20,7 +20,9 @@ A library-quality reproduction of Alistarh, Rybicki and Voitovych,
   surgery ingredients (Sections 6–7),
 * :mod:`repro.analysis` — concentration bounds and scaling fits,
 * :mod:`repro.experiments` — the benchmark harness that regenerates
-  Table 1.
+  Table 1,
+* :mod:`repro.orchestration` — declarative sweep scenarios, the sharded
+  parallel runner and the persistent result store (``.repro_cache/``).
 
 Quickstart::
 
@@ -38,6 +40,7 @@ from . import (
     experiments,
     graphs,
     lowerbounds,
+    orchestration,
     propagation,
     protocols,
     walks,
@@ -83,6 +86,7 @@ __all__ = [
     "experiments",
     "graphs",
     "lowerbounds",
+    "orchestration",
     "propagation",
     "protocols",
     "run_leader_election",

@@ -3,11 +3,15 @@
 Sub-commands:
 
 * ``workloads``       — list the available graph-family workloads.
+* ``scenarios``       — list the registered sweep scenarios.
 * ``engines``         — show the available execution engines / backends.
 * ``elect``           — run one leader-election protocol on one workload
   and print the simulation result.
 * ``compare``         — run all three Table 1 protocols on one workload.
 * ``table1``          — regenerate a Table 1 row group (sweep over sizes).
+* ``sweep``           — run a registered scenario through the parallel
+  orchestrator (``--jobs N`` worker processes, persistent result cache
+  under ``.repro_cache/``).
 * ``broadcast``       — estimate ``B(G)`` and print the Theorem 6 bounds.
 * ``graph-info``      — structural properties of a workload graph.
 
@@ -24,6 +28,8 @@ Examples::
     repro-popsim table1 --family cycle --sizes 24 36 48 --repetitions 2
     repro-popsim elect --workload clique --size 100 --engine reference
     repro-popsim broadcast --workload torus --size 64
+    repro-popsim sweep --scenario table1-clique --jobs 4
+    repro-popsim sweep --scenario clique-n100 --jobs 2 --no-cache
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from .experiments.harness import (
+    DegenerateSweepError,
     compare_protocols_on_graph,
     default_protocol_specs,
     default_step_budget,
@@ -45,6 +52,7 @@ from .experiments.harness import (
 from .experiments.reporting import render_comparison, render_table
 from .experiments.table1 import graph_parameters_for, run_table1_family
 from .experiments.workloads import available_workloads, get_workload
+from .orchestration import available_scenarios, get_scenario, run_scenario
 from .graphs.properties import summarize
 from .propagation.bounds import broadcast_bounds
 from .propagation.broadcast import broadcast_time_estimate
@@ -66,6 +74,8 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("workloads", help="list available graph workloads")
+
+    subparsers.add_parser("scenarios", help="list registered sweep scenarios")
 
     subparsers.add_parser("engines", help="show available execution engines/backends")
 
@@ -90,7 +100,37 @@ def build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--sizes", type=int, nargs="+", required=True)
     table1.add_argument("--repetitions", type=int, default=2)
     table1.add_argument("--seed", type=int, default=0)
+    table1.add_argument("--jobs", type=int, default=1, help="worker processes")
     _add_engine_argument(table1)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a registered scenario (parallel, cached)"
+    )
+    sweep.add_argument("--scenario", required=True, help="scenario name (see `scenarios`)")
+    sweep.add_argument("--jobs", type=int, default=1, help="worker processes")
+    sweep.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the persistent result store",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-store root (default: .repro_cache/ in the working directory)",
+    )
+    sweep.add_argument(
+        "--sizes", type=int, nargs="+", default=None, help="override the size grid"
+    )
+    sweep.add_argument(
+        "--repetitions", type=int, default=None, help="override the trial count"
+    )
+    sweep.add_argument("--seed", type=int, default=None, help="override the base seed")
+    sweep.add_argument(
+        "--engine",
+        choices=["auto", "compiled", "reference"],
+        default=None,
+        help="override the execution engine",
+    )
 
     broadcast = subparsers.add_parser("broadcast", help="estimate B(G) and print bounds")
     _add_graph_arguments(broadcast)
@@ -122,8 +162,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "workloads":
         return _cmd_workloads()
+    if args.command == "scenarios":
+        return _cmd_scenarios()
     if args.command == "engines":
         return _cmd_engines()
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "elect":
         return _cmd_elect(args)
     if args.command == "compare":
@@ -149,6 +193,75 @@ def _cmd_workloads() -> int:
         workload = get_workload(name)
         rows.append({"name": name, "description": workload.description, "regular": workload.regular})
     print(render_table(rows, title="Available workloads"))
+    return 0
+
+
+def _cmd_scenarios() -> int:
+    rows = []
+    for name in available_scenarios():
+        scenario = get_scenario(name)
+        rows.append(
+            {
+                "name": name,
+                "workload": scenario.workload,
+                "sizes": "/".join(str(s) for s in scenario.sizes),
+                "trials": scenario.repetitions,
+                "protocols": ",".join(p.builder for p in scenario.protocols),
+                "description": scenario.description,
+            }
+        )
+    print(render_table(rows, title="Registered scenarios"))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    scenario = get_scenario(args.scenario)
+    overrides = {}
+    if args.sizes is not None:
+        overrides["sizes"] = tuple(args.sizes)
+    if args.repetitions is not None:
+        overrides["repetitions"] = args.repetitions
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.engine is not None:
+        overrides["engine"] = args.engine
+    if overrides:
+        scenario = scenario.with_overrides(**overrides)
+    result = run_scenario(
+        scenario,
+        jobs=args.jobs,
+        cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
+    for sweep in result.sweeps:
+        rows = []
+        for size, measurement in zip(sweep.sizes, sweep.measurements):
+            rows.append(
+                {
+                    "size": size,
+                    "graph": measurement.graph_name,
+                    "n": measurement.n_nodes,
+                    "mean_steps": measurement.stabilization_steps.mean,
+                    "q90_steps": measurement.stabilization_steps.q90,
+                    "success": measurement.success_rate,
+                    "states": measurement.max_states_observed,
+                }
+            )
+        try:
+            fit = sweep.fit()
+            fit_note = f"fitted exponent {fit.exponent:.2f} (R²={fit.r_squared:.3f})"
+        except DegenerateSweepError as error:
+            fit_note = f"no scaling fit: {error}"
+        print(render_table(rows, title=f"{scenario.name} — {sweep.protocol_name}"))
+        print(f"  {fit_note}")
+        print()
+    served = (
+        f"{result.cache_hits}/{result.total_units} units from cache, "
+        f"{result.executed_units} executed with jobs={result.jobs}"
+        if not args.no_cache
+        else f"{result.executed_units} units executed with jobs={result.jobs} (cache off)"
+    )
+    print(f"{served}; wall time {result.wall_time_seconds:.2f}s")
     return 0
 
 
@@ -210,6 +323,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         repetitions=args.repetitions,
         seed=args.seed,
         engine=args.engine,
+        jobs=args.jobs,
     )
     print(group.render())
     return 0

@@ -18,6 +18,7 @@ from .scheduler import (
     SequenceScheduler,
     all_ordered_pairs,
 )
+from .seeds import derive_seed, graph_seed, measure_seed, trial_seed, trial_seeds
 from .simulator import SimulationResult, Simulator, run_leader_election
 from .stability import (
     StabilityVerdict,
@@ -46,7 +47,12 @@ __all__ = [
     "always_reaches_single_leader",
     "certificate_is_sound_on",
     "check_stability_by_reachability",
+    "derive_seed",
+    "graph_seed",
     "initial_configuration_from_inputs",
+    "measure_seed",
+    "trial_seed",
+    "trial_seeds",
     "reachable_configurations",
     "run_leader_election",
     "uniform_initial_configuration",

@@ -17,6 +17,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 from ..analysis.scaling import fit_power_law
+from ..core.seeds import graph_seed, measure_seed
 from ..propagation.broadcast import broadcast_time_estimate
 from ..walks.classic import worst_case_hitting_time
 from .harness import (
@@ -49,14 +50,14 @@ def stabilization_scaling_series(
         specs = default_protocol_specs()
     rows: List[Dict[str, object]] = []
     for index, size in enumerate(sizes):
-        graph = workload.build(size, seed=seed + 101 * index)
+        graph = workload.build(size, seed=graph_seed(seed, index))
         budget = default_step_budget(graph, multiplier=step_budget_multiplier)
         for spec in specs:
             measurement = measure_protocol_on_graph(
                 spec,
                 graph,
                 repetitions=repetitions,
-                seed=seed + 13 * index,
+                seed=measure_seed(seed, index),
                 max_steps=budget,
                 engine=engine,
             )
@@ -86,9 +87,9 @@ def broadcast_scaling_series(
     for family in families:
         workload = get_workload(family)
         for index, size in enumerate(sizes):
-            graph = workload.build(size, seed=seed + 7 * index)
+            graph = workload.build(size, seed=graph_seed(seed, index))
             estimate = broadcast_time_estimate(
-                graph, repetitions=repetitions, max_sources=6, rng=seed + index
+                graph, repetitions=repetitions, max_sources=6, rng=measure_seed(seed, index)
             )
             rows.append(
                 {
@@ -111,7 +112,7 @@ def hitting_time_scaling_series(
     for family in families:
         workload = get_workload(family)
         for index, size in enumerate(sizes):
-            graph = workload.build(size, seed=seed + 11 * index)
+            graph = workload.build(size, seed=graph_seed(seed, index))
             rows.append(
                 {
                     "family": family,

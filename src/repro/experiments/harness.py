@@ -14,13 +14,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..analysis.estimators import SummaryStatistics, summarize_samples
 from ..analysis.scaling import PowerLawFit, fit_power_law
 from ..core.protocol import PopulationProtocol
+from ..core.seeds import graph_seed, measure_seed, trial_seed
 from ..core.simulator import SimulationResult, default_max_steps, run_leader_election
 from ..engine import ProtocolCompilationError, run_replicas
 from ..graphs.graph import Graph
@@ -36,11 +37,19 @@ ProtocolFactory = Callable[[Graph, Optional[int]], PopulationProtocol]
 
 @dataclass(frozen=True)
 class ProtocolSpec:
-    """A named way of instantiating a protocol for a graph."""
+    """A named way of instantiating a protocol for a graph.
+
+    ``spec_config`` is the declarative form of the spec — the builder name
+    plus the keyword arguments that produced it.  The orchestrator
+    (:mod:`repro.orchestration`) ships this plain data to worker processes
+    and hashes it into scenario cache keys; specs constructed from a raw
+    factory (``spec_config=None``) cannot be orchestrated or cached.
+    """
 
     name: str
     factory: ProtocolFactory
     paper_bound: str = ""
+    spec_config: Optional[tuple] = None
 
 
 def token_protocol_spec() -> ProtocolSpec:
@@ -49,6 +58,7 @@ def token_protocol_spec() -> ProtocolSpec:
         name="token-6state",
         factory=lambda graph, seed: TokenLeaderElection(),
         paper_bound="O(H(G) n log n) steps, O(1) states",
+        spec_config=("token", ()),
     )
 
 
@@ -66,6 +76,7 @@ def identifier_protocol_spec(identifier_bits: Optional[int] = None) -> ProtocolS
         name="identifier-broadcast",
         factory=factory,
         paper_bound="O(B(G) + n log n) steps, O(n^4) states",
+        spec_config=("identifier", (("identifier_bits", identifier_bits),)),
     )
 
 
@@ -101,6 +112,15 @@ def fast_protocol_spec(
         name="fast-space-efficient",
         factory=factory,
         paper_bound="O(B(G) log n) steps, O(log^2 n) states",
+        spec_config=(
+            "fast",
+            (
+                ("alpha", alpha),
+                ("broadcast_repetitions", broadcast_repetitions),
+                ("h_offset", h_offset),
+                ("tau", tau),
+            ),
+        ),
     )
 
 
@@ -110,6 +130,7 @@ def star_protocol_spec() -> ProtocolSpec:
         name="star-trivial",
         factory=lambda graph, seed: StarLeaderElection(),
         paper_bound="O(1) steps, O(1) states (stars only)",
+        spec_config=("star", ()),
     )
 
 
@@ -146,6 +167,89 @@ class Measurement:
             "states_observed": self.max_states_observed,
             "state_space_size": self.state_space_size,
         }
+
+
+#: JSON-native per-trial record, the unit the orchestrator's result store
+#: persists.  Aggregating these in global trial order reproduces the
+#: in-process :class:`Measurement` bit for bit.
+TrialRecord = dict
+
+
+def trial_record_from_result(result: SimulationResult) -> TrialRecord:
+    """Reduce one :class:`SimulationResult` to its JSON-native record."""
+    return {
+        "stabilization_step": int(result.stabilization_step),
+        "certified_step": int(result.certified_step),
+        "steps_executed": int(result.steps_executed),
+        "stabilized": bool(result.stabilized),
+        "leaders": int(result.leaders),
+        "distinct_states": int(result.distinct_states_observed),
+    }
+
+
+TRIAL_RECORD_FIELDS = (
+    "stabilization_step",
+    "certified_step",
+    "steps_executed",
+    "stabilized",
+    "leaders",
+    "distinct_states",
+)
+
+
+def measurement_from_records(
+    protocol_name: str,
+    graph: Graph,
+    records: Sequence[TrialRecord],
+    state_space_size: Optional[int],
+    results: Optional[List[SimulationResult]] = None,
+) -> Measurement:
+    """Aggregate per-trial records (in global trial order) into a measurement."""
+    if not records:
+        raise ValueError("need at least one trial record")
+    stabilization = [float(max(r["stabilization_step"], 1)) for r in records]
+    certified = [float(max(r["certified_step"], 1)) for r in records]
+    successes = sum(int(r["stabilized"] and r["leaders"] == 1) for r in records)
+    return Measurement(
+        protocol_name=protocol_name,
+        graph_name=graph.name,
+        n_nodes=graph.n_nodes,
+        n_edges=graph.n_edges,
+        stabilization_steps=summarize_samples(stabilization),
+        certified_steps=summarize_samples(certified),
+        success_rate=successes / len(records),
+        max_states_observed=max(r["distinct_states"] for r in records),
+        state_space_size=state_space_size,
+        results=list(results) if results is not None else [],
+    )
+
+
+def run_measurement_trials(
+    spec: ProtocolSpec,
+    graph: Graph,
+    trial_indices: Sequence[int],
+    seed: int = 0,
+    max_steps: Optional[int] = None,
+    engine: str = "auto",
+    backend: str = "auto",
+) -> Tuple[List[SimulationResult], Optional[int]]:
+    """Execute an arbitrary subset of a measurement's trials.
+
+    Trial ``t`` receives the scheduler seed ``trial_seed(seed, t)`` — a
+    pure function of the measurement base seed and the *global* trial
+    index (see :mod:`repro.core.seeds`), so any partition of the index set
+    (batches, shards, worker processes) reproduces exactly the trials a
+    serial full run would execute.
+
+    Returns the per-trial results plus the protocol's declared state-space
+    size (the second half of a :class:`Measurement`; the orchestrator
+    persists it alongside the trial records).
+    """
+    run_seeds = [trial_seed(seed, index) for index in trial_indices]
+    protocols = [spec.factory(graph, run_seed) for run_seed in run_seeds]
+    state_space = protocols[0].state_space_size() if protocols else None
+    results = _run_measurement_batch(protocols, graph, run_seeds, max_steps, engine, backend)
+    return results, state_space
 
 
 def _run_measurement_batch(
@@ -207,37 +311,34 @@ def measure_protocol_on_graph(
     ``compile_key``) are dispatched through the multi-replica runner
     (:func:`repro.engine.run_replicas`), which reuses one compiled table
     set across all trials.
+
+    Trial ``t`` runs with seed ``trial_seed(seed, t)``, a pure function of
+    the base seed and the global trial index — independent of batch size
+    and of how the orchestrator shards the trials (see
+    :mod:`repro.core.seeds`).
     """
     if repetitions < 1:
         raise ValueError("repetitions must be positive")
-    stabilization: List[float] = []
-    certified: List[float] = []
-    successes = 0
-    max_states = 0
-    kept: List[SimulationResult] = []
-    run_seeds = [seed + 7919 * rep for rep in range(repetitions)]
-    protocols = [spec.factory(graph, run_seed) for run_seed in run_seeds]
-    state_space: Optional[int] = protocols[0].state_space_size()
-    results = _run_measurement_batch(protocols, graph, run_seeds, max_steps, engine, backend)
-    for result in results:
-        stabilization.append(float(max(result.stabilization_step, 1)))
-        certified.append(float(max(result.certified_step, 1)))
-        successes += int(result.stabilized and result.leaders == 1)
-        max_states = max(max_states, result.distinct_states_observed)
-        if keep_results:
-            kept.append(result)
-    return Measurement(
-        protocol_name=spec.name,
-        graph_name=graph.name,
-        n_nodes=graph.n_nodes,
-        n_edges=graph.n_edges,
-        stabilization_steps=summarize_samples(stabilization),
-        certified_steps=summarize_samples(certified),
-        success_rate=successes / repetitions,
-        max_states_observed=max_states,
-        state_space_size=state_space,
-        results=kept,
+    results, state_space = run_measurement_trials(
+        spec,
+        graph,
+        range(repetitions),
+        seed=seed,
+        max_steps=max_steps,
+        engine=engine,
+        backend=backend,
     )
+    return measurement_from_records(
+        spec.name,
+        graph,
+        [trial_record_from_result(result) for result in results],
+        state_space,
+        results=results if keep_results else None,
+    )
+
+
+class DegenerateSweepError(ValueError):
+    """The sweep grid cannot support a scaling fit (see :meth:`SweepResult.fit`)."""
 
 
 @dataclass
@@ -254,9 +355,35 @@ class SweepResult:
         return [m.stabilization_steps.mean for m in self.measurements]
 
     def fit(self, log_exponent: Optional[float] = 0.0) -> PowerLawFit:
-        """Power-law fit of mean stabilization steps vs the actual graph sizes."""
+        """Power-law fit of mean stabilization steps vs the actual graph sizes.
+
+        Raises :class:`DegenerateSweepError` when the grid cannot support a
+        fit — fewer than two *distinct* actual sizes (workload rounding can
+        collapse nominally different sizes, e.g. hypercubes), or a
+        non-positive / non-finite mean (a size whose every trial exhausted
+        the budget at step 0).  Without the guard these cases surface as a
+        numpy ``lstsq`` warning and a garbage exponent.
+        """
         actual_sizes = [m.n_nodes for m in self.measurements]
-        return fit_power_law(actual_sizes, self.mean_steps(), log_exponent=log_exponent)
+        means = self.mean_steps()
+        if len(set(actual_sizes)) < 2:
+            raise DegenerateSweepError(
+                f"{self.protocol_name} on {self.workload_name}: scaling fit needs at "
+                f"least two distinct graph sizes, got {sorted(set(actual_sizes))} "
+                f"(requested grid {self.sizes})"
+            )
+        bad = [
+            (size, mean)
+            for size, mean in zip(actual_sizes, means)
+            if not math.isfinite(mean) or mean <= 0.0
+        ]
+        if bad:
+            raise DegenerateSweepError(
+                f"{self.protocol_name} on {self.workload_name}: scaling fit needs "
+                f"positive finite mean steps at every size; offending (size, mean) "
+                f"pairs: {bad}"
+            )
+        return fit_power_law(actual_sizes, means, log_exponent=log_exponent)
 
 
 def sweep_protocol_over_sizes(
@@ -269,17 +396,24 @@ def sweep_protocol_over_sizes(
     engine: str = "auto",
     backend: str = "auto",
 ) -> SweepResult:
-    """Measure a protocol on a workload for each population size in ``sizes``."""
+    """Measure a protocol on a workload for each population size in ``sizes``.
+
+    Size index ``i`` builds its graph with ``graph_seed(seed, i)`` and
+    measures with base seed ``measure_seed(seed, i)`` (see
+    :mod:`repro.core.seeds`) — the same derivation the parallel
+    orchestrator uses, so orchestrated sweeps reproduce this function's
+    measurements exactly.
+    """
     measurements: List[Measurement] = []
     for index, size in enumerate(sizes):
-        graph = workload.build(size, seed=seed + 101 * index)
+        graph = workload.build(size, seed=graph_seed(seed, index))
         max_steps = max_steps_fn(graph) if max_steps_fn is not None else None
         measurements.append(
             measure_protocol_on_graph(
                 spec,
                 graph,
                 repetitions=repetitions,
-                seed=seed + 1013 * index,
+                seed=measure_seed(seed, index),
                 max_steps=max_steps,
                 engine=engine,
                 backend=backend,

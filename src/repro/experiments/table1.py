@@ -23,6 +23,7 @@ from ..graphs.properties import conductance, edge_expansion_estimate
 from ..propagation.broadcast import broadcast_time_estimate
 from ..walks.classic import worst_case_hitting_time
 from .harness import (
+    DegenerateSweepError,
     ProtocolSpec,
     SweepResult,
     default_protocol_specs,
@@ -107,6 +108,9 @@ def run_table1_family(
     step_budget_multiplier: float = 60.0,
     engine: str = "auto",
     backend: str = "auto",
+    jobs: int = 1,
+    cache: bool = False,
+    cache_dir: Optional[str] = None,
 ) -> Table1RowGroup:
     """Measure all protocols on one Table 1 graph family.
 
@@ -129,28 +133,43 @@ def run_table1_family(
         :class:`~repro.core.simulator.Simulator`).  The default ``"auto"``
         uses the compiled engine where possible; measured values are
         identical to the reference interpreter for any given seed.
+    jobs / cache / cache_dir:
+        Forwarded to :func:`repro.orchestration.run_scenario`: worker
+        processes to shard the trials over, and whether to reuse / persist
+        finished shards in the result store.  Any combination produces the
+        same measured values as the serial, uncached path.  Caching is off
+        by default here because benchmarks call this driver to *measure*
+        wall-clock.
+
+    The sweep itself runs through the orchestration layer
+    (:mod:`repro.orchestration`) when every spec is declarative (all the
+    bundled spec builders are); raw-factory specs fall back to the
+    in-process harness loop, which only supports ``jobs=1``.
     """
     if len(sizes) < 2:
         raise ValueError("need at least two sizes for a scaling fit")
     workload = get_workload(family)
     if specs is None:
         specs = default_protocol_specs()
-    rows: List[Table1Row] = []
-    for spec in specs:
-        sweep = sweep_protocol_over_sizes(
-            spec,
-            workload,
-            sizes,
-            repetitions=repetitions,
-            seed=seed,
-            max_steps_fn=lambda graph: default_step_budget(
-                graph, multiplier=step_budget_multiplier
-            ),
-            engine=engine,
-            backend=backend,
-        )
-        rows.append(_row_from_sweep(family, spec, sweep))
-    reference_graph = workload.build(sizes[-1], seed=seed)
+    sweeps = _run_family_sweeps(
+        family,
+        sizes,
+        specs,
+        repetitions,
+        seed,
+        step_budget_multiplier,
+        engine,
+        backend,
+        jobs,
+        cache,
+        cache_dir,
+    )
+    rows = [
+        _row_from_sweep(family, spec, sweep) for spec, sweep in zip(specs, sweeps)
+    ]
+    from ..core.seeds import graph_seed
+
+    reference_graph = workload.build(sizes[-1], seed=graph_seed(seed, len(sizes) - 1))
     return Table1RowGroup(
         family=family,
         rows=rows,
@@ -158,16 +177,75 @@ def run_table1_family(
     )
 
 
+def _run_family_sweeps(
+    family: str,
+    sizes: Sequence[int],
+    specs: Sequence[ProtocolSpec],
+    repetitions: int,
+    seed: int,
+    step_budget_multiplier: float,
+    engine: str,
+    backend: str,
+    jobs: int,
+    cache: bool,
+    cache_dir: Optional[str],
+) -> List[SweepResult]:
+    """One sweep per spec, via the orchestrator when the specs allow it."""
+    declarative = all(spec.spec_config is not None for spec in specs)
+    if not declarative:
+        if jobs != 1 or cache:
+            raise ValueError(
+                "jobs > 1 / cache=True require declarative protocol specs "
+                "(built via the token/identifier/fast/star spec builders)"
+            )
+        workload = get_workload(family)
+        return [
+            sweep_protocol_over_sizes(
+                spec,
+                workload,
+                sizes,
+                repetitions=repetitions,
+                seed=seed,
+                max_steps_fn=lambda graph: default_step_budget(
+                    graph, multiplier=step_budget_multiplier
+                ),
+                engine=engine,
+                backend=backend,
+            )
+            for spec in specs
+        ]
+    from ..orchestration import Scenario, run_scenario
+
+    scenario = Scenario.from_specs(
+        name=f"table1-{family}",
+        workload=family,
+        sizes=sizes,
+        specs=specs,
+        repetitions=repetitions,
+        seed=seed,
+        step_budget_multiplier=step_budget_multiplier,
+        engine=engine,
+        backend=backend,
+    )
+    return run_scenario(scenario, jobs=jobs, cache=cache, cache_dir=cache_dir).sweeps
+
+
 def _row_from_sweep(family: str, spec: ProtocolSpec, sweep: SweepResult) -> Table1Row:
-    fit: PowerLawFit = sweep.fit(log_exponent=0.0)
+    try:
+        fit: Optional[PowerLawFit] = sweep.fit(log_exponent=0.0)
+    except DegenerateSweepError:
+        # Workload rounding can collapse nominally distinct sizes (tori
+        # snap to square side lengths, hypercubes to powers of two); the
+        # row is still reported, just without a growth exponent.
+        fit = None
     return Table1Row(
         family=family,
         protocol=spec.name,
         paper_bound=spec.paper_bound,
         sizes=[m.n_nodes for m in sweep.measurements],
         mean_steps=sweep.mean_steps(),
-        fitted_exponent=fit.exponent,
-        fit_r_squared=fit.r_squared,
+        fitted_exponent=fit.exponent if fit is not None else float("nan"),
+        fit_r_squared=fit.r_squared if fit is not None else float("nan"),
         states_observed=max(m.max_states_observed for m in sweep.measurements),
         success_rate=min(m.success_rate for m in sweep.measurements),
     )

@@ -109,6 +109,18 @@ def _cycle_chords(n: int, seed: Optional[int]) -> Graph:
     return families.cycle_with_chords(n, chord_step=max(n // 4, 2))
 
 
+def _pref_attach(n: int, seed: Optional[int]) -> Graph:
+    return random_graphs.preferential_attachment(max(n, 4), attachments=2, rng=seed)
+
+
+def _geometric(n: int, seed: Optional[int]) -> Graph:
+    n = max(n, 8)
+    # Radius ~ sqrt(4 ln n / (pi n)) keeps the graph connected w.h.p.
+    # while staying sparse.
+    radius = min(math.sqrt(4.0 * math.log(n) / (math.pi * n)), 1.0)
+    return random_graphs.random_geometric(n, radius=radius, rng=seed)
+
+
 def _renitent_star(n: int, seed: Optional[int]) -> Graph:
     return renitent_star_construction(n).graph
 
@@ -146,6 +158,8 @@ _register(Workload("random-regular", "Random 4-regular graph (Table 1: Regular)"
 _register(Workload("lollipop", "Lollipop (Table 1: General, worst-case hitting time)", _lollipop))
 _register(Workload("barbell", "Barbell (Table 1: General, low conductance)", _barbell))
 _register(Workload("cycle-chords", "Cycle with chords (Table 1: General)", _cycle_chords))
+_register(Workload("pref-attach", "Barabási–Albert preferential attachment (scale-free hubs)", _pref_attach))
+_register(Workload("geometric", "Random geometric graph on the unit square (sensor networks)", _geometric))
 _register(Workload("renitent-star", "Lemma 38 renitent construction (Table 1: Renitent)", _renitent_star))
 
 

@@ -30,7 +30,7 @@ from .properties import (
     edge_expansion_exact,
     summarize,
 )
-from .random_graphs import erdos_renyi, random_geometric, random_regular
+from .random_graphs import erdos_renyi, preferential_attachment, random_geometric, random_regular
 from .renitent import (
     RenitentConstruction,
     cycle_cover,
@@ -71,6 +71,7 @@ __all__ = [
     "normalized_laplacian_spectral_gap",
     "normalized_laplacian_spectrum",
     "path",
+    "preferential_attachment",
     "random_geometric",
     "random_regular",
     "renitent_family_graph",

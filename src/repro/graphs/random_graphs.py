@@ -159,6 +159,43 @@ def random_geometric(
     )
 
 
+def preferential_attachment(
+    n: int,
+    attachments: int = 2,
+    rng: RngLike = None,
+) -> Graph:
+    """Barabási–Albert preferential-attachment graph on ``n`` nodes.
+
+    Starts from a clique on ``attachments + 1`` nodes; every later node
+    attaches to ``attachments`` distinct existing nodes sampled with
+    probability proportional to their current degree (implemented with the
+    standard repeated-endpoints trick: sampling a uniform element of the
+    edge-endpoint list is exactly degree-proportional sampling).  The
+    result is connected by construction and heavy-tailed: a few hubs of
+    high degree — the "scale-free" regime between the star and the dense
+    random rows of Table 1.
+    """
+    if n < 2:
+        raise GraphError("preferential_attachment requires n >= 2")
+    if attachments < 1:
+        raise GraphError("attachments must be positive")
+    core = min(attachments + 1, n)
+    generator = as_rng(rng)
+    edges: List[Edge] = [(u, v) for u in range(core) for v in range(u + 1, core)]
+    # Flat list of edge endpoints; uniform choice = degree-proportional.
+    endpoints: List[int] = [node for edge in edges for node in edge]
+    for new_node in range(core, n):
+        targets: set = set()
+        want = min(attachments, new_node)
+        while len(targets) < want:
+            targets.add(endpoints[int(generator.integers(0, len(endpoints)))])
+        for target in sorted(targets):
+            edges.append((target, new_node))
+            endpoints.append(target)
+            endpoints.append(new_node)
+    return Graph(n, edges, name=f"pref-attach-{n}-{attachments}")
+
+
 def connected_gnp_threshold(n: int) -> float:
     """The connectivity threshold ``ln(n) / n`` for ``G(n, p)``.
 

@@ -1,0 +1,54 @@
+"""Parallel experiment orchestration: scenarios, sharded runs, result store.
+
+This package is the layer between the execution engine and the
+experiment drivers.  It makes Monte-Carlo sweeps
+
+* **declarative** — a :class:`~repro.orchestration.scenario.Scenario`
+  describes a whole sweep (workload, size grid, protocols, trial count,
+  budgets, engine) as plain data, collected in a registry
+  (:mod:`repro.orchestration.registry`),
+* **parallel** — :func:`~repro.orchestration.runner.run_scenario` shards
+  trials into deterministic per-shard seed streams and fans them out over
+  worker processes, with a serial path that is bit-identical shard for
+  shard,
+* **persistent** — finished shards land in a content-hash-keyed store
+  under ``.repro_cache/`` (:mod:`repro.orchestration.store`), so
+  re-running a sweep is instant and interrupted sweeps resume where they
+  stopped.
+
+See ``docs/ORCHESTRATION.md`` for the scenario schema, the cache layout
+and the invalidation rules.
+"""
+
+from .registry import available_scenarios, get_scenario, register_scenario
+from .runner import (
+    ScenarioResult,
+    WorkUnit,
+    build_work_units,
+    run_scenario,
+)
+from .scenario import (
+    RESULT_SCHEMA_VERSION,
+    ProtocolConfig,
+    Scenario,
+    ScenarioError,
+    default_protocol_configs,
+)
+from .store import DEFAULT_CACHE_DIR, ResultStore
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ProtocolConfig",
+    "RESULT_SCHEMA_VERSION",
+    "ResultStore",
+    "Scenario",
+    "ScenarioError",
+    "ScenarioResult",
+    "WorkUnit",
+    "available_scenarios",
+    "build_work_units",
+    "default_protocol_configs",
+    "get_scenario",
+    "register_scenario",
+    "run_scenario",
+]

@@ -1,0 +1,388 @@
+"""Sharded scenario execution: serial, parallel and cached.
+
+The runner decomposes a :class:`~repro.orchestration.scenario.Scenario`
+into **work units** — one unit covers ``trials_per_shard`` consecutive
+trials of one (protocol, size) cell — and executes the units that the
+result store cannot serve, either in-process or fanned out over a
+``multiprocessing`` pool.
+
+Bit-identity is the design invariant.  Trial ``t`` of cell ``(p, i)``
+always runs with scheduler seed ``trial_seed(measure_seed(seed, i), t)``
+and a graph built from ``graph_seed(seed, i)`` (see
+:mod:`repro.core.seeds`); a unit is a pure function of (scenario config,
+unit bounds).  Shard boundaries, worker counts and cache state therefore
+change *where* a trial executes, never its result, and the aggregate of
+any execution plan equals the serial plan's byte for byte
+(:meth:`ScenarioResult.canonical_json`).  The serial path and
+:func:`~repro.experiments.harness.sweep_protocol_over_sizes` share the
+same derivation, so orchestrated sweeps also match direct harness calls
+measurement for measurement.
+
+Worker processes are started with the ``fork`` method where the platform
+offers it: the parent compiles each protocol's transition tables once and
+warms the process-wide compilation cache, and forked children inherit the
+packed numpy tables copy-on-write — no per-worker recompilation and
+nothing to serialise.  On spawn-only platforms each worker compiles its
+own tables on first use (slower start, same results).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.seeds import graph_seed, measure_seed, trial_seed
+from ..experiments.harness import (
+    DegenerateSweepError,
+    Measurement,
+    ProtocolSpec,
+    SweepResult,
+    default_step_budget,
+    measurement_from_records,
+    run_measurement_trials,
+    trial_record_from_result,
+)
+from ..experiments.workloads import get_workload
+from ..graphs.graph import Graph
+from .scenario import RESULT_SCHEMA_VERSION, Scenario
+from .store import ResultStore
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One shard: trials ``[trial_lo, trial_hi)`` of one (protocol, size) cell."""
+
+    spec_index: int
+    size_index: int
+    shard_index: int
+    trial_lo: int
+    trial_hi: int
+
+    @property
+    def key(self) -> str:
+        """Stable identifier, also the cache file stem."""
+        return f"p{self.spec_index:02d}-s{self.size_index:02d}-t{self.shard_index:04d}"
+
+    @property
+    def n_trials(self) -> int:
+        return self.trial_hi - self.trial_lo
+
+
+def build_work_units(scenario: Scenario) -> List[WorkUnit]:
+    """The scenario's deterministic work decomposition, in serial order."""
+    units: List[WorkUnit] = []
+    shard = scenario.trials_per_shard
+    for spec_index in range(len(scenario.protocols)):
+        for size_index in range(len(scenario.sizes)):
+            for shard_index, lo in enumerate(range(0, scenario.repetitions, shard)):
+                units.append(
+                    WorkUnit(
+                        spec_index=spec_index,
+                        size_index=size_index,
+                        shard_index=shard_index,
+                        trial_lo=lo,
+                        trial_hi=min(lo + shard, scenario.repetitions),
+                    )
+                )
+    return units
+
+
+#: Per-process graph memo.  With trials_per_shard=1 every trial is its own
+#: work unit, and sampled families (random-regular, geometric) pay a
+#: rejection loop per build.  Graphs are deterministic in exactly
+#: (workload, size, graph seed), so that triple is the key — scenario
+#: variants (different repetitions, engine, shard size) share entries.
+_GRAPH_CACHE: Dict[Tuple[str, int, int], Graph] = {}
+_GRAPH_CACHE_LIMIT = 64
+
+
+def _build_graph(scenario: Scenario, size_index: int) -> Graph:
+    seed = graph_seed(scenario.seed, size_index)
+    key = (scenario.workload, scenario.sizes[size_index], seed)
+    graph = _GRAPH_CACHE.get(key)
+    if graph is None:
+        if len(_GRAPH_CACHE) >= _GRAPH_CACHE_LIMIT:
+            _GRAPH_CACHE.clear()
+        graph = get_workload(scenario.workload).build(scenario.sizes[size_index], seed=seed)
+        _GRAPH_CACHE[key] = graph
+    return graph
+
+
+def _execute_unit(
+    scenario: Scenario, specs: Sequence[ProtocolSpec], unit: WorkUnit
+) -> Dict[str, Any]:
+    """Run one work unit and return its JSON-native payload."""
+    graph = _build_graph(scenario, unit.size_index)
+    spec = specs[unit.spec_index]
+    results, state_space = run_measurement_trials(
+        spec,
+        graph,
+        range(unit.trial_lo, unit.trial_hi),
+        seed=measure_seed(scenario.seed, unit.size_index),
+        max_steps=default_step_budget(graph, multiplier=scenario.step_budget_multiplier),
+        engine=scenario.engine,
+        backend=scenario.backend,
+    )
+    return {
+        "version": RESULT_SCHEMA_VERSION,
+        "unit": unit.key,
+        "trials": [unit.trial_lo, unit.trial_hi],
+        "records": [trial_record_from_result(result) for result in results],
+        "state_space": state_space,
+    }
+
+
+def _worker_execute(packed: Tuple[Dict[str, Any], Tuple[int, int, int, int, int]]) -> Tuple[str, Dict[str, Any]]:
+    """Pool entry point: rebuild the scenario from plain data, run one unit."""
+    config, unit_fields = packed
+    scenario = Scenario.from_config(config)
+    unit = WorkUnit(*unit_fields)
+    return unit.key, _execute_unit(scenario, scenario.protocol_specs(), unit)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # Prefer fork only on Linux, where it is the platform default and safe:
+    # children inherit the warmed compilation cache copy-on-write.  macOS
+    # lists fork as available but forking a process with initialized
+    # BLAS/Objective-C runtimes is unsafe there (hence its spawn default);
+    # respect the platform default everywhere else.
+    if sys.platform.startswith("linux") and "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _warm_compilation_cache(
+    scenario: Scenario, specs: Sequence[ProtocolSpec], pending: Sequence[WorkUnit]
+) -> None:
+    """Compile each pending protocol's tables once before forking workers."""
+    from ..engine.compiler import ProtocolCompilationError, compilation_worthwhile, get_compiled
+
+    seen: set = set()
+    for unit in pending:
+        cell = (unit.spec_index, unit.size_index)
+        if cell in seen:
+            continue
+        seen.add(cell)
+        graph = _build_graph(scenario, unit.size_index)
+        protocol = specs[unit.spec_index].factory(
+            graph, trial_seed(measure_seed(scenario.seed, unit.size_index), unit.trial_lo)
+        )
+        if not compilation_worthwhile(protocol):
+            continue
+        try:
+            get_compiled(protocol)
+        except ProtocolCompilationError:
+            pass
+
+
+@dataclass
+class ScenarioResult:
+    """Aggregated outcome of one orchestrated scenario run.
+
+    ``cache_hits`` / ``executed_units`` describe how the run was served;
+    they are provenance, not part of the canonical result.
+    """
+
+    scenario: Scenario
+    sweeps: List[SweepResult]
+    total_units: int
+    cache_hits: int
+    executed_units: int
+    jobs: int
+    wall_time_seconds: float
+
+    def sweep_for(self, protocol_name: str) -> SweepResult:
+        """The sweep of one protocol by its spec name."""
+        for sweep in self.sweeps:
+            if sweep.protocol_name == protocol_name:
+                return sweep
+        known = ", ".join(sweep.protocol_name for sweep in self.sweeps)
+        raise KeyError(f"no sweep for {protocol_name!r}; have: {known}")
+
+    def to_canonical_dict(self) -> Dict[str, Any]:
+        """Deterministic, execution-plan-independent view of the results.
+
+        Contains only measured values and the scenario identity — no wall
+        times, worker counts or cache statistics — so any two runs of the
+        same scenario (serial, parallel, cached) produce equal dicts.
+        """
+        sweeps = []
+        for sweep in self.sweeps:
+            try:
+                fit = sweep.fit()
+                fit_dict: Optional[Dict[str, float]] = {
+                    "exponent": fit.exponent,
+                    "log_exponent": fit.log_exponent,
+                    "constant": fit.constant,
+                    "r_squared": fit.r_squared,
+                }
+            except DegenerateSweepError:
+                fit_dict = None
+            sweeps.append(
+                {
+                    "protocol": sweep.protocol_name,
+                    "workload": sweep.workload_name,
+                    "sizes": list(sweep.sizes),
+                    "per_size": [_measurement_dict(m) for m in sweep.measurements],
+                    "fit": fit_dict,
+                }
+            )
+        return {
+            "scenario": self.scenario.config_dict(),
+            "content_hash": self.scenario.content_hash(),
+            "sweeps": sweeps,
+        }
+
+    def canonical_json(self) -> str:
+        """Canonical JSON of :meth:`to_canonical_dict` (byte-comparable)."""
+        return json.dumps(self.to_canonical_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def _measurement_dict(measurement: Measurement) -> Dict[str, Any]:
+    stats = measurement.stabilization_steps
+    return {
+        "graph": measurement.graph_name,
+        "n": measurement.n_nodes,
+        "m": measurement.n_edges,
+        "mean_steps": stats.mean,
+        "std_steps": stats.std,
+        "q90_steps": stats.q90,
+        "certified_mean_steps": measurement.certified_steps.mean,
+        "success_rate": measurement.success_rate,
+        "max_states_observed": measurement.max_states_observed,
+        "state_space_size": measurement.state_space_size,
+        "n_trials": stats.n_samples,
+    }
+
+
+def run_scenario(
+    scenario: Scenario,
+    jobs: int = 1,
+    cache: bool = True,
+    cache_dir: Union[str, Path, None] = None,
+    store: Optional[ResultStore] = None,
+) -> ScenarioResult:
+    """Execute ``scenario``, reusing stored shards and sharding the rest.
+
+    Parameters
+    ----------
+    scenario:
+        The declarative sweep to run.
+    jobs:
+        Worker processes.  ``1`` runs every unit in-process, in serial
+        order; any value produces bit-identical aggregates.
+    cache:
+        When true (default), finished units are read from / written to the
+        result store, so re-runs are instant and interrupted sweeps
+        resume.  ``False`` neither reads nor writes ``.repro_cache/``.
+    cache_dir / store:
+        Override the cache root, or inject a prepared
+        :class:`~repro.orchestration.store.ResultStore` (``store`` wins).
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be positive")
+    scenario.validate()
+    start_time = time.perf_counter()
+    active_store: Optional[ResultStore] = None
+    if cache:
+        active_store = store if store is not None else ResultStore(cache_dir)
+
+    units = build_work_units(scenario)
+    payloads: Dict[str, Dict[str, Any]] = {}
+    pending: List[WorkUnit] = []
+    for unit in units:
+        stored = (
+            active_store.load_unit(scenario, unit.key, unit.n_trials)
+            if active_store is not None
+            else None
+        )
+        if stored is not None:
+            payloads[unit.key] = stored
+        else:
+            pending.append(unit)
+    cache_hits = len(payloads)
+
+    if pending:
+        specs = scenario.protocol_specs()
+        worker_count = min(jobs, len(pending))
+
+        def finished(unit_key: str, payload: Dict[str, Any]) -> None:
+            # Persist each unit the moment it completes, so an interrupted
+            # sweep keeps every finished shard and the next run resumes.
+            if active_store is not None:
+                active_store.save_unit(scenario, unit_key, payload)
+            payloads[unit_key] = payload
+
+        if worker_count > 1:
+            _warm_compilation_cache(scenario, specs, pending)
+            config = scenario.config_dict()
+            tasks = [
+                (config, (u.spec_index, u.size_index, u.shard_index, u.trial_lo, u.trial_hi))
+                for u in pending
+            ]
+            with _pool_context().Pool(processes=worker_count) as pool:
+                # imap_unordered: units persist the moment any worker
+                # finishes them (ordered imap would buffer completions
+                # behind a straggler, losing them to an interrupt).
+                # Aggregation sorts by trial bounds, so order is free.
+                for unit_key, payload in pool.imap_unordered(
+                    _worker_execute, tasks, chunksize=1
+                ):
+                    finished(unit_key, payload)
+        else:
+            for unit in pending:
+                finished(unit.key, _execute_unit(scenario, specs, unit))
+
+    sweeps = _aggregate(scenario, units, payloads)
+    return ScenarioResult(
+        scenario=scenario,
+        sweeps=sweeps,
+        total_units=len(units),
+        cache_hits=cache_hits,
+        executed_units=len(pending),
+        jobs=jobs,
+        wall_time_seconds=time.perf_counter() - start_time,
+    )
+
+
+def _aggregate(
+    scenario: Scenario, units: Sequence[WorkUnit], payloads: Dict[str, Dict[str, Any]]
+) -> List[SweepResult]:
+    """Fold unit payloads into per-protocol sweeps, in global trial order."""
+    specs = scenario.protocol_specs()
+    graphs = [_build_graph(scenario, index) for index in range(len(scenario.sizes))]
+    by_cell: Dict[Tuple[int, int], List[WorkUnit]] = {}
+    for unit in units:
+        by_cell.setdefault((unit.spec_index, unit.size_index), []).append(unit)
+
+    sweeps: List[SweepResult] = []
+    for spec_index, spec in enumerate(specs):
+        measurements: List[Measurement] = []
+        for size_index, graph in enumerate(graphs):
+            cell_units = sorted(
+                by_cell[(spec_index, size_index)], key=lambda unit: unit.trial_lo
+            )
+            records: List[dict] = []
+            state_space: Optional[int] = None
+            for unit in cell_units:
+                payload = payloads[unit.key]
+                records.extend(payload["records"])
+                if state_space is None:
+                    state_space = payload.get("state_space")
+            measurements.append(
+                measurement_from_records(spec.name, graph, records, state_space)
+            )
+        sweeps.append(
+            SweepResult(
+                protocol_name=spec.name,
+                workload_name=scenario.workload,
+                sizes=list(scenario.sizes),
+                measurements=measurements,
+            )
+        )
+    return sweeps

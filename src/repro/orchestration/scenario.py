@@ -1,0 +1,277 @@
+"""Declarative experiment scenarios.
+
+A :class:`Scenario` is a complete, *data-only* description of one
+Monte-Carlo sweep: which graph family, which size grid, which protocols
+(by builder name + parameters), how many trials, what step budget, which
+engine.  Because a scenario is plain data it can be
+
+* hashed into a stable cache key (:meth:`Scenario.content_hash`) for the
+  persistent result store,
+* pickled/rebuilt cheaply in worker processes by the parallel runner,
+* listed, composed and overridden from the CLI without touching code.
+
+The protocol builder names (``token``, ``identifier``, ``fast``,
+``star``) map onto the spec builders in
+:mod:`repro.experiments.harness`; their keyword parameters travel with
+the scenario and are part of the cache key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..experiments.harness import (
+    ProtocolSpec,
+    fast_protocol_spec,
+    identifier_protocol_spec,
+    star_protocol_spec,
+    token_protocol_spec,
+)
+from ..experiments.workloads import get_workload
+
+#: Bump when the meaning of persisted results changes (record schema,
+#: execution semantics).  Part of every scenario content hash, so stale
+#: cache entries become unreachable rather than silently wrong.
+RESULT_SCHEMA_VERSION = 1
+
+_SPEC_BUILDERS = {
+    "token": token_protocol_spec,
+    "identifier": identifier_protocol_spec,
+    "fast": fast_protocol_spec,
+    "star": star_protocol_spec,
+}
+
+
+class ScenarioError(ValueError):
+    """A scenario is malformed or references unknown components."""
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Declarative protocol choice: a builder name plus keyword parameters.
+
+    Parameters are canonicalised against the builder's signature: omitted
+    keywords are filled with the builder's defaults and unknown keywords
+    are rejected.  Semantically identical configs (``ProtocolConfig("fast")``
+    vs. one spelling out the defaults) therefore compare — and hash —
+    equal, while a change to a builder default changes every affected
+    scenario's content hash, as a semantic change must.
+    """
+
+    builder: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.builder not in _SPEC_BUILDERS:
+            known = ", ".join(sorted(_SPEC_BUILDERS))
+            raise ScenarioError(
+                f"unknown protocol builder {self.builder!r}; known builders: {known}"
+            )
+        signature = inspect.signature(_SPEC_BUILDERS[self.builder])
+        canonical = {
+            name: parameter.default for name, parameter in signature.parameters.items()
+        }
+        for key, value in self.params:
+            if key not in canonical:
+                raise ScenarioError(
+                    f"protocol builder {self.builder!r} has no parameter {key!r}; "
+                    f"accepts: {', '.join(sorted(canonical)) or '(none)'}"
+                )
+            canonical[key] = value
+        object.__setattr__(self, "params", tuple(sorted(canonical.items())))
+
+    def build_spec(self) -> ProtocolSpec:
+        """Instantiate the concrete :class:`ProtocolSpec`."""
+        return _SPEC_BUILDERS[self.builder](**dict(self.params))
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"builder": self.builder, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, config: Mapping[str, Any]) -> "ProtocolConfig":
+        return cls(
+            builder=str(config["builder"]),
+            params=tuple(sorted(dict(config.get("params", {})).items())),
+        )
+
+    @classmethod
+    def from_spec(cls, spec: ProtocolSpec) -> "ProtocolConfig":
+        """Recover the declarative form of a spec built by a known builder."""
+        if spec.spec_config is None:
+            raise ScenarioError(
+                f"protocol spec {spec.name!r} was built from a raw factory and has "
+                "no declarative form; build it via token/identifier/fast/star "
+                "spec builders to orchestrate it"
+            )
+        builder, params = spec.spec_config
+        return cls(builder=builder, params=tuple(params))
+
+
+def default_protocol_configs() -> Tuple[ProtocolConfig, ...]:
+    """The declarative form of the three Table 1 protocols."""
+    return (
+        ProtocolConfig("token"),
+        ProtocolConfig("identifier"),
+        ProtocolConfig("fast"),
+    )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named, fully declarative Monte-Carlo sweep.
+
+    Attributes
+    ----------
+    name:
+        Registry key; also the human-readable part of the cache directory.
+    workload:
+        Graph-family workload name (see :mod:`repro.experiments.workloads`).
+    sizes:
+        Population-size grid.  A single size is allowed (scaling fits are
+        then unavailable; see ``SweepResult.fit``).
+    protocols:
+        Declarative protocol choices, in measurement order.
+    repetitions:
+        Monte-Carlo trials per (protocol, size).
+    seed:
+        Base seed; all graph/trial seeds derive from it via
+        :mod:`repro.core.seeds`.
+    step_budget_multiplier:
+        Scales the per-run step budget (``default_step_budget``).
+    trials_per_shard:
+        How many trials one work unit (= one cache file, one worker task)
+        covers.  Affects scheduling granularity and cache layout only —
+        never the per-trial seeds, hence never the results.
+    engine / backend:
+        Execution engine for the simulations.
+    description:
+        One line shown by ``repro-popsim scenarios``.
+    """
+
+    name: str
+    workload: str
+    sizes: Tuple[int, ...]
+    protocols: Tuple[ProtocolConfig, ...] = field(default_factory=default_protocol_configs)
+    repetitions: int = 3
+    seed: int = 0
+    step_budget_multiplier: float = 60.0
+    trials_per_shard: int = 1
+    engine: str = "auto"
+    backend: str = "auto"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sizes", tuple(int(s) for s in self.sizes))
+        object.__setattr__(self, "protocols", tuple(self.protocols))
+        if not self.name:
+            raise ScenarioError("scenario needs a non-empty name")
+        if not self.sizes:
+            raise ScenarioError(f"scenario {self.name!r} needs at least one size")
+        if not self.protocols:
+            raise ScenarioError(f"scenario {self.name!r} needs at least one protocol")
+        if self.repetitions < 1:
+            raise ScenarioError(f"scenario {self.name!r}: repetitions must be positive")
+        if self.trials_per_shard < 1:
+            raise ScenarioError(f"scenario {self.name!r}: trials_per_shard must be positive")
+
+    # ------------------------------------------------------------------
+    # Validation / construction
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Resolve every referenced component (raises on dangling names)."""
+        get_workload(self.workload)
+        for protocol in self.protocols:
+            protocol.build_spec()
+
+    def protocol_specs(self) -> List[ProtocolSpec]:
+        """Concrete protocol specs, in declaration order."""
+        return [protocol.build_spec() for protocol in self.protocols]
+
+    def with_overrides(self, **overrides: Any) -> "Scenario":
+        """A copy with some fields replaced (CLI ``--sizes``/``--repetitions``)."""
+        if "sizes" in overrides:
+            overrides["sizes"] = tuple(int(s) for s in overrides["sizes"])
+        return replace(self, **overrides)
+
+    # ------------------------------------------------------------------
+    # Canonical form and content hash
+    # ------------------------------------------------------------------
+    def config_dict(self) -> Dict[str, Any]:
+        """The canonical JSON-able description of this scenario."""
+        return {
+            "name": self.name,
+            "workload": self.workload,
+            "sizes": list(self.sizes),
+            "protocols": [protocol.as_dict() for protocol in self.protocols],
+            "repetitions": self.repetitions,
+            "seed": self.seed,
+            "step_budget_multiplier": self.step_budget_multiplier,
+            "trials_per_shard": self.trials_per_shard,
+            "engine": self.engine,
+            "backend": self.backend,
+        }
+
+    def content_hash(self) -> str:
+        """SHA-256 over the canonical config plus code-relevant versions.
+
+        Includes everything that determines the *measured values*: the
+        scenario config, the result schema version, the package version
+        and the scheduler's seeded-stream parameters (the pre-sample
+        refill size is part of the seeded trajectory definition — see
+        ``repro.core.scheduler``).  The execution ``engine``/``backend``
+        are part of the config hashed here even though engines are
+        bit-identical; a cache entry therefore never outlives a semantics
+        change, at the cost of re-running when only the engine differs.
+        """
+        from .. import __version__
+        from ..core.scheduler import _DEFAULT_BATCH
+
+        payload = {
+            "config": self.config_dict(),
+            "result_schema": RESULT_SCHEMA_VERSION,
+            "package_version": __version__,
+            "scheduler_refill": _DEFAULT_BATCH,
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    @classmethod
+    def from_config(cls, config: Mapping[str, Any]) -> "Scenario":
+        """Rebuild a scenario from :meth:`config_dict` output."""
+        return cls(
+            name=str(config["name"]),
+            workload=str(config["workload"]),
+            sizes=tuple(int(s) for s in config["sizes"]),
+            protocols=tuple(
+                ProtocolConfig.from_dict(protocol) for protocol in config["protocols"]
+            ),
+            repetitions=int(config["repetitions"]),
+            seed=int(config["seed"]),
+            step_budget_multiplier=float(config["step_budget_multiplier"]),
+            trials_per_shard=int(config["trials_per_shard"]),
+            engine=str(config["engine"]),
+            backend=str(config["backend"]),
+            description=str(config.get("description", "")),
+        )
+
+    @classmethod
+    def from_specs(
+        cls,
+        name: str,
+        workload: str,
+        sizes: Sequence[int],
+        specs: Sequence[ProtocolSpec],
+        **fields_: Any,
+    ) -> "Scenario":
+        """Build a scenario from concrete specs that carry ``spec_config``."""
+        return cls(
+            name=name,
+            workload=workload,
+            sizes=tuple(sizes),
+            protocols=tuple(ProtocolConfig.from_spec(spec) for spec in specs),
+            **fields_,
+        )

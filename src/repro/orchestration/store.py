@@ -1,0 +1,187 @@
+"""Persistent result store for orchestrated sweeps.
+
+Layout (everything lives under one cache root, ``.repro_cache/`` by
+default)::
+
+    .repro_cache/
+      <scenario-name>-<hash12>/        # one directory per content hash
+        scenario.json                  # full canonical config (provenance)
+        units/
+          p00-s00-t0000.json           # one work unit = one file
+          p00-s00-t0001.json
+          ...
+
+The directory name embeds the first 12 hex digits of
+:meth:`~repro.orchestration.scenario.Scenario.content_hash`, so *any*
+config change (sizes, seeds, protocol parameters, engine, schema or
+package version) lands in a fresh directory and can never be served a
+stale result — invalidation is purely structural, there is no mtime or
+dependency tracking to get wrong.
+
+Each unit file carries the trial records of one shard plus enough
+metadata to validate it.  Files are written atomically (temp file +
+``os.replace``), so a sweep interrupted mid-write leaves at worst one
+missing unit; the next run recomputes exactly the missing shards and
+reuses the finished ones.  A file that fails to parse or validate — a
+truncated write from a hard kill, manual tampering — is treated as a
+miss, deleted, and recomputed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..experiments.harness import TRIAL_RECORD_FIELDS
+from .scenario import RESULT_SCHEMA_VERSION, Scenario
+
+#: Default cache root, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Hex digits of the content hash used in directory names.
+_HASH_PREFIX_LEN = 12
+
+
+def _atomic_write_json(path: Path, payload: Any, prefix: str, **dump_kwargs: Any) -> None:
+    """Write JSON via a same-directory temp file + ``os.replace``."""
+    descriptor, temp_name = tempfile.mkstemp(prefix=prefix, suffix=".tmp", dir=str(path.parent))
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, **dump_kwargs)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.remove(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+class ResultStore:
+    """Filesystem-backed store of per-unit trial records.
+
+    Parameters
+    ----------
+    root:
+        Cache root directory.  Created lazily on the first write; reads
+        from a non-existent root simply miss.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        self.root = Path(root) if root is not None else Path(DEFAULT_CACHE_DIR)
+        # Scenario dirs whose scenario.json this instance already verified,
+        # so per-unit writes do not re-read the provenance file every time.
+        self._config_written: set = set()
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def scenario_dir(self, scenario: Scenario) -> Path:
+        """Directory all of ``scenario``'s units live in."""
+        digest = scenario.content_hash()[:_HASH_PREFIX_LEN]
+        return self.root / f"{scenario.name}-{digest}"
+
+    def unit_path(self, scenario: Scenario, unit_key: str) -> Path:
+        """File path of one work unit's records."""
+        return self.scenario_dir(scenario) / "units" / f"{unit_key}.json"
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def load_unit(self, scenario: Scenario, unit_key: str, n_trials: int) -> Optional[Dict[str, Any]]:
+        """The stored payload for ``unit_key``, or ``None`` on miss.
+
+        A corrupt or schema-mismatched file is deleted and reported as a
+        miss, so callers recompute instead of crashing (or worse, trusting
+        garbage).
+        """
+        path = self.unit_path(scenario, unit_key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._discard(path)
+            return None
+        if not self._valid_payload(payload, unit_key, n_trials):
+            self._discard(path)
+            return None
+        return payload
+
+    @staticmethod
+    def _valid_payload(payload: Any, unit_key: str, n_trials: int) -> bool:
+        if not isinstance(payload, dict):
+            return False
+        if payload.get("version") != RESULT_SCHEMA_VERSION:
+            return False
+        if payload.get("unit") != unit_key:
+            return False
+        records = payload.get("records")
+        if not isinstance(records, list) or len(records) != n_trials:
+            return False
+        for record in records:
+            if not isinstance(record, dict):
+                return False
+            if any(fieldname not in record for fieldname in TRIAL_RECORD_FIELDS):
+                return False
+        return True
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def save_unit(self, scenario: Scenario, unit_key: str, payload: Dict[str, Any]) -> Path:
+        """Atomically persist one unit's payload; returns the final path."""
+        path = self.unit_path(scenario, unit_key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._write_scenario_config(scenario)
+        _atomic_write_json(
+            path, payload, prefix=f".{unit_key}.", sort_keys=True, separators=(",", ":")
+        )
+        return path
+
+    def _write_scenario_config(self, scenario: Scenario) -> None:
+        path = self.scenario_dir(scenario) / "scenario.json"
+        if path in self._config_written:
+            return
+        if path.exists():
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    json.load(handle)
+                self._config_written.add(path)
+                return
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                pass  # truncated by a hard kill: rewrite below
+        path.parent.mkdir(parents=True, exist_ok=True)
+        provenance = {
+            "config": scenario.config_dict(),
+            "content_hash": scenario.content_hash(),
+            "result_schema": RESULT_SCHEMA_VERSION,
+        }
+        _atomic_write_json(path, provenance, prefix=".scenario.", sort_keys=True, indent=2)
+        self._config_written.add(path)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def stored_unit_keys(self, scenario: Scenario) -> List[str]:
+        """Unit keys currently on disk for ``scenario`` (no validation)."""
+        units_dir = self.scenario_dir(scenario) / "units"
+        if not units_dir.is_dir():
+            return []
+        return sorted(path.stem for path in units_dir.glob("*.json"))
+
+    def discard_scenario(self, scenario: Scenario) -> None:
+        """Drop every stored unit of ``scenario`` (force a full recompute)."""
+        shutil.rmtree(self.scenario_dir(scenario), ignore_errors=True)

@@ -108,3 +108,81 @@ class TestCommands:
     def test_unknown_workload_errors(self):
         with pytest.raises(KeyError):
             main(["graph-info", "--workload", "bogus", "--size", "10"])
+
+
+class TestSweepCommand:
+    def test_scenarios_command(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "table1-clique" in out
+        assert "hypercube-expander" in out
+        assert "pref-attach-hubs" in out
+
+    def test_sweep_runs_and_reports_cache_stats(self, capsys, tmp_path):
+        args = [
+            "sweep",
+            "--scenario",
+            "table1-stars",
+            "--sizes",
+            "6",
+            "10",
+            "--repetitions",
+            "2",
+            "--jobs",
+            "2",
+            "--cache-dir",
+            str(tmp_path),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "star-trivial" in out
+        assert "0/4 units from cache" in out
+        # Second invocation is served entirely from the store.
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "4/4 units from cache" in out
+
+    def test_sweep_no_cache(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--scenario",
+                    "table1-stars",
+                    "--sizes",
+                    "6",
+                    "10",
+                    "--repetitions",
+                    "1",
+                    "--no-cache",
+                    "--cache-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "cache off" in out
+        assert list(tmp_path.iterdir()) == []
+
+    def test_sweep_single_size_reports_degenerate_fit(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--scenario",
+                    "table1-stars",
+                    "--sizes",
+                    "8",
+                    "--repetitions",
+                    "1",
+                    "--no-cache",
+                ]
+            )
+            == 0
+        )
+        assert "no scaling fit" in capsys.readouterr().out
+
+    def test_sweep_unknown_scenario_errors(self):
+        with pytest.raises(KeyError):
+            main(["sweep", "--scenario", "bogus"])

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments import (
+    DegenerateSweepError,
     compare_protocols_on_graph,
     default_protocol_specs,
     default_step_budget,
@@ -108,3 +109,68 @@ class TestSweeps:
 
     def test_step_budget_monotone_in_n(self):
         assert default_step_budget(clique(40)) > default_step_budget(clique(10))
+
+    def test_trial_seeds_shard_invariant(self):
+        """Measurements depend only on (seed, trial index), not batch shape."""
+        from repro.experiments import run_measurement_trials
+
+        graph = clique(10)
+        spec = token_protocol_spec()
+        full, _ = run_measurement_trials(spec, graph, range(4), seed=9)
+        first, _ = run_measurement_trials(spec, graph, range(0, 2), seed=9)
+        second, _ = run_measurement_trials(spec, graph, range(2, 4), seed=9)
+        sharded = first + second
+        for a, b in zip(full, sharded):
+            assert a.stabilization_step == b.stabilization_step
+            assert a.certified_step == b.certified_step
+            assert a.leaders == b.leaders
+
+
+class TestDegenerateFits:
+    def _sweep_with(self, sizes_and_means):
+        from repro.analysis.estimators import summarize_samples
+        from repro.experiments.harness import Measurement, SweepResult
+
+        measurements = []
+        for n, mean in sizes_and_means:
+            stats = summarize_samples([mean])
+            measurements.append(
+                Measurement(
+                    protocol_name="token-6state",
+                    graph_name=f"g-{n}",
+                    n_nodes=n,
+                    n_edges=n,
+                    stabilization_steps=stats,
+                    certified_steps=stats,
+                    success_rate=1.0,
+                    max_states_observed=6,
+                    state_space_size=6,
+                )
+            )
+        return SweepResult(
+            protocol_name="token-6state",
+            workload_name="test",
+            sizes=[n for n, _ in sizes_and_means],
+            measurements=measurements,
+        )
+
+    def test_single_distinct_size_raises_clear_error(self):
+        # Workload rounding can collapse nominally different sizes
+        # (hypercubes snap to powers of two).
+        sweep = self._sweep_with([(16, 100.0), (16, 110.0)])
+        with pytest.raises(DegenerateSweepError, match="two distinct graph sizes"):
+            sweep.fit()
+
+    def test_zero_mean_raises_clear_error(self):
+        sweep = self._sweep_with([(8, 0.0), (16, 120.0)])
+        with pytest.raises(DegenerateSweepError, match="positive finite mean"):
+            sweep.fit()
+
+    def test_degenerate_error_is_a_value_error(self):
+        sweep = self._sweep_with([(16, 100.0), (16, 110.0)])
+        with pytest.raises(ValueError):
+            sweep.fit()
+
+    def test_healthy_grid_still_fits(self):
+        sweep = self._sweep_with([(8, 64.0), (16, 256.0), (32, 1024.0)])
+        assert abs(sweep.fit().exponent - 2.0) < 1e-9

@@ -1,0 +1,235 @@
+"""Tests for the sharded scenario runner (repro.orchestration.runner).
+
+Covers the acceptance criteria of the orchestration layer:
+
+* parallel (``jobs=N``) aggregates are bit-identical to the serial path,
+* the serial path is bit-identical to the direct harness sweep,
+* a repeated sweep of a completed scenario is served entirely from the
+  result store — zero work units executed, no simulator steps,
+* interrupted sweeps resume (only missing shards recompute).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.orchestration.runner as runner_module
+from repro.experiments.harness import (
+    default_step_budget,
+    star_protocol_spec,
+    sweep_protocol_over_sizes,
+    token_protocol_spec,
+)
+from repro.experiments.workloads import get_workload
+from repro.orchestration import (
+    ProtocolConfig,
+    ResultStore,
+    Scenario,
+    build_work_units,
+    run_scenario,
+)
+
+
+def token_clique_scenario(**overrides):
+    fields = dict(
+        name="orch-test",
+        workload="clique",
+        sizes=(8, 12),
+        protocols=(ProtocolConfig("token"),),
+        repetitions=3,
+        seed=11,
+    )
+    fields.update(overrides)
+    return Scenario(**fields)
+
+
+def assert_same_measurements(result_a, result_b):
+    for sweep_a, sweep_b in zip(result_a.sweeps, result_b.sweeps):
+        assert sweep_a.protocol_name == sweep_b.protocol_name
+        for m_a, m_b in zip(sweep_a.measurements, sweep_b.measurements):
+            assert m_a.stabilization_steps == m_b.stabilization_steps
+            assert m_a.certified_steps == m_b.certified_steps
+            assert m_a.success_rate == m_b.success_rate
+            assert m_a.max_states_observed == m_b.max_states_observed
+
+
+class TestWorkUnits:
+    def test_decomposition_covers_all_trials_once(self):
+        scenario = token_clique_scenario(repetitions=5, trials_per_shard=2)
+        units = build_work_units(scenario)
+        for spec_index in range(len(scenario.protocols)):
+            for size_index in range(len(scenario.sizes)):
+                cell = [
+                    u for u in units
+                    if u.spec_index == spec_index and u.size_index == size_index
+                ]
+                trials = sorted(t for u in cell for t in range(u.trial_lo, u.trial_hi))
+                assert trials == list(range(scenario.repetitions))
+
+    def test_unit_keys_unique(self):
+        units = build_work_units(token_clique_scenario(repetitions=7, trials_per_shard=3))
+        keys = [unit.key for unit in units]
+        assert len(set(keys)) == len(keys)
+
+
+class TestBitIdentity:
+    def test_serial_matches_direct_harness_sweep(self):
+        scenario = token_clique_scenario()
+        orchestrated = run_scenario(scenario, jobs=1, cache=False)
+        direct = sweep_protocol_over_sizes(
+            token_protocol_spec(),
+            get_workload("clique"),
+            scenario.sizes,
+            repetitions=scenario.repetitions,
+            seed=scenario.seed,
+            max_steps_fn=lambda graph: default_step_budget(
+                graph, multiplier=scenario.step_budget_multiplier
+            ),
+        )
+        sweep = orchestrated.sweeps[0]
+        for measured, expected in zip(sweep.measurements, direct.measurements):
+            assert measured.stabilization_steps == expected.stabilization_steps
+            assert measured.certified_steps == expected.certified_steps
+            assert measured.success_rate == expected.success_rate
+
+    def test_parallel_bit_identical_to_serial(self):
+        scenario = token_clique_scenario()
+        serial = run_scenario(scenario, jobs=1, cache=False)
+        parallel = run_scenario(scenario, jobs=2, cache=False)
+        assert parallel.canonical_json() == serial.canonical_json()
+
+    def test_shard_size_does_not_change_results(self):
+        fine = run_scenario(token_clique_scenario(trials_per_shard=1), jobs=2, cache=False)
+        coarse = run_scenario(token_clique_scenario(trials_per_shard=3), jobs=1, cache=False)
+        assert_same_measurements(fine, coarse)
+
+    def test_cached_rerun_bit_identical(self, tmp_path):
+        scenario = token_clique_scenario()
+        first = run_scenario(scenario, jobs=1, cache_dir=tmp_path)
+        second = run_scenario(scenario, jobs=2, cache_dir=tmp_path)
+        assert second.canonical_json() == first.canonical_json()
+
+
+class TestCacheBehaviour:
+    def test_completed_scenario_served_entirely_from_cache(self, tmp_path, monkeypatch):
+        """Re-running a finished sweep executes zero work units / simulator steps."""
+        scenario = token_clique_scenario()
+        first = run_scenario(scenario, jobs=1, cache_dir=tmp_path)
+        assert first.cache_hits == 0
+        assert first.executed_units == first.total_units
+
+        def bomb(*args, **kwargs):  # pragma: no cover - must never run
+            raise AssertionError("cache hit must not execute any simulation")
+
+        monkeypatch.setattr(runner_module, "_execute_unit", bomb)
+        second = run_scenario(scenario, jobs=1, cache_dir=tmp_path)
+        assert second.cache_hits == second.total_units
+        assert second.executed_units == 0
+        assert second.canonical_json() == first.canonical_json()
+
+    def test_config_change_misses(self, tmp_path):
+        scenario = token_clique_scenario()
+        run_scenario(scenario, jobs=1, cache_dir=tmp_path)
+        changed = scenario.with_overrides(seed=scenario.seed + 1)
+        rerun = run_scenario(changed, jobs=1, cache_dir=tmp_path)
+        assert rerun.cache_hits == 0
+        assert rerun.executed_units == rerun.total_units
+
+    def test_no_cache_never_touches_store(self, tmp_path):
+        scenario = token_clique_scenario()
+        run_scenario(scenario, jobs=1, cache=False, cache_dir=tmp_path)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_resume_after_interrupt_recomputes_only_missing_shards(self, tmp_path, monkeypatch):
+        """Kill a sweep partway; the next run reuses every finished shard."""
+        scenario = token_clique_scenario()
+        real_execute = runner_module._execute_unit
+        calls = {"count": 0}
+
+        def dies_after_three(*args, **kwargs):
+            if calls["count"] >= 3:
+                raise KeyboardInterrupt("simulated interrupt mid-sweep")
+            calls["count"] += 1
+            return real_execute(*args, **kwargs)
+
+        monkeypatch.setattr(runner_module, "_execute_unit", dies_after_three)
+        with pytest.raises(KeyboardInterrupt):
+            run_scenario(scenario, jobs=1, cache_dir=tmp_path)
+        monkeypatch.setattr(runner_module, "_execute_unit", real_execute)
+
+        resumed = run_scenario(scenario, jobs=1, cache_dir=tmp_path)
+        assert resumed.cache_hits == 3
+        assert resumed.executed_units == resumed.total_units - 3
+        fresh = run_scenario(scenario, jobs=1, cache=False)
+        assert resumed.canonical_json() == fresh.canonical_json()
+
+    def test_corrupted_shard_recomputed(self, tmp_path):
+        scenario = token_clique_scenario()
+        first = run_scenario(scenario, jobs=1, cache_dir=tmp_path)
+        store = ResultStore(tmp_path)
+        victim = store.unit_path(scenario, build_work_units(scenario)[0].key)
+        victim.write_text("garbage", encoding="utf-8")
+        rerun = run_scenario(scenario, jobs=1, cache_dir=tmp_path)
+        assert rerun.cache_hits == rerun.total_units - 1
+        assert rerun.executed_units == 1
+        assert rerun.canonical_json() == first.canonical_json()
+
+
+class TestScenarioResult:
+    def test_sweep_for(self):
+        result = run_scenario(
+            token_clique_scenario(protocols=(ProtocolConfig("token"),)),
+            jobs=1,
+            cache=False,
+        )
+        assert result.sweep_for("token-6state").protocol_name == "token-6state"
+        with pytest.raises(KeyError):
+            result.sweep_for("bogus")
+
+    def test_single_size_scenario_has_no_fit_but_runs(self):
+        scenario = Scenario(
+            name="single",
+            workload="star",
+            sizes=(8,),
+            protocols=(ProtocolConfig("star"),),
+            repetitions=2,
+        )
+        result = run_scenario(scenario, jobs=1, cache=False)
+        assert result.to_canonical_dict()["sweeps"][0]["fit"] is None
+
+    def test_canonical_dict_excludes_provenance(self):
+        result = run_scenario(token_clique_scenario(), jobs=1, cache=False)
+        canonical = result.to_canonical_dict()
+        assert "wall_time_seconds" not in canonical
+        assert "cache_hits" not in str(canonical.keys())
+
+
+class TestTable1Integration:
+    def test_run_table1_family_through_orchestrator_with_jobs(self, tmp_path):
+        from repro.experiments import run_table1_family
+
+        serial = run_table1_family(
+            "clique", sizes=[8, 12], specs=[token_protocol_spec()], repetitions=2, seed=3
+        )
+        parallel = run_table1_family(
+            "clique",
+            sizes=[8, 12],
+            specs=[token_protocol_spec()],
+            repetitions=2,
+            seed=3,
+            jobs=2,
+            cache=True,
+            cache_dir=str(tmp_path),
+        )
+        assert parallel.rows[0].mean_steps == serial.rows[0].mean_steps
+        assert parallel.rows[0].fitted_exponent == serial.rows[0].fitted_exponent
+
+    def test_raw_factory_specs_fall_back_to_in_process(self):
+        from repro.experiments import ProtocolSpec, run_table1_family
+        from repro.protocols.star import StarLeaderElection
+
+        raw = ProtocolSpec(name="raw-star", factory=lambda graph, seed: StarLeaderElection())
+        group = run_table1_family("star", sizes=[6, 10], specs=[raw], repetitions=1)
+        assert group.rows[0].protocol == "raw-star"
+        with pytest.raises(ValueError):
+            run_table1_family("star", sizes=[6, 10], specs=[raw], repetitions=1, jobs=2)

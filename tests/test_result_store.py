@@ -1,0 +1,126 @@
+"""Tests for the persistent result store (repro.orchestration.store)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.orchestration import ProtocolConfig, ResultStore, Scenario
+from repro.orchestration.scenario import RESULT_SCHEMA_VERSION
+
+
+@pytest.fixture
+def scenario():
+    return Scenario(
+        name="store-test",
+        workload="star",
+        sizes=(6,),
+        protocols=(ProtocolConfig("star"),),
+        repetitions=2,
+    )
+
+
+def make_payload(unit_key="p00-s00-t0000", n_records=2):
+    record = {
+        "stabilization_step": 3,
+        "certified_step": 4,
+        "steps_executed": 4,
+        "stabilized": True,
+        "leaders": 1,
+        "distinct_states": 3,
+    }
+    return {
+        "version": RESULT_SCHEMA_VERSION,
+        "unit": unit_key,
+        "trials": [0, n_records],
+        "records": [dict(record) for _ in range(n_records)],
+        "state_space": 3,
+    }
+
+
+class TestRoundTrip:
+    def test_save_then_load(self, tmp_path, scenario):
+        store = ResultStore(tmp_path)
+        payload = make_payload()
+        store.save_unit(scenario, "p00-s00-t0000", payload)
+        loaded = store.load_unit(scenario, "p00-s00-t0000", n_trials=2)
+        assert loaded == payload
+
+    def test_miss_on_empty_store(self, tmp_path, scenario):
+        store = ResultStore(tmp_path)
+        assert store.load_unit(scenario, "p00-s00-t0000", n_trials=2) is None
+
+    def test_scenario_provenance_written(self, tmp_path, scenario):
+        store = ResultStore(tmp_path)
+        store.save_unit(scenario, "p00-s00-t0000", make_payload())
+        config_path = store.scenario_dir(scenario) / "scenario.json"
+        provenance = json.loads(config_path.read_text())
+        assert provenance["content_hash"] == scenario.content_hash()
+        assert provenance["config"] == scenario.config_dict()
+
+    def test_stored_unit_keys(self, tmp_path, scenario):
+        store = ResultStore(tmp_path)
+        store.save_unit(scenario, "p00-s00-t0001", make_payload("p00-s00-t0001"))
+        store.save_unit(scenario, "p00-s00-t0000", make_payload())
+        assert store.stored_unit_keys(scenario) == ["p00-s00-t0000", "p00-s00-t0001"]
+
+    def test_discard_scenario(self, tmp_path, scenario):
+        store = ResultStore(tmp_path)
+        store.save_unit(scenario, "p00-s00-t0000", make_payload())
+        store.discard_scenario(scenario)
+        assert store.load_unit(scenario, "p00-s00-t0000", n_trials=2) is None
+
+
+class TestInvalidation:
+    def test_config_change_changes_directory(self, tmp_path, scenario):
+        """A config change can never be served a stale result."""
+        store = ResultStore(tmp_path)
+        store.save_unit(scenario, "p00-s00-t0000", make_payload())
+        changed = scenario.with_overrides(seed=scenario.seed + 1)
+        assert store.load_unit(changed, "p00-s00-t0000", n_trials=2) is None
+        assert store.scenario_dir(changed) != store.scenario_dir(scenario)
+
+    def test_corrupt_json_is_a_miss_and_deleted(self, tmp_path, scenario):
+        store = ResultStore(tmp_path)
+        path = store.save_unit(scenario, "p00-s00-t0000", make_payload())
+        path.write_text("{ this is not json", encoding="utf-8")
+        assert store.load_unit(scenario, "p00-s00-t0000", n_trials=2) is None
+        assert not path.exists()
+
+    def test_truncated_write_is_a_miss(self, tmp_path, scenario):
+        store = ResultStore(tmp_path)
+        path = store.save_unit(scenario, "p00-s00-t0000", make_payload())
+        raw = path.read_text()
+        path.write_text(raw[: len(raw) // 2], encoding="utf-8")
+        assert store.load_unit(scenario, "p00-s00-t0000", n_trials=2) is None
+
+    def test_wrong_record_count_is_a_miss(self, tmp_path, scenario):
+        store = ResultStore(tmp_path)
+        store.save_unit(scenario, "p00-s00-t0000", make_payload(n_records=1))
+        assert store.load_unit(scenario, "p00-s00-t0000", n_trials=2) is None
+
+    def test_missing_record_field_is_a_miss(self, tmp_path, scenario):
+        store = ResultStore(tmp_path)
+        payload = make_payload()
+        del payload["records"][1]["leaders"]
+        store.save_unit(scenario, "p00-s00-t0000", payload)
+        assert store.load_unit(scenario, "p00-s00-t0000", n_trials=2) is None
+
+    def test_schema_version_mismatch_is_a_miss(self, tmp_path, scenario):
+        store = ResultStore(tmp_path)
+        payload = make_payload()
+        payload["version"] = RESULT_SCHEMA_VERSION + 1
+        store.save_unit(scenario, "p00-s00-t0000", payload)
+        assert store.load_unit(scenario, "p00-s00-t0000", n_trials=2) is None
+
+    def test_unit_key_mismatch_is_a_miss(self, tmp_path, scenario):
+        store = ResultStore(tmp_path)
+        store.save_unit(scenario, "p00-s00-t0001", make_payload("p00-s00-t0000"))
+        assert store.load_unit(scenario, "p00-s00-t0001", n_trials=2) is None
+
+    def test_no_temp_files_left_behind(self, tmp_path, scenario):
+        store = ResultStore(tmp_path)
+        store.save_unit(scenario, "p00-s00-t0000", make_payload())
+        leftovers = [p for p in store.scenario_dir(scenario).rglob("*.tmp")]
+        assert leftovers == []

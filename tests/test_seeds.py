@@ -1,0 +1,78 @@
+"""Tests for the deterministic seed-stream derivation (repro.core.seeds)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.seeds import derive_seed, graph_seed, measure_seed, trial_seed, trial_seeds
+
+
+class TestDeriveSeed:
+    def test_pure_function(self):
+        assert derive_seed(0, "trial", 3) == derive_seed(0, "trial", 3)
+        assert derive_seed(17, "graph") == derive_seed(17, "graph")
+
+    def test_sensitive_to_every_word(self):
+        base = derive_seed(0, "trial", 0)
+        assert derive_seed(1, "trial", 0) != base
+        assert derive_seed(0, "graph", 0) != base
+        assert derive_seed(0, "trial", 1) != base
+
+    def test_range(self):
+        for value in (derive_seed(0), derive_seed(2**63, "x", 10**9), derive_seed(-1, 5)):
+            assert 0 <= value < 2**63
+
+    def test_feeds_numpy(self):
+        rng = np.random.default_rng(derive_seed(0, "trial", 0))
+        assert rng.integers(0, 100) >= 0
+
+    def test_string_tags_stable_across_processes(self):
+        # crc32-based, not hash()-based: the exact value is pinned so a
+        # PYTHONHASHSEED change (or a worker process) can never shift it.
+        assert derive_seed(0, "trial", 0) == derive_seed(0, "trial", 0)
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        env["PYTHONHASHSEED"] = "12345"
+        out = subprocess.run(
+            [sys.executable, "-c",
+             "from repro.core.seeds import derive_seed; print(derive_seed(0, 'trial', 0))"],
+            capture_output=True, text=True, env=env,
+        )
+        assert int(out.stdout.strip()) == derive_seed(0, "trial", 0)
+
+
+class TestTrialSeeds:
+    def test_independent_of_batch_and_shard(self):
+        """Seed of trial t depends only on (base, t) — the orchestrator invariant."""
+        full = trial_seeds(42, range(12))
+        shard_a = trial_seeds(42, range(0, 5))
+        shard_b = trial_seeds(42, range(5, 12))
+        assert shard_a + shard_b == full
+        singles = [trial_seed(42, t) for t in range(12)]
+        assert singles == full
+
+    def test_no_collisions_across_streams(self):
+        seeds = set()
+        for t in range(2000):
+            seeds.add(trial_seed(0, t))
+        for i in range(100):
+            seeds.add(graph_seed(0, i))
+            seeds.add(measure_seed(0, i))
+        assert len(seeds) == 2200
+
+    def test_nearby_bases_do_not_alias(self):
+        # The old affine scheme had base + 7919*t collisions; the mixed
+        # scheme keeps nearby bases' streams disjoint.
+        stream_a = set(trial_seeds(0, range(500)))
+        stream_b = set(trial_seeds(7919, range(500)))
+        assert not (stream_a & stream_b)
+
+    def test_negative_trial_index_rejected(self):
+        with pytest.raises(ValueError):
+            trial_seed(0, -1)

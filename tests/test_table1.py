@@ -68,6 +68,19 @@ class TestRowGroups:
         with pytest.raises(ValueError):
             run_table1_family("clique", sizes=[10], specs=[star_protocol_spec()])
 
+    def test_collapsed_size_grid_reports_nan_exponent(self):
+        import math
+
+        # Tori snap to square side lengths: 16 and 20 both become a 4×4
+        # torus, so no scaling fit exists — the row must still render.
+        group = run_table1_family(
+            "torus", sizes=[16, 20], specs=[token_protocol_spec()], repetitions=1
+        )
+        row = group.rows[0]
+        assert row.sizes == [16, 16]
+        assert math.isnan(row.fitted_exponent)
+        assert "torus" in group.render()
+
 
 class TestExpectedExponents:
     def test_families_present(self):
