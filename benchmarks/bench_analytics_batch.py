@@ -1,0 +1,214 @@
+"""Experiment ANALYTICS-batch: replica-batched vs trajectory-serial Monte-Carlo.
+
+The fast protocol's harness cost is dominated by the ``B(G)`` analytics
+floor: ``repetitions × sources`` full epidemic simulations per trial.
+This benchmark measures the replica-batched engine (:mod:`repro.analytics`)
+against the pre-refactor trajectory-serial path — one epidemic at a time,
+re-implemented here verbatim (general-scheduler streams, 8192-interaction
+pre-samples) so the speedup is measured against what the code actually
+did before the refactor.
+
+Gates (ISSUE 3 acceptance):
+
+* clique ``n = 100`` ``B(G)`` estimate: **≥ 5×** speedup with the native
+  multi-replica kernel, **≥ 2×** on the no-compiler NumPy fallback;
+* the serial and batched estimates agree statistically (independent
+  streams, same estimator/sources).  Bit-identity across replica-batch
+  widths and execution paths is pinned by ``tests/test_analytics_batch.py``.
+
+Batched hitting/meeting-time timings are reported alongside (no gate).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analytics.estimators import broadcast_trajectory_seed, select_sources
+from repro.core.scheduler import RandomScheduler
+from repro.engine.native import get_broadcast_kernel, get_broadcast_multi_kernel, reset_kernel_cache
+from repro.experiments import render_table
+from repro.graphs import clique
+from repro.propagation import broadcast_time_estimate
+from repro.propagation.broadcast import default_broadcast_budget
+from repro.walks import simulate_population_hitting_times
+
+from _helpers import run_once
+
+N = 100
+REPETITIONS = 8
+MAX_SOURCES = 24
+BASE_SEED = 42
+
+
+def _serial_single_source(graph, source, seed, max_steps):
+    """The pre-refactor trajectory-serial epidemic (PR 1's hot loop, verbatim).
+
+    One trajectory at a time on a general-scheduler stream: per-trajectory
+    scheduler construction, 8192-interaction pre-samples, one kernel call
+    (or Python loop) per block — every overhead is paid per trajectory.
+    """
+    import ctypes
+
+    n = graph.n_nodes
+    scheduler = RandomScheduler(graph, rng=np.random.default_rng(seed))
+    kernel = get_broadcast_kernel()
+    step = 0
+    if kernel is not None:
+        informed = np.zeros(n, dtype=np.uint8)
+        informed[source] = 1
+        count = ctypes.c_int64(1)
+        while step < max_steps:
+            batch = min(8192, max_steps - step)
+            initiators, responders = scheduler.next_arrays(batch)
+            consumed = kernel(
+                informed.ctypes.data,
+                initiators.ctypes.data,
+                responders.ctypes.data,
+                batch,
+                n,
+                ctypes.byref(count),
+            )
+            step += int(consumed)
+            if count.value == n:
+                return step
+        return None
+    informed = np.zeros(n, dtype=bool)
+    informed[source] = True
+    informed_count = 1
+    while step < max_steps:
+        batch = min(8192, max_steps - step)
+        initiators, responders = scheduler.next_arrays(batch)
+        for u, v in zip(initiators.tolist(), responders.tolist()):
+            step += 1
+            iu, iv = informed[u], informed[v]
+            if iu != iv:
+                informed[v if iu else u] = True
+                informed_count += 1
+                if informed_count == n:
+                    return step
+    return None
+
+
+def _trajectory_serial_estimate(graph):
+    """B(G) with PR 1's structure: one epidemic per (source, repetition)."""
+    budget = default_broadcast_budget(graph)
+    sources = select_sources(graph, MAX_SOURCES, BASE_SEED)
+    per_source = {}
+    for source in sources:
+        samples = [
+            _serial_single_source(
+                graph, source, broadcast_trajectory_seed(BASE_SEED, source, rep), budget
+            )
+            for rep in range(REPETITIONS)
+        ]
+        per_source[source] = sum(samples) / len(samples)
+    return max(per_source.values()), per_source
+
+
+def _measure(graph):
+    start = time.perf_counter()
+    serial_value, serial_per_source = _trajectory_serial_estimate(graph)
+    serial_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    batched = broadcast_time_estimate(
+        graph, repetitions=REPETITIONS, max_sources=MAX_SOURCES, rng=BASE_SEED
+    )
+    batched_seconds = time.perf_counter() - start
+    # Same estimator, same source sample, independent streams: the two
+    # B(G) estimates (max of 24 means of 8 samples each) must agree
+    # statistically.  Bit-level invariances are covered by
+    # tests/test_analytics_batch.py.
+    assert set(batched.per_source) == set(serial_per_source)
+    assert batched.value == pytest.approx(serial_value, rel=0.2)
+    return serial_seconds, batched_seconds, batched.value
+
+
+@pytest.mark.benchmark(group="analytics-batch")
+def test_replica_batched_broadcast_speedup(benchmark, report):
+    """Native kernel: batched B(G) on K_100 must beat trajectory-serial ≥5×."""
+    graph = clique(N)
+    native = get_broadcast_multi_kernel() is not None
+    serial_s, batched_s, value = run_once(benchmark, _measure, graph)
+    speedup = serial_s / batched_s
+    trajectories = REPETITIONS * MAX_SOURCES
+    report(
+        render_table(
+            [
+                {
+                    "graph": graph.name,
+                    "trajectories": trajectories,
+                    "B(G)": round(value, 1),
+                    "serial s": round(serial_s, 3),
+                    "batched s": round(batched_s, 3),
+                    "speedup": round(speedup, 1),
+                    "path": "C kernel" if native else "NumPy fallback",
+                }
+            ],
+            title="ANALYTICS: replica-batched vs trajectory-serial B(G), clique n=100",
+        )
+    )
+    floor = 5.0 if native else 2.0
+    assert speedup >= floor, f"speedup {speedup:.2f}x below the {floor}x gate"
+
+
+@pytest.mark.benchmark(group="analytics-batch")
+def test_numpy_fallback_speedup(benchmark, report, monkeypatch):
+    """No-compiler path: the vectorized NumPy engine must still win ≥2×."""
+    monkeypatch.setenv("REPRO_DISABLE_NATIVE", "1")
+    reset_kernel_cache()
+    try:
+        graph = clique(N)
+        serial_s, batched_s, value = run_once(benchmark, _measure, graph)
+    finally:
+        monkeypatch.delenv("REPRO_DISABLE_NATIVE", raising=False)
+        reset_kernel_cache()
+    speedup = serial_s / batched_s
+    report(
+        render_table(
+            [
+                {
+                    "graph": graph.name,
+                    "B(G)": round(value, 1),
+                    "serial s": round(serial_s, 3),
+                    "batched s": round(batched_s, 3),
+                    "speedup": round(speedup, 1),
+                    "path": "NumPy fallback (REPRO_DISABLE_NATIVE=1)",
+                }
+            ],
+            title="ANALYTICS: no-compiler NumPy fallback vs trajectory-serial",
+        )
+    )
+    assert speedup >= 2.0, f"fallback speedup {speedup:.2f}x below the 2x gate"
+
+
+@pytest.mark.benchmark(group="analytics-batch")
+def test_batched_hitting_times_report(benchmark, report):
+    """Replica-batched walk estimator timing (reported, no gate)."""
+    graph = clique(48)
+    pairs = [(v, (v + 1) % graph.n_nodes) for v in range(graph.n_nodes)] * 4
+
+    def measure():
+        start = time.perf_counter()
+        samples = simulate_population_hitting_times(graph, pairs, rng=7)
+        seconds = time.perf_counter() - start
+        return seconds, float(samples.mean()), int((samples >= 0).sum())
+
+    seconds, mean, finished = run_once(benchmark, measure)
+    report(
+        render_table(
+            [
+                {
+                    "graph": graph.name,
+                    "trajectories": len(pairs),
+                    "finished": finished,
+                    "mean H_P": round(mean, 1),
+                    "seconds": round(seconds, 3),
+                }
+            ],
+            title="ANALYTICS: replica-batched population hitting times",
+        )
+    )
+    assert finished == len(pairs)

@@ -64,7 +64,7 @@ from .protocols import (
     TokenLeaderElection,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "FOLLOWER",

@@ -1,0 +1,66 @@
+"""Replica-batched Monte-Carlo analytics engine.
+
+Runs all ``R`` trajectories of a Monte-Carlo estimator — one-way
+epidemics for ``B(G)``, all-pairs influence for ``T(G)``, population
+walks for hitting and meeting times — in lockstep, each trajectory on a
+private SplitMix64-child-seeded scheduler stream.  Results are a pure
+function of ``(base seed, trajectory identity)``: bit-identical for any
+replica-batch width and identical across the C-kernel, NumPy and scalar
+execution paths.
+
+The public estimators stay where they always were
+(:mod:`repro.propagation.broadcast`, :mod:`repro.propagation.influence`,
+:mod:`repro.walks.population_walk`); this package is the engine they are
+wired onto, plus the batched multi-trial entry points the experiment
+harness uses directly.
+"""
+
+from .epidemics import (
+    BUDGET_EXHAUSTED,
+    run_epidemic_batch,
+    run_influence_batch,
+    run_single_epidemic,
+)
+from .estimators import (
+    batched_broadcast_estimates,
+    batched_broadcast_samples,
+    broadcast_trajectory_seed,
+    select_sources,
+)
+from .streams import (
+    TrajectoryStream,
+    block_size,
+    directed_pairs,
+    iter_width_chunks,
+    make_streams,
+    resolve_base_seed,
+)
+from .walks import (
+    default_walk_budget,
+    run_hitting_batch,
+    run_meeting_batch,
+    run_single_hitting,
+    run_single_meeting,
+)
+
+__all__ = [
+    "BUDGET_EXHAUSTED",
+    "TrajectoryStream",
+    "batched_broadcast_estimates",
+    "batched_broadcast_samples",
+    "block_size",
+    "broadcast_trajectory_seed",
+    "directed_pairs",
+    "default_walk_budget",
+    "iter_width_chunks",
+    "make_streams",
+    "resolve_base_seed",
+    "run_epidemic_batch",
+    "run_hitting_batch",
+    "run_influence_batch",
+    "run_meeting_batch",
+    "run_single_epidemic",
+    "run_single_hitting",
+    "run_single_meeting",
+    "select_sources",
+]

@@ -1,0 +1,411 @@
+"""Replica-batched one-way epidemics and influence processes.
+
+The Monte-Carlo analytics floor of the experiment harness — ``B(G)``
+estimates, full-information times, distance-``k`` propagation times — is
+built from two stochastic processes:
+
+* the **single-source epidemic**: one informed bit per node, spread along
+  sampled interactions until all ``n`` nodes (or a stop set) are reached;
+* the **all-pairs influence process**: one ``n``-bit influencer set per
+  node, merged pairwise until every node is influenced by every node.
+
+This module runs ``R`` independent trajectories of either process in
+lockstep: epidemics as an ``(R, n)`` uint8 informed matrix, influence as
+an ``(R, n, ⌈n/64⌉)`` packed uint64 bitset tensor.  Each trajectory reads
+its private scheduler stream (:mod:`repro.analytics.streams`), one block
+per round, and finished replicas are compacted out of the stack so
+stabilized stragglers do not drag the batch.
+
+Three execution paths produce bit-identical results:
+
+* the multi-replica C kernels (:func:`repro.engine.native.get_broadcast_multi_kernel`,
+  :func:`~repro.engine.native.get_influence_multi_kernel`) — interpreter-free
+  inner loops over the whole ``(R, block)`` matrix;
+* a vectorized NumPy path — a Python loop over the block's steps with all
+  replica-axis work done in array operations (the no-compiler fallback);
+* a scalar path for tiny stacks (``R < 4``), where per-element NumPy
+  overhead would exceed a plain Python loop.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..engine.native import get_broadcast_multi_kernel, get_influence_multi_kernel
+from ..graphs.graph import Graph
+from .streams import (
+    TrajectoryStream,
+    block_size,
+    directed_pairs,
+    fill_draw_rows,
+    iter_width_chunks,
+    make_streams,
+)
+
+#: Below this many co-resident replicas the scalar Python loop beats the
+#: per-step fancy-indexing overhead of the NumPy path.  Dispatch only —
+#: all paths compute identical results.
+_SCALAR_MAX_REPLICAS = 4
+
+BUDGET_EXHAUSTED = -1
+
+
+# ----------------------------------------------------------------------
+# Single-source epidemics
+# ----------------------------------------------------------------------
+def run_epidemic_batch(
+    graph: Graph,
+    sources: Sequence[int],
+    seeds: Sequence[int],
+    max_steps: int,
+    stopmasks: Optional[np.ndarray] = None,
+    replica_batch: Optional[int] = None,
+) -> np.ndarray:
+    """Steps until completion for ``R`` independent epidemics.
+
+    Trajectory ``t`` starts at ``sources[t]`` and reads the stream seeded
+    by ``seeds[t]``.  Without ``stopmasks`` an epidemic completes when all
+    ``n`` nodes are informed; with ``stopmasks`` (an ``(R, n)`` uint8
+    matrix) it completes when a newly informed node has its mask bit set
+    (distance-``k`` propagation).  Returns an int64 array with the 1-based
+    completion step per trajectory, or :data:`BUDGET_EXHAUSTED` where
+    ``max_steps`` ran out.  ``replica_batch`` caps how many trajectories
+    are co-resident; it never changes the results.
+    """
+    count = len(sources)
+    if len(seeds) != count:
+        raise ValueError("need exactly one seed per trajectory")
+    for source in sources:
+        if not (0 <= int(source) < graph.n_nodes):
+            raise ValueError("source out of range")
+    results = np.full(count, BUDGET_EXHAUSTED, dtype=np.int64)
+    for chunk in iter_width_chunks(count, replica_batch):
+        schedulers = make_streams(graph, [seeds[t] for t in chunk])
+        chunk_sources = [int(sources[t]) for t in chunk]
+        chunk_masks = None if stopmasks is None else stopmasks[list(chunk)]
+        _run_epidemic_stack(
+            graph, schedulers, chunk_sources, chunk_masks, max_steps, results, chunk.start
+        )
+    return results
+
+
+def run_single_epidemic(
+    graph: Graph,
+    source: int,
+    stream: TrajectoryStream,
+    max_steps: int,
+    stopmask: Optional[np.ndarray] = None,
+) -> Optional[int]:
+    """One epidemic on a caller-provided stream (shared-generator wrappers).
+
+    Consumes the stream with the same block schedule as the batched
+    engine, so e.g. a distance-``k`` run and a full broadcast with the
+    same seed share their interaction schedule step for step.
+    """
+    results = np.full(1, BUDGET_EXHAUSTED, dtype=np.int64)
+    masks = None if stopmask is None else np.ascontiguousarray(stopmask, dtype=np.uint8)[None, :]
+    _run_epidemic_stack(graph, [stream], [int(source)], masks, max_steps, results, 0)
+    steps = int(results[0])
+    return None if steps == BUDGET_EXHAUSTED else steps
+
+
+def _run_epidemic_stack(
+    graph: Graph,
+    schedulers: List[TrajectoryStream],
+    sources: List[int],
+    stopmasks: Optional[np.ndarray],
+    max_steps: int,
+    results: np.ndarray,
+    result_offset: int,
+) -> None:
+    """Run one wave of co-resident epidemics to completion or budget."""
+    n = graph.n_nodes
+    active = len(schedulers)
+    informed = np.zeros((active, n), dtype=np.uint8)
+    informed[np.arange(active), np.asarray(sources, dtype=np.int64)] = 1
+    counts = np.ones(active, dtype=np.int64)
+    indices = np.arange(result_offset, result_offset + active, dtype=np.int64)
+    masks = (
+        None
+        if stopmasks is None
+        else np.ascontiguousarray(stopmasks, dtype=np.uint8)
+    )
+    directed_u, directed_v = directed_pairs(graph)
+    kernel = get_broadcast_multi_kernel()
+    consumed = 0
+    round_index = 0
+    while schedulers and consumed < max_steps:
+        block = min(block_size(round_index), max_steps - consumed)
+        a = len(schedulers)
+        draws = np.empty((a, block), dtype=np.int64)
+        fill_draw_rows(schedulers, draws)
+        finish = np.full(a, -1, dtype=np.int64)
+        if kernel is not None:
+            kernel(
+                informed.ctypes.data,
+                draws.ctypes.data,
+                directed_u.ctypes.data,
+                directed_v.ctypes.data,
+                a,
+                block,
+                n,
+                masks.ctypes.data if masks is not None else None,
+                counts.ctypes.data,
+                finish.ctypes.data,
+            )
+        elif a >= _SCALAR_MAX_REPLICAS:
+            iu = directed_u.take(draws)
+            iv = directed_v.take(draws)
+            _numpy_epidemic_block(informed, iu, iv, counts, finish, n, masks)
+        else:
+            _scalar_epidemic_block(
+                informed, draws, directed_u, directed_v, counts, finish, n, masks
+            )
+        done = finish >= 0
+        if done.any():
+            results[indices[done]] = consumed + finish[done]
+            keep = ~done
+            informed = np.ascontiguousarray(informed[keep])
+            counts = counts[keep]
+            indices = indices[keep]
+            if masks is not None:
+                masks = np.ascontiguousarray(masks[keep])
+            schedulers = [s for s, k in zip(schedulers, keep) if k]
+        consumed += block
+        round_index += 1
+
+
+def _numpy_epidemic_block(
+    informed: np.ndarray,
+    iu: np.ndarray,
+    iv: np.ndarray,
+    counts: np.ndarray,
+    finish: np.ndarray,
+    n: int,
+    masks: Optional[np.ndarray],
+) -> None:
+    a, block = iu.shape
+    rows = np.arange(a)
+    active = np.ones(a, dtype=bool)
+    for i in range(block):
+        u = iu[:, i]
+        v = iv[:, i]
+        informed_u = informed[rows, u]
+        spread = (informed_u != informed[rows, v]) & active
+        if not spread.any():
+            continue
+        touched = rows[spread]
+        informed[touched, u[spread]] = 1
+        informed[touched, v[spread]] = 1
+        counts[spread] += 1
+        if masks is None:
+            hit = counts[spread] == n
+        else:
+            fresh = np.where(informed_u[spread] == 1, v[spread], u[spread])
+            hit = masks[touched, fresh] == 1
+        if hit.any():
+            finish[touched[hit]] = i + 1
+            active[touched[hit]] = False
+            if not active.any():
+                return
+
+
+def _scalar_epidemic_block(
+    informed: np.ndarray,
+    draws: np.ndarray,
+    directed_u: np.ndarray,
+    directed_v: np.ndarray,
+    counts: np.ndarray,
+    finish: np.ndarray,
+    n: int,
+    masks: Optional[np.ndarray],
+) -> None:
+    a, block = draws.shape
+    for r in range(a):
+        inf = informed[r]
+        stop = None if masks is None else masks[r]
+        count = int(counts[r])
+        row_u = directed_u.take(draws[r]).tolist()
+        row_v = directed_v.take(draws[r]).tolist()
+        for i in range(block):
+            u = row_u[i]
+            v = row_v[i]
+            a_informed = inf[u]
+            if a_informed != inf[v]:
+                fresh = v if a_informed else u
+                inf[u] = 1
+                inf[v] = 1
+                count += 1
+                if (stop[fresh] if stop is not None else count == n):
+                    finish[r] = i + 1
+                    break
+        counts[r] = count
+
+
+# ----------------------------------------------------------------------
+# All-pairs influence (full-information time)
+# ----------------------------------------------------------------------
+def run_influence_batch(
+    graph: Graph,
+    seeds: Sequence[int],
+    max_steps: int,
+    replica_batch: Optional[int] = None,
+) -> np.ndarray:
+    """Steps until every node is influenced by every node, per trajectory.
+
+    Influencer sets are packed 64 sources per uint64 word; one interaction
+    is a ``⌈n/64⌉``-word OR applied to both endpoints.  Same return
+    conventions and batching semantics as :func:`run_epidemic_batch`.
+    """
+    count = len(seeds)
+    results = np.full(count, BUDGET_EXHAUSTED, dtype=np.int64)
+    for chunk in iter_width_chunks(count, replica_batch):
+        chunk_seeds = [int(seeds[t]) for t in chunk]
+        _run_influence_stack(graph, chunk_seeds, max_steps, results, chunk.start)
+    return results
+
+
+def _run_influence_stack(
+    graph: Graph,
+    seeds: List[int],
+    max_steps: int,
+    results: np.ndarray,
+    result_offset: int,
+) -> None:
+    n = graph.n_nodes
+    kernel = get_influence_multi_kernel()
+    if kernel is None and len(seeds) < _SCALAR_MAX_REPLICAS:
+        _scalar_influence(graph, seeds, max_steps, results, result_offset)
+        return
+    schedulers = make_streams(graph, seeds)
+    active = len(schedulers)
+    words = (n + 63) // 64
+    bits = np.zeros((active, n, words), dtype=np.uint64)
+    node_ids = np.arange(n)
+    bits[:, node_ids, node_ids // 64] = np.uint64(1) << (node_ids % 64).astype(np.uint64)
+    # Buffered fancy-index |= would drop duplicate word indices; build the
+    # full mask (low n bits set) word by word instead.
+    full = np.array(
+        [(1 << min(64, n - 64 * j)) - 1 for j in range(words)], dtype=np.uint64
+    )
+    flags = np.zeros((active, n), dtype=np.uint8)
+    counts = np.zeros(active, dtype=np.int64)
+    indices = np.arange(result_offset, result_offset + active, dtype=np.int64)
+    directed_u, directed_v = directed_pairs(graph)
+    consumed = 0
+    round_index = 0
+    while schedulers and consumed < max_steps:
+        block = min(block_size(round_index), max_steps - consumed)
+        a = len(schedulers)
+        draws = np.empty((a, block), dtype=np.int64)
+        fill_draw_rows(schedulers, draws)
+        finish = np.full(a, -1, dtype=np.int64)
+        if kernel is not None:
+            kernel(
+                bits.ctypes.data,
+                draws.ctypes.data,
+                directed_u.ctypes.data,
+                directed_v.ctypes.data,
+                a,
+                block,
+                n,
+                words,
+                full.ctypes.data,
+                flags.ctypes.data,
+                counts.ctypes.data,
+                finish.ctypes.data,
+            )
+        else:
+            iu = directed_u.take(draws)
+            iv = directed_v.take(draws)
+            _numpy_influence_block(bits, iu, iv, full, flags, counts, finish, n)
+        done = finish >= 0
+        if done.any():
+            results[indices[done]] = consumed + finish[done]
+            keep = ~done
+            bits = np.ascontiguousarray(bits[keep])
+            flags = np.ascontiguousarray(flags[keep])
+            counts = counts[keep]
+            indices = indices[keep]
+            schedulers = [s for s, k in zip(schedulers, keep) if k]
+        consumed += block
+        round_index += 1
+
+
+def _numpy_influence_block(
+    bits: np.ndarray,
+    iu: np.ndarray,
+    iv: np.ndarray,
+    full: np.ndarray,
+    flags: np.ndarray,
+    counts: np.ndarray,
+    finish: np.ndarray,
+    n: int,
+) -> None:
+    a, block = iu.shape
+    rows = np.arange(a)
+    active = np.ones(a, dtype=bool)
+    for i in range(block):
+        u = iu[:, i]
+        v = iv[:, i]
+        merged = bits[rows, u] | bits[rows, v]
+        bits[rows, u] = merged
+        bits[rows, v] = merged
+        newly_full = (merged == full).all(axis=1) & active
+        if not newly_full.any():
+            continue
+        flag_u = flags[rows, u]
+        flag_v = flags[rows, v]
+        counts[newly_full] += (
+            (1 - flag_u[newly_full].astype(np.int64))
+            + (1 - flag_v[newly_full].astype(np.int64))
+        )
+        touched = rows[newly_full]
+        flags[touched, u[newly_full]] = 1
+        flags[touched, v[newly_full]] = 1
+        hit = active & (counts == n)
+        if hit.any():
+            finish[hit] = i + 1
+            active &= ~hit
+            if not active.any():
+                return
+
+
+def _scalar_influence(
+    graph: Graph,
+    seeds: List[int],
+    max_steps: int,
+    results: np.ndarray,
+    result_offset: int,
+) -> None:
+    """Tiny-stack fallback: Python-int bitsets on the same streams/schedule."""
+    n = graph.n_nodes
+    full_mask = (1 << n) - 1
+    for offset, seed in enumerate(seeds):
+        stream = make_streams(graph, [seed])[0]
+        bitsets = [1 << v for v in range(n)]
+        full_count = 1 if n == 1 else 0
+        consumed = 0
+        round_index = 0
+        while consumed < max_steps:
+            block = min(block_size(round_index), max_steps - consumed)
+            iu = np.empty(block, dtype=np.int64)
+            iv = np.empty(block, dtype=np.int64)
+            stream.next_into(iu, iv)
+            finish = -1
+            for i, (u, v) in enumerate(zip(iu.tolist(), iv.tolist()), start=1):
+                merged = bitsets[u] | bitsets[v]
+                if merged == full_mask:
+                    full_count += (bitsets[u] != full_mask) + (bitsets[v] != full_mask)
+                bitsets[u] = merged
+                bitsets[v] = merged
+                if full_count == n:
+                    finish = i
+                    break
+            if finish >= 0:
+                results[result_offset + offset] = consumed + finish
+                break
+            consumed += block
+            round_index += 1

@@ -1,0 +1,159 @@
+"""High-level replica-batched Monte-Carlo estimators.
+
+The ``B(G)`` estimator enumerates all ``R = |sources| × repetitions``
+epidemics of one estimate — and, in the multi-base form the experiment
+harness uses for the fast protocol, of *several* estimates at once — into
+a single replica stack for :func:`repro.analytics.epidemics.run_epidemic_batch`.
+
+Trajectory seeds are derived as ``derive_seed(base, "bcast", source,
+repetition)``: a pure function of the estimate's base seed and the
+trajectory's identity, independent of the source sample, of the
+replica-batch width and of which other estimates share the stack.  A
+batched multi-trial run therefore reproduces each trial's standalone
+estimate bit for bit — the invariant that lets the orchestrator shard
+fast-protocol trials arbitrarily.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.seeds import derive_seed
+from ..graphs.graph import Graph
+from .epidemics import run_epidemic_batch
+
+#: Domain tags for trajectory-seed derivation (see repro.core.seeds).
+BROADCAST_TAG = "bcast"
+SOURCES_TAG = "bcast-sources"
+FULL_INFORMATION_TAG = "fullinfo"
+DISTANCE_K_TAG = "distk"
+HITTING_TAG = "hit"
+MEETING_TAG = "meet"
+
+
+def select_sources(graph: Graph, max_sources: int, base: int) -> List[int]:
+    """The estimate's source sample: all nodes, or a degree-stratified draw.
+
+    The maximiser of ``E[T(v)]`` tends to be a low-degree, peripheral
+    node, so the sample always includes the minimum/maximum-degree and
+    maximum-eccentricity nodes; the remainder is drawn from a dedicated
+    child stream so the sample depends only on ``(graph, max_sources,
+    base)``.
+    """
+    n = graph.n_nodes
+    if n <= max_sources:
+        return list(range(n))
+    degrees = graph.degrees
+    eccentricities = graph.eccentricities()
+    forced = {
+        int(np.argmin(degrees)),
+        int(np.argmax(degrees)),
+        int(np.argmax(eccentricities)),
+    }
+    remaining = [v for v in range(n) if v not in forced]
+    extra_count = max(max_sources - len(forced), 0)
+    if remaining and extra_count:
+        rng = np.random.default_rng(derive_seed(base, SOURCES_TAG))
+        extra = rng.choice(
+            remaining, size=min(extra_count, len(remaining)), replace=False
+        ).tolist()
+    else:
+        extra = []
+    return sorted(forced | set(int(v) for v in extra))
+
+
+def broadcast_trajectory_seed(base: int, source: int, repetition: int) -> int:
+    """Seed of one epidemic of a ``B(G)`` estimate (pure in its arguments)."""
+    return derive_seed(base, BROADCAST_TAG, source, repetition)
+
+
+def batched_broadcast_samples(
+    graph: Graph,
+    sources: Sequence[int],
+    repetitions: int,
+    base: int,
+    max_steps: int,
+    replica_batch: Optional[int] = None,
+) -> Dict[int, np.ndarray]:
+    """Per-source arrays of broadcast-step samples, one replica stack.
+
+    Raises :class:`RuntimeError` if any trajectory exhausts ``max_steps``
+    (matching the serial estimators' budget contract).
+    """
+    if repetitions < 1:
+        raise ValueError("repetitions must be positive")
+    for source in sources:
+        if not (0 <= int(source) < graph.n_nodes):
+            raise ValueError("source out of range")
+    trajectory_sources: List[int] = []
+    seeds: List[int] = []
+    for source in sources:
+        for repetition in range(repetitions):
+            trajectory_sources.append(int(source))
+            seeds.append(broadcast_trajectory_seed(base, int(source), repetition))
+    steps = run_epidemic_batch(
+        graph, trajectory_sources, seeds, max_steps, replica_batch=replica_batch
+    )
+    if (steps < 0).any():
+        raise RuntimeError(
+            "broadcast did not complete within the step budget; increase max_steps"
+        )
+    by_source: Dict[int, np.ndarray] = {}
+    for position, source in enumerate(sources):
+        lo = position * repetitions
+        by_source[int(source)] = steps[lo : lo + repetitions].astype(np.float64)
+    return by_source
+
+
+#: Plain-data form of one ``B(G)`` estimate: (value, per-source means,
+#: sources, repetitions).  The dataclass lives in
+#: :mod:`repro.propagation.broadcast` (the public API home).
+EstimateData = Tuple[float, Dict[int, float], Tuple[int, ...], int]
+
+
+def batched_broadcast_estimates(
+    graph: Graph,
+    bases: Sequence[int],
+    repetitions: int,
+    max_sources: int,
+    max_steps: int,
+    replica_batch: Optional[int] = None,
+) -> List[EstimateData]:
+    """``B(G)`` estimates for several base seeds in one replica stack.
+
+    This is the harness's fast-protocol hot path: one measurement's
+    ``trials × sources × repetitions`` epidemics all advance in lockstep.
+    Entry ``i`` is bit-identical to the estimate a standalone call with
+    ``bases[i]`` produces.
+    """
+    plans: List[Tuple[int, List[int]]] = []
+    trajectory_sources: List[int] = []
+    seeds: List[int] = []
+    for base in bases:
+        sources = select_sources(graph, max_sources, int(base))
+        plans.append((int(base), sources))
+        for source in sources:
+            for repetition in range(repetitions):
+                trajectory_sources.append(source)
+                seeds.append(broadcast_trajectory_seed(int(base), source, repetition))
+    steps = run_epidemic_batch(
+        graph, trajectory_sources, seeds, max_steps, replica_batch=replica_batch
+    )
+    if (steps < 0).any():
+        raise RuntimeError(
+            "broadcast did not complete within the step budget; increase max_steps"
+        )
+    estimates: List[EstimateData] = []
+    cursor = 0
+    for _base, sources in plans:
+        per_source: Dict[int, float] = {}
+        for source in sources:
+            samples = steps[cursor : cursor + repetitions]
+            per_source[source] = float(samples.mean())
+            cursor += repetitions
+        estimates.append(
+            (max(per_source.values()), per_source, tuple(sources), repetitions)
+        )
+    return estimates

@@ -1,0 +1,209 @@
+"""Replica-batched population-model walks (hitting and meeting times).
+
+A population-model walk only moves when the scheduler samples an edge
+incident to its current position — an expected ``deg(pos)/m`` fraction of
+all interactions.  Instead of replaying every interaction in a Python
+loop, each trajectory consumes its stream one block at a time and *skips
+between touch events*: the block's interactions are indexed by endpoint
+(one ``lexsort``), and the walk jumps straight from one incident
+interaction to the next with two binary searches.  Per block the work is
+``O(block log block)`` for the index plus ``O(moves · log block)`` — and
+the number of touch events equals the number of moves, so the cost scales
+with how often the walk actually moves, not with the raw step count.
+
+Trajectory streams, block schedule, budget conventions and replica-batch
+semantics match :mod:`repro.analytics.epidemics`: ``R`` walks advance in
+lockstep as position vectors, finished walks are compacted out of the
+stack, and results are bit-identical for any replica-batch width.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from .epidemics import BUDGET_EXHAUSTED
+from .streams import TrajectoryStream, block_size, iter_width_chunks, make_streams
+
+
+def default_walk_budget(graph: Graph) -> int:
+    """The walk estimators' historical step budget (``200·n·m + 1000``)."""
+    return 200 * graph.n_nodes * graph.n_edges + 1000
+
+
+def _touch_index(iu: np.ndarray, iv: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Block interactions grouped by endpoint, step-sorted within a node."""
+    block = iu.shape[0]
+    nodes = np.concatenate((iu, iv))
+    steps = np.concatenate((np.arange(block, dtype=np.int64),) * 2)
+    order = np.lexsort((steps, nodes))
+    return nodes[order], steps[order]
+
+
+def _next_touch(snodes: np.ndarray, ssteps: np.ndarray, node: int, after: int) -> int:
+    """First step index > ``after`` whose interaction touches ``node`` (-1: none)."""
+    lo = np.searchsorted(snodes, node, "left")
+    hi = np.searchsorted(snodes, node, "right")
+    segment = ssteps[lo:hi]
+    j = np.searchsorted(segment, after + 1, "left")
+    if j == segment.shape[0]:
+        return -1
+    return int(segment[j])
+
+
+def _hitting_block(
+    iu: np.ndarray, iv: np.ndarray, position: int, target: int
+) -> Tuple[int, int]:
+    """Advance one walk through one block; returns (position, finish offset)."""
+    snodes, ssteps = _touch_index(iu, iv)
+    cursor = -1
+    while True:
+        event = _next_touch(snodes, ssteps, position, cursor)
+        if event < 0:
+            return position, -1
+        position = int(iu[event] + iv[event] - position)
+        if position == target:
+            return position, event + 1
+        cursor = event
+
+
+def _meeting_block(
+    iu: np.ndarray, iv: np.ndarray, pos_a: int, pos_b: int
+) -> Tuple[int, int, int]:
+    """Advance one walk pair through one block; returns (a, b, finish offset)."""
+    snodes, ssteps = _touch_index(iu, iv)
+    cursor = -1
+    while True:
+        next_a = _next_touch(snodes, ssteps, pos_a, cursor)
+        next_b = next_a if pos_a == pos_b else _next_touch(snodes, ssteps, pos_b, cursor)
+        if next_a < 0 and next_b < 0:
+            return pos_a, pos_b, -1
+        if next_a == next_b:
+            # One interaction touching both walks can only be the edge
+            # joining them (or any edge at a shared node): a meeting.
+            return pos_a, pos_b, next_a + 1
+        if next_b < 0 or (0 <= next_a < next_b):
+            pos_a = int(iu[next_a] + iv[next_a] - pos_a)
+            cursor = next_a
+        else:
+            pos_b = int(iu[next_b] + iv[next_b] - pos_b)
+            cursor = next_b
+
+
+# ----------------------------------------------------------------------
+# Batched drivers
+# ----------------------------------------------------------------------
+def run_hitting_batch(
+    graph: Graph,
+    pairs: Sequence[Tuple[int, int]],
+    seeds: Sequence[int],
+    max_steps: Optional[int] = None,
+    replica_batch: Optional[int] = None,
+) -> np.ndarray:
+    """Hitting steps for ``R`` walks; ``pairs[t]`` is ``(start, target)``.
+
+    Walks starting on their target report 0.  Same return conventions as
+    :func:`repro.analytics.epidemics.run_epidemic_batch`.
+    """
+    count = len(pairs)
+    if len(seeds) != count:
+        raise ValueError("need exactly one seed per trajectory")
+    if max_steps is None:
+        max_steps = default_walk_budget(graph)
+    results = np.full(count, BUDGET_EXHAUSTED, dtype=np.int64)
+    for chunk in iter_width_chunks(count, replica_batch):
+        live: List[Tuple[int, TrajectoryStream, int, int]] = []
+        for t in chunk:
+            start, target = int(pairs[t][0]), int(pairs[t][1])
+            if start == target:
+                results[t] = 0
+                continue
+            scheduler = make_streams(graph, [seeds[t]])[0]
+            live.append((t, scheduler, start, target))
+        _drain_walks(live, max_steps, results, meeting=False)
+    return results
+
+
+def run_meeting_batch(
+    graph: Graph,
+    pairs: Sequence[Tuple[int, int]],
+    seeds: Sequence[int],
+    max_steps: Optional[int] = None,
+    replica_batch: Optional[int] = None,
+) -> np.ndarray:
+    """Meeting steps for ``R`` walk pairs; ``pairs[t]`` is ``(start_a, start_b)``."""
+    count = len(pairs)
+    if len(seeds) != count:
+        raise ValueError("need exactly one seed per trajectory")
+    if max_steps is None:
+        max_steps = default_walk_budget(graph)
+    results = np.full(count, BUDGET_EXHAUSTED, dtype=np.int64)
+    for chunk in iter_width_chunks(count, replica_batch):
+        live = [
+            (t, make_streams(graph, [seeds[t]])[0], int(pairs[t][0]), int(pairs[t][1]))
+            for t in chunk
+        ]
+        _drain_walks(live, max_steps, results, meeting=True)
+    return results
+
+
+def _drain_walks(
+    live: List[Tuple[int, TrajectoryStream, int, int]],
+    max_steps: int,
+    results: np.ndarray,
+    meeting: bool,
+) -> None:
+    """Run one wave of walks in lockstep blocks until finished or budget."""
+    consumed = 0
+    round_index = 0
+    while live and consumed < max_steps:
+        block = min(block_size(round_index), max_steps - consumed)
+        survivors: List[Tuple[int, TrajectoryStream, int, int]] = []
+        for index, stream, first, second in live:
+            iu = np.empty(block, dtype=np.int64)
+            iv = np.empty(block, dtype=np.int64)
+            stream.next_into(iu, iv)
+            if meeting:
+                first, second, finish = _meeting_block(iu, iv, first, second)
+            else:
+                first, finish = _hitting_block(iu, iv, first, second)
+            if finish >= 0:
+                results[index] = consumed + finish
+            else:
+                survivors.append((index, stream, first, second))
+        live = survivors
+        consumed += block
+        round_index += 1
+
+
+# ----------------------------------------------------------------------
+# Single-stream wrappers (shared-generator call sites)
+# ----------------------------------------------------------------------
+def run_single_hitting(
+    graph: Graph,
+    start: int,
+    target: int,
+    stream: TrajectoryStream,
+    max_steps: int,
+) -> Optional[int]:
+    """One hitting-time trajectory on a caller-provided stream."""
+    results = np.full(1, BUDGET_EXHAUSTED, dtype=np.int64)
+    _drain_walks([(0, stream, int(start), int(target))], max_steps, results, meeting=False)
+    steps = int(results[0])
+    return None if steps == BUDGET_EXHAUSTED else steps
+
+
+def run_single_meeting(
+    graph: Graph,
+    start_a: int,
+    start_b: int,
+    stream: TrajectoryStream,
+    max_steps: int,
+) -> Optional[int]:
+    """One meeting-time trajectory on a caller-provided stream."""
+    results = np.full(1, BUDGET_EXHAUSTED, dtype=np.int64)
+    _drain_walks([(0, stream, int(start_a), int(start_b))], max_steps, results, meeting=True)
+    steps = int(results[0])
+    return None if steps == BUDGET_EXHAUSTED else steps

@@ -31,6 +31,9 @@ Interaction = Tuple[int, int]
 # changes every seeded trajectory (last changed from 65536 in the engine
 # PR; see CHANGES.md).
 _DEFAULT_BATCH = 4096
+# (The replica-batched analytics engine does not consume this scheduler:
+# its Monte-Carlo trajectories run on their own demand-sized streams —
+# see repro.analytics.streams.TrajectoryStream.)
 
 
 class Scheduler(abc.ABC):
@@ -152,7 +155,6 @@ class RandomScheduler(Scheduler):
             filled += take
         self._steps_emitted += size
         return initiators, responders
-
 
 class SequenceScheduler(Scheduler):
     """Replays a fixed, finite sequence of ordered interactions.

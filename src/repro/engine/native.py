@@ -24,7 +24,7 @@ import shutil
 import subprocess
 from typing import Optional
 
-_KERNEL_VERSION = 2
+_KERNEL_VERSION = 4
 
 _KERNEL_SOURCE = r"""
 #include <stdint.h>
@@ -112,6 +112,126 @@ int64_t repro_broadcast_block(uint8_t *informed,
     *count_io = count;
     return i;
 }
+
+/* One block of R replica-batched single-source epidemics.
+ *
+ * Each replica r owns row r of the (nrep x n) informed matrix and row r
+ * of the (nrep x nsteps) draws matrix — its private scheduler stream as
+ * raw ordered-pair indices, decoded here through the directed endpoint
+ * tables du/dv (length 2m).  A replica finishes when either every node
+ * is informed (stopmask == NULL) or a newly informed node has its
+ * stopmask bit set (distance-k propagation; stopmask is nrep x n).
+ * finish[r] is -1 on entry and is set to the 1-based offset of the
+ * finishing interaction within this block; unfinished replicas consume
+ * the whole block.  Returns the number of replicas that finished.
+ */
+int64_t repro_broadcast_multi(uint8_t *informed,
+                              const int64_t *draws,
+                              const int64_t *du,
+                              const int64_t *dv,
+                              int64_t nrep,
+                              int64_t nsteps,
+                              int64_t n,
+                              const uint8_t *stopmask,
+                              int64_t *counts,
+                              int64_t *finish)
+{
+    int64_t done = 0;
+    int64_t r;
+    for (r = 0; r < nrep; r++) {
+        uint8_t *inf = informed + r * n;
+        const uint8_t *stop = stopmask ? stopmask + r * n : 0;
+        const int64_t *row = draws + r * nsteps;
+        int64_t count = counts[r];
+        int64_t i;
+        for (i = 0; i < nsteps; i++) {
+            int64_t u = du[row[i]];
+            int64_t v = dv[row[i]];
+            uint8_t a = inf[u];
+            uint8_t b = inf[v];
+            if (a != b) {
+                int64_t fresh = a ? v : u;
+                inf[u] = 1;
+                inf[v] = 1;
+                count++;
+                if (stop ? stop[fresh] : (count == n)) {
+                    finish[r] = i + 1;
+                    done++;
+                    break;
+                }
+            }
+        }
+        counts[r] = count;
+    }
+    return done;
+}
+
+/* One block of R replica-batched all-pairs influence processes.
+ *
+ * bits is (nrep x n x w) packed uint64 influencer bitsets: word j of node
+ * u in replica r holds sources 64j..64j+63.  full is the w-word mask with
+ * the low n bits set; full_flags (nrep x n) caches which nodes already
+ * hold it so the word compare runs only on improving merges.  A replica
+ * finishes when all n nodes are fully informed (counts[r] == n);
+ * finish[r] gets the 1-based offset as above.  Returns the number of
+ * replicas that finished in this block.
+ */
+int64_t repro_influence_multi(uint64_t *bits,
+                              const int64_t *draws,
+                              const int64_t *du,
+                              const int64_t *dv,
+                              int64_t nrep,
+                              int64_t nsteps,
+                              int64_t n,
+                              int64_t w,
+                              const uint64_t *full,
+                              uint8_t *full_flags,
+                              int64_t *counts,
+                              int64_t *finish)
+{
+    int64_t done = 0;
+    int64_t r;
+    for (r = 0; r < nrep; r++) {
+        uint64_t *rb = bits + r * n * w;
+        uint8_t *flags = full_flags + r * n;
+        const int64_t *row = draws + r * nsteps;
+        int64_t count = counts[r];
+        int64_t i;
+        for (i = 0; i < nsteps; i++) {
+            int64_t u = du[row[i]];
+            int64_t v = dv[row[i]];
+            uint8_t fu = flags[u];
+            uint8_t fv = flags[v];
+            uint64_t *pu, *pv;
+            int64_t j;
+            int alleq;
+            if (fu && fv)
+                continue;
+            pu = rb + u * w;
+            pv = rb + v * w;
+            alleq = 1;
+            for (j = 0; j < w; j++) {
+                uint64_t merged = pu[j] | pv[j];
+                pu[j] = merged;
+                pv[j] = merged;
+                if (merged != full[j])
+                    alleq = 0;
+            }
+            if (alleq) {
+                count += (fu == 0) + (fv == 0);
+                flags[u] = 1;
+                flags[v] = 1;
+                if (count == n) {
+                    finish[r] = i + 1;
+                    done++;
+                    break;
+                }
+            }
+        }
+        counts[r] = count;
+    }
+    return done;
+}
 """
 
 _UNSET = object()
@@ -168,7 +288,37 @@ def _compile_kernel() -> Optional[ctypes.CDLL]:
         ctypes.c_int64,  # n
         ctypes.POINTER(ctypes.c_int64),  # count_io
     ]
-    return run_block, broadcast_block
+    broadcast_multi = library.repro_broadcast_multi
+    broadcast_multi.restype = ctypes.c_int64
+    broadcast_multi.argtypes = [
+        ctypes.c_void_p,  # informed (nrep x n)
+        ctypes.c_void_p,  # draws (nrep x nsteps)
+        ctypes.c_void_p,  # du (2m)
+        ctypes.c_void_p,  # dv (2m)
+        ctypes.c_int64,  # nrep
+        ctypes.c_int64,  # nsteps
+        ctypes.c_int64,  # n
+        ctypes.c_void_p,  # stopmask (nrep x n) or None
+        ctypes.c_void_p,  # counts (nrep)
+        ctypes.c_void_p,  # finish (nrep)
+    ]
+    influence_multi = library.repro_influence_multi
+    influence_multi.restype = ctypes.c_int64
+    influence_multi.argtypes = [
+        ctypes.c_void_p,  # bits (nrep x n x w)
+        ctypes.c_void_p,  # draws (nrep x nsteps)
+        ctypes.c_void_p,  # du (2m)
+        ctypes.c_void_p,  # dv (2m)
+        ctypes.c_int64,  # nrep
+        ctypes.c_int64,  # nsteps
+        ctypes.c_int64,  # n
+        ctypes.c_int64,  # w
+        ctypes.c_void_p,  # full (w)
+        ctypes.c_void_p,  # full_flags (nrep x n)
+        ctypes.c_void_p,  # counts (nrep)
+        ctypes.c_void_p,  # finish (nrep)
+    ]
+    return run_block, broadcast_block, broadcast_multi, influence_multi
 
 
 def _kernels():
@@ -195,6 +345,18 @@ def get_broadcast_kernel():
     """The compiled single-source-epidemic entry point, or ``None``."""
     kernels = _kernels()
     return None if kernels is None else kernels[1]
+
+
+def get_broadcast_multi_kernel():
+    """The compiled replica-batched epidemic entry point, or ``None``."""
+    kernels = _kernels()
+    return None if kernels is None else kernels[2]
+
+
+def get_influence_multi_kernel():
+    """The compiled replica-batched influence entry point, or ``None``."""
+    kernels = _kernels()
+    return None if kernels is None else kernels[3]
 
 
 def reset_kernel_cache() -> None:

@@ -33,6 +33,9 @@ from ..protocols.tokens import TokenLeaderElection
 from .workloads import Workload
 
 ProtocolFactory = Callable[[Graph, Optional[int]], PopulationProtocol]
+ProtocolBatchFactory = Callable[
+    [Graph, Sequence[Optional[int]]], List[PopulationProtocol]
+]
 
 
 @dataclass(frozen=True)
@@ -44,12 +47,21 @@ class ProtocolSpec:
     (:mod:`repro.orchestration`) ships this plain data to worker processes
     and hashes it into scenario cache keys; specs constructed from a raw
     factory (``spec_config=None``) cannot be orchestrated or cached.
+
+    ``batch_factory``, when present, instantiates one protocol per trial
+    seed in a single call and MUST produce, for each seed, exactly the
+    protocol ``factory`` would produce for that seed alone.  The fast
+    protocol uses it to run all trials' ``B(G)`` epidemics in one
+    replica-batched stack (:mod:`repro.analytics`); the per-seed purity
+    requirement is what keeps orchestrator shards bit-identical to the
+    serial path.
     """
 
     name: str
     factory: ProtocolFactory
     paper_bound: str = ""
     spec_config: Optional[tuple] = None
+    batch_factory: Optional[ProtocolBatchFactory] = None
 
 
 def token_protocol_spec() -> ProtocolSpec:
@@ -93,6 +105,15 @@ def fast_protocol_spec(
     and ``tau>=1`` for the paper's parameterisation.
     """
 
+    def build(graph: Graph, broadcast_time: float) -> PopulationProtocol:
+        return FastLeaderElection.for_graph(
+            graph,
+            broadcast_time=max(broadcast_time, 1.0),
+            tau=tau,
+            h_offset=h_offset,
+            alpha=alpha,
+        )
+
     def factory(graph: Graph, seed: Optional[int]) -> PopulationProtocol:
         estimate = broadcast_time_estimate(
             graph,
@@ -100,13 +121,30 @@ def fast_protocol_spec(
             max_sources=6,
             rng=seed,
         )
-        return FastLeaderElection.for_graph(
+        return build(graph, estimate.value)
+
+    def batch_factory(
+        graph: Graph, seeds: Sequence[Optional[int]]
+    ) -> List[PopulationProtocol]:
+        # One replica stack for every trial's sources × repetitions
+        # epidemics.  Each trial's estimate is a pure function of its own
+        # seed (trajectory seeds derive from it), so entry i is
+        # bit-identical to factory(graph, seeds[i]).
+        if graph.n_nodes == 1:
+            return [build(graph, 0.0) for _ in seeds]
+        from ..analytics.estimators import batched_broadcast_estimates
+        from ..analytics.streams import resolve_base_seed
+        from ..propagation.broadcast import default_broadcast_budget
+
+        bases = [resolve_base_seed(seed) for seed in seeds]
+        estimates = batched_broadcast_estimates(
             graph,
-            broadcast_time=max(estimate.value, 1.0),
-            tau=tau,
-            h_offset=h_offset,
-            alpha=alpha,
+            bases,
+            repetitions=broadcast_repetitions,
+            max_sources=6,
+            max_steps=default_broadcast_budget(graph),
         )
+        return [build(graph, value) for value, _, _, _ in estimates]
 
     return ProtocolSpec(
         name="fast-space-efficient",
@@ -121,6 +159,7 @@ def fast_protocol_spec(
                 ("tau", tau),
             ),
         ),
+        batch_factory=batch_factory,
     )
 
 
@@ -246,7 +285,10 @@ def run_measurement_trials(
     persists it alongside the trial records).
     """
     run_seeds = [trial_seed(seed, index) for index in trial_indices]
-    protocols = [spec.factory(graph, run_seed) for run_seed in run_seeds]
+    if spec.batch_factory is not None and len(run_seeds) > 1:
+        protocols = spec.batch_factory(graph, run_seeds)
+    else:
+        protocols = [spec.factory(graph, run_seed) for run_seed in run_seeds]
     state_space = protocols[0].state_space_size() if protocols else None
     results = _run_measurement_batch(protocols, graph, run_seeds, max_steps, engine, backend)
     return results, state_space

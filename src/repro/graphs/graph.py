@@ -249,23 +249,25 @@ class Graph:
 
     def _eccentricities_matrix(self) -> Tuple[int, ...]:
         n = self._n
-        # int64 accumulators: a uint8 matmul would wrap mod 256 when 256+
-        # frontier nodes share an unvisited neighbour.
-        adjacency = np.zeros((n, n), dtype=np.int64)
-        adjacency[self._edges_u, self._edges_v] = 1
-        adjacency[self._edges_v, self._edges_u] = 1
-        distances = np.full((n, n), -1, dtype=np.int64)
+        # Boolean semiring: numpy's bool matmul is a logical OR of ANDs,
+        # so the frontier product cannot wrap no matter how many (256 or
+        # more) frontier nodes share an unvisited neighbour — the case
+        # that forced the previous int64 accumulators.  bool adjacency +
+        # bool frontier + int16 levels cut the working set ~8x.
+        adjacency = np.zeros((n, n), dtype=bool)
+        adjacency[self._edges_u, self._edges_v] = True
+        adjacency[self._edges_v, self._edges_u] = True
+        level_dtype = np.int16 if n <= np.iinfo(np.int16).max else np.int64
+        distances = np.full((n, n), -1, dtype=level_dtype)
         np.fill_diagonal(distances, 0)
-        frontier = np.eye(n, dtype=np.int64)
+        frontier = np.eye(n, dtype=bool)
         level = 0
         while True:
             level += 1
-            reached = (frontier @ adjacency) > 0
-            frontier_mask = reached & (distances < 0)
-            if not frontier_mask.any():
+            frontier = (frontier @ adjacency) & (distances < 0)
+            if not frontier.any():
                 break
-            distances[frontier_mask] = level
-            frontier = frontier_mask.astype(np.int64)
+            distances[frontier] = level
         # Disconnected pairs keep -1; report the max finite distance,
         # matching the per-source BFS behaviour.
         return tuple(int(e) for e in distances.max(axis=1))

@@ -35,8 +35,11 @@ from ..experiments.workloads import get_workload
 
 #: Bump when the meaning of persisted results changes (record schema,
 #: execution semantics).  Part of every scenario content hash, so stale
-#: cache entries become unreachable rather than silently wrong.
-RESULT_SCHEMA_VERSION = 1
+#: cache entries become unreachable rather than silently wrong.  Last
+#: bump: the replica-batched analytics engine changed the fast protocol's
+#: seeded B(G) estimates (per-trajectory child streams replaced one
+#: shared generator stream).
+RESULT_SCHEMA_VERSION = 2
 
 _SPEC_BUILDERS = {
     "token": token_protocol_spec,

@@ -13,20 +13,31 @@ full-information time ``T(G) = max_{u,v} T(v, u)``.
 The fast protocol of Theorem 24 is non-uniform: it is parameterised by an
 estimate of ``B(G)·Δ/m``.  :func:`broadcast_time_estimate` is exactly the
 estimator the experiment harness feeds it.
+
+All estimators here run on the replica-batched analytics engine
+(:mod:`repro.analytics`): the ``repetitions × sources`` epidemics of one
+estimate advance in lockstep, each on a private stream derived from the
+base seed, so every sample is a pure function of ``(base seed,
+trajectory identity)`` — independent of replica-batch width.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
-
-import numpy as np
+from typing import Dict, Optional, Sequence
 
 from ..analysis.estimators import SummaryStatistics, summarize_samples
+from ..analytics.epidemics import run_influence_batch
+from ..analytics.estimators import (
+    FULL_INFORMATION_TAG,
+    batched_broadcast_samples,
+    select_sources,
+)
+from ..analytics.streams import resolve_base_seed
+from ..core.seeds import derive_seed
 from ..graphs.graph import Graph
-from ..graphs.random_graphs import RngLike, as_rng
-from .influence import InfluenceProcess, single_source_broadcast_steps
+from ..graphs.random_graphs import RngLike
 
 
 @dataclass(frozen=True)
@@ -58,23 +69,20 @@ def expected_broadcast_time_from(
     repetitions: int = 10,
     rng: RngLike = None,
     max_steps: Optional[int] = None,
+    replica_batch: Optional[int] = None,
 ) -> SummaryStatistics:
     """Monte-Carlo estimate of ``E[T(source)]`` with summary statistics."""
     if repetitions < 1:
         raise ValueError("repetitions must be positive")
-    generator = as_rng(rng)
-    samples: List[float] = []
-    for _ in range(repetitions):
-        steps = single_source_broadcast_steps(
-            graph, source, rng=generator, max_steps=max_steps
-        )
-        if steps is None:
-            raise RuntimeError(
-                "broadcast did not complete within the step budget; "
-                "increase max_steps"
-            )
-        samples.append(float(steps))
-    return summarize_samples(samples)
+    if graph.n_nodes == 1:
+        return summarize_samples([0.0] * repetitions)
+    base = resolve_base_seed(rng)
+    if max_steps is None:
+        max_steps = _budget(graph)
+    samples = batched_broadcast_samples(
+        graph, [source], repetitions, base, max_steps, replica_batch=replica_batch
+    )[int(source)]
+    return summarize_samples(samples.tolist())
 
 
 def broadcast_time_estimate(
@@ -83,6 +91,7 @@ def broadcast_time_estimate(
     max_sources: Optional[int] = None,
     rng: RngLike = None,
     max_steps: Optional[int] = None,
+    replica_batch: Optional[int] = None,
 ) -> BroadcastTimeEstimate:
     """Estimate ``B(G) = max_v E[T(v)]``.
 
@@ -90,46 +99,27 @@ def broadcast_time_estimate(
     source; otherwise a degree-stratified sample of sources is used (the
     maximiser of ``E[T(v)]`` tends to be a low-degree, peripheral node, so
     the sample always includes the minimum-degree and maximum-eccentricity
-    nodes).
+    nodes).  All ``sources × repetitions`` epidemics run in one replica
+    stack; ``replica_batch`` caps the stack width without changing any
+    sampled value.
     """
     n = graph.n_nodes
     if n == 1:
         return BroadcastTimeEstimate(value=0.0, per_source={0: 0.0}, repetitions=0, sources=(0,))
-    generator = as_rng(rng)
+    base = resolve_base_seed(rng)
     if max_sources is None:
         max_sources = 24
-    if n <= max_sources:
-        sources = list(range(n))
-    else:
-        sources = _stratified_sources(graph, max_sources, generator)
-    per_source: Dict[int, float] = {}
-    for source in sources:
-        stats = expected_broadcast_time_from(
-            graph, source, repetitions=repetitions, rng=generator, max_steps=max_steps
-        )
-        per_source[source] = stats.mean
+    sources = select_sources(graph, max_sources, base)
+    if max_steps is None:
+        max_steps = _budget(graph)
+    by_source = batched_broadcast_samples(
+        graph, sources, repetitions, base, max_steps, replica_batch=replica_batch
+    )
+    per_source = {source: float(samples.mean()) for source, samples in by_source.items()}
     value = max(per_source.values())
     return BroadcastTimeEstimate(
         value=value, per_source=per_source, repetitions=repetitions, sources=tuple(sources)
     )
-
-
-def _stratified_sources(graph: Graph, count: int, rng: np.random.Generator) -> List[int]:
-    degrees = graph.degrees
-    eccentricities = graph.eccentricities()
-    forced = {
-        int(np.argmin(degrees)),
-        int(np.argmax(degrees)),
-        int(np.argmax(eccentricities)),
-    }
-    remaining = [v for v in range(graph.n_nodes) if v not in forced]
-    extra_count = max(count - len(forced), 0)
-    extra = (
-        rng.choice(remaining, size=min(extra_count, len(remaining)), replace=False).tolist()
-        if remaining and extra_count
-        else []
-    )
-    return sorted(forced | set(int(v) for v in extra))
 
 
 def full_information_time(
@@ -137,31 +127,34 @@ def full_information_time(
     repetitions: int = 5,
     rng: RngLike = None,
     max_steps: Optional[int] = None,
+    replica_batch: Optional[int] = None,
 ) -> SummaryStatistics:
     """Monte-Carlo estimate of ``T(G)``: all nodes influenced by all nodes.
 
     ``T(G) >= T(v)`` for every source, so ``E[T(G)] >= B(G)``; Lemmas 7–9
-    bound exactly this quantity.
+    bound exactly this quantity.  The ``repetitions`` influence processes
+    run replica-batched with packed-bitset influencer sets.
     """
     if repetitions < 1:
         raise ValueError("repetitions must be positive")
-    generator = as_rng(rng)
+    base = resolve_base_seed(rng)
     if max_steps is None:
         max_steps = _budget(graph)
-    samples: List[float] = []
-    for _ in range(repetitions):
-        process = InfluenceProcess(graph, rng=generator)
-        steps = process.run_until_full(max_steps=max_steps)
-        if steps is None:
-            raise RuntimeError(
-                "full-information dissemination did not finish within budget"
-            )
-        samples.append(float(steps))
-    return summarize_samples(samples)
+    seeds = [derive_seed(base, FULL_INFORMATION_TAG, t) for t in range(repetitions)]
+    steps = run_influence_batch(graph, seeds, max_steps, replica_batch=replica_batch)
+    if (steps < 0).any():
+        raise RuntimeError(
+            "full-information dissemination did not finish within budget"
+        )
+    return summarize_samples([float(s) for s in steps])
 
 
-def _budget(graph: Graph) -> int:
+def default_broadcast_budget(graph: Graph) -> int:
+    """The estimators' default step budget (Theorem 6 bound with slack)."""
     n = graph.n_nodes
     m = graph.n_edges
     d = graph.diameter()
     return int(20 * m * (6 * math.log(max(n, 2)) + d)) + 1000
+
+
+_budget = default_broadcast_budget

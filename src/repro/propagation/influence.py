@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..graphs.graph import Graph
-from ..graphs.random_graphs import RngLike, as_rng
+from ..graphs.random_graphs import RngLike
 from ..core.scheduler import RandomScheduler
 
 
@@ -113,21 +113,27 @@ class InfluenceProcess:
         """Run until every node is influenced by every other node.
 
         Returns the step ``T(G)`` at which this first happens, or ``None``
-        if ``max_steps`` is exhausted first.
+        if ``max_steps`` is exhausted first.  A count of fully informed
+        nodes is maintained incrementally (nodes never lose fullness), so
+        each improving merge costs O(1) extra work instead of an O(n)
+        rescan of every bitset.
         """
         n = self.graph.n_nodes
         full_mask = (1 << n) - 1
         bitsets = self._bitsets
-        if all(b == full_mask for b in bitsets):
+        full_count = sum(1 for b in bitsets if b == full_mask)
+        if full_count == n:
             return self._step
         while self._step < max_steps:
             batch = min(4096, max_steps - self._step)
             interactions = self._scheduler.next_batch(batch)
             for offset, (u, v) in enumerate(interactions, start=1):
                 merged = bitsets[u] | bitsets[v]
+                if merged == full_mask:
+                    full_count += (bitsets[u] != full_mask) + (bitsets[v] != full_mask)
                 bitsets[u] = merged
                 bitsets[v] = merged
-                if merged == full_mask and all(b == full_mask for b in bitsets):
+                if full_count == n:
                     self._step += offset
                     return self._step
             self._step += batch
@@ -162,7 +168,9 @@ def single_source_broadcast_steps(
 
     Unlike the all-pairs process, a single-source epidemic only needs one
     boolean per node, so this is the workhorse of the ``B(G)`` estimator.
-    Returns ``None`` if ``max_steps`` is exhausted.
+    Runs as a width-1 stack of the replica-batched engine
+    (:mod:`repro.analytics.epidemics`) on the canonical stream of ``rng``;
+    returns ``None`` if ``max_steps`` is exhausted.
     """
     n = graph.n_nodes
     if not (0 <= source < n):
@@ -171,57 +179,10 @@ def single_source_broadcast_steps(
         return 0
     if max_steps is None:
         max_steps = _default_broadcast_budget(graph)
-    scheduler = RandomScheduler(graph, rng=rng)
-    from ..engine.native import get_broadcast_kernel
+    from ..analytics.epidemics import run_single_epidemic
+    from ..analytics.streams import TrajectoryStream
 
-    kernel = get_broadcast_kernel()
-    if kernel is not None:
-        # Same process, same scheduler stream, C inner loop.
-        import ctypes
-
-        informed_u8 = np.zeros(n, dtype=np.uint8)
-        informed_u8[source] = 1
-        count = ctypes.c_int64(1)
-        step = 0
-        while step < max_steps:
-            batch = min(8192, max_steps - step)
-            initiators, responders = scheduler.next_arrays(batch)
-            consumed = kernel(
-                informed_u8.ctypes.data,
-                np.ascontiguousarray(initiators, dtype=np.int64).ctypes.data,
-                np.ascontiguousarray(responders, dtype=np.int64).ctypes.data,
-                batch,
-                n,
-                ctypes.byref(count),
-            )
-            step += int(consumed)
-            if count.value == n:
-                return step
-        return None
-    informed = np.zeros(n, dtype=bool)
-    informed[source] = True
-    informed_count = 1
-    step = 0
-    while step < max_steps:
-        batch = min(8192, max_steps - step)
-        initiators, responders = scheduler.next_arrays(batch)
-        init_list = initiators.tolist()
-        resp_list = responders.tolist()
-        for i in range(batch):
-            step += 1
-            u = init_list[i]
-            v = resp_list[i]
-            iu = informed[u]
-            iv = informed[v]
-            if iu != iv:
-                if iu:
-                    informed[v] = True
-                else:
-                    informed[u] = True
-                informed_count += 1
-                if informed_count == n:
-                    return step
-    return None
+    return run_single_epidemic(graph, source, TrajectoryStream(graph, rng), max_steps)
 
 
 def distance_k_propagation_steps(
@@ -234,7 +195,10 @@ def distance_k_propagation_steps(
     """Steps until the message from ``source`` reaches some node at the given distance.
 
     This is ``T_k(source)`` from Section 3.2.  Returns ``None`` when no node
-    is at that distance, or when the budget is exhausted.
+    is at that distance, or when the budget is exhausted.  Shares the
+    engine — and for a given seed the exact interaction schedule — with
+    :func:`single_source_broadcast_steps`, so with the same ``rng`` seed a
+    distance-``k`` hit can never come later than the full broadcast.
     """
     n = graph.n_nodes
     distances = graph.bfs_distances(source)
@@ -245,35 +209,20 @@ def distance_k_propagation_steps(
         return 0
     if max_steps is None:
         max_steps = _default_broadcast_budget(graph)
-    target_set = set(int(t) for t in targets)
-    scheduler = RandomScheduler(graph, rng=rng)
-    informed = np.zeros(n, dtype=bool)
-    informed[source] = True
-    step = 0
-    while step < max_steps:
-        batch = min(8192, max_steps - step)
-        initiators, responders = scheduler.next_arrays(batch)
-        init_list = initiators.tolist()
-        resp_list = responders.tolist()
-        for i in range(batch):
-            step += 1
-            u = init_list[i]
-            v = resp_list[i]
-            iu = informed[u]
-            iv = informed[v]
-            if iu != iv:
-                newly = v if iu else u
-                informed[newly] = True
-                if newly in target_set:
-                    return step
-    return None
+    from ..analytics.epidemics import run_single_epidemic
+    from ..analytics.streams import TrajectoryStream
+
+    stopmask = np.zeros(n, dtype=np.uint8)
+    stopmask[targets] = 1
+    return run_single_epidemic(
+        graph, source, TrajectoryStream(graph, rng), max_steps, stopmask=stopmask
+    )
 
 
 def _default_broadcast_budget(graph: Graph) -> int:
-    import math
+    # One budget for every epidemic estimator; the formula lives with the
+    # B(G) estimators in repro.propagation.broadcast (lazy import: this
+    # module loads before broadcast in the package __init__).
+    from .broadcast import default_broadcast_budget
 
-    n = graph.n_nodes
-    m = graph.n_edges
-    d = graph.diameter()
-    # Theorem 6: B(G) <= m (6 ln n + D) + 2; allow generous slack for w.h.p.
-    return int(20 * m * (6 * math.log(max(n, 2)) + d)) + 1000
+    return default_broadcast_budget(graph)

@@ -5,6 +5,11 @@ reaches a node at distance exactly ``k``; ``T_k(G) = min_u T_k(u)``.  The
 renitent-graph lower bound (Theorem 34) rests on showing that covers stay
 isolated — i.e. that ``T_ℓ(G)`` is large — so the harness needs Monte-Carlo
 estimates of these quantities to compare against Lemma 13/14.
+
+The repeated measurements run replica-batched: all repetitions (or
+violation trials) advance in lockstep on the analytics engine, each with
+its own child-seeded stream and a per-replica stop mask marking the
+distance-``k`` target set.
 """
 
 from __future__ import annotations
@@ -15,9 +20,13 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..analysis.estimators import SummaryStatistics, summarize_samples
+from ..analytics.epidemics import run_epidemic_batch
+from ..analytics.estimators import DISTANCE_K_TAG
+from ..analytics.streams import resolve_base_seed
+from ..core.seeds import derive_seed
 from ..graphs.graph import Graph
 from ..graphs.random_graphs import RngLike, as_rng
-from .influence import distance_k_propagation_steps
+from .broadcast import default_broadcast_budget as _default_broadcast_budget
 
 
 @dataclass(frozen=True)
@@ -30,6 +39,10 @@ class PropagationTimeEstimate:
     repetitions: int
 
 
+def _distance_targets(graph: Graph, source: int, distance: int) -> np.ndarray:
+    return np.flatnonzero(graph.bfs_distances(source) == distance)
+
+
 def propagation_time_from(
     graph: Graph,
     source: int,
@@ -37,24 +50,40 @@ def propagation_time_from(
     repetitions: int = 10,
     rng: RngLike = None,
     max_steps: Optional[int] = None,
+    replica_batch: Optional[int] = None,
 ) -> Optional[SummaryStatistics]:
     """Monte-Carlo estimate of ``E[T_k(source)]``.
 
     Returns ``None`` when no node lies at the requested distance from the
-    source (``T_k(source) = ∞`` in the paper's notation).
+    source (``T_k(source) = ∞`` in the paper's notation) or when any
+    repetition exhausts its step budget.
     """
     if repetitions < 1:
         raise ValueError("repetitions must be positive")
-    generator = as_rng(rng)
-    samples: List[float] = []
-    for _ in range(repetitions):
-        steps = distance_k_propagation_steps(
-            graph, source, distance, rng=generator, max_steps=max_steps
-        )
-        if steps is None:
-            return None
-        samples.append(float(steps))
-    return summarize_samples(samples)
+    targets = _distance_targets(graph, source, distance)
+    if targets.size == 0:
+        return None
+    if distance == 0:
+        return summarize_samples([0.0] * repetitions)
+    base = resolve_base_seed(rng)
+    if max_steps is None:
+        max_steps = _default_broadcast_budget(graph)
+    stopmasks = np.zeros((repetitions, graph.n_nodes), dtype=np.uint8)
+    stopmasks[:, targets] = 1
+    seeds = [
+        derive_seed(base, DISTANCE_K_TAG, int(source), t) for t in range(repetitions)
+    ]
+    steps = run_epidemic_batch(
+        graph,
+        [int(source)] * repetitions,
+        seeds,
+        max_steps,
+        stopmasks=stopmasks,
+        replica_batch=replica_batch,
+    )
+    if (steps < 0).any():
+        return None
+    return summarize_samples([float(s) for s in steps])
 
 
 def propagation_time_estimate(
@@ -113,16 +142,18 @@ def empirical_violation_rate(
     rng: RngLike = None,
     sources: Optional[Sequence[int]] = None,
     max_steps: Optional[int] = None,
+    replica_batch: Optional[int] = None,
 ) -> float:
     """Fraction of trials where ``T_k(source) < threshold`` (Lemma 14 check).
 
     Lemma 14 claims this rate is at most ``1/n`` when the threshold is
     ``k·m/(Δ·e^3)`` and ``k >= ln n``; the benchmark compares the measured
-    rate against that guarantee.
+    rate against that guarantee.  All trials advance in one replica stack,
+    trial ``t`` starting at ``sources[t % len(sources)]``.
     """
     if trials < 1:
         raise ValueError("trials must be positive")
-    generator = as_rng(rng)
+    base = resolve_base_seed(rng)
     if sources is None:
         eligible = [
             v
@@ -132,12 +163,38 @@ def empirical_violation_rate(
         if not eligible:
             raise ValueError(f"no node has a distance-{distance} peer in {graph.name}")
         sources = eligible
-    violations = 0
+    if max_steps is None:
+        max_steps = _default_broadcast_budget(graph)
+    target_cache: Dict[int, np.ndarray] = {}
+    trial_sources: List[int] = []
+    trial_seeds: List[int] = []
+    stopmask_rows: List[np.ndarray] = []
+    zero_hits = 0
     for trial in range(trials):
         source = int(sources[trial % len(sources)])
-        steps = distance_k_propagation_steps(
-            graph, source, distance, rng=generator, max_steps=max_steps
+        if source not in target_cache:
+            target_cache[source] = _distance_targets(graph, source, distance)
+        targets = target_cache[source]
+        if targets.size == 0:
+            # T_k(source) = ∞: can never beat a finite threshold.
+            continue
+        if distance == 0:
+            zero_hits += 1 if 0 < threshold else 0
+            continue
+        row = np.zeros(graph.n_nodes, dtype=np.uint8)
+        row[targets] = 1
+        stopmask_rows.append(row)
+        trial_sources.append(source)
+        trial_seeds.append(derive_seed(base, DISTANCE_K_TAG, "violation", trial))
+    violations = zero_hits
+    if trial_sources:
+        steps = run_epidemic_batch(
+            graph,
+            trial_sources,
+            trial_seeds,
+            max_steps,
+            stopmasks=np.asarray(stopmask_rows),
+            replica_batch=replica_batch,
         )
-        if steps is not None and steps < threshold:
-            violations += 1
+        violations += int(((steps >= 0) & (steps < threshold)).sum())
     return violations / trials

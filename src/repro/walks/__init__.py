@@ -24,7 +24,9 @@ from .population_walk import (
     population_hitting_times_to,
     population_worst_case_hitting_time,
     simulate_meeting_time,
+    simulate_meeting_times,
     simulate_population_hitting_time,
+    simulate_population_hitting_times,
 )
 
 __all__ = [
@@ -42,7 +44,9 @@ __all__ = [
     "population_worst_case_hitting_time",
     "regular_graph_hitting_upper_bound",
     "simulate_meeting_time",
+    "simulate_meeting_times",
     "simulate_population_hitting_time",
+    "simulate_population_hitting_times",
     "simulate_walk",
     "stationary_distribution",
     "theorem16_step_bound",

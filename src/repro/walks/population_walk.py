@@ -8,19 +8,34 @@ high-degree nodes move more often.
 
 The constant-state protocol of Theorem 16 is analysed through the hitting
 and meeting times of these walks (Lemmas 17–19); this module provides both
-exact linear-algebra computations and Monte-Carlo estimators for them.
+exact linear-algebra computations (assembled with vectorized NumPy
+indexing over the edge arrays) and Monte-Carlo estimators.  The
+estimators run on the replica-batched analytics engine
+(:mod:`repro.analytics.walks`): positions advance one interaction block
+at a time with event-skipping — the walk jumps straight between the
+block's incident interactions — instead of replaying every step in a
+Python loop, and the batched forms run all trajectories in lockstep.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..analytics.estimators import HITTING_TAG, MEETING_TAG
+from ..analytics.streams import TrajectoryStream, resolve_base_seed
+from ..analytics.walks import (
+    default_walk_budget,
+    run_hitting_batch,
+    run_meeting_batch,
+    run_single_hitting,
+    run_single_meeting,
+)
+from ..core.seeds import derive_seed
 from ..graphs.graph import Graph
 from ..graphs.random_graphs import RngLike, as_rng
-from ..core.scheduler import RandomScheduler
 
 _EXACT_NODE_LIMIT = 400
 _EXACT_MEETING_NODE_LIMIT = 45
@@ -30,6 +45,7 @@ def population_hitting_times_to(graph: Graph, target: int) -> np.ndarray:
     """Exact ``H_P(u, target)`` for all ``u`` (population-model walk).
 
     System: ``h(u) = m/deg(u) + (1/deg(u)) Σ_{w ~ u} h(w)`` for ``u != target``.
+    The coefficient matrix is assembled in one pass over the edge arrays.
     """
     n = graph.n_nodes
     if not (0 <= target < n):
@@ -39,24 +55,25 @@ def population_hitting_times_to(graph: Graph, target: int) -> np.ndarray:
     if n == 1:
         return np.zeros(1)
     m = graph.n_edges
-    others = [v for v in range(n) if v != target]
-    index = {v: i for i, v in enumerate(others)}
-    size = n - 1
-    a = np.zeros((size, size), dtype=np.float64)
-    b = np.zeros(size, dtype=np.float64)
-    for v in others:
-        i = index[v]
-        degree = graph.degree(v)
-        a[i, i] = 1.0
-        b[i] = m / degree
-        for w in graph.neighbors(v):
-            if w == target:
-                continue
-            a[i, index[w]] -= 1.0 / degree
+    degrees = graph.degrees.astype(np.float64)
+    # Row/column index of each non-target node in the reduced system.
+    index = np.full(n, -1, dtype=np.int64)
+    others = np.flatnonzero(np.arange(n) != target)
+    index[others] = np.arange(n - 1)
+    a = np.eye(n - 1, dtype=np.float64)
+    edges_u = graph.edges_u
+    edges_v = graph.edges_v
+    keep = (edges_u != target) & (edges_v != target)
+    rows = index[edges_u[keep]]
+    cols = index[edges_v[keep]]
+    # Simple graph: each (row, col) pair appears once, so plain fancy
+    # assignment of both orientations is exact.
+    a[rows, cols] -= 1.0 / degrees[edges_u[keep]]
+    a[cols, rows] -= 1.0 / degrees[edges_v[keep]]
+    b = m / degrees[others]
     solution = np.linalg.solve(a, b)
     result = np.zeros(n, dtype=np.float64)
-    for v in others:
-        result[v] = solution[index[v]]
+    result[others] = solution
     return result
 
 
@@ -82,6 +99,10 @@ def exact_meeting_times(graph: Graph) -> np.ndarray:
     states are unreachable and set to zero.  Solving the ``n^2``-dimensional
     linear system directly limits this to small graphs; it is used to
     validate the Monte-Carlo estimator and Lemma 18.
+
+    The system is assembled one edge at a time with vectorized operations
+    over all ``n^2`` pair states (each edge defines one transposition of
+    the node set applied to both walk coordinates).
     """
     n = graph.n_nodes
     if n > _EXACT_MEETING_NODE_LIMIT:
@@ -92,32 +113,23 @@ def exact_meeting_times(graph: Graph) -> np.ndarray:
     size = n * n
     a = np.eye(size, dtype=np.float64)
     b = np.zeros(size, dtype=np.float64)
-
-    def idx(x: int, y: int) -> int:
-        return x * n + y
-
-    for x in range(n):
-        for y in range(n):
-            row = idx(x, y)
-            if x == y:
-                # Unreachable from distinct starting positions; define as 0.
-                continue
-            b[row] = 1.0
-            for u, v in graph.edges():
-                prob = 1.0 / m
-                if (x == u and y == v) or (x == v and y == u):
-                    # The joining edge fired: the walks meet (absorption).
-                    continue
-                new_x, new_y = x, y
-                if x == u:
-                    new_x = v
-                elif x == v:
-                    new_x = u
-                if y == u:
-                    new_y = v
-                elif y == v:
-                    new_y = u
-                a[row, idx(new_x, new_y)] -= prob
+    x = np.repeat(np.arange(n), n)
+    y = np.tile(np.arange(n), n)
+    live = x != y  # diagonal states are unreachable: identity rows, b = 0
+    b[live] = 1.0
+    rows = np.arange(size)
+    prob = 1.0 / m
+    for u, v in zip(graph.edges_u.tolist(), graph.edges_v.tolist()):
+        swap = np.arange(n)
+        swap[u] = v
+        swap[v] = u
+        # Absorbing event: the sampled edge joins the two walks.
+        meets = ((x == u) & (y == v)) | ((x == v) & (y == u))
+        moves = live & ~meets
+        targets = swap[x[moves]] * n + swap[y[moves]]
+        # Distinct edges can map a state onto the same successor, so
+        # accumulate (np.add.at) rather than assign.
+        np.add.at(a, (rows[moves], targets), -prob)
     solution = np.linalg.solve(a, b)
     return solution.reshape(n, n)
 
@@ -138,29 +150,16 @@ def simulate_meeting_time(
     rng: RngLike = None,
     max_steps: Optional[int] = None,
 ) -> Optional[int]:
-    """Steps until two population-model walks meet (single trajectory)."""
-    if start_a == start_b:
-        # Any edge incident to the shared node is a meeting.
-        pass
+    """Steps until two population-model walks meet (single trajectory).
+
+    Coincident starts are fine: the first sampled edge incident to the
+    shared node is a meeting.
+    """
     generator = as_rng(rng)
     if max_steps is None:
-        max_steps = 200 * graph.n_nodes * graph.n_edges + 1000
-    scheduler = RandomScheduler(graph, rng=generator)
-    pos_a, pos_b = int(start_a), int(start_b)
-    step = 0
-    while step < max_steps:
-        batch = min(8192, max_steps - step)
-        for u, v in scheduler.next_batch(batch):
-            step += 1
-            a_on_edge = pos_a == u or pos_a == v
-            b_on_edge = pos_b == u or pos_b == v
-            if a_on_edge and b_on_edge:
-                return step
-            if a_on_edge:
-                pos_a = v if pos_a == u else u
-            if b_on_edge:
-                pos_b = v if pos_b == u else u
-    return None
+        max_steps = default_walk_budget(graph)
+    stream = TrajectoryStream(graph, generator)
+    return run_single_meeting(graph, int(start_a), int(start_b), stream, max_steps)
 
 
 def simulate_population_hitting_time(
@@ -175,18 +174,42 @@ def simulate_population_hitting_time(
         return 0
     generator = as_rng(rng)
     if max_steps is None:
-        max_steps = 200 * graph.n_nodes * graph.n_edges + 1000
-    scheduler = RandomScheduler(graph, rng=generator)
-    position = int(start)
-    step = 0
-    while step < max_steps:
-        batch = min(8192, max_steps - step)
-        for u, v in scheduler.next_batch(batch):
-            step += 1
-            if position == u:
-                position = v
-            elif position == v:
-                position = u
-            if position == target:
-                return step
-    return None
+        max_steps = default_walk_budget(graph)
+    stream = TrajectoryStream(graph, generator)
+    return run_single_hitting(graph, int(start), int(target), stream, max_steps)
+
+
+def simulate_population_hitting_times(
+    graph: Graph,
+    pairs: Sequence[Tuple[int, int]],
+    rng: RngLike = None,
+    max_steps: Optional[int] = None,
+    replica_batch: Optional[int] = None,
+) -> np.ndarray:
+    """Replica-batched hitting-time samples, one per ``(start, target)`` pair.
+
+    Trajectory ``t`` reads the stream seeded by ``derive_seed(base,
+    "hit", t)`` where ``base`` resolves from ``rng`` — so each sample is
+    a pure function of ``(base, t)``, bit-identical for any
+    ``replica_batch`` width.  Budget-exhausted trajectories report -1.
+    """
+    base = resolve_base_seed(rng)
+    seeds = [derive_seed(base, HITTING_TAG, t) for t in range(len(pairs))]
+    return run_hitting_batch(
+        graph, pairs, seeds, max_steps=max_steps, replica_batch=replica_batch
+    )
+
+
+def simulate_meeting_times(
+    graph: Graph,
+    pairs: Sequence[Tuple[int, int]],
+    rng: RngLike = None,
+    max_steps: Optional[int] = None,
+    replica_batch: Optional[int] = None,
+) -> np.ndarray:
+    """Replica-batched meeting-time samples, one per ``(start_a, start_b)`` pair."""
+    base = resolve_base_seed(rng)
+    seeds = [derive_seed(base, MEETING_TAG, t) for t in range(len(pairs))]
+    return run_meeting_batch(
+        graph, pairs, seeds, max_steps=max_steps, replica_batch=replica_batch
+    )

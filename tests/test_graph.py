@@ -230,3 +230,14 @@ def test_eccentricities_with_wide_bfs_frontiers():
     kb = complete_bipartite(129, 129)
     assert kb.eccentricities()[0] == 2
     assert kb.diameter() == 2
+    # Pin the boolean-semiring matrix path itself (sparse graphs normally
+    # route to per-source BFS): 300 frontier nodes sharing both hubs must
+    # agree with scalar BFS exactly.
+    wide = Graph(
+        302,
+        [(0, i) for i in range(2, 302)] + [(1, i) for i in range(2, 302)],
+        name="double-star-300",
+    )
+    assert wide._eccentricities_matrix() == tuple(
+        int(wide.bfs_distances(v).max()) for v in range(wide.n_nodes)
+    )
