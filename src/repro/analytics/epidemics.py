@@ -29,7 +29,7 @@ Three execution paths produce bit-identical results:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -44,12 +44,39 @@ from .streams import (
     make_streams,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..dynamics.schedule import TopologySchedule
+
 #: Below this many co-resident replicas the scalar Python loop beats the
 #: per-step fancy-indexing overhead of the NumPy path.  Dispatch only —
 #: all paths compute identical results.
 _SCALAR_MAX_REPLICAS = 4
 
 BUDGET_EXHAUSTED = -1
+
+
+def _active_tables(
+    graph: Graph,
+    schedule: Optional["TopologySchedule"],
+    consumed: int,
+    block: int,
+) -> Tuple[np.ndarray, np.ndarray, Optional[int], int]:
+    """Directed endpoint tables + draw bound for the block at ``consumed``.
+
+    On a static run (``schedule is None``) this is the graph's own tables
+    and the block size is untouched.  On a dynamic run the block is
+    clipped at the next epoch boundary, so every draw in it is made — and
+    decoded — against one epoch's edge table, and all co-resident
+    replicas cross the epoch switch together (they share ``consumed``).
+    """
+    if schedule is None:
+        directed_u, directed_v = directed_pairs(graph)
+        return directed_u, directed_v, None, block
+    index, _, end = schedule.epoch_at(consumed)
+    if end is not None:
+        block = min(block, end - consumed)
+    directed_u, directed_v = directed_pairs(schedule.epoch_graph(index))
+    return directed_u, directed_v, int(directed_u.shape[0]), block
 
 
 # ----------------------------------------------------------------------
@@ -62,6 +89,7 @@ def run_epidemic_batch(
     max_steps: int,
     stopmasks: Optional[np.ndarray] = None,
     replica_batch: Optional[int] = None,
+    schedule: Optional["TopologySchedule"] = None,
 ) -> np.ndarray:
     """Steps until completion for ``R`` independent epidemics.
 
@@ -73,10 +101,18 @@ def run_epidemic_batch(
     completion step per trajectory, or :data:`BUDGET_EXHAUSTED` where
     ``max_steps`` ran out.  ``replica_batch`` caps how many trajectories
     are co-resident; it never changes the results.
+
+    ``schedule`` runs the epidemics on a time-varying topology: blocks
+    are clipped at epoch boundaries so all co-resident trajectories
+    advance through epoch switches in lockstep, and every draw samples
+    the active epoch's ordered-pair table.  A single-epoch schedule
+    reproduces the static run bit for bit.
     """
     count = len(sources)
     if len(seeds) != count:
         raise ValueError("need exactly one seed per trajectory")
+    if schedule is not None and schedule.n_nodes != graph.n_nodes:
+        raise ValueError("schedule universe does not match the graph")
     for source in sources:
         if not (0 <= int(source) < graph.n_nodes):
             raise ValueError("source out of range")
@@ -86,7 +122,14 @@ def run_epidemic_batch(
         chunk_sources = [int(sources[t]) for t in chunk]
         chunk_masks = None if stopmasks is None else stopmasks[list(chunk)]
         _run_epidemic_stack(
-            graph, schedulers, chunk_sources, chunk_masks, max_steps, results, chunk.start
+            graph,
+            schedulers,
+            chunk_sources,
+            chunk_masks,
+            max_steps,
+            results,
+            chunk.start,
+            schedule,
         )
     return results
 
@@ -119,6 +162,7 @@ def _run_epidemic_stack(
     max_steps: int,
     results: np.ndarray,
     result_offset: int,
+    schedule: Optional["TopologySchedule"] = None,
 ) -> None:
     """Run one wave of co-resident epidemics to completion or budget."""
     n = graph.n_nodes
@@ -132,15 +176,17 @@ def _run_epidemic_stack(
         if stopmasks is None
         else np.ascontiguousarray(stopmasks, dtype=np.uint8)
     )
-    directed_u, directed_v = directed_pairs(graph)
     kernel = get_broadcast_multi_kernel()
     consumed = 0
     round_index = 0
     while schedulers and consumed < max_steps:
         block = min(block_size(round_index), max_steps - consumed)
+        directed_u, directed_v, pair_count, block = _active_tables(
+            graph, schedule, consumed, block
+        )
         a = len(schedulers)
         draws = np.empty((a, block), dtype=np.int64)
-        fill_draw_rows(schedulers, draws)
+        fill_draw_rows(schedulers, draws, pair_count)
         finish = np.full(a, -1, dtype=np.int64)
         if kernel is not None:
             kernel(
@@ -252,18 +298,22 @@ def run_influence_batch(
     seeds: Sequence[int],
     max_steps: int,
     replica_batch: Optional[int] = None,
+    schedule: Optional["TopologySchedule"] = None,
 ) -> np.ndarray:
     """Steps until every node is influenced by every node, per trajectory.
 
     Influencer sets are packed 64 sources per uint64 word; one interaction
     is a ``⌈n/64⌉``-word OR applied to both endpoints.  Same return
-    conventions and batching semantics as :func:`run_epidemic_batch`.
+    conventions, batching semantics and ``schedule`` behaviour as
+    :func:`run_epidemic_batch`.
     """
     count = len(seeds)
+    if schedule is not None and schedule.n_nodes != graph.n_nodes:
+        raise ValueError("schedule universe does not match the graph")
     results = np.full(count, BUDGET_EXHAUSTED, dtype=np.int64)
     for chunk in iter_width_chunks(count, replica_batch):
         chunk_seeds = [int(seeds[t]) for t in chunk]
-        _run_influence_stack(graph, chunk_seeds, max_steps, results, chunk.start)
+        _run_influence_stack(graph, chunk_seeds, max_steps, results, chunk.start, schedule)
     return results
 
 
@@ -273,10 +323,13 @@ def _run_influence_stack(
     max_steps: int,
     results: np.ndarray,
     result_offset: int,
+    schedule: Optional["TopologySchedule"] = None,
 ) -> None:
     n = graph.n_nodes
     kernel = get_influence_multi_kernel()
-    if kernel is None and len(seeds) < _SCALAR_MAX_REPLICAS:
+    if kernel is None and len(seeds) < _SCALAR_MAX_REPLICAS and schedule is None:
+        # The tiny-stack fallback decodes draws through its stream's own
+        # static tables, so dynamic runs take the generic path instead.
         _scalar_influence(graph, seeds, max_steps, results, result_offset)
         return
     schedulers = make_streams(graph, seeds)
@@ -293,14 +346,16 @@ def _run_influence_stack(
     flags = np.zeros((active, n), dtype=np.uint8)
     counts = np.zeros(active, dtype=np.int64)
     indices = np.arange(result_offset, result_offset + active, dtype=np.int64)
-    directed_u, directed_v = directed_pairs(graph)
     consumed = 0
     round_index = 0
     while schedulers and consumed < max_steps:
         block = min(block_size(round_index), max_steps - consumed)
+        directed_u, directed_v, pair_count, block = _active_tables(
+            graph, schedule, consumed, block
+        )
         a = len(schedulers)
         draws = np.empty((a, block), dtype=np.int64)
-        fill_draw_rows(schedulers, draws)
+        fill_draw_rows(schedulers, draws, pair_count)
         finish = np.full(a, -1, dtype=np.int64)
         if kernel is not None:
             kernel(

@@ -16,13 +16,16 @@ fast-protocol trials arbitrarily.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.seeds import derive_seed
 from ..graphs.graph import Graph
 from .epidemics import run_epidemic_batch
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..dynamics.schedule import TopologySchedule
 
 #: Domain tags for trajectory-seed derivation (see repro.core.seeds).
 BROADCAST_TAG = "bcast"
@@ -76,11 +79,14 @@ def batched_broadcast_samples(
     base: int,
     max_steps: int,
     replica_batch: Optional[int] = None,
+    schedule: Optional["TopologySchedule"] = None,
 ) -> Dict[int, np.ndarray]:
     """Per-source arrays of broadcast-step samples, one replica stack.
 
     Raises :class:`RuntimeError` if any trajectory exhausts ``max_steps``
-    (matching the serial estimators' budget contract).
+    (matching the serial estimators' budget contract).  ``schedule`` runs
+    the epidemics on a time-varying topology (see
+    :func:`repro.analytics.epidemics.run_epidemic_batch`).
     """
     if repetitions < 1:
         raise ValueError("repetitions must be positive")
@@ -94,7 +100,12 @@ def batched_broadcast_samples(
             trajectory_sources.append(int(source))
             seeds.append(broadcast_trajectory_seed(base, int(source), repetition))
     steps = run_epidemic_batch(
-        graph, trajectory_sources, seeds, max_steps, replica_batch=replica_batch
+        graph,
+        trajectory_sources,
+        seeds,
+        max_steps,
+        replica_batch=replica_batch,
+        schedule=schedule,
     )
     if (steps < 0).any():
         raise RuntimeError(

@@ -117,14 +117,17 @@ class TrajectoryStream:
         self._initiators, self._responders = directed_pairs(graph)
         self._count = int(self._initiators.shape[0])
 
-    def draws_into(self, out: np.ndarray) -> None:
+    def draws_into(self, out: np.ndarray, count: Optional[int] = None) -> None:
         """Fill a preallocated row with raw ordered-pair indices.
 
         The undecoded form: the C kernels decode indices through the
         directed endpoint tables themselves, saving two Python-level
-        gathers per stream per block.
+        gathers per stream per block.  ``count`` overrides the draw bound
+        (the dynamic-topology stacks pass the active epoch's ``2m_k``);
+        the default is the stream graph's own ``2m``.
         """
-        out[...] = self._rng.integers(0, self._count, size=out.shape[0])
+        bound = self._count if count is None else int(count)
+        out[...] = self._rng.integers(0, bound, size=out.shape[0])
 
     def next_into(self, initiators: np.ndarray, responders: np.ndarray) -> None:
         """Fill two preallocated arrays with the next ``len`` ordered pairs."""
@@ -138,10 +141,18 @@ def make_streams(graph: Graph, seeds: Sequence[int]) -> List[TrajectoryStream]:
     return [TrajectoryStream(graph, np.random.default_rng(int(seed))) for seed in seeds]
 
 
-def fill_draw_rows(streams: Sequence[TrajectoryStream], draws: np.ndarray) -> None:
-    """Fill row ``j`` of the ``(R, block)`` draws matrix from stream ``j``."""
+def fill_draw_rows(
+    streams: Sequence[TrajectoryStream],
+    draws: np.ndarray,
+    count: Optional[int] = None,
+) -> None:
+    """Fill row ``j`` of the ``(R, block)`` draws matrix from stream ``j``.
+
+    ``count`` overrides the per-draw bound (active epoch's ``2m_k`` on
+    dynamic topologies); ``None`` keeps each stream's own bound.
+    """
     for j, stream in enumerate(streams):
-        stream.draws_into(draws[j])
+        stream.draws_into(draws[j], count)
 
 
 def iter_width_chunks(count: int, width: Optional[int]) -> Iterator[range]:

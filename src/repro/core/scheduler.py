@@ -53,55 +53,53 @@ class Scheduler(abc.ABC):
             yield self.next_interaction()
 
 
-class RandomScheduler(Scheduler):
-    """The uniform stochastic scheduler of the population model.
+class BufferedSampler(Scheduler):
+    """Shared buffer machinery for pre-sampling stochastic schedulers.
 
-    Parameters
-    ----------
-    graph:
-        The interaction graph.
-    rng:
-        Seed or :class:`numpy.random.Generator` for reproducibility.
-    batch_size:
-        Number of interactions pre-sampled per numpy call.
+    Subclasses implement :meth:`_refill`, which must replace the buffer
+    with at least one fresh draw; the consume loops here are shared so
+    the seeded-stream contract (refills happen only on an empty buffer,
+    with ``minimum`` = the draws still needed by the current call) is
+    defined in exactly one place.  ``_position`` counts interactions
+    already handed out and is kept exact *during* a call, so a refill
+    can depend on it (the dynamic scheduler caps refills at epoch
+    boundaries).
     """
 
-    def __init__(self, graph: Graph, rng: RngLike = None, batch_size: int = _DEFAULT_BATCH) -> None:
-        if graph.n_edges == 0:
-            raise ValueError("cannot schedule interactions on an edgeless graph")
+    def __init__(self, rng: RngLike, batch_size: int) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
-        self._graph = graph
         self._rng = as_rng(rng)
         self._batch_size = int(batch_size)
-        self._edges_u = graph.edges_u
-        self._edges_v = graph.edges_v
         self._buffer_initiators: np.ndarray = np.zeros(0, dtype=np.int64)
         self._buffer_responders: np.ndarray = np.zeros(0, dtype=np.int64)
         self._cursor = 0
-        self._steps_emitted = 0
+        self._position = 0
 
     @property
     def steps_emitted(self) -> int:
         """Total number of interactions handed out so far."""
-        return self._steps_emitted
-
-    @property
-    def graph(self) -> Graph:
-        """The interaction graph being scheduled."""
-        return self._graph
+        return self._position
 
     def _refill(self, minimum: int) -> None:
-        size = max(self._batch_size, minimum)
-        m = self._graph.n_edges
+        raise NotImplementedError
+
+    def _fill_buffer_from_edges(
+        self, edges_u: np.ndarray, edges_v: np.ndarray, size: int
+    ) -> None:
+        """THE seeded pair draw: uniform edge index, then uniform orientation.
+
+        Both the static and the dynamic scheduler refill through this
+        method, so the two-call draw order — part of the seeded-stream
+        definition — is single-sourced.
+        """
+        m = int(edges_u.shape[0])
         edge_indices = self._rng.integers(0, m, size=size)
         orientations = self._rng.integers(0, 2, size=size).astype(bool)
-        endpoint_a = self._edges_u[edge_indices]
-        endpoint_b = self._edges_v[edge_indices]
-        initiators = np.where(orientations, endpoint_a, endpoint_b)
-        responders = np.where(orientations, endpoint_b, endpoint_a)
-        self._buffer_initiators = initiators
-        self._buffer_responders = responders
+        endpoint_a = edges_u[edge_indices]
+        endpoint_b = edges_v[edge_indices]
+        self._buffer_initiators = np.where(orientations, endpoint_a, endpoint_b)
+        self._buffer_responders = np.where(orientations, endpoint_b, endpoint_a)
         self._cursor = 0
 
     def next_interaction(self) -> Interaction:
@@ -110,7 +108,7 @@ class RandomScheduler(Scheduler):
         u = int(self._buffer_initiators[self._cursor])
         v = int(self._buffer_responders[self._cursor])
         self._cursor += 1
-        self._steps_emitted += 1
+        self._position += 1
         return (u, v)
 
     def next_batch(self, size: int) -> List[Interaction]:
@@ -128,8 +126,8 @@ class RandomScheduler(Scheduler):
             chunk_v = self._buffer_responders[self._cursor : self._cursor + take]
             result.extend(zip(chunk_u.tolist(), chunk_v.tolist()))
             self._cursor += take
+            self._position += take
             remaining -= take
-        self._steps_emitted += size
         return result
 
     def next_arrays(self, size: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -152,9 +150,40 @@ class RandomScheduler(Scheduler):
                 self._cursor : self._cursor + take
             ]
             self._cursor += take
+            self._position += take
             filled += take
-        self._steps_emitted += size
         return initiators, responders
+
+
+class RandomScheduler(BufferedSampler):
+    """The uniform stochastic scheduler of the population model.
+
+    Parameters
+    ----------
+    graph:
+        The interaction graph.
+    rng:
+        Seed or :class:`numpy.random.Generator` for reproducibility.
+    batch_size:
+        Number of interactions pre-sampled per numpy call.
+    """
+
+    def __init__(self, graph: Graph, rng: RngLike = None, batch_size: int = _DEFAULT_BATCH) -> None:
+        if graph.n_edges == 0:
+            raise ValueError("cannot schedule interactions on an edgeless graph")
+        super().__init__(rng, batch_size)
+        self._graph = graph
+        self._edges_u = graph.edges_u
+        self._edges_v = graph.edges_v
+
+    @property
+    def graph(self) -> Graph:
+        """The interaction graph being scheduled."""
+        return self._graph
+
+    def _refill(self, minimum: int) -> None:
+        size = max(self._batch_size, minimum)
+        self._fill_buffer_from_edges(self._edges_u, self._edges_v, size)
 
 class SequenceScheduler(Scheduler):
     """Replays a fixed, finite sequence of ordered interactions.

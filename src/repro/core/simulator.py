@@ -23,13 +23,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..graphs.graph import Graph
 from ..graphs.random_graphs import RngLike
 from .configuration import Configuration
 from .protocol import LEADER, PopulationProtocol
 from .scheduler import RandomScheduler, Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..dynamics.schedule import TopologySchedule
 
 
 @dataclass
@@ -156,6 +159,7 @@ class Simulator:
         engine: Optional[str] = None,
         backend: Optional[str] = None,
         max_states: Optional[int] = None,
+        schedule: Optional["TopologySchedule"] = None,
     ) -> SimulationResult:
         """Execute until the stability certificate holds or ``max_steps``.
 
@@ -180,9 +184,26 @@ class Simulator:
             Override the simulator-level engine selection (see
             :class:`Simulator`).  The compiled engine consumes the same
             scheduler stream and reproduces the reference results exactly.
+        schedule:
+            Optional :class:`~repro.dynamics.schedule.TopologySchedule`:
+            interactions are sampled from the epoch graph active at the
+            current step (via :class:`~repro.dynamics.scheduler.DynamicScheduler`)
+            and the stability certificate is evaluated against the
+            schedule's union graph, which keeps certification sound under
+            topology changes.  A single-epoch schedule reproduces the
+            equivalent static run bit for bit.  Mutually exclusive with
+            ``scheduler``.
         """
         if max_steps < 0:
             raise ValueError("max_steps must be non-negative")
+        if schedule is not None:
+            if scheduler is not None:
+                raise ValueError("pass either schedule or scheduler, not both")
+            if schedule.n_nodes != self.graph.n_nodes:
+                raise ValueError(
+                    f"schedule universe has {schedule.n_nodes} nodes, "
+                    f"graph has {self.graph.n_nodes}"
+                )
         engine = self.engine if engine is None else engine
         backend = self.backend if backend is None else backend
         max_states = self.max_states if max_states is None else max_states
@@ -217,11 +238,13 @@ class Simulator:
                         trace_resolution=trace_resolution,
                         backend=backend,
                         max_states=max_states,
+                        schedule=schedule,
                     )
                 except ProtocolCompilationError:
                     if engine == "compiled" or not replayable:
                         raise
         graph = self.graph
+        certificate_graph = schedule.union_graph() if schedule is not None else graph
         protocol = self.protocol
         n = graph.n_nodes
         if inputs is None:
@@ -258,14 +281,14 @@ class Simulator:
 
         # Check the initial configuration too (stars stabilize in one step,
         # and n == 1 graphs are stable immediately).
-        if protocol.is_output_stable_configuration(states, graph):
+        if protocol.is_output_stable_configuration(states, certificate_graph):
             stabilized = True
             certified_step = 0
 
         if not stabilized and step < max_steps and scheduler is None:
             # Created lazily so that trivially-stable single-node runs do not
             # require a schedulable (edge-carrying) graph.
-            scheduler = RandomScheduler(graph, rng=self._rng)
+            scheduler = self._make_scheduler(schedule)
 
         while not stabilized and step < max_steps:
             batch = min(check_interval, max_steps - step)
@@ -308,7 +331,7 @@ class Simulator:
                 if record_leader_trace and step >= next_trace_step:
                     trace.append((step, leader_count))
                     next_trace_step += trace_every
-            if protocol.is_output_stable_configuration(states, graph):
+            if protocol.is_output_stable_configuration(states, certificate_graph):
                 stabilized = True
                 certified_step = step
 
@@ -327,6 +350,14 @@ class Simulator:
             leader_trace=trace,
             wall_time_seconds=wall,
         )
+
+    def _make_scheduler(self, schedule: Optional["TopologySchedule"]) -> Scheduler:
+        """The default scheduler: dynamic when a schedule is given."""
+        if schedule is not None:
+            from ..dynamics.scheduler import DynamicScheduler
+
+            return DynamicScheduler(schedule, rng=self._rng)
+        return RandomScheduler(self.graph, rng=self._rng)
 
     def _auto_prefers_compiled(self, max_states: Optional[int]) -> bool:
         """Whether ``engine="auto"`` should try the compiled engine.
@@ -348,6 +379,7 @@ class Simulator:
         trace_resolution: int,
         backend: str,
         max_states: Optional[int],
+        schedule: Optional["TopologySchedule"] = None,
     ) -> SimulationResult:
         """Compiled-engine twin of :meth:`run` (identical semantics).
 
@@ -391,17 +423,18 @@ class Simulator:
 
         stabilized = False
         certified_step = 0
-        if protocol.is_output_stable_configuration(states, graph):
+        certificate_graph = schedule.union_graph() if schedule is not None else graph
+        if protocol.is_output_stable_configuration(states, certificate_graph):
             stabilized = True
 
         if not stabilized and run.step < max_steps and scheduler is None:
-            scheduler = RandomScheduler(graph, rng=self._rng)
+            scheduler = self._make_scheduler(schedule)
 
         while not stabilized and run.step < max_steps:
             batch = min(check_interval, max_steps - run.step)
             initiators, responders = scheduler.next_arrays(batch)
             run.apply_block(initiators, responders)
-            if protocol.is_output_stable_configuration(run.current_states(), graph):
+            if protocol.is_output_stable_configuration(run.current_states(), certificate_graph):
                 stabilized = True
                 certified_step = run.step
 
@@ -461,6 +494,7 @@ def run_leader_election(
     record_leader_trace: bool = False,
     engine: str = "reference",
     backend: str = "auto",
+    schedule: Optional["TopologySchedule"] = None,
 ) -> SimulationResult:
     """Convenience wrapper: simulate ``protocol`` on ``graph`` until stable.
 
@@ -468,7 +502,10 @@ def run_leader_election(
     budget, which covers the constant-state protocol's ``O(H(G) n log n)``
     bound on the benchmark graph sizes.  ``engine`` selects the execution
     engine (see :class:`Simulator`); results are identical across engines
-    for the same ``rng`` seed.
+    for the same ``rng`` seed.  ``schedule`` runs the election on a
+    time-varying topology (see :meth:`Simulator.run`); ``graph`` then
+    names the node universe and the defaults (step budget, certificate
+    cadence) are derived from it.
     """
     if max_steps is None:
         max_steps = default_max_steps(graph.n_nodes)
@@ -478,4 +515,5 @@ def run_leader_election(
         inputs=inputs,
         check_interval=check_interval,
         record_leader_trace=record_leader_trace,
+        schedule=schedule,
     )

@@ -1,0 +1,31 @@
+"""Dynamic-topology subsystem: time-varying interaction graphs.
+
+A :class:`TopologySchedule` describes the active interaction graph as a
+function of the interaction count (epoch-switching sequences, Bernoulli
+edge churn, grow/shrink node churn); :class:`DynamicScheduler` samples
+interaction pairs from the currently active edge table with the same
+seeded-stream contract as the static scheduler.  See
+``docs/ARCHITECTURE.md`` ("Dynamic topologies") for how the simulator
+engines, the replica-batched analytics stacks and the orchestrator
+consume schedules.
+"""
+
+from .schedule import (
+    EdgeChurnSchedule,
+    EpochSchedule,
+    NodeChurnSchedule,
+    ScheduleError,
+    StaticSchedule,
+    TopologySchedule,
+)
+from .scheduler import DynamicScheduler
+
+__all__ = [
+    "DynamicScheduler",
+    "EdgeChurnSchedule",
+    "EpochSchedule",
+    "NodeChurnSchedule",
+    "ScheduleError",
+    "StaticSchedule",
+    "TopologySchedule",
+]

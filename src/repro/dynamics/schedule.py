@@ -1,0 +1,467 @@
+"""Time-varying interaction topologies.
+
+The paper states all of its results (B(G), influence spread, the Table 1
+protocol costs) for one *fixed* interaction graph.  This module lifts
+that assumption: a :class:`TopologySchedule` describes the active
+interaction graph as a function of the **interaction count**, and every
+execution layer (the simulator engines, the replica-batched analytics
+stacks, the orchestrator) samples interaction pairs from the edge table
+active at the current step.
+
+Conventions
+-----------
+
+* Steps are 0-indexed interaction counts: the pair of interaction number
+  ``t + 1`` (1-based, as the simulator counts steps) is drawn from
+  ``graph_at(t)`` where ``t`` interactions have already executed.
+* A schedule partitions ``[0, ∞)`` into *epochs*; within an epoch the
+  graph is constant.  Epoch graphs must all live on the same node
+  universe ``0..n-1`` (node states persist across epoch switches) and
+  must each carry at least one edge (the scheduler needs something to
+  sample).  Epoch graphs need *not* be connected — temporal connectivity
+  across epochs is exactly what dynamic-network workloads exercise.
+* Every schedule exposes :meth:`TopologySchedule.union_graph`, the graph
+  whose edge set contains every edge that can ever be active.  Stability
+  certificates are evaluated against it: a certificate that holds on the
+  union graph holds on every present *and future* epoch graph, so
+  certification stays sound under topology changes.  For a single-epoch
+  schedule the union graph is the epoch graph itself, which is what makes
+  a :class:`StaticSchedule` run reproduce the equivalent fixed-graph run
+  exactly.
+
+Randomised schedules (edge churn) derive each epoch's sample from
+``derive_seed(seed, tag, epoch_index)`` (:mod:`repro.core.seeds`): epoch
+``k``'s graph is a pure function of ``(schedule seed, k)``, never of how
+many epochs were visited before or of which replicas are watching — the
+same purity invariant the analytics trajectory streams rely on.
+"""
+
+from __future__ import annotations
+
+import abc
+import bisect
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.seeds import derive_seed
+from ..graphs.graph import Graph
+
+#: Cache bound for sampled epoch graphs (edge churn).  A budget-bounded
+#: run visits ``max_steps / epoch_length`` epochs; the cache is cleared
+#: wholesale when full, like the other bounded memos in this package.
+_EPOCH_CACHE_LIMIT = 512
+
+
+class ScheduleError(ValueError):
+    """A topology schedule is malformed."""
+
+
+class TopologySchedule(abc.ABC):
+    """Active interaction graph as a function of the interaction count.
+
+    Subclasses implement :meth:`epoch_graph` and :meth:`epoch_length`;
+    the base class derives step→epoch resolution (:meth:`epoch_at`,
+    :meth:`graph_at`) and boundary-aware block splitting
+    (:meth:`segments`) from them, caching epoch start offsets as they
+    are discovered.
+    """
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes < 1:
+            raise ScheduleError("a topology schedule needs at least one node")
+        self._n = int(n_nodes)
+        self._starts: List[int] = [0]
+
+    @property
+    def n_nodes(self) -> int:
+        """Size of the (fixed) node universe all epoch graphs live on."""
+        return self._n
+
+    # ------------------------------------------------------------------
+    # Subclass interface
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def epoch_graph(self, index: int) -> Graph:
+        """The active graph of epoch ``index`` (0-indexed)."""
+
+    @abc.abstractmethod
+    def epoch_length(self, index: int) -> Optional[int]:
+        """Length of epoch ``index`` in steps; ``None`` means "forever"."""
+
+    @abc.abstractmethod
+    def union_graph(self) -> Graph:
+        """A graph containing every edge any epoch can activate.
+
+        Used for stability-certificate checks: a certificate sound on the
+        union graph is sound on every epoch graph, now and later.
+        """
+
+    # ------------------------------------------------------------------
+    # Derived step resolution
+    # ------------------------------------------------------------------
+    def epoch_at(self, step: int) -> Tuple[int, int, Optional[int]]:
+        """``(epoch_index, epoch_start, epoch_end)`` containing ``step``.
+
+        ``epoch_end`` is exclusive and ``None`` for the final, unbounded
+        epoch.  ``step`` counts interactions already executed (0-based).
+        """
+        if step < 0:
+            raise ValueError("step must be non-negative")
+        starts = self._starts
+        while True:
+            last = len(starts) - 1
+            length = self.epoch_length(last)
+            if length is None:
+                break
+            if length < 1:
+                raise ScheduleError(f"epoch {last} has non-positive length {length}")
+            end = starts[last] + length
+            if end > step:
+                break
+            starts.append(end)
+        index = bisect.bisect_right(starts, step) - 1
+        length = self.epoch_length(index)
+        end = None if length is None else starts[index] + length
+        return index, starts[index], end
+
+    def graph_at(self, step: int) -> Graph:
+        """The graph interactions are drawn from when ``step`` have run."""
+        return self.epoch_graph(self.epoch_at(step)[0])
+
+    def segments(self, start: int, length: int) -> Iterator[Tuple[int, int]]:
+        """Split ``[start, start + length)`` at epoch boundaries.
+
+        Yields ``(epoch_index, count)`` chunks in order; the counts sum
+        to ``length``.  This is what the block engines use to keep every
+        interaction on its epoch's edge table.
+        """
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        position = start
+        target = start + length
+        while position < target:
+            index, _, end = self.epoch_at(position)
+            take = target - position if end is None else min(end, target) - position
+            yield index, int(take)
+            position += take
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _check_epoch_graph(self, graph: Graph, label: str) -> Graph:
+        if graph.n_nodes != self._n:
+            raise ScheduleError(
+                f"{label}: epoch graph has {graph.n_nodes} nodes, schedule "
+                f"universe has {self._n} (node states persist across epochs, "
+                "so all epoch graphs must share one node set)"
+            )
+        if graph.n_edges == 0:
+            raise ScheduleError(f"{label}: epoch graph has no edges to sample")
+        return graph
+
+    def describe(self) -> dict:
+        """Human-readable summary (used by reprs and reports)."""
+        return {"kind": type(self).__name__, "n_nodes": self._n}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        fields = ", ".join(f"{k}={v!r}" for k, v in self.describe().items())
+        return f"{type(self).__name__}({fields})"
+
+
+class StaticSchedule(TopologySchedule):
+    """One graph, forever — the degenerate schedule.
+
+    Executing any layer with ``StaticSchedule(g)`` is bit-identical to
+    executing it with the fixed graph ``g``: the dynamic scheduler's
+    sampling degenerates to the static scheduler's (no boundary ever
+    caps a refill) and the union graph is ``g`` itself.
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        super().__init__(graph.n_nodes)
+        self._graph = self._check_epoch_graph(graph, "static schedule")
+
+    def epoch_graph(self, index: int) -> Graph:
+        return self._graph
+
+    def epoch_length(self, index: int) -> Optional[int]:
+        return None
+
+    def union_graph(self) -> Graph:
+        return self._graph
+
+    def describe(self) -> dict:
+        return {"kind": "static", "graph": self._graph.name, "n_nodes": self._n}
+
+
+class EpochSchedule(TopologySchedule):
+    """A fixed sequence of (graph, length) phases, optionally repeating.
+
+    Parameters
+    ----------
+    phases:
+        ``(graph, length)`` pairs in epoch order.  All graphs must share
+        the node universe.  With ``repeat=True`` the sequence cycles
+        forever (all lengths must be finite); with ``repeat=False`` the
+        final phase holds forever (its length is ignored and may be
+        ``None``).
+    repeat:
+        Whether to cycle through the phases indefinitely.
+    """
+
+    def __init__(
+        self, phases: Sequence[Tuple[Graph, Optional[int]]], repeat: bool = False
+    ) -> None:
+        phases = list(phases)
+        if not phases:
+            raise ScheduleError("an epoch schedule needs at least one phase")
+        super().__init__(phases[0][0].n_nodes)
+        self._graphs: List[Graph] = []
+        self._lengths: List[Optional[int]] = []
+        for position, (graph, length) in enumerate(phases):
+            self._check_epoch_graph(graph, f"phase {position}")
+            final = position == len(phases) - 1
+            if final and not repeat:
+                length = None
+            elif length is None or int(length) < 1:
+                raise ScheduleError(
+                    f"phase {position}: needs a positive length (got {length!r}); "
+                    "only the final phase of a non-repeating schedule may be open-ended"
+                )
+            else:
+                length = int(length)
+            self._graphs.append(graph)
+            self._lengths.append(length)
+        self._repeat = bool(repeat)
+        self._union: Optional[Graph] = None
+
+    @classmethod
+    def from_graphs(
+        cls, graphs: Sequence[Graph], epoch_length: int, repeat: bool = True
+    ) -> "EpochSchedule":
+        """Equal-length phases over ``graphs`` (the clique→cycle→star form)."""
+        if epoch_length < 1:
+            raise ScheduleError("epoch_length must be positive")
+        return cls([(graph, epoch_length) for graph in graphs], repeat=repeat)
+
+    def _phase_index(self, index: int) -> int:
+        count = len(self._graphs)
+        return index % count if self._repeat else min(index, count - 1)
+
+    def epoch_graph(self, index: int) -> Graph:
+        return self._graphs[self._phase_index(index)]
+
+    def epoch_length(self, index: int) -> Optional[int]:
+        if self._repeat:
+            return self._lengths[index % len(self._lengths)]
+        if index >= len(self._lengths) - 1:
+            return None
+        return self._lengths[index]
+
+    def union_graph(self) -> Graph:
+        if self._union is None:
+            edges = set()
+            for graph in self._graphs:
+                edges.update(graph.edges())
+            self._union = Graph(
+                self._n,
+                sorted(edges),
+                name=f"union({'+'.join(g.name for g in self._graphs)})",
+                check_connected=False,
+            )
+        return self._union
+
+    def describe(self) -> dict:
+        return {
+            "kind": "epochs",
+            "phases": [
+                (graph.name, length)
+                for graph, length in zip(self._graphs, self._lengths)
+            ],
+            "repeat": self._repeat,
+            "n_nodes": self._n,
+        }
+
+
+class EdgeChurnSchedule(TopologySchedule):
+    """Bernoulli edge churn over a base graph, re-sampled every epoch.
+
+    Epoch ``k`` keeps each base edge independently with probability
+    ``keep_probability``, drawn from the child stream
+    ``derive_seed(seed, "edge-churn", k)`` — a pure function of the
+    schedule seed and the epoch index.  An all-edges-dropped sample is
+    re-drawn from the same stream (deterministically); after
+    ``max_resample`` failed attempts the base graph itself is used.
+
+    ``require_connected=True`` additionally re-draws disconnected
+    samples, modelling churn that never partitions the network; the
+    default allows temporary partitions (the interesting regime).
+    """
+
+    _CHURN_TAG = "edge-churn"
+
+    def __init__(
+        self,
+        base: Graph,
+        keep_probability: float,
+        epoch_length: int,
+        seed: int = 0,
+        require_connected: bool = False,
+        max_resample: int = 8,
+    ) -> None:
+        super().__init__(base.n_nodes)
+        self._base = self._check_epoch_graph(base, "edge churn base")
+        if not (0.0 < keep_probability <= 1.0):
+            raise ScheduleError("keep_probability must be in (0, 1]")
+        if epoch_length < 1:
+            raise ScheduleError("epoch_length must be positive")
+        if max_resample < 0:
+            raise ScheduleError("max_resample must be non-negative")
+        self._keep = float(keep_probability)
+        self._epoch_length = int(epoch_length)
+        self._seed = int(seed)
+        self._require_connected = bool(require_connected)
+        self._max_resample = int(max_resample)
+        self._cache: Dict[int, Graph] = {}
+
+    @property
+    def base_graph(self) -> Graph:
+        """The graph whose edges churn."""
+        return self._base
+
+    def epoch_length(self, index: int) -> Optional[int]:
+        return self._epoch_length
+
+    def epoch_graph(self, index: int) -> Graph:
+        cached = self._cache.get(index)
+        if cached is not None:
+            return cached
+        rng = np.random.default_rng(derive_seed(self._seed, self._CHURN_TAG, index))
+        base = self._base
+        graph = base
+        for _ in range(self._max_resample + 1):
+            mask = rng.random(base.n_edges) < self._keep
+            if not mask.any():
+                continue
+            candidate = Graph(
+                self._n,
+                list(zip(base.edges_u[mask].tolist(), base.edges_v[mask].tolist())),
+                name=f"{base.name}[churn@{index}]",
+                check_connected=False,
+            )
+            if self._require_connected and not candidate.is_connected():
+                continue
+            graph = candidate
+            break
+        if len(self._cache) >= _EPOCH_CACHE_LIMIT:
+            self._cache.clear()
+        self._cache[index] = graph
+        return graph
+
+    def union_graph(self) -> Graph:
+        # Any dropped edge can return in a later epoch, so the base graph
+        # is exactly the union of all possible epoch graphs.
+        return self._base
+
+    def describe(self) -> dict:
+        return {
+            "kind": "edge-churn",
+            "base": self._base.name,
+            "keep_probability": self._keep,
+            "epoch_length": self._epoch_length,
+            "seed": self._seed,
+            "require_connected": self._require_connected,
+            "n_nodes": self._n,
+        }
+
+
+class NodeChurnSchedule(TopologySchedule):
+    """Grow/shrink node churn: a varying active prefix of a full graph.
+
+    The node universe is the full graph's node set; epoch ``k`` activates
+    the induced subgraph on nodes ``0 .. counts[k] - 1`` (embedded in the
+    universe, so inactive nodes keep their protocol states but are never
+    sampled).  With ``repeat=False`` the final count holds forever —
+    leader-election workloads should end at the full size so every
+    node's state can eventually be resolved.
+
+    Parameters
+    ----------
+    full:
+        The graph on the complete node universe.
+    counts:
+        Active-node counts per epoch, each in ``[2, n]``; increasing
+        sequences model growth, decreasing ones shrinkage.
+    epoch_length:
+        Steps per epoch.
+    repeat:
+        Whether to cycle through ``counts`` indefinitely.
+    """
+
+    def __init__(
+        self,
+        full: Graph,
+        counts: Sequence[int],
+        epoch_length: int,
+        repeat: bool = False,
+    ) -> None:
+        super().__init__(full.n_nodes)
+        self._full = self._check_epoch_graph(full, "node churn full graph")
+        counts = [int(c) for c in counts]
+        if not counts:
+            raise ScheduleError("node churn needs at least one active-node count")
+        for count in counts:
+            if not (2 <= count <= full.n_nodes):
+                raise ScheduleError(
+                    f"active-node count {count} out of range [2, {full.n_nodes}]"
+                )
+        if epoch_length < 1:
+            raise ScheduleError("epoch_length must be positive")
+        self._counts = counts
+        self._epoch_length = int(epoch_length)
+        self._repeat = bool(repeat)
+        self._by_count: Dict[int, Graph] = {}
+        for count in counts:
+            self._active_graph(count)  # validate every prefix up front
+
+    def _active_graph(self, count: int) -> Graph:
+        graph = self._by_count.get(count)
+        if graph is None:
+            full = self._full
+            mask = (full.edges_u < count) & (full.edges_v < count)
+            edges = list(zip(full.edges_u[mask].tolist(), full.edges_v[mask].tolist()))
+            if not edges:
+                raise ScheduleError(
+                    f"active prefix of {count} nodes induces no edges on {full.name}"
+                )
+            graph = Graph(
+                self._n, edges, name=f"{full.name}[:{count}]", check_connected=False
+            )
+            self._by_count[count] = graph
+        return graph
+
+    def _count_at(self, index: int) -> int:
+        size = len(self._counts)
+        return self._counts[index % size if self._repeat else min(index, size - 1)]
+
+    def epoch_graph(self, index: int) -> Graph:
+        return self._active_graph(self._count_at(index))
+
+    def epoch_length(self, index: int) -> Optional[int]:
+        if not self._repeat and index >= len(self._counts) - 1:
+            return None
+        return self._epoch_length
+
+    def union_graph(self) -> Graph:
+        return self._active_graph(max(self._counts))
+
+    def describe(self) -> dict:
+        return {
+            "kind": "node-churn",
+            "full": self._full.name,
+            "counts": tuple(self._counts),
+            "epoch_length": self._epoch_length,
+            "repeat": self._repeat,
+            "n_nodes": self._n,
+        }

@@ -1,0 +1,86 @@
+"""The stochastic scheduler for time-varying topologies.
+
+:class:`DynamicScheduler` is the dynamic-topology twin of
+:class:`repro.core.scheduler.RandomScheduler`: in every step it samples
+an ordered pair ``(u, v)`` uniformly among the ``2·m_k`` ordered pairs of
+the **currently active** epoch graph (a uniform edge of that graph plus a
+uniform orientation).
+
+Both schedulers share :class:`repro.core.scheduler.BufferedSampler`'s
+consume loops, so the seeded-stream contract — refills happen only on an
+empty buffer, with the same two-call ``integers(0, m) / integers(0, 2)``
+draw order — is defined once.  The only dynamic addition is that a
+refill is **capped at the current epoch boundary**: a pre-sample buffer
+never crosses an epoch switch, so every draw is made against the edge
+table it will be applied to.  For a single-epoch schedule no cap ever
+applies, so the stream — and therefore every downstream seeded result —
+is bit-identical to ``RandomScheduler(graph, rng=seed)`` on the same
+seed.
+
+All three compiled-engine backends (native / vector / scalar) consume
+this scheduler through the same :meth:`next_arrays` batches the static
+scheduler provides, so dynamic runs stay bit-identical across backends
+for free.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.scheduler import _DEFAULT_BATCH, BufferedSampler
+from ..graphs.graph import Graph
+from ..graphs.random_graphs import RngLike
+from .schedule import TopologySchedule
+
+
+class DynamicScheduler(BufferedSampler):
+    """Uniform stochastic scheduler over a :class:`TopologySchedule`.
+
+    Parameters
+    ----------
+    schedule:
+        The time-varying topology to sample from.
+    rng:
+        Seed or :class:`numpy.random.Generator` for reproducibility.
+    batch_size:
+        Pre-sample size per numpy refill (shared with the static
+        scheduler's seeded-stream definition).
+    """
+
+    def __init__(
+        self,
+        schedule: TopologySchedule,
+        rng: RngLike = None,
+        batch_size: int = _DEFAULT_BATCH,
+    ) -> None:
+        super().__init__(rng, batch_size)
+        self._schedule = schedule
+        # Active-epoch edge tables; refreshed lazily at epoch boundaries.
+        self._epoch_graph: Optional[Graph] = None
+        self._epoch_end: Optional[int] = 0  # 0 forces activation on first refill
+
+    @property
+    def schedule(self) -> TopologySchedule:
+        """The topology schedule being sampled."""
+        return self._schedule
+
+    @property
+    def graph(self) -> Graph:
+        """The epoch graph the *next* interaction will be drawn from."""
+        if self._cursor < self._buffer_initiators.shape[0]:
+            assert self._epoch_graph is not None
+            return self._epoch_graph
+        return self._schedule.graph_at(self._position)
+
+    def _refill(self, minimum: int) -> None:
+        position = self._position
+        if self._epoch_end is not None and position >= self._epoch_end:
+            _, _, end = self._schedule.epoch_at(position)
+            self._epoch_graph = self._schedule.graph_at(position)
+            self._epoch_end = end
+        graph = self._epoch_graph
+        assert graph is not None
+        size = max(self._batch_size, minimum)
+        if self._epoch_end is not None:
+            size = min(size, self._epoch_end - position)
+        self._fill_buffer_from_edges(graph.edges_u, graph.edges_v, size)

@@ -14,9 +14,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..dynamics.schedule import TopologySchedule
 
 from ..analysis.estimators import SummaryStatistics, summarize_samples
 from ..analysis.scaling import PowerLawFit, fit_power_law
@@ -271,6 +274,7 @@ def run_measurement_trials(
     max_steps: Optional[int] = None,
     engine: str = "auto",
     backend: str = "auto",
+    schedule: Optional["TopologySchedule"] = None,
 ) -> Tuple[List[SimulationResult], Optional[int]]:
     """Execute an arbitrary subset of a measurement's trials.
 
@@ -278,7 +282,10 @@ def run_measurement_trials(
     pure function of the measurement base seed and the *global* trial
     index (see :mod:`repro.core.seeds`), so any partition of the index set
     (batches, shards, worker processes) reproduces exactly the trials a
-    serial full run would execute.
+    serial full run would execute.  With a ``schedule`` every trial runs
+    on the time-varying topology (the same schedule object across trials;
+    trial seeds only drive the interaction sampling, so shard invariance
+    is untouched).
 
     Returns the per-trial results plus the protocol's declared state-space
     size (the second half of a :class:`Measurement`; the orchestrator
@@ -290,7 +297,9 @@ def run_measurement_trials(
     else:
         protocols = [spec.factory(graph, run_seed) for run_seed in run_seeds]
     state_space = protocols[0].state_space_size() if protocols else None
-    results = _run_measurement_batch(protocols, graph, run_seeds, max_steps, engine, backend)
+    results = _run_measurement_batch(
+        protocols, graph, run_seeds, max_steps, engine, backend, schedule
+    )
     return results, state_space
 
 
@@ -301,6 +310,7 @@ def _run_measurement_batch(
     max_steps: Optional[int],
     engine: str,
     backend: str,
+    schedule: Optional["TopologySchedule"] = None,
 ) -> List[SimulationResult]:
     """Execute one measurement's repetitions with the requested engine.
 
@@ -310,8 +320,11 @@ def _run_measurement_batch(
     clock parameters differ between trials) run one by one.  A protocol
     that turns out not to be compilable demotes ``engine="auto"`` to the
     reference interpreter — the measured values are identical either way.
+    Dynamic-topology trials always run one by one: the single-run engine
+    swaps edge tables at epoch boundaries via the dynamic scheduler, and
+    the multi-replica runner is a static-graph fast path only.
     """
-    if engine != "reference":
+    if engine != "reference" and schedule is None:
         from ..engine.compiler import compilation_worthwhile
 
         keys = [protocol.compile_key() for protocol in protocols]
@@ -328,7 +341,13 @@ def _run_measurement_batch(
                 engine = "reference"
     return [
         run_leader_election(
-            protocol, graph, rng=run_seed, max_steps=max_steps, engine=engine, backend=backend
+            protocol,
+            graph,
+            rng=run_seed,
+            max_steps=max_steps,
+            engine=engine,
+            backend=backend,
+            schedule=schedule,
         )
         for protocol, run_seed in zip(protocols, run_seeds)
     ]
@@ -343,6 +362,7 @@ def measure_protocol_on_graph(
     keep_results: bool = False,
     engine: str = "auto",
     backend: str = "auto",
+    schedule: Optional["TopologySchedule"] = None,
 ) -> Measurement:
     """Run ``spec`` on ``graph`` ``repetitions`` times and aggregate.
 
@@ -369,6 +389,7 @@ def measure_protocol_on_graph(
         max_steps=max_steps,
         engine=engine,
         backend=backend,
+        schedule=schedule,
     )
     return measurement_from_records(
         spec.name,

@@ -345,10 +345,19 @@ class Graph:
     # ------------------------------------------------------------------
     # Misc
     # ------------------------------------------------------------------
-    def _is_connected(self) -> bool:
+    def is_connected(self) -> bool:
+        """Whether the graph is connected (single-node graphs are).
+
+        Constructor validation uses this, but it is also meaningful on
+        graphs built with ``check_connected=False`` — e.g. the sampled
+        epoch graphs of an edge-churn topology schedule.
+        """
         if self._n <= 1:
             return True
         return int((self.bfs_distances(0) >= 0).sum()) == self._n
+
+    # Backwards-compatible private alias (pre-dates the public method).
+    _is_connected = is_connected
 
     def to_networkx(self):
         """Convert to a :class:`networkx.Graph` (for property computations)."""

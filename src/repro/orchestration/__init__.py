@@ -32,6 +32,7 @@ from .scenario import (
     ProtocolConfig,
     Scenario,
     ScenarioError,
+    ScheduleConfig,
     default_protocol_configs,
 )
 from .store import DEFAULT_CACHE_DIR, ResultStore
@@ -43,6 +44,7 @@ __all__ = [
     "ResultStore",
     "Scenario",
     "ScenarioError",
+    "ScheduleConfig",
     "ScenarioResult",
     "WorkUnit",
     "available_scenarios",

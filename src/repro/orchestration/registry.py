@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from .scenario import ProtocolConfig, Scenario, default_protocol_configs
+from .scenario import ProtocolConfig, Scenario, ScheduleConfig, default_protocol_configs
 
 _REGISTRY: Dict[str, Scenario] = {}
 
@@ -170,5 +170,69 @@ register_scenario(
         sizes=(100,),
         protocols=_TOKEN_ONLY,
         repetitions=8,
+    )
+)
+
+# ----------------------------------------------------------------------
+# Dynamic topologies (time-varying interaction graphs)
+# ----------------------------------------------------------------------
+# All four run the constant-state token protocol, whose stability
+# certificate is topology-independent; the `workload` graph names the
+# node universe and supplies the default budgets, while the schedule
+# decides which edges are active at each step.
+register_scenario(
+    Scenario(
+        name="dynamic-epoch-mix",
+        description="Epoch-switching clique→cycle→star topology (repeating)",
+        workload="clique",
+        sizes=(16, 24, 36),
+        protocols=_TOKEN_ONLY,
+        repetitions=3,
+        schedule=ScheduleConfig(
+            "epochs",
+            (("workloads", ("clique", "cycle", "star")), ("epoch_length", 1024)),
+        ),
+    )
+)
+register_scenario(
+    Scenario(
+        name="dynamic-edge-churn",
+        description="Bernoulli edge churn over G(n, 1/2): 70% of edges survive each epoch",
+        workload="dense-gnp",
+        sizes=(16, 24, 36),
+        protocols=_TOKEN_ONLY,
+        repetitions=3,
+        step_budget_multiplier=90.0,
+        schedule=ScheduleConfig(
+            "edge-churn", (("keep_probability", 0.7), ("epoch_length", 512))
+        ),
+    )
+)
+register_scenario(
+    Scenario(
+        name="dynamic-torus-flicker",
+        description="Edge churn over a 2-D torus: diffusive broadcast under link failures",
+        workload="torus",
+        sizes=(16, 36, 64),
+        protocols=_TOKEN_ONLY,
+        repetitions=3,
+        step_budget_multiplier=120.0,
+        schedule=ScheduleConfig(
+            "edge-churn", (("keep_probability", 0.8), ("epoch_length", 512))
+        ),
+    )
+)
+register_scenario(
+    Scenario(
+        name="dynamic-grow",
+        description="Node churn: the clique grows 50%→75%→100% of n, then holds",
+        workload="clique",
+        sizes=(16, 24, 36),
+        protocols=_TOKEN_ONLY,
+        repetitions=3,
+        schedule=ScheduleConfig(
+            "node-churn",
+            (("fractions", (0.5, 0.75, 1.0)), ("epoch_length", 1024), ("repeat", False)),
+        ),
     )
 )

@@ -127,6 +127,7 @@ def _execute_unit(
         max_steps=default_step_budget(graph, multiplier=scenario.step_budget_multiplier),
         engine=scenario.engine,
         backend=scenario.backend,
+        schedule=scenario.build_schedule(graph, unit.size_index),
     )
     return {
         "version": RESULT_SCHEMA_VERSION,

@@ -24,6 +24,13 @@ import json
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..core.seeds import derive_seed
+from ..dynamics.schedule import (
+    EdgeChurnSchedule,
+    EpochSchedule,
+    NodeChurnSchedule,
+    TopologySchedule,
+)
 from ..experiments.harness import (
     ProtocolSpec,
     fast_protocol_spec,
@@ -32,6 +39,7 @@ from ..experiments.harness import (
     token_protocol_spec,
 )
 from ..experiments.workloads import get_workload
+from ..graphs.graph import Graph
 
 #: Bump when the meaning of persisted results changes (record schema,
 #: execution semantics).  Part of every scenario content hash, so stale
@@ -123,6 +131,135 @@ def default_protocol_configs() -> Tuple[ProtocolConfig, ...]:
     )
 
 
+# ----------------------------------------------------------------------
+# Declarative topology schedules
+# ----------------------------------------------------------------------
+def _epochs_schedule(
+    base_graph: Graph,
+    seed: int,
+    workloads: Tuple[str, ...] = ("clique", "cycle", "star"),
+    epoch_length: int = 2048,
+    repeat: bool = True,
+) -> TopologySchedule:
+    """Epoch-switching sequence of workload graphs at the base graph's size.
+
+    Every phase workload must produce a graph on exactly the base graph's
+    node count (clique / cycle / star / path do; size-rounding families
+    such as torus generally do not and are rejected by the schedule).
+    """
+    n = base_graph.n_nodes
+    graphs = []
+    for index, name in enumerate(workloads):
+        graphs.append(get_workload(name).build(n, seed=derive_seed(seed, "phase", index)))
+    return EpochSchedule.from_graphs(graphs, epoch_length=int(epoch_length), repeat=bool(repeat))
+
+
+def _edge_churn_schedule(
+    base_graph: Graph,
+    seed: int,
+    keep_probability: float = 0.7,
+    epoch_length: int = 1024,
+    require_connected: bool = False,
+) -> TopologySchedule:
+    """Bernoulli edge churn over the scenario's workload graph."""
+    return EdgeChurnSchedule(
+        base_graph,
+        keep_probability=float(keep_probability),
+        epoch_length=int(epoch_length),
+        seed=seed,
+        require_connected=bool(require_connected),
+    )
+
+
+def _node_churn_schedule(
+    base_graph: Graph,
+    seed: int,
+    fractions: Tuple[float, ...] = (0.5, 0.75, 1.0),
+    epoch_length: int = 1024,
+    repeat: bool = False,
+) -> TopologySchedule:
+    """Grow/shrink node churn over prefixes of the workload graph."""
+    n = base_graph.n_nodes
+    counts = [max(2, min(n, int(round(float(fraction) * n)))) for fraction in fractions]
+    return NodeChurnSchedule(
+        base_graph, counts, epoch_length=int(epoch_length), repeat=bool(repeat)
+    )
+
+
+_SCHEDULE_BUILDERS = {
+    "epochs": _epochs_schedule,
+    "edge-churn": _edge_churn_schedule,
+    "node-churn": _node_churn_schedule,
+}
+
+
+def _freeze(value: Any) -> Any:
+    """Lists → tuples recursively, so canonical params stay hashable."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    return value
+
+
+def _thaw(value: Any) -> Any:
+    """Tuples → lists recursively (the JSON-native form)."""
+    if isinstance(value, tuple):
+        return [_thaw(item) for item in value]
+    return value
+
+
+@dataclass(frozen=True)
+class ScheduleConfig:
+    """Declarative topology schedule: a builder kind plus parameters.
+
+    The concrete :class:`~repro.dynamics.schedule.TopologySchedule` is
+    materialised per (graph, seed) at execution time via :meth:`build`;
+    the config itself is plain data, so it travels to worker processes
+    and is hashed into scenario cache keys exactly like
+    :class:`ProtocolConfig`.  Parameters are canonicalised against the
+    builder signature (defaults filled in, unknown keys rejected), so
+    semantically identical configs hash identically and a changed builder
+    default invalidates affected cache entries.
+    """
+
+    kind: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in _SCHEDULE_BUILDERS:
+            known = ", ".join(sorted(_SCHEDULE_BUILDERS))
+            raise ScenarioError(
+                f"unknown schedule kind {self.kind!r}; known kinds: {known}"
+            )
+        signature = inspect.signature(_SCHEDULE_BUILDERS[self.kind])
+        canonical = {
+            name: parameter.default
+            for name, parameter in signature.parameters.items()
+            if name not in ("base_graph", "seed")
+        }
+        for key, value in self.params:
+            if key not in canonical:
+                raise ScenarioError(
+                    f"schedule kind {self.kind!r} has no parameter {key!r}; "
+                    f"accepts: {', '.join(sorted(canonical)) or '(none)'}"
+                )
+            canonical[key] = _freeze(value)
+        object.__setattr__(self, "params", tuple(sorted(canonical.items())))
+
+    def build(self, base_graph: Graph, seed: int) -> TopologySchedule:
+        """Materialise the schedule for one (graph, seed) pair."""
+        return _SCHEDULE_BUILDERS[self.kind](base_graph, seed, **dict(self.params))
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "params": {k: _thaw(v) for k, v in self.params}}
+
+    @classmethod
+    def from_dict(cls, config: Mapping[str, Any]) -> "ScheduleConfig":
+        return cls(
+            kind=str(config["kind"]),
+            params=tuple(sorted(dict(config.get("params", {})).items())),
+        )
+
+
 @dataclass(frozen=True)
 class Scenario:
     """One named, fully declarative Monte-Carlo sweep.
@@ -151,6 +288,19 @@ class Scenario:
         never the per-trial seeds, hence never the results.
     engine / backend:
         Execution engine for the simulations.
+    schedule:
+        Optional declarative topology schedule (:class:`ScheduleConfig`).
+        ``None`` (the default) runs on the static workload graph; a
+        config makes every trial sample interactions from the
+        time-varying topology it describes.  The schedule is part of the
+        content hash, so dynamic results can never be served from a
+        static scenario's cache (or vice versa).  Note that protocol
+        factories that calibrate on the graph — the fast protocol
+        estimates ``B(G)`` — calibrate on the *workload graph* (the node
+        universe), not on the time-varying topology: a legitimate
+        non-uniform parameterisation, but one whose constants can be far
+        from the dynamic broadcast time, so the bundled dynamic
+        scenarios use the calibration-free token protocol.
     description:
         One line shown by ``repro-popsim scenarios``.
     """
@@ -165,6 +315,7 @@ class Scenario:
     trials_per_shard: int = 1
     engine: str = "auto"
     backend: str = "auto"
+    schedule: Optional[ScheduleConfig] = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -189,10 +340,28 @@ class Scenario:
         get_workload(self.workload)
         for protocol in self.protocols:
             protocol.build_spec()
+        if self.schedule is not None and self.schedule.kind == "epochs":
+            for workload in dict(self.schedule.params).get("workloads", ()):
+                get_workload(workload)
 
     def protocol_specs(self) -> List[ProtocolSpec]:
         """Concrete protocol specs, in declaration order."""
         return [protocol.build_spec() for protocol in self.protocols]
+
+    def build_schedule(self, base_graph: Graph, size_index: int) -> Optional[TopologySchedule]:
+        """The concrete topology schedule for one size cell, or ``None``.
+
+        Schedule randomness (edge churn, phase-graph sampling) derives
+        from ``derive_seed(seed, "schedule", size_index)`` — a dedicated
+        child stream, independent of the graph and trial streams, so
+        adding a schedule never perturbs which graph is built or which
+        scheduler seeds the trials receive.
+        """
+        if self.schedule is None:
+            return None
+        return self.schedule.build(
+            base_graph, derive_seed(self.seed, "schedule", size_index)
+        )
 
     def with_overrides(self, **overrides: Any) -> "Scenario":
         """A copy with some fields replaced (CLI ``--sizes``/``--repetitions``)."""
@@ -204,8 +373,14 @@ class Scenario:
     # Canonical form and content hash
     # ------------------------------------------------------------------
     def config_dict(self) -> Dict[str, Any]:
-        """The canonical JSON-able description of this scenario."""
-        return {
+        """The canonical JSON-able description of this scenario.
+
+        The ``schedule`` key is present only on dynamic scenarios: static
+        configs serialise exactly as they did before schedules existed,
+        so their content hashes — and hence their cache directories —
+        are unchanged.
+        """
+        config = {
             "name": self.name,
             "workload": self.workload,
             "sizes": list(self.sizes),
@@ -217,6 +392,9 @@ class Scenario:
             "engine": self.engine,
             "backend": self.backend,
         }
+        if self.schedule is not None:
+            config["schedule"] = self.schedule.as_dict()
+        return config
 
     def content_hash(self) -> str:
         """SHA-256 over the canonical config plus code-relevant versions.
@@ -258,6 +436,11 @@ class Scenario:
             trials_per_shard=int(config["trials_per_shard"]),
             engine=str(config["engine"]),
             backend=str(config["backend"]),
+            schedule=(
+                ScheduleConfig.from_dict(config["schedule"])
+                if config.get("schedule") is not None
+                else None
+            ),
             description=str(config.get("description", "")),
         )
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
 from ..analysis.estimators import SummaryStatistics, summarize_samples
 from ..analytics.epidemics import run_influence_batch
@@ -38,6 +38,9 @@ from ..analytics.streams import resolve_base_seed
 from ..core.seeds import derive_seed
 from ..graphs.graph import Graph
 from ..graphs.random_graphs import RngLike
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..dynamics.schedule import TopologySchedule
 
 
 @dataclass(frozen=True)
@@ -70,8 +73,14 @@ def expected_broadcast_time_from(
     rng: RngLike = None,
     max_steps: Optional[int] = None,
     replica_batch: Optional[int] = None,
+    schedule: Optional["TopologySchedule"] = None,
 ) -> SummaryStatistics:
-    """Monte-Carlo estimate of ``E[T(source)]`` with summary statistics."""
+    """Monte-Carlo estimate of ``E[T(source)]`` with summary statistics.
+
+    ``schedule`` estimates the broadcast time over a time-varying
+    topology; ``graph`` then names the node universe and supplies the
+    default step budget.
+    """
     if repetitions < 1:
         raise ValueError("repetitions must be positive")
     if graph.n_nodes == 1:
@@ -80,7 +89,13 @@ def expected_broadcast_time_from(
     if max_steps is None:
         max_steps = _budget(graph)
     samples = batched_broadcast_samples(
-        graph, [source], repetitions, base, max_steps, replica_batch=replica_batch
+        graph,
+        [source],
+        repetitions,
+        base,
+        max_steps,
+        replica_batch=replica_batch,
+        schedule=schedule,
     )[int(source)]
     return summarize_samples(samples.tolist())
 
@@ -92,6 +107,7 @@ def broadcast_time_estimate(
     rng: RngLike = None,
     max_steps: Optional[int] = None,
     replica_batch: Optional[int] = None,
+    schedule: Optional["TopologySchedule"] = None,
 ) -> BroadcastTimeEstimate:
     """Estimate ``B(G) = max_v E[T(v)]``.
 
@@ -102,6 +118,11 @@ def broadcast_time_estimate(
     nodes).  All ``sources × repetitions`` epidemics run in one replica
     stack; ``replica_batch`` caps the stack width without changing any
     sampled value.
+
+    ``schedule`` estimates the dynamic-topology analogue of ``B(G)``:
+    epidemics spread over the epoch graph active at each step, with all
+    trajectories crossing epoch switches in lockstep.  Source selection
+    and the default budget still use ``graph`` (the node universe).
     """
     n = graph.n_nodes
     if n == 1:
@@ -113,7 +134,13 @@ def broadcast_time_estimate(
     if max_steps is None:
         max_steps = _budget(graph)
     by_source = batched_broadcast_samples(
-        graph, sources, repetitions, base, max_steps, replica_batch=replica_batch
+        graph,
+        sources,
+        repetitions,
+        base,
+        max_steps,
+        replica_batch=replica_batch,
+        schedule=schedule,
     )
     per_source = {source: float(samples.mean()) for source, samples in by_source.items()}
     value = max(per_source.values())
@@ -128,12 +155,15 @@ def full_information_time(
     rng: RngLike = None,
     max_steps: Optional[int] = None,
     replica_batch: Optional[int] = None,
+    schedule: Optional["TopologySchedule"] = None,
 ) -> SummaryStatistics:
     """Monte-Carlo estimate of ``T(G)``: all nodes influenced by all nodes.
 
     ``T(G) >= T(v)`` for every source, so ``E[T(G)] >= B(G)``; Lemmas 7–9
     bound exactly this quantity.  The ``repetitions`` influence processes
-    run replica-batched with packed-bitset influencer sets.
+    run replica-batched with packed-bitset influencer sets.  ``schedule``
+    runs them over a time-varying topology (lockstep epoch switches, as
+    in :func:`broadcast_time_estimate`).
     """
     if repetitions < 1:
         raise ValueError("repetitions must be positive")
@@ -141,7 +171,9 @@ def full_information_time(
     if max_steps is None:
         max_steps = _budget(graph)
     seeds = [derive_seed(base, FULL_INFORMATION_TAG, t) for t in range(repetitions)]
-    steps = run_influence_batch(graph, seeds, max_steps, replica_batch=replica_batch)
+    steps = run_influence_batch(
+        graph, seeds, max_steps, replica_batch=replica_batch, schedule=schedule
+    )
     if (steps < 0).any():
         raise RuntimeError(
             "full-information dissemination did not finish within budget"

@@ -183,6 +183,105 @@ class TestSweepCommand:
         )
         assert "no scaling fit" in capsys.readouterr().out
 
-    def test_sweep_unknown_scenario_errors(self):
-        with pytest.raises(KeyError):
+    def test_sweep_dynamic_scenario(self, capsys, tmp_path):
+        args = [
+            "sweep",
+            "--scenario",
+            "dynamic-epoch-mix",
+            "--sizes",
+            "12",
+            "--repetitions",
+            "2",
+            "--cache-dir",
+            str(tmp_path),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "dynamic-epoch-mix" in out
+        assert "token-6state" in out
+        # Dynamic results are cached under the schedule-aware content hash.
+        assert main(args) == 0
+        assert "2/2 units from cache" in capsys.readouterr().out
+
+
+class TestCliErrorPaths:
+    def test_sweep_unknown_scenario_lists_known_names(self):
+        with pytest.raises(KeyError) as excinfo:
             main(["sweep", "--scenario", "bogus"])
+        message = str(excinfo.value)
+        assert "unknown scenario 'bogus'" in message
+        assert "table1-clique" in message
+        assert "dynamic-epoch-mix" in message
+
+    def test_sweep_rejects_bad_engine_value(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--scenario", "table1-stars", "--engine", "warp-drive"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_elect_rejects_bad_engine_value(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "elect",
+                    "--workload",
+                    "clique",
+                    "--size",
+                    "8",
+                    "--engine",
+                    "warp-drive",
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_sweep_recovers_from_corrupted_cache_entry(self, capsys, tmp_path):
+        args = [
+            "sweep",
+            "--scenario",
+            "table1-stars",
+            "--sizes",
+            "6",
+            "--repetitions",
+            "2",
+            "--cache-dir",
+            str(tmp_path),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        unit_files = sorted(tmp_path.glob("*/units/*.json"))
+        assert len(unit_files) == 2
+        # One hard-kill truncation, one well-formed-but-wrong payload.
+        unit_files[0].write_text('{"version": 2, "unit": "p00-s00-t00')
+        unit_files[1].write_text('{"version": 999, "unit": "wrong", "records": []}')
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "0/2 units from cache" in out
+        # The corrupted files were replaced by fresh, valid payloads.
+        assert main(args) == 0
+        assert "2/2 units from cache" in capsys.readouterr().out
+
+    def test_sweep_reports_identical_results_after_corruption(self, capsys, tmp_path):
+        args = [
+            "sweep",
+            "--scenario",
+            "table1-stars",
+            "--sizes",
+            "6",
+            "10",
+            "--repetitions",
+            "1",
+            "--cache-dir",
+            str(tmp_path),
+        ]
+        def measured_tables(output):
+            # Drop the final provenance line (cache-hit counts, wall time).
+            return "\n".join(output.splitlines()[:-1])
+
+        assert main(args) == 0
+        first = measured_tables(capsys.readouterr().out)
+        victim = sorted(tmp_path.glob("*/units/*.json"))[0]
+        victim.write_text("not json at all")
+        assert main(args) == 0
+        second = measured_tables(capsys.readouterr().out)
+        assert first == second
