@@ -150,7 +150,11 @@ def test_replica_batched_broadcast_speedup(benchmark, report):
             title="ANALYTICS: replica-batched vs trajectory-serial B(G), clique n=100",
         )
     )
-    floor = 5.0 if native else 2.0
+    # The native floor dropped from 5.0 when the runtime refactor made the
+    # trajectory-serial baseline itself faster (the general scheduler now
+    # buffers raw directed pair indices and refills in-place); the batched
+    # path's absolute time is unchanged.
+    floor = 3.0 if native else 2.0
     assert speedup >= floor, f"speedup {speedup:.2f}x below the {floor}x gate"
 
 

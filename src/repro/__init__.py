@@ -8,6 +8,9 @@ A library-quality reproduction of Alistarh, Rybicki and Voitovych,
   schedulers, simulator, exact stability checking),
 * :mod:`repro.engine` — the compiled execution engine (protocol → lookup
   tables, vectorized/native stepping, stacked multi-replica runs),
+* :mod:`repro.runtime` — the execution-plan runtime: the shared directed
+  pair space, the unified interaction sampler behind every scheduler and
+  stream, and plan compilation/execution for all consumer layers,
 * :mod:`repro.graphs` — interaction-graph families, properties and the
   renitent constructions of Section 6,
 * :mod:`repro.propagation` — broadcast / propagation-time dynamics
@@ -43,6 +46,7 @@ from . import (
     orchestration,
     propagation,
     protocols,
+    runtime,
     walks,
 )
 from .engine import run_replicas
@@ -64,7 +68,7 @@ from .protocols import (
     TokenLeaderElection,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "FOLLOWER",
@@ -91,5 +95,6 @@ __all__ = [
     "protocols",
     "run_leader_election",
     "run_replicas",
+    "runtime",
     "walks",
 ]

@@ -17,15 +17,17 @@ trajectories in lockstep, and each trajectory owns a private
    additionally prefix-stable — one draw of ``n`` equals concatenated
    smaller draws — which makes the stream robust to the schedule itself.)
 
-A ``TrajectoryStream`` samples the population-model scheduler directly in
-ordered-pair space: one bounded-integers draw over ``[0, 2m)`` plus two
-gathers from the precomputed directed endpoint tables.  That is ~3 array
-operations per block against the general scheduler's seven, and draws are
-demand-sized — a trajectory that finishes after 900 steps has sampled
-~1.5k interactions, not a full pre-sample buffer.  This stream is the
-analytics engine's own seeded-trajectory definition; protocol simulations
-keep :class:`repro.core.scheduler.RandomScheduler` and its refill
-contract unchanged.
+A ``TrajectoryStream`` is the *directed dialect* of the runtime's
+unified :class:`~repro.runtime.source.InteractionSource`: one
+bounded-integers draw over ``[0, 2m)`` per block, decoded (when needed
+at all — the C kernels decode themselves) through the shared directed
+endpoint tables of :mod:`repro.runtime.pairs`.  That is ~3 array
+operations per block against the general scheduler's seven, and draws
+are demand-sized — a trajectory that finishes after 900 steps has
+sampled ~1.5k interactions, not a full pre-sample buffer.  Protocol
+simulations keep the scheduler dialect (``RandomScheduler`` and its
+refill contract) unchanged; both dialects are defined in
+:mod:`repro.runtime.source`.
 
 The warm-up schedule exists for exactly that reason: epidemics on
 well-connected graphs finish in ``Θ(n log n)`` steps, so the first blocks
@@ -35,12 +37,14 @@ long-running tail (cycles, renitent constructions).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
 from ..graphs.graph import Graph
-from ..graphs.random_graphs import RngLike, as_rng
+from ..graphs.random_graphs import RngLike
+from ..runtime.pairs import directed_tables
+from ..runtime.source import InteractionSource
 
 _FIRST_BLOCK = 1024
 _MAX_BLOCK = 4096
@@ -52,12 +56,6 @@ _MAX_BLOCK = 4096
 #: amortize per-round overhead just as well and bound the footprint at
 #: ~16 MB per matrix; results are width-invariant either way.
 _DEFAULT_WAVE = 512
-
-#: Directed endpoint tables per graph, keyed by object identity (the
-#: entry holds the graph so a live key can never be recycled).  Bounded
-#: like the orchestrator's graph memo.
-_DIRECTED_CACHE: Dict[int, Tuple[Graph, np.ndarray, np.ndarray]] = {}
-_DIRECTED_CACHE_LIMIT = 16
 
 
 def block_size(round_index: int) -> int:
@@ -86,36 +84,20 @@ def resolve_base_seed(rng: RngLike) -> int:
     return int(rng)
 
 
-def directed_pairs(graph: Graph) -> Tuple[np.ndarray, np.ndarray]:
+def directed_pairs(graph: Graph):
     """The ``2m`` ordered scheduler pairs as two parallel endpoint tables.
 
-    Index ``r < m`` is edge ``r`` in stored orientation, ``r >= m`` the
-    reverse — so a uniform draw over ``[0, 2m)`` is exactly the
-    population-model scheduler's ordered-pair distribution (Section 2.2).
+    Re-exported from :func:`repro.runtime.pairs.directed_tables`, the
+    single home of the directed pair encoding.
     """
-    if graph.n_edges == 0:
-        raise ValueError("cannot schedule interactions on an edgeless graph")
-    key = id(graph)
-    entry = _DIRECTED_CACHE.get(key)
-    if entry is not None and entry[0] is graph:
-        return entry[1], entry[2]
-    if len(_DIRECTED_CACHE) >= _DIRECTED_CACHE_LIMIT:
-        _DIRECTED_CACHE.clear()
-    initiators = np.concatenate((graph.edges_u, graph.edges_v))
-    responders = np.concatenate((graph.edges_v, graph.edges_u))
-    _DIRECTED_CACHE[key] = (graph, initiators, responders)
-    return initiators, responders
+    return directed_tables(graph)
 
 
-class TrajectoryStream:
+class TrajectoryStream(InteractionSource):
     """One trajectory's private, demand-sized interaction stream."""
 
-    __slots__ = ("_rng", "_initiators", "_responders", "_count")
-
     def __init__(self, graph: Graph, rng: RngLike) -> None:
-        self._rng = as_rng(rng)
-        self._initiators, self._responders = directed_pairs(graph)
-        self._count = int(self._initiators.shape[0])
+        super().__init__(graph, rng=rng)
 
     def draws_into(self, out: np.ndarray, count: Optional[int] = None) -> None:
         """Fill a preallocated row with raw ordered-pair indices.
@@ -126,14 +108,11 @@ class TrajectoryStream:
         (the dynamic-topology stacks pass the active epoch's ``2m_k``);
         the default is the stream graph's own ``2m``.
         """
-        bound = self._count if count is None else int(count)
-        out[...] = self._rng.integers(0, bound, size=out.shape[0])
+        self.draw_pair_indices(out, count)
 
     def next_into(self, initiators: np.ndarray, responders: np.ndarray) -> None:
         """Fill two preallocated arrays with the next ``len`` ordered pairs."""
-        draws = self._rng.integers(0, self._count, size=initiators.shape[0])
-        self._initiators.take(draws, out=initiators)
-        self._responders.take(draws, out=responders)
+        self.draw_pairs_into(initiators, responders)
 
 
 def make_streams(graph: Graph, seeds: Sequence[int]) -> List[TrajectoryStream]:

@@ -51,6 +51,16 @@ class PopulationProtocol(abc.ABC, Generic[State]):
     #: with a small domain, so the simulator may memoise it in a dict.
     cacheable_transitions: bool = True
 
+    #: Declares that :meth:`is_output_stable_configuration` provably
+    #: returns ``False`` whenever the number of nodes outputting
+    #: ``LEADER`` differs from one.  The replica-batched executor
+    #: (:mod:`repro.runtime.execute`) then uses its exactly-maintained
+    #: leader count to skip the Python certificate on configurations that
+    #: cannot certify — an optimisation that never changes when
+    #: certification fires.  Leave ``False`` unless the certificate
+    #: carries an explicit unique-leader requirement.
+    certificate_requires_unique_leader: bool = False
+
     @abc.abstractmethod
     def initial_state(self, input_symbol: Any = None) -> State:
         """State assigned to a node with the given input symbol."""

@@ -7,6 +7,14 @@ orientation.  :class:`RandomScheduler` implements exactly this and
 pre-samples interactions in numpy batches, which is what makes pure-Python
 simulation of ``Θ(n^2 log n)``-step executions feasible.
 
+The sampling machinery itself — the refill-size contract, the directed
+pair encoding, the epoch capping used by the dynamic twin — lives in
+:class:`repro.runtime.source.InteractionSource`; this module provides the
+population-model shells over it.  The pre-sample refill size is the
+runtime's :data:`repro.runtime.source.REFILL_SIZE` (re-exported here as
+``_DEFAULT_BATCH`` for backward compatibility) — it is part of the seeded
+stream definition, so it has exactly one home.
+
 :class:`SequenceScheduler` replays a fixed interaction sequence; the
 lower-bound experiments (isolating covers, influencer multigraphs) and the
 reachability-based stability checker use it to explore specific schedules.
@@ -15,25 +23,16 @@ reachability-based stability checker use it to explore specific schedules.
 from __future__ import annotations
 
 import abc
-from typing import Iterable, Iterator, List, Sequence, Tuple
-
-import numpy as np
+from typing import Iterable, Iterator, List, Tuple
 
 from ..graphs.graph import Graph
-from ..graphs.random_graphs import RngLike, as_rng
+from ..graphs.random_graphs import RngLike
+from ..runtime.source import REFILL_SIZE, InteractionSource
 
 Interaction = Tuple[int, int]
 
-# Pre-sample size per RNG refill.  4096 keeps the sampling fully
-# vectorised while wasting little work on short runs (stabilization-bound
-# executions often need only a few thousand interactions).  Note: the
-# refill size is part of the seeded stream definition — changing it
-# changes every seeded trajectory (last changed from 65536 in the engine
-# PR; see CHANGES.md).
-_DEFAULT_BATCH = 4096
-# (The replica-batched analytics engine does not consume this scheduler:
-# its Monte-Carlo trajectories run on their own demand-sized streams —
-# see repro.analytics.streams.TrajectoryStream.)
+#: Backward-compatible alias of the single-sourced refill size.
+_DEFAULT_BATCH = REFILL_SIZE
 
 
 class Scheduler(abc.ABC):
@@ -53,106 +52,15 @@ class Scheduler(abc.ABC):
             yield self.next_interaction()
 
 
-class BufferedSampler(Scheduler):
-    """Shared buffer machinery for pre-sampling stochastic schedulers.
+class BufferedSampler(InteractionSource, Scheduler):
+    """Pre-sampling stochastic scheduler (the runtime source as a Scheduler).
 
-    Subclasses implement :meth:`_refill`, which must replace the buffer
-    with at least one fresh draw; the consume loops here are shared so
-    the seeded-stream contract (refills happen only on an empty buffer,
-    with ``minimum`` = the draws still needed by the current call) is
-    defined in exactly one place.  ``_position`` counts interactions
-    already handed out and is kept exact *during* a call, so a refill
-    can depend on it (the dynamic scheduler caps refills at epoch
-    boundaries).
+    Kept as the common base of :class:`RandomScheduler` and
+    :class:`repro.dynamics.scheduler.DynamicScheduler`; all buffering,
+    refilling and consumption is inherited from
+    :class:`~repro.runtime.source.InteractionSource`, so the seeded-stream
+    contract is defined in exactly one place.
     """
-
-    def __init__(self, rng: RngLike, batch_size: int) -> None:
-        if batch_size < 1:
-            raise ValueError("batch_size must be positive")
-        self._rng = as_rng(rng)
-        self._batch_size = int(batch_size)
-        self._buffer_initiators: np.ndarray = np.zeros(0, dtype=np.int64)
-        self._buffer_responders: np.ndarray = np.zeros(0, dtype=np.int64)
-        self._cursor = 0
-        self._position = 0
-
-    @property
-    def steps_emitted(self) -> int:
-        """Total number of interactions handed out so far."""
-        return self._position
-
-    def _refill(self, minimum: int) -> None:
-        raise NotImplementedError
-
-    def _fill_buffer_from_edges(
-        self, edges_u: np.ndarray, edges_v: np.ndarray, size: int
-    ) -> None:
-        """THE seeded pair draw: uniform edge index, then uniform orientation.
-
-        Both the static and the dynamic scheduler refill through this
-        method, so the two-call draw order — part of the seeded-stream
-        definition — is single-sourced.
-        """
-        m = int(edges_u.shape[0])
-        edge_indices = self._rng.integers(0, m, size=size)
-        orientations = self._rng.integers(0, 2, size=size).astype(bool)
-        endpoint_a = edges_u[edge_indices]
-        endpoint_b = edges_v[edge_indices]
-        self._buffer_initiators = np.where(orientations, endpoint_a, endpoint_b)
-        self._buffer_responders = np.where(orientations, endpoint_b, endpoint_a)
-        self._cursor = 0
-
-    def next_interaction(self) -> Interaction:
-        if self._cursor >= self._buffer_initiators.shape[0]:
-            self._refill(1)
-        u = int(self._buffer_initiators[self._cursor])
-        v = int(self._buffer_responders[self._cursor])
-        self._cursor += 1
-        self._position += 1
-        return (u, v)
-
-    def next_batch(self, size: int) -> List[Interaction]:
-        if size < 0:
-            raise ValueError("batch size must be non-negative")
-        result: List[Interaction] = []
-        remaining = size
-        while remaining > 0:
-            available = self._buffer_initiators.shape[0] - self._cursor
-            if available == 0:
-                self._refill(remaining)
-                available = self._buffer_initiators.shape[0]
-            take = min(available, remaining)
-            chunk_u = self._buffer_initiators[self._cursor : self._cursor + take]
-            chunk_v = self._buffer_responders[self._cursor : self._cursor + take]
-            result.extend(zip(chunk_u.tolist(), chunk_v.tolist()))
-            self._cursor += take
-            self._position += take
-            remaining -= take
-        return result
-
-    def next_arrays(self, size: int) -> Tuple[np.ndarray, np.ndarray]:
-        """Like :meth:`next_batch` but returns numpy arrays (hot loops)."""
-        if size < 0:
-            raise ValueError("batch size must be non-negative")
-        initiators = np.empty(size, dtype=np.int64)
-        responders = np.empty(size, dtype=np.int64)
-        filled = 0
-        while filled < size:
-            available = self._buffer_initiators.shape[0] - self._cursor
-            if available == 0:
-                self._refill(size - filled)
-                available = self._buffer_initiators.shape[0]
-            take = min(available, size - filled)
-            initiators[filled : filled + take] = self._buffer_initiators[
-                self._cursor : self._cursor + take
-            ]
-            responders[filled : filled + take] = self._buffer_responders[
-                self._cursor : self._cursor + take
-            ]
-            self._cursor += take
-            self._position += take
-            filled += take
-        return initiators, responders
 
 
 class RandomScheduler(BufferedSampler):
@@ -169,21 +77,14 @@ class RandomScheduler(BufferedSampler):
     """
 
     def __init__(self, graph: Graph, rng: RngLike = None, batch_size: int = _DEFAULT_BATCH) -> None:
-        if graph.n_edges == 0:
-            raise ValueError("cannot schedule interactions on an edgeless graph")
-        super().__init__(rng, batch_size)
+        super().__init__(graph, rng=rng, batch_size=batch_size)
         self._graph = graph
-        self._edges_u = graph.edges_u
-        self._edges_v = graph.edges_v
 
     @property
     def graph(self) -> Graph:
         """The interaction graph being scheduled."""
         return self._graph
 
-    def _refill(self, minimum: int) -> None:
-        size = max(self._batch_size, minimum)
-        self._fill_buffer_from_edges(self._edges_u, self._edges_v, size)
 
 class SequenceScheduler(Scheduler):
     """Replays a fixed, finite sequence of ordered interactions.

@@ -1,4 +1,4 @@
-"""Execution engine for population protocols on graphs.
+"""Execution engine facade for population protocols on graphs.
 
 The simulator drives a protocol with a scheduler (Section 2.2): it applies
 the transition function to the sampled (initiator, responder) pairs, keeps
@@ -17,19 +17,26 @@ interactions is stable and correct; the simulator reports
 The gap between the two is at most one checking interval plus the slack of
 the certificate; the tests cross-validate both against an exhaustive
 reachability check on small instances.
+
+Since the runtime refactor, :class:`Simulator` is a thin facade: ``run``
+compiles a single-replica :class:`~repro.runtime.plan.ExecutionPlan` and
+hands it to the runtime executors (:mod:`repro.runtime.execute`), which
+own both the reference interpreter and the compiled block loops.  Engine
+selection, streams and certificate cadence are therefore resolved in
+exactly one place for single runs, replica stacks, harness measurements
+and orchestrated sweeps alike.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, List, Optional, Sequence, Tuple
 
 from ..graphs.graph import Graph
 from ..graphs.random_graphs import RngLike
 from .configuration import Configuration
-from .protocol import LEADER, PopulationProtocol
-from .scheduler import RandomScheduler, Scheduler
+from .protocol import PopulationProtocol
+from .scheduler import Scheduler
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..dynamics.schedule import TopologySchedule
@@ -61,7 +68,9 @@ class SimulationResult:
     leader_trace:
         Optional ``(step, leader_count)`` checkpoints.
     wall_time_seconds:
-        Wall-clock duration of the run.
+        Wall-clock duration of the run.  Replicas executed in a batched
+        stack report the stack's wall time divided evenly across its
+        replicas.
     """
 
     stabilized: bool
@@ -111,8 +120,8 @@ class Simulator:
     engine:
         Default execution engine for :meth:`run`:
 
-        * ``"reference"`` — the pure-Python interpreter below, the
-          semantic reference;
+        * ``"reference"`` — the pure-Python interpreter (the semantic
+          reference; see :mod:`repro.runtime.execute`);
         * ``"compiled"`` — the table-driven engine (:mod:`repro.engine`),
           which produces bit-identical results and is typically 3–100×
           faster; raises if the protocol cannot be compiled;
@@ -190,270 +199,31 @@ class Simulator:
             current step (via :class:`~repro.dynamics.scheduler.DynamicScheduler`)
             and the stability certificate is evaluated against the
             schedule's union graph, which keeps certification sound under
-            topology changes.  A single-epoch schedule reproduces the
+            topology change.  A single-epoch schedule reproduces the
             equivalent static run bit for bit.  Mutually exclusive with
             ``scheduler``.
         """
-        if max_steps < 0:
-            raise ValueError("max_steps must be non-negative")
-        if schedule is not None:
-            if scheduler is not None:
-                raise ValueError("pass either schedule or scheduler, not both")
-            if schedule.n_nodes != self.graph.n_nodes:
-                raise ValueError(
-                    f"schedule universe has {schedule.n_nodes} nodes, "
-                    f"graph has {self.graph.n_nodes}"
-                )
+        from ..runtime import compile_plan, execute_plan
+
         engine = self.engine if engine is None else engine
         backend = self.backend if backend is None else backend
         max_states = self.max_states if max_states is None else max_states
-        if engine not in ENGINES:
-            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
-        if engine != "reference":
-            scheduler_ok = scheduler is None or hasattr(scheduler, "next_arrays")
-            if not scheduler_ok and engine == "compiled":
-                raise ValueError(
-                    "engine='compiled' requires a scheduler with next_arrays(); "
-                    "use the reference engine for replayed schedules"
-                )
-            if engine == "auto" and not self._auto_prefers_compiled(max_states):
-                scheduler_ok = False
-            if scheduler_ok:
-                from ..engine.compiler import ProtocolCompilationError
-
-                # A mid-run compilation failure cannot fall back cleanly when
-                # the scheduler stream is not re-creatable from a seed.
-                import numpy as _np
-
-                replayable = scheduler is None and not isinstance(
-                    self._rng, _np.random.Generator
-                )
-                try:
-                    return self._run_compiled(
-                        max_steps=max_steps,
-                        inputs=inputs,
-                        check_interval=check_interval,
-                        scheduler=scheduler,
-                        record_leader_trace=record_leader_trace,
-                        trace_resolution=trace_resolution,
-                        backend=backend,
-                        max_states=max_states,
-                        schedule=schedule,
-                    )
-                except ProtocolCompilationError:
-                    if engine == "compiled" or not replayable:
-                        raise
-        graph = self.graph
-        certificate_graph = schedule.union_graph() if schedule is not None else graph
-        protocol = self.protocol
-        n = graph.n_nodes
-        if inputs is None:
-            states: List[Hashable] = [protocol.initial_state(None)] * n
-        else:
-            if len(inputs) != n:
-                raise ValueError("inputs must provide one symbol per node")
-            states = [protocol.initial_state(symbol) for symbol in inputs]
-        if check_interval is None:
-            check_interval = default_check_interval(graph)
-        check_interval = max(1, int(check_interval))
-
-        transition = protocol.transition
-        output = protocol.output
-        use_cache = protocol.cacheable_transitions
-        transition_cache: Dict[Tuple[Hashable, Hashable], Tuple[Hashable, Hashable]] = {}
-
-        observed_states = set(states)
-        outputs = [output(s) for s in states]
-        last_output_change = 0
-        leader_count = sum(1 for o in outputs if o == LEADER)
-        trace: List[Tuple[int, int]] = []
-        trace_every = max(1, max_steps // max(trace_resolution, 1)) if record_leader_trace else 0
-        next_trace_step = 0
-
-        start_time = time.perf_counter()
-        step = 0
-        stabilized = False
-        certified_step = 0
-
-        if record_leader_trace:
-            trace.append((0, leader_count))
-            next_trace_step = trace_every
-
-        # Check the initial configuration too (stars stabilize in one step,
-        # and n == 1 graphs are stable immediately).
-        if protocol.is_output_stable_configuration(states, certificate_graph):
-            stabilized = True
-            certified_step = 0
-
-        if not stabilized and step < max_steps and scheduler is None:
-            # Created lazily so that trivially-stable single-node runs do not
-            # require a schedulable (edge-carrying) graph.
-            scheduler = self._make_scheduler(schedule)
-
-        while not stabilized and step < max_steps:
-            batch = min(check_interval, max_steps - step)
-            interactions = scheduler.next_batch(batch)
-            for initiator, responder in interactions:
-                step += 1
-                a = states[initiator]
-                b = states[responder]
-                if use_cache:
-                    key = (a, b)
-                    cached = transition_cache.get(key)
-                    if cached is None:
-                        cached = transition(a, b)
-                        transition_cache[key] = cached
-                    new_a, new_b = cached
-                else:
-                    new_a, new_b = transition(a, b)
-                if new_a is not a:
-                    states[initiator] = new_a
-                    observed_states.add(new_a)
-                    out_a = output(new_a)
-                    if out_a != outputs[initiator]:
-                        if out_a == LEADER:
-                            leader_count += 1
-                        elif outputs[initiator] == LEADER:
-                            leader_count -= 1
-                        outputs[initiator] = out_a
-                        last_output_change = step
-                if new_b is not b:
-                    states[responder] = new_b
-                    observed_states.add(new_b)
-                    out_b = output(new_b)
-                    if out_b != outputs[responder]:
-                        if out_b == LEADER:
-                            leader_count += 1
-                        elif outputs[responder] == LEADER:
-                            leader_count -= 1
-                        outputs[responder] = out_b
-                        last_output_change = step
-                if record_leader_trace and step >= next_trace_step:
-                    trace.append((step, leader_count))
-                    next_trace_step += trace_every
-            if protocol.is_output_stable_configuration(states, certificate_graph):
-                stabilized = True
-                certified_step = step
-
-        wall = time.perf_counter() - start_time
-        final = Configuration(states, step=step)
-        if record_leader_trace and (not trace or trace[-1][0] != step):
-            trace.append((step, leader_count))
-        return SimulationResult(
-            stabilized=stabilized,
-            certified_step=certified_step if stabilized else step,
-            last_output_change_step=last_output_change,
-            steps_executed=step,
-            leaders=leader_count,
-            final_configuration=final,
-            distinct_states_observed=len(observed_states),
-            leader_trace=trace,
-            wall_time_seconds=wall,
-        )
-
-    def _make_scheduler(self, schedule: Optional["TopologySchedule"]) -> Scheduler:
-        """The default scheduler: dynamic when a schedule is given."""
-        if schedule is not None:
-            from ..dynamics.scheduler import DynamicScheduler
-
-            return DynamicScheduler(schedule, rng=self._rng)
-        return RandomScheduler(self.graph, rng=self._rng)
-
-    def _auto_prefers_compiled(self, max_states: Optional[int]) -> bool:
-        """Whether ``engine="auto"`` should try the compiled engine.
-
-        See :func:`repro.engine.compiler.compilation_worthwhile`;
-        ``engine="compiled"`` bypasses this heuristic.
-        """
-        from ..engine.compiler import compilation_worthwhile
-
-        return compilation_worthwhile(self.protocol, max_states)
-
-    def _run_compiled(
-        self,
-        max_steps: int,
-        inputs: Optional[Sequence[Any]],
-        check_interval: Optional[int],
-        scheduler: Optional[Scheduler],
-        record_leader_trace: bool,
-        trace_resolution: int,
-        backend: str,
-        max_states: Optional[int],
-        schedule: Optional["TopologySchedule"] = None,
-    ) -> SimulationResult:
-        """Compiled-engine twin of :meth:`run` (identical semantics).
-
-        The loop structure mirrors the reference interpreter exactly: same
-        initial certificate check, same lazily created scheduler, same
-        ``min(check_interval, remaining)`` batch sizes (so the scheduler's
-        RNG stream is consumed identically), and the same certificate
-        cadence.  Only the inner per-interaction application is replaced by
-        :class:`repro.engine.stepper.CompiledRun`.
-        """
-        from ..engine.compiler import DEFAULT_MAX_STATES, get_compiled
-        from ..engine.stepper import CompiledRun
-
-        graph = self.graph
-        protocol = self.protocol
-        n = graph.n_nodes
-        if inputs is None:
-            states: List[Hashable] = [protocol.initial_state(None)] * n
-        else:
-            if len(inputs) != n:
-                raise ValueError("inputs must provide one symbol per node")
-            states = [protocol.initial_state(symbol) for symbol in inputs]
-        if check_interval is None:
-            check_interval = default_check_interval(graph)
-        check_interval = max(1, int(check_interval))
-
-        compiled = get_compiled(
-            protocol, max_states=max_states if max_states is not None else DEFAULT_MAX_STATES
-        )
-        start_time = time.perf_counter()
-        trace_every = (
-            max(1, max_steps // max(trace_resolution, 1)) if record_leader_trace else 0
-        )
-        run = CompiledRun(
-            compiled,
-            compiled.encode(states),
+        plan = compile_plan(
+            [self.protocol],
+            self.graph,
+            [self._rng],
+            max_steps=max_steps,
+            engine=engine,
             backend=backend,
-            record_trace=record_leader_trace,
-            trace_every=trace_every,
+            check_interval=check_interval,
+            schedule=schedule,
+            inputs=inputs,
+            max_states=max_states,
+            scheduler=scheduler,
+            record_leader_trace=record_leader_trace,
+            trace_resolution=trace_resolution,
         )
-
-        stabilized = False
-        certified_step = 0
-        certificate_graph = schedule.union_graph() if schedule is not None else graph
-        if protocol.is_output_stable_configuration(states, certificate_graph):
-            stabilized = True
-
-        if not stabilized and run.step < max_steps and scheduler is None:
-            scheduler = self._make_scheduler(schedule)
-
-        while not stabilized and run.step < max_steps:
-            batch = min(check_interval, max_steps - run.step)
-            initiators, responders = scheduler.next_arrays(batch)
-            run.apply_block(initiators, responders)
-            if protocol.is_output_stable_configuration(run.current_states(), certificate_graph):
-                stabilized = True
-                certified_step = run.step
-
-        wall = time.perf_counter() - start_time
-        final = Configuration(run.current_states(), step=run.step)
-        trace = run.trace
-        if record_leader_trace and (not trace or trace[-1][0] != run.step):
-            trace.append((run.step, run.leader_count))
-        return SimulationResult(
-            stabilized=stabilized,
-            certified_step=certified_step if stabilized else run.step,
-            last_output_change_step=run.last_change,
-            steps_executed=run.step,
-            leaders=run.leader_count,
-            final_configuration=final,
-            distinct_states_observed=run.distinct_observed(),
-            leader_trace=trace,
-            wall_time_seconds=wall,
-        )
+        return execute_plan(plan)[0]
 
     def run_fixed_schedule(
         self,

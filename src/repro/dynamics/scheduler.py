@@ -6,16 +6,18 @@ an ordered pair ``(u, v)`` uniformly among the ``2·m_k`` ordered pairs of
 the **currently active** epoch graph (a uniform edge of that graph plus a
 uniform orientation).
 
-Both schedulers share :class:`repro.core.scheduler.BufferedSampler`'s
-consume loops, so the seeded-stream contract — refills happen only on an
-empty buffer, with the same two-call ``integers(0, m) / integers(0, 2)``
-draw order — is defined once.  The only dynamic addition is that a
-refill is **capped at the current epoch boundary**: a pre-sample buffer
-never crosses an epoch switch, so every draw is made against the edge
-table it will be applied to.  For a single-epoch schedule no cap ever
-applies, so the stream — and therefore every downstream seeded result —
-is bit-identical to ``RandomScheduler(graph, rng=seed)`` on the same
-seed.
+Both schedulers are shells over the same
+:class:`repro.runtime.source.InteractionSource`, so the seeded-stream
+contract — refills happen only on an empty buffer, with the same
+two-call ``integers(0, m) / integers(0, 2)`` draw order and the
+refill size single-sourced in :data:`repro.runtime.source.REFILL_SIZE` —
+is defined once.  The only dynamic addition (also implemented in the
+shared source) is that a refill is **capped at the current epoch
+boundary**: a pre-sample buffer never crosses an epoch switch, so every
+draw is made against the edge table it will be applied to.  For a
+single-epoch schedule no cap ever applies, so the stream — and therefore
+every downstream seeded result — is bit-identical to
+``RandomScheduler(graph, rng=seed)`` on the same seed.
 
 All three compiled-engine backends (native / vector / scalar) consume
 this scheduler through the same :meth:`next_arrays` batches the static
@@ -24,8 +26,6 @@ for free.
 """
 
 from __future__ import annotations
-
-from typing import Optional
 
 from ..core.scheduler import _DEFAULT_BATCH, BufferedSampler
 from ..graphs.graph import Graph
@@ -53,34 +53,15 @@ class DynamicScheduler(BufferedSampler):
         rng: RngLike = None,
         batch_size: int = _DEFAULT_BATCH,
     ) -> None:
-        super().__init__(rng, batch_size)
-        self._schedule = schedule
-        # Active-epoch edge tables; refreshed lazily at epoch boundaries.
-        self._epoch_graph: Optional[Graph] = None
-        self._epoch_end: Optional[int] = 0  # 0 forces activation on first refill
+        super().__init__(schedule, rng=rng, batch_size=batch_size)
 
     @property
     def schedule(self) -> TopologySchedule:
         """The topology schedule being sampled."""
+        assert self._schedule is not None
         return self._schedule
 
     @property
     def graph(self) -> Graph:
         """The epoch graph the *next* interaction will be drawn from."""
-        if self._cursor < self._buffer_initiators.shape[0]:
-            assert self._epoch_graph is not None
-            return self._epoch_graph
-        return self._schedule.graph_at(self._position)
-
-    def _refill(self, minimum: int) -> None:
-        position = self._position
-        if self._epoch_end is not None and position >= self._epoch_end:
-            _, _, end = self._schedule.epoch_at(position)
-            self._epoch_graph = self._schedule.graph_at(position)
-            self._epoch_end = end
-        graph = self._epoch_graph
-        assert graph is not None
-        size = max(self._batch_size, minimum)
-        if self._epoch_end is not None:
-            size = min(size, self._epoch_end - position)
-        self._fill_buffer_from_edges(graph.edges_u, graph.edges_v, size)
+        return self.active_graph

@@ -13,12 +13,12 @@ equivalent backends (:mod:`repro.engine.stepper`):
 * ``scalar`` — a tight Python loop over integer state codes.
 
 :mod:`repro.engine.replicas` runs R independent replicas of the same
-(graph, protocol) pair through one compiled table set — sequentially via
-the single-run engine by default (fastest on stabilization workloads,
-whose replicas stop at widely different steps), or stacked into one
-``(R, n)`` lockstep state array with ``mode="lockstep"`` for wide stacks
-of fixed-length executions.  The experiment harness routes repeated
-Monte-Carlo trials through it.
+(graph, protocol) pair through one compiled table set — by default as a
+replica-batched stack in which one ``repro_run_multi`` kernel call
+advances every replica through a whole certificate-cadence block (see
+:mod:`repro.runtime.execute`), with an exact sequential fallback when no
+C compiler is available.  The experiment harness routes repeated
+Monte-Carlo trials through the same execution plans.
 
 All backends reproduce the reference simulator's sequential semantics
 bit-for-bit: same scheduler stream, same stabilization step, same output

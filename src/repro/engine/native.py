@@ -24,7 +24,7 @@ import shutil
 import subprocess
 from typing import Optional
 
-_KERNEL_VERSION = 4
+_KERNEL_VERSION = 5
 
 _KERNEL_SOURCE = r"""
 #include <stdint.h>
@@ -111,6 +111,72 @@ int64_t repro_broadcast_block(uint8_t *informed,
     }
     *count_io = count;
     return i;
+}
+
+/* One certificate-cadence block of R replica-batched protocol runs.
+ *
+ * Replica r owns row r of the (nrep x n) codes matrix and row r of the
+ * (nrep x nsteps) draws matrix — its private scheduler stream as raw
+ * directed pair indices, decoded through the shared endpoint tables
+ * du/dv (length 2m).  Rows are fully independent; each is applied
+ * strictly in order with the same table entries and bookkeeping as
+ * repro_run_block, so results are bit-identical to nrep separate runs.
+ *
+ * positions[r] is the per-replica resume offset (0 on entry).  A row
+ * stops early at a missing table entry; the caller fills the pair
+ * (possibly growing the tables), refreshes dpack/k/kshift/seen and
+ * re-invokes — rows already at nsteps are skipped for free.
+ */
+void repro_run_multi(int64_t *codes,
+                     const int64_t *draws,
+                     const int64_t *du,
+                     const int64_t *dv,
+                     int64_t nrep,
+                     int64_t nsteps,
+                     int64_t n,
+                     const int32_t *dpack,
+                     int64_t k,
+                     int32_t kshift,
+                     uint8_t *seen,
+                     int64_t step0,
+                     int64_t *positions,
+                     int64_t *last_change,
+                     int64_t *leaders)
+{
+    const int64_t kmask = k - 1;
+    int64_t r;
+    for (r = 0; r < nrep; r++) {
+        int64_t *row_codes = codes + r * n;
+        const int64_t *row = draws + r * nsteps;
+        uint8_t *row_seen = seen + r * k;
+        int64_t last = last_change[r];
+        int64_t lead = leaders[r];
+        int64_t i;
+        for (i = positions[r]; i < nsteps; i++) {
+            int64_t idx = row[i];
+            int64_t u = du[idx];
+            int64_t v = dv[idx];
+            int64_t a = row_codes[u];
+            int64_t b = row_codes[v];
+            int32_t pk = dpack[a * k + b];
+            int64_t val, na, nb;
+            if (pk < 0)
+                break;
+            val = (int64_t)(pk >> 4);
+            na = val >> kshift;
+            nb = val & kmask;
+            row_codes[u] = na;
+            row_codes[v] = nb;
+            row_seen[na] = 1;
+            row_seen[nb] = 1;
+            if (pk & 1)
+                last = step0 + i + 1;
+            lead += ((pk >> 1) & 7) - 2;
+        }
+        positions[r] = i;
+        last_change[r] = last;
+        leaders[r] = lead;
+    }
 }
 
 /* One block of R replica-batched single-source epidemics.
@@ -302,6 +368,25 @@ def _compile_kernel() -> Optional[ctypes.CDLL]:
         ctypes.c_void_p,  # counts (nrep)
         ctypes.c_void_p,  # finish (nrep)
     ]
+    run_multi = library.repro_run_multi
+    run_multi.restype = None
+    run_multi.argtypes = [
+        ctypes.c_void_p,  # codes (nrep x n)
+        ctypes.c_void_p,  # draws (nrep x nsteps)
+        ctypes.c_void_p,  # du (2m)
+        ctypes.c_void_p,  # dv (2m)
+        ctypes.c_int64,  # nrep
+        ctypes.c_int64,  # nsteps
+        ctypes.c_int64,  # n
+        ctypes.c_void_p,  # dpack
+        ctypes.c_int64,  # k
+        ctypes.c_int32,  # kshift
+        ctypes.c_void_p,  # seen (nrep x k)
+        ctypes.c_int64,  # step0
+        ctypes.c_void_p,  # positions (nrep)
+        ctypes.c_void_p,  # last_change (nrep)
+        ctypes.c_void_p,  # leaders (nrep)
+    ]
     influence_multi = library.repro_influence_multi
     influence_multi.restype = ctypes.c_int64
     influence_multi.argtypes = [
@@ -318,7 +403,7 @@ def _compile_kernel() -> Optional[ctypes.CDLL]:
         ctypes.c_void_p,  # counts (nrep)
         ctypes.c_void_p,  # finish (nrep)
     ]
-    return run_block, broadcast_block, broadcast_multi, influence_multi
+    return run_block, broadcast_block, broadcast_multi, influence_multi, run_multi
 
 
 def _kernels():
@@ -357,6 +442,12 @@ def get_influence_multi_kernel():
     """The compiled replica-batched influence entry point, or ``None``."""
     kernels = _kernels()
     return None if kernels is None else kernels[3]
+
+
+def get_run_multi_kernel():
+    """The compiled replica-batched protocol-stepping entry point, or ``None``."""
+    kernels = _kernels()
+    return None if kernels is None else kernels[4]
 
 
 def reset_kernel_cache() -> None:

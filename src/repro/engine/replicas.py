@@ -2,49 +2,41 @@
 
 Monte-Carlo experiments run the same protocol on the same graph many times
 with different seeds.  :func:`run_replicas` executes R such replicas as
-*one* stacked computation: the configurations live in a single flat
-``(R * n)`` code array, every replica draws from its own independent
-scheduler stream, and at each time step the engine applies interaction
-``t`` of **all** replicas with one set of array operations.  Replicas never
-share nodes, so the stacked update is conflict-free by construction while
-each replica's sequence is applied strictly in order — semantics are
-bit-identical to R separate reference runs with the same seeds.
+*one* :class:`~repro.runtime.plan.ExecutionPlan`: the plan compiles the
+protocol's transition tables once and the runtime executors
+(:mod:`repro.runtime.execute`) run every replica against them — either
+through the replica-batched stack, which advances all replicas one
+certificate-cadence block at a time with a single C-kernel call per
+block, or replica by replica through the compiled single-run engine.
+Every replica draws from its own independent scheduler stream, so both
+strategies are bit-identical to R separate reference runs with the same
+seeds.
 
-Stability certificates are evaluated at the same ``check_interval`` cadence
-as the reference simulator; a replica whose certificate fires drops out of
-the stack (its scheduler stops being consumed) and the remaining replicas
-continue.
-
-On stabilization workloads replicas stop at widely different steps, so the
-stack thins out and sequential execution through the compiled single-run
-engine (the native kernel where available, the scalar table loop
-otherwise) is usually faster end to end; ``mode="auto"`` therefore runs
-sequentially, and ``mode="lockstep"`` opts into the stacked path, which
-wins for wide stacks of fixed-length executions.  Both are exact.
+Stability certificates are evaluated at the same ``check_interval``
+cadence as the reference simulator; in the stacked path a replica whose
+certificate fires drops out of the stack (its scheduler stops being
+consumed) and the remaining replicas continue.  ``drain_width`` hands
+the last few stragglers to the sequential engine mid-run; with the
+kernel-blocked stack this is an optimisation knob only — results are
+identical for every value.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Any, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, List, Optional, Sequence
 
-import numpy as np
-
-from ..core.configuration import Configuration
-from ..graphs.graph import Graph
 from ..core.protocol import PopulationProtocol
-from ..core.scheduler import RandomScheduler
-from .compiler import DEFAULT_MAX_STATES, CompiledProtocol, get_compiled
+from ..graphs.graph import Graph
+from .compiler import DEFAULT_MAX_STATES
 
-#: Sustained stack width needed for the lockstep path to beat the
-#: sequential scalar loop (NumPy call overhead, ~5µs per time step, is
-#: paid per *stack*; the scalar loop costs ~0.2µs per step).  Stabilizing
-#: replicas shrink the stack over time, so this is a width the stack must
-#: *hold*, not a launch width.
-LOCKSTEP_MIN_REPLICAS = 32
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.simulator import SimulationResult
 
-#: Once this few replicas remain active, the lockstep loop hands the
-#: stragglers to the sequential single-run engine.
+#: Historical default for handing lockstep stragglers to the sequential
+#: engine.  The kernel-blocked stack no longer needs a wide drain (its
+#: per-block overhead is paid once per stack, not per step), so the
+#: default plan drains only below this width when ``mode="lockstep"`` is
+#: requested explicitly; ``mode="auto"`` never drains.
 LOCKSTEP_DRAIN_WIDTH = 24
 
 
@@ -58,7 +50,7 @@ def run_replicas(
     mode: str = "auto",
     backend: str = "auto",
     max_states: int = DEFAULT_MAX_STATES,
-    drain_width: int = LOCKSTEP_DRAIN_WIDTH,
+    drain_width: Optional[int] = None,
 ) -> List["SimulationResult"]:
     """Run one replica per seed; results match the reference runs exactly.
 
@@ -71,12 +63,19 @@ def run_replicas(
     max_steps / inputs / check_interval:
         As in :meth:`repro.core.simulator.Simulator.run`.
     mode:
-        ``"lockstep"`` stacks all replicas into one ``(R, n)`` computation;
-        ``"sequential"`` runs them one at a time through the compiled
-        single-run engine; ``"auto"`` chooses.
+        ``"auto"`` (default) uses the replica-batched stack whenever the
+        multi-replica kernel is available and falls back to sequential
+        execution otherwise; ``"lockstep"`` requests the stack
+        explicitly (with the historical straggler drain); ``"sequential"``
+        runs replicas one at a time through the compiled single-run
+        engine.  All modes are exact — they differ in wall time only.
     backend:
-        Backend forwarded to sequential runs (see
+        Backend forwarded to single-replica runs (see
         :class:`~repro.engine.stepper.CompiledRun`).
+    drain_width:
+        Stack width at or below which remaining replicas are handed to
+        the sequential engine (``mode="lockstep"`` defaults to
+        :data:`LOCKSTEP_DRAIN_WIDTH`, ``mode="auto"`` to 0).
     """
     if max_steps < 0:
         raise ValueError("max_steps must be non-negative")
@@ -85,271 +84,21 @@ def run_replicas(
         return []
     if mode not in ("auto", "lockstep", "sequential"):
         raise ValueError(f"unknown replica mode {mode!r}")
-    if mode == "auto":
-        # Sequential execution through the compiled single-run engine wins
-        # on stabilization workloads: replicas stop at widely different
-        # steps, so a lockstep stack spends most of its time under-filled.
-        # Lockstep (mode="lockstep") pays off for wide stacks of
-        # fixed-length executions; see docs/BENCHMARKS.md for measurements.
-        mode = "sequential"
-    if mode == "sequential":
-        from ..core.simulator import Simulator
+    if drain_width is None:
+        drain_width = LOCKSTEP_DRAIN_WIDTH if mode == "lockstep" else 0
+    from ..runtime import compile_plan, execute_plan
 
-        results = []
-        for seed in seeds:
-            simulator = Simulator(graph, protocol, rng=seed)
-            results.append(
-                simulator.run(
-                    max_steps=max_steps,
-                    inputs=inputs,
-                    check_interval=check_interval,
-                    engine="compiled",
-                    backend=backend,
-                    max_states=max_states,
-                )
-            )
-        return results
-    compiled = get_compiled(protocol, max_states=max_states)
-    return _run_lockstep(
-        protocol,
+    plan = compile_plan(
+        [protocol] * len(seeds),
         graph,
         seeds,
-        max_steps,
-        inputs,
-        check_interval,
-        compiled,
-        drain_width,
-        backend,
+        max_steps=max_steps,
+        engine="compiled",
+        backend=backend,
+        check_interval=check_interval,
+        inputs=inputs,
+        max_states=max_states,
+        replica_mode=mode,
+        drain_width=int(drain_width),
     )
-
-
-def _run_lockstep(
-    protocol: PopulationProtocol,
-    graph: Graph,
-    seeds: Sequence[Any],
-    max_steps: int,
-    inputs: Optional[Sequence[Any]],
-    check_interval: Optional[int],
-    compiled: CompiledProtocol,
-    drain_width: int = LOCKSTEP_DRAIN_WIDTH,
-    backend: str = "auto",
-) -> List["SimulationResult"]:
-    from ..core.simulator import SimulationResult
-
-    n = graph.n_nodes
-    replica_count = len(seeds)
-    if inputs is None:
-        initial_states = [protocol.initial_state(None)] * n
-    else:
-        if len(inputs) != n:
-            raise ValueError("inputs must provide one symbol per node")
-        initial_states = [protocol.initial_state(symbol) for symbol in inputs]
-    if check_interval is None:
-        from ..core.simulator import default_check_interval
-
-        check_interval = default_check_interval(graph)
-    check_interval = max(1, int(check_interval))
-
-    start_time = time.perf_counter()
-    initial_codes = compiled.encode(initial_states)
-    initial_leaders = compiled.leader_count(initial_codes)
-    results: List[Optional[SimulationResult]] = [None] * replica_count
-
-    def finalize(codes_row: np.ndarray, stabilized: bool, step: int, last_change: int, distinct: int) -> SimulationResult:
-        decoded = compiled.decode_codes(codes_row)
-        return SimulationResult(
-            stabilized=stabilized,
-            certified_step=step,
-            last_output_change_step=last_change,
-            steps_executed=step,
-            leaders=compiled.leader_count(codes_row),
-            final_configuration=Configuration(decoded, step=step),
-            distinct_states_observed=distinct,
-            leader_trace=[],
-            wall_time_seconds=0.0,
-        )
-
-    initially_stable = protocol.is_output_stable_configuration(initial_states, graph)
-    if initially_stable or max_steps == 0:
-        wall = time.perf_counter() - start_time
-        distinct = int(np.unique(initial_codes).size)
-        for index in range(replica_count):
-            result = finalize(initial_codes, initially_stable, 0, 0, distinct)
-            result.certified_step = 0
-            result.leaders = initial_leaders
-            result.wall_time_seconds = wall / replica_count
-            results[index] = result
-        return results  # type: ignore[return-value]
-
-    schedulers = [RandomScheduler(graph, rng=seed) for seed in seeds]
-    flat = np.tile(np.ascontiguousarray(initial_codes, dtype=np.int64), replica_count)
-    seen = np.zeros((replica_count, compiled.stride), dtype=bool)
-    seen[:, np.unique(initial_codes)] = True
-    last_change = np.zeros(replica_count, dtype=np.int64)
-    active = list(range(replica_count))
-    step = 0
-
-    while active and step < max_steps:
-        if len(active) <= drain_width:
-            # Straggler drain: per-step NumPy overhead is paid per stack,
-            # so finish the few remaining replicas sequentially, each
-            # continuing its own scheduler stream in place.
-            for replica in active:
-                results[replica] = _drain_replica(
-                    protocol,
-                    graph,
-                    compiled,
-                    schedulers[replica],
-                    flat[replica * n : (replica + 1) * n],
-                    step,
-                    int(last_change[replica]),
-                    seen[replica],
-                    max_steps,
-                    check_interval,
-                    backend,
-                )
-            active = []
-            break
-        chunk = min(check_interval, max_steps - step)
-        width = len(active)
-        fu = np.empty((chunk, width), dtype=np.int64)
-        fv = np.empty((chunk, width), dtype=np.int64)
-        for column, replica in enumerate(active):
-            iu, iv = schedulers[replica].next_arrays(chunk)
-            offset = replica * n
-            fu[:, column] = iu + offset
-            fv[:, column] = iv + offset
-        pre_a = np.empty((chunk, width), dtype=np.int64)
-        pre_b = np.empty((chunk, width), dtype=np.int64)
-        post_a = np.empty((chunk, width), dtype=np.int64)
-        post_b = np.empty((chunk, width), dtype=np.int64)
-        table = compiled.dpack
-        stride = compiled.stride
-        kshift = compiled.kshift
-        kmask = stride - 1
-        complete = compiled.tables_complete
-        for t in range(chunk):
-            row_u = fu[t]
-            row_v = fv[t]
-            a = flat[row_u]
-            b = flat[row_v]
-            if complete:
-                packed = table[a * stride + b]
-            else:
-                packed = compiled.lookup_block(a, b)
-                table = compiled.dpack
-                stride = compiled.stride
-                kshift = compiled.kshift
-                kmask = stride - 1
-                complete = compiled.tables_complete
-            successors = packed >> 4
-            na = successors >> kshift
-            nb = successors & kmask
-            flat[row_u] = na
-            flat[row_v] = nb
-            pre_a[t] = a
-            pre_b[t] = b
-            post_a[t] = na
-            post_b[t] = nb
-        previous_step = step
-        step += chunk
-
-        out = compiled.out_np
-        changed = (out[post_a] != out[pre_a]) | (out[post_b] != out[pre_b])
-        changed_any = changed.any(axis=0)
-        if changed_any.any():
-            # Last changing time step per column (argmax on the reversed
-            # column finds the first True from the bottom).
-            last_t = chunk - 1 - np.argmax(changed[::-1], axis=0)
-            for column in np.nonzero(changed_any)[0].tolist():
-                last_change[active[column]] = previous_step + int(last_t[column]) + 1
-        if seen.shape[1] < compiled.stride:
-            grown = np.zeros((replica_count, compiled.stride), dtype=bool)
-            grown[:, : seen.shape[1]] = seen
-            seen = grown
-        rows = np.asarray(active, dtype=np.int64)[None, :]
-        seen[rows, post_a] = True
-        seen[rows, post_b] = True
-
-        still_active = []
-        for replica in active:
-            row_codes = flat[replica * n : (replica + 1) * n]
-            decoded = compiled.decode_codes(row_codes)
-            if protocol.is_output_stable_configuration(decoded, graph):
-                results[replica] = finalize(
-                    row_codes,
-                    True,
-                    step,
-                    int(last_change[replica]),
-                    int(seen[replica].sum()),
-                )
-            else:
-                still_active.append(replica)
-        active = still_active
-
-    for replica in active:
-        row_codes = flat[replica * n : (replica + 1) * n]
-        results[replica] = finalize(
-            row_codes,
-            False,
-            step,
-            int(last_change[replica]),
-            int(seen[replica].sum()),
-        )
-
-    wall = time.perf_counter() - start_time
-    for result in results:
-        assert result is not None
-        result.wall_time_seconds = wall / replica_count
-    return results  # type: ignore[return-value]
-
-
-def _drain_replica(
-    protocol: PopulationProtocol,
-    graph: Graph,
-    compiled: CompiledProtocol,
-    scheduler: RandomScheduler,
-    codes_row: np.ndarray,
-    step: int,
-    last_change: int,
-    seen_row: np.ndarray,
-    max_steps: int,
-    check_interval: int,
-    backend: str = "auto",
-) -> "SimulationResult":
-    """Finish one replica sequentially from mid-run lockstep state.
-
-    Continues the replica's own scheduler stream and certificate cadence,
-    so the result is still identical to a standalone reference run.
-    """
-    from ..core.simulator import SimulationResult
-    from .stepper import CompiledRun
-
-    run = CompiledRun(
-        compiled, np.ascontiguousarray(codes_row, dtype=np.int64), backend=backend
-    )
-    run.step = step
-    run.last_change = last_change
-    stabilized = False
-    certified_step = 0
-    while not stabilized and run.step < max_steps:
-        batch = min(check_interval, max_steps - run.step)
-        initiators, responders = scheduler.next_arrays(batch)
-        run.apply_block(initiators, responders)
-        if protocol.is_output_stable_configuration(run.current_states(), graph):
-            stabilized = True
-            certified_step = run.step
-    decoded = run.current_states()
-    seen_mask = run.seen_codes_mask(minimum_length=seen_row.shape[0])
-    seen_mask[: seen_row.shape[0]] |= seen_row
-    return SimulationResult(
-        stabilized=stabilized,
-        certified_step=certified_step if stabilized else run.step,
-        last_output_change_step=run.last_change,
-        steps_executed=run.step,
-        leaders=run.leader_count,
-        final_configuration=Configuration(decoded, step=run.step),
-        distinct_states_observed=int(seen_mask.sum()),
-        leader_trace=[],
-        wall_time_seconds=0.0,
-    )
+    return execute_plan(plan)

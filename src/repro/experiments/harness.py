@@ -25,8 +25,7 @@ from ..analysis.estimators import SummaryStatistics, summarize_samples
 from ..analysis.scaling import PowerLawFit, fit_power_law
 from ..core.protocol import PopulationProtocol
 from ..core.seeds import graph_seed, measure_seed, trial_seed
-from ..core.simulator import SimulationResult, default_max_steps, run_leader_election
-from ..engine import ProtocolCompilationError, run_replicas
+from ..core.simulator import SimulationResult, default_max_steps
 from ..graphs.graph import Graph
 from ..propagation.broadcast import broadcast_time_estimate
 from ..protocols.fast import FastLeaderElection
@@ -195,6 +194,11 @@ class Measurement:
     max_states_observed: int
     state_space_size: Optional[int]
     results: List[SimulationResult] = field(default_factory=list)
+    #: Total wall-clock seconds spent executing the trials (sum of the
+    #: per-trial ``wall_time_seconds``; replicas run in a batched stack
+    #: report the stack's wall time split evenly).  Provenance, not a
+    #: measured value — excluded from canonical scenario aggregates.
+    wall_time_seconds: float = 0.0
 
     def as_dict(self) -> dict:
         """Flat dictionary used by the report renderer."""
@@ -208,6 +212,7 @@ class Measurement:
             "success_rate": self.success_rate,
             "states_observed": self.max_states_observed,
             "state_space_size": self.state_space_size,
+            "wall_time_seconds": self.wall_time_seconds,
         }
 
 
@@ -218,7 +223,14 @@ TrialRecord = dict
 
 
 def trial_record_from_result(result: SimulationResult) -> TrialRecord:
-    """Reduce one :class:`SimulationResult` to its JSON-native record."""
+    """Reduce one :class:`SimulationResult` to its JSON-native record.
+
+    ``wall_time_seconds`` (added in result schema v3) is provenance: it
+    is persisted per trial and surfaced through
+    :attr:`Measurement.wall_time_seconds`, but never enters canonical
+    scenario aggregates, which must stay byte-identical across execution
+    plans.
+    """
     return {
         "stabilization_step": int(result.stabilization_step),
         "certified_step": int(result.certified_step),
@@ -226,6 +238,7 @@ def trial_record_from_result(result: SimulationResult) -> TrialRecord:
         "stabilized": bool(result.stabilized),
         "leaders": int(result.leaders),
         "distinct_states": int(result.distinct_states_observed),
+        "wall_time_seconds": float(result.wall_time_seconds),
     }
 
 
@@ -236,6 +249,7 @@ TRIAL_RECORD_FIELDS = (
     "stabilized",
     "leaders",
     "distinct_states",
+    "wall_time_seconds",
 )
 
 
@@ -252,6 +266,7 @@ def measurement_from_records(
     stabilization = [float(max(r["stabilization_step"], 1)) for r in records]
     certified = [float(max(r["certified_step"], 1)) for r in records]
     successes = sum(int(r["stabilized"] and r["leaders"] == 1) for r in records)
+    wall = sum(float(r.get("wall_time_seconds", 0.0)) for r in records)
     return Measurement(
         protocol_name=protocol_name,
         graph_name=graph.name,
@@ -263,6 +278,7 @@ def measurement_from_records(
         max_states_observed=max(r["distinct_states"] for r in records),
         state_space_size=state_space_size,
         results=list(results) if results is not None else [],
+        wall_time_seconds=wall,
     )
 
 
@@ -292,65 +308,62 @@ def run_measurement_trials(
     persists it alongside the trial records).
     """
     run_seeds = [trial_seed(seed, index) for index in trial_indices]
+    return run_trials_with_seeds(
+        spec,
+        graph,
+        run_seeds,
+        max_steps=max_steps,
+        engine=engine,
+        backend=backend,
+        schedule=schedule,
+    )
+
+
+def run_trials_with_seeds(
+    spec: ProtocolSpec,
+    graph: Graph,
+    run_seeds: Sequence[int],
+    max_steps: Optional[int] = None,
+    engine: str = "auto",
+    backend: str = "auto",
+    schedule: Optional["TopologySchedule"] = None,
+) -> Tuple[List[SimulationResult], Optional[int]]:
+    """Execute trials whose scheduler seeds are already derived.
+
+    This is the seed-level entry point the orchestrator ships to its
+    worker shards (a unit plan carries explicit seeds, so workers never
+    re-derive them); :func:`run_measurement_trials` is the index-level
+    wrapper.  Protocol instantiation still happens here — the fast
+    protocol's ``batch_factory`` runs all trials' ``B(G)`` epidemics in
+    one replica stack — and execution goes through a single
+    :class:`~repro.runtime.plan.ExecutionPlan`: one engine resolution,
+    one shared table set, and by default the replica-batched stack that
+    advances every trial of the measurement in lockstep blocks
+    (heterogeneous protocol instances, dynamic topologies and the
+    reference engine fall back to per-trial execution inside the same
+    plan).  Results are bit-identical for every execution strategy.
+    """
+    run_seeds = list(run_seeds)
     if spec.batch_factory is not None and len(run_seeds) > 1:
         protocols = spec.batch_factory(graph, run_seeds)
     else:
         protocols = [spec.factory(graph, run_seed) for run_seed in run_seeds]
     state_space = protocols[0].state_space_size() if protocols else None
-    results = _run_measurement_batch(
-        protocols, graph, run_seeds, max_steps, engine, backend, schedule
+    if not protocols:
+        return [], state_space
+    from ..runtime import compile_plan, execute_plan
+
+    budget = max_steps if max_steps is not None else default_max_steps(graph.n_nodes)
+    plan = compile_plan(
+        protocols,
+        graph,
+        run_seeds,
+        max_steps=budget,
+        engine=engine,
+        backend=backend,
+        schedule=schedule,
     )
-    return results, state_space
-
-
-def _run_measurement_batch(
-    protocols: Sequence[PopulationProtocol],
-    graph: Graph,
-    run_seeds: Sequence[int],
-    max_steps: Optional[int],
-    engine: str,
-    backend: str,
-    schedule: Optional["TopologySchedule"] = None,
-) -> List[SimulationResult]:
-    """Execute one measurement's repetitions with the requested engine.
-
-    Repetitions whose protocol instances share a ``compile_key`` go through
-    :func:`repro.engine.run_replicas` (one table set, no recompilation);
-    heterogeneous instances (e.g. the fast protocol when its estimated
-    clock parameters differ between trials) run one by one.  A protocol
-    that turns out not to be compilable demotes ``engine="auto"`` to the
-    reference interpreter — the measured values are identical either way.
-    Dynamic-topology trials always run one by one: the single-run engine
-    swaps edge tables at epoch boundaries via the dynamic scheduler, and
-    the multi-replica runner is a static-graph fast path only.
-    """
-    if engine != "reference" and schedule is None:
-        from ..engine.compiler import compilation_worthwhile
-
-        keys = [protocol.compile_key() for protocol in protocols]
-        worthwhile = engine == "compiled" or compilation_worthwhile(protocols[0])
-        if worthwhile and keys[0] is not None and all(key == keys[0] for key in keys):
-            budget = max_steps if max_steps is not None else default_max_steps(graph.n_nodes)
-            try:
-                return run_replicas(
-                    protocols[0], graph, run_seeds, max_steps=budget, backend=backend
-                )
-            except ProtocolCompilationError:
-                if engine == "compiled":
-                    raise
-                engine = "reference"
-    return [
-        run_leader_election(
-            protocol,
-            graph,
-            rng=run_seed,
-            max_steps=max_steps,
-            engine=engine,
-            backend=backend,
-            schedule=schedule,
-        )
-        for protocol, run_seed in zip(protocols, run_seeds)
-    ]
+    return execute_plan(plan), state_space
 
 
 def measure_protocol_on_graph(
@@ -368,11 +381,12 @@ def measure_protocol_on_graph(
 
     ``engine`` selects the execution engine (see
     :class:`~repro.core.simulator.Simulator`); results are identical across
-    engines for a given ``seed``.  With a non-reference engine, repetitions
-    whose protocol instances share a transition table (equal
-    ``compile_key``) are dispatched through the multi-replica runner
-    (:func:`repro.engine.run_replicas`), which reuses one compiled table
-    set across all trials.
+    engines for a given ``seed``.  The repetitions execute as one
+    :class:`~repro.runtime.plan.ExecutionPlan`: with a non-reference
+    engine, trials whose protocol instances share a transition table
+    (equal ``compile_key``) advance together through the replica-batched
+    stack (:mod:`repro.runtime.execute`), reusing one compiled table set
+    across all trials.
 
     Trial ``t`` runs with seed ``trial_seed(seed, t)``, a pure function of
     the base seed and the global trial index — independent of batch size

@@ -2,17 +2,23 @@
 
 The runner decomposes a :class:`~repro.orchestration.scenario.Scenario`
 into **work units** — one unit covers ``trials_per_shard`` consecutive
-trials of one (protocol, size) cell — and executes the units that the
-result store cannot serve, either in-process or fanned out over a
-``multiprocessing`` pool.
+trials of one (protocol, size) cell — compiles each pending unit into a
+self-contained :class:`UnitPlan` (workload + graph seed, declarative
+protocol and schedule configs, engine choice and the explicit per-trial
+scheduler seeds), and executes the plans the result store cannot serve,
+either in-process or fanned out over a ``multiprocessing`` pool.  All
+seed derivation happens once, in the parent, when the plans are built;
+workers execute what they are shipped instead of re-deriving
+spec/engine/schedule per unit, and the actual trial execution goes
+through the same :mod:`repro.runtime` plans as direct harness calls.
 
 Bit-identity is the design invariant.  Trial ``t`` of cell ``(p, i)``
 always runs with scheduler seed ``trial_seed(measure_seed(seed, i), t)``
 and a graph built from ``graph_seed(seed, i)`` (see
-:mod:`repro.core.seeds`); a unit is a pure function of (scenario config,
-unit bounds).  Shard boundaries, worker counts and cache state therefore
-change *where* a trial executes, never its result, and the aggregate of
-any execution plan equals the serial plan's byte for byte
+:mod:`repro.core.seeds`); a unit plan is a pure function of (scenario
+config, unit bounds).  Shard boundaries, worker counts and cache state
+therefore change *where* a trial executes, never its result, and the
+aggregate of any execution plan equals the serial plan's byte for byte
 (:meth:`ScenarioResult.canonical_json`).  The serial path and
 :func:`~repro.experiments.harness.sweep_protocol_over_sizes` share the
 same derivation, so orchestrated sweeps also match direct harness calls
@@ -44,12 +50,12 @@ from ..experiments.harness import (
     SweepResult,
     default_step_budget,
     measurement_from_records,
-    run_measurement_trials,
+    run_trials_with_seeds,
     trial_record_from_result,
 )
 from ..experiments.workloads import get_workload
 from ..graphs.graph import Graph
-from .scenario import RESULT_SCHEMA_VERSION, Scenario
+from .scenario import RESULT_SCHEMA_VERSION, ProtocolConfig, Scenario, ScheduleConfig
 from .store import ResultStore
 
 
@@ -113,37 +119,115 @@ def _build_graph(scenario: Scenario, size_index: int) -> Graph:
     return graph
 
 
-def _execute_unit(
-    scenario: Scenario, specs: Sequence[ProtocolSpec], unit: WorkUnit
-) -> Dict[str, Any]:
-    """Run one work unit and return its JSON-native payload."""
-    graph = _build_graph(scenario, unit.size_index)
-    spec = specs[unit.spec_index]
-    results, state_space = run_measurement_trials(
+@dataclass(frozen=True)
+class UnitPlan:
+    """One shard's fully resolved execution plan, as plain data.
+
+    Built once in the parent by :func:`build_unit_plans` — which is where
+    *all* seed derivation happens — and shipped verbatim to worker
+    processes: a worker materialises the graph, spec and topology
+    schedule from these fields and hands the explicit ``run_seeds`` to
+    the runtime, re-deriving nothing.  Every field is JSON-native, so a
+    unit plan is cheap to pickle and independent of the scenario object
+    that produced it.
+    """
+
+    unit_key: str
+    trial_lo: int
+    trial_hi: int
+    workload: str
+    size: int
+    graph_seed: int
+    protocol: Tuple[Tuple[str, Any], ...]  # (builder, params) — ProtocolConfig form
+    run_seeds: Tuple[int, ...]
+    engine: str
+    backend: str
+    step_budget_multiplier: float
+    schedule: Optional[Tuple[Tuple[str, Any], ...]] = None  # ScheduleConfig form
+    schedule_seed: int = 0
+
+    def build_graph(self) -> Graph:
+        """The unit's interaction graph (served from the process memo)."""
+        key = (self.workload, self.size, self.graph_seed)
+        graph = _GRAPH_CACHE.get(key)
+        if graph is None:
+            if len(_GRAPH_CACHE) >= _GRAPH_CACHE_LIMIT:
+                _GRAPH_CACHE.clear()
+            graph = get_workload(self.workload).build(self.size, seed=self.graph_seed)
+            _GRAPH_CACHE[key] = graph
+        return graph
+
+    def build_spec(self) -> ProtocolSpec:
+        builder, params = self.protocol
+        return ProtocolConfig(builder=builder, params=tuple(params)).build_spec()
+
+
+def build_unit_plans(
+    scenario: Scenario, units: Sequence[WorkUnit]
+) -> List[UnitPlan]:
+    """Compile work units into self-contained plans (all seeds derived here)."""
+    plans: List[UnitPlan] = []
+    for unit in units:
+        measure_base = measure_seed(scenario.seed, unit.size_index)
+        protocol = scenario.protocols[unit.spec_index]
+        plans.append(
+            UnitPlan(
+                unit_key=unit.key,
+                trial_lo=unit.trial_lo,
+                trial_hi=unit.trial_hi,
+                workload=scenario.workload,
+                size=scenario.sizes[unit.size_index],
+                graph_seed=graph_seed(scenario.seed, unit.size_index),
+                protocol=(protocol.builder, tuple(protocol.params)),
+                run_seeds=tuple(
+                    trial_seed(measure_base, index)
+                    for index in range(unit.trial_lo, unit.trial_hi)
+                ),
+                engine=scenario.engine,
+                backend=scenario.backend,
+                step_budget_multiplier=scenario.step_budget_multiplier,
+                schedule=(
+                    (scenario.schedule.kind, tuple(scenario.schedule.params))
+                    if scenario.schedule is not None
+                    else None
+                ),
+                schedule_seed=scenario.schedule_seed(unit.size_index),
+            )
+        )
+    return plans
+
+
+def execute_unit_plan(plan: UnitPlan) -> Dict[str, Any]:
+    """Run one unit plan and return its JSON-native payload."""
+    graph = plan.build_graph()
+    spec = plan.build_spec()
+    schedule = None
+    if plan.schedule is not None:
+        kind, params = plan.schedule
+        schedule = ScheduleConfig(kind=kind, params=tuple(params)).build(
+            graph, plan.schedule_seed
+        )
+    results, state_space = run_trials_with_seeds(
         spec,
         graph,
-        range(unit.trial_lo, unit.trial_hi),
-        seed=measure_seed(scenario.seed, unit.size_index),
-        max_steps=default_step_budget(graph, multiplier=scenario.step_budget_multiplier),
-        engine=scenario.engine,
-        backend=scenario.backend,
-        schedule=scenario.build_schedule(graph, unit.size_index),
+        plan.run_seeds,
+        max_steps=default_step_budget(graph, multiplier=plan.step_budget_multiplier),
+        engine=plan.engine,
+        backend=plan.backend,
+        schedule=schedule,
     )
     return {
         "version": RESULT_SCHEMA_VERSION,
-        "unit": unit.key,
-        "trials": [unit.trial_lo, unit.trial_hi],
+        "unit": plan.unit_key,
+        "trials": [plan.trial_lo, plan.trial_hi],
         "records": [trial_record_from_result(result) for result in results],
         "state_space": state_space,
     }
 
 
-def _worker_execute(packed: Tuple[Dict[str, Any], Tuple[int, int, int, int, int]]) -> Tuple[str, Dict[str, Any]]:
-    """Pool entry point: rebuild the scenario from plain data, run one unit."""
-    config, unit_fields = packed
-    scenario = Scenario.from_config(config)
-    unit = WorkUnit(*unit_fields)
-    return unit.key, _execute_unit(scenario, scenario.protocol_specs(), unit)
+def _worker_execute(plan: UnitPlan) -> Tuple[str, Dict[str, Any]]:
+    """Pool entry point: execute one shipped unit plan."""
+    return plan.unit_key, execute_unit_plan(plan)
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -157,22 +241,18 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context()
 
 
-def _warm_compilation_cache(
-    scenario: Scenario, specs: Sequence[ProtocolSpec], pending: Sequence[WorkUnit]
-) -> None:
+def _warm_compilation_cache(plans: Sequence[UnitPlan]) -> None:
     """Compile each pending protocol's tables once before forking workers."""
     from ..engine.compiler import ProtocolCompilationError, compilation_worthwhile, get_compiled
 
     seen: set = set()
-    for unit in pending:
-        cell = (unit.spec_index, unit.size_index)
+    for plan in plans:
+        cell = (plan.protocol, plan.size, plan.graph_seed)
         if cell in seen:
             continue
         seen.add(cell)
-        graph = _build_graph(scenario, unit.size_index)
-        protocol = specs[unit.spec_index].factory(
-            graph, trial_seed(measure_seed(scenario.seed, unit.size_index), unit.trial_lo)
-        )
+        graph = plan.build_graph()
+        protocol = plan.build_spec().factory(graph, plan.run_seeds[0])
         if not compilation_worthwhile(protocol):
             continue
         try:
@@ -309,7 +389,7 @@ def run_scenario(
     cache_hits = len(payloads)
 
     if pending:
-        specs = scenario.protocol_specs()
+        plans = build_unit_plans(scenario, pending)
         worker_count = min(jobs, len(pending))
 
         def finished(unit_key: str, payload: Dict[str, Any]) -> None:
@@ -320,24 +400,19 @@ def run_scenario(
             payloads[unit_key] = payload
 
         if worker_count > 1:
-            _warm_compilation_cache(scenario, specs, pending)
-            config = scenario.config_dict()
-            tasks = [
-                (config, (u.spec_index, u.size_index, u.shard_index, u.trial_lo, u.trial_hi))
-                for u in pending
-            ]
+            _warm_compilation_cache(plans)
             with _pool_context().Pool(processes=worker_count) as pool:
                 # imap_unordered: units persist the moment any worker
                 # finishes them (ordered imap would buffer completions
                 # behind a straggler, losing them to an interrupt).
                 # Aggregation sorts by trial bounds, so order is free.
                 for unit_key, payload in pool.imap_unordered(
-                    _worker_execute, tasks, chunksize=1
+                    _worker_execute, plans, chunksize=1
                 ):
                     finished(unit_key, payload)
         else:
-            for unit in pending:
-                finished(unit.key, _execute_unit(scenario, specs, unit))
+            for plan in plans:
+                finished(plan.unit_key, execute_unit_plan(plan))
 
     sweeps = _aggregate(scenario, units, payloads)
     return ScenarioResult(

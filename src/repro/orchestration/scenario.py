@@ -44,10 +44,12 @@ from ..graphs.graph import Graph
 #: Bump when the meaning of persisted results changes (record schema,
 #: execution semantics).  Part of every scenario content hash, so stale
 #: cache entries become unreachable rather than silently wrong.  Last
-#: bump: the replica-batched analytics engine changed the fast protocol's
-#: seeded B(G) estimates (per-trajectory child streams replaced one
-#: shared generator stream).
-RESULT_SCHEMA_VERSION = 2
+#: bump (v3): trial records gained a ``wall_time_seconds`` provenance
+#: field (measured values are unchanged — the runtime refactor preserves
+#: every seeded stream bit for bit); v2-era cache directories are simply
+#: left behind and recomputed on first use.  See docs/ORCHESTRATION.md,
+#: "Result schema migrations".
+RESULT_SCHEMA_VERSION = 3
 
 _SPEC_BUILDERS = {
     "token": token_protocol_spec,
@@ -348,20 +350,23 @@ class Scenario:
         """Concrete protocol specs, in declaration order."""
         return [protocol.build_spec() for protocol in self.protocols]
 
-    def build_schedule(self, base_graph: Graph, size_index: int) -> Optional[TopologySchedule]:
-        """The concrete topology schedule for one size cell, or ``None``.
+    def schedule_seed(self, size_index: int) -> int:
+        """Seed of the size cell's topology-schedule child stream.
 
-        Schedule randomness (edge churn, phase-graph sampling) derives
-        from ``derive_seed(seed, "schedule", size_index)`` — a dedicated
-        child stream, independent of the graph and trial streams, so
-        adding a schedule never perturbs which graph is built or which
-        scheduler seeds the trials receive.
+        A dedicated stream (``derive_seed(seed, "schedule", i)``),
+        independent of the graph and trial streams, so adding a schedule
+        never perturbs which graph is built or which scheduler seeds the
+        trials receive.  The single source for both direct builds
+        (:meth:`build_schedule`) and the orchestrator's shipped unit
+        plans.
         """
+        return derive_seed(self.seed, "schedule", size_index)
+
+    def build_schedule(self, base_graph: Graph, size_index: int) -> Optional[TopologySchedule]:
+        """The concrete topology schedule for one size cell, or ``None``."""
         if self.schedule is None:
             return None
-        return self.schedule.build(
-            base_graph, derive_seed(self.seed, "schedule", size_index)
-        )
+        return self.schedule.build(base_graph, self.schedule_seed(size_index))
 
     def with_overrides(self, **overrides: Any) -> "Scenario":
         """A copy with some fields replaced (CLI ``--sizes``/``--repetitions``)."""
@@ -403,19 +408,19 @@ class Scenario:
         scenario config, the result schema version, the package version
         and the scheduler's seeded-stream parameters (the pre-sample
         refill size is part of the seeded trajectory definition — see
-        ``repro.core.scheduler``).  The execution ``engine``/``backend``
+        :data:`repro.runtime.source.REFILL_SIZE`).  The execution ``engine``/``backend``
         are part of the config hashed here even though engines are
         bit-identical; a cache entry therefore never outlives a semantics
         change, at the cost of re-running when only the engine differs.
         """
         from .. import __version__
-        from ..core.scheduler import _DEFAULT_BATCH
+        from ..runtime.source import REFILL_SIZE
 
         payload = {
             "config": self.config_dict(),
             "result_schema": RESULT_SCHEMA_VERSION,
             "package_version": __version__,
-            "scheduler_refill": _DEFAULT_BATCH,
+            "scheduler_refill": REFILL_SIZE,
         }
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -67,6 +67,9 @@ class FastLeaderElection(LeaderElectionProtocol):
 
     name = "fast-space-efficient"
 
+    # The certificate starts with an explicit leader_count == 1 check.
+    certificate_requires_unique_leader = True
+
     def __init__(self, parameters: ClockParameters) -> None:
         self.parameters = parameters
 

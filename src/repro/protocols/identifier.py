@@ -69,6 +69,10 @@ class IdentifierLeaderElection(LeaderElectionProtocol):
 
     name = "identifier-broadcast"
 
+    # The certificate requires exactly one candidate sub-state, and a node
+    # outputs LEADER iff its sub-state is the candidate.
+    certificate_requires_unique_leader = True
+
     def __init__(
         self,
         n_nodes: int,

@@ -44,6 +44,9 @@ class StarLeaderElection(LeaderElectionProtocol):
 
     name = "star-trivial"
 
+    # The certificate requires exactly one LEADER_DONE node.
+    certificate_requires_unique_leader = True
+
     def initial_state(self, input_symbol: Any = None) -> StarState:
         return FRESH
 

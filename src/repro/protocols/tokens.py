@@ -114,6 +114,10 @@ class TokenLeaderElection(LeaderElectionProtocol):
 
     name = "token-6state"
 
+    # The certificate (one black token, no whites, one candidate) cannot
+    # hold with a leader count other than one.
+    certificate_requires_unique_leader = True
+
     def initial_state(self, input_symbol: Any = None) -> TokenState:
         if input_symbol is None:
             return token_initial_state(True)

@@ -1,0 +1,57 @@
+"""Unified execution-plan runtime.
+
+This package is the single seam between *what* an experiment runs —
+``(protocol, graph, topology schedule, engine choice, replica seeds)`` —
+and *how* it executes.  It grew out of three independently evolved
+stacks (the core scheduler, the dynamic-topology scheduler and the
+analytics trajectory streams) plus engine-selection logic that was
+duplicated across ``Simulator.run``, the multi-replica runner, the
+experiment harness and the orchestrator.  The runtime consolidates all
+of it into three layers:
+
+* :mod:`repro.runtime.pairs` — the directed ordered-pair index space
+  shared by every sampler and kernel: one ``[0, 2m)`` encoding, one set
+  of cached endpoint tables, one place that defines how a
+  ``(edge, orientation)`` draw maps onto it.
+* :mod:`repro.runtime.source` — :class:`InteractionSource`, the one
+  buffered sampling engine behind ``RandomScheduler``,
+  ``DynamicScheduler`` and the analytics streams: same refill-size
+  contract, same epoch-boundary capping, one consume loop.  Every
+  seeded stream produced before this package existed is reproduced bit
+  for bit.
+* :mod:`repro.runtime.plan` / :mod:`repro.runtime.execute` —
+  :class:`ExecutionPlan`, which compiles a run once (engine resolution,
+  shared transition tables, per-replica seeds) and then executes it
+  through interchangeable executors: the reference interpreter, the
+  compiled single-run engine, or the replica-batched stack that steps
+  *all* replicas of a measurement through one C-kernel call per block.
+
+``Simulator.run``, ``repro.engine.run_replicas`` and the experiment
+harness are thin wrappers over :func:`compile_plan` +
+:func:`execute_plan`; the orchestrator ships serialised unit plans to
+its worker shards.  Adding a new backend (threads, GPU, remote shards)
+means adding one executor here — nothing else in the package needs to
+know.
+"""
+
+from .pairs import (
+    decode_pairs,
+    directed_pair_count,
+    directed_tables,
+    encode_oriented,
+)
+from .plan import ExecutionPlan, compile_plan
+from .execute import execute_plan
+from .source import REFILL_SIZE, InteractionSource
+
+__all__ = [
+    "ExecutionPlan",
+    "InteractionSource",
+    "REFILL_SIZE",
+    "compile_plan",
+    "decode_pairs",
+    "directed_pair_count",
+    "directed_tables",
+    "encode_oriented",
+    "execute_plan",
+]

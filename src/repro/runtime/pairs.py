@@ -1,0 +1,94 @@
+"""The directed ordered-pair index space (Section 2.2's ``2m`` pairs).
+
+Every sampler and kernel in this package works over the same encoding of
+a graph's ordered interaction pairs: index ``r < m`` is edge ``r`` in its
+stored orientation ``(u_r, v_r)``, index ``r >= m`` is the reverse
+``(v_{r-m}, u_{r-m})``.  A uniform draw over ``[0, 2m)`` is therefore
+exactly the population-model scheduler's ordered-pair distribution.
+
+This module is the single home of that encoding.  It provides
+
+* :func:`directed_tables` — the two parallel endpoint tables
+  ``(initiators, responders)`` of length ``2m``, cached per graph (the
+  analytics engine's C kernels and the multi-replica protocol kernel
+  decode raw indices through them);
+* :func:`encode_oriented` — how the population scheduler's two-call draw
+  (uniform edge index, then uniform orientation) maps into the index
+  space, preserving the historical decode ``initiator = u if oriented
+  else v`` bit for bit;
+* :func:`decode_pairs` — index arrays back to endpoint arrays.
+
+Everything here is pure array arithmetic; the seeded RNG calls stay in
+:mod:`repro.runtime.source`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..graphs.graph import Graph
+
+#: Directed endpoint tables per graph, keyed by object identity (the
+#: entry holds the graph so a live key can never be recycled).  Bounded
+#: like the orchestrator's graph memo.
+_DIRECTED_CACHE: Dict[int, Tuple[Graph, np.ndarray, np.ndarray]] = {}
+_DIRECTED_CACHE_LIMIT = 16
+
+
+def directed_pair_count(graph: Graph) -> int:
+    """Size ``2m`` of the graph's directed ordered-pair index space."""
+    return 2 * graph.n_edges
+
+
+def directed_tables(graph: Graph) -> Tuple[np.ndarray, np.ndarray]:
+    """The ``2m`` ordered scheduler pairs as two parallel endpoint tables.
+
+    Index ``r < m`` is edge ``r`` in stored orientation, ``r >= m`` the
+    reverse — so a uniform draw over ``[0, 2m)`` is exactly the
+    population-model scheduler's ordered-pair distribution (Section 2.2).
+    Tables are cached per graph object and shared by every consumer
+    (trajectory streams, schedulers, C kernels).
+    """
+    if graph.n_edges == 0:
+        raise ValueError("cannot schedule interactions on an edgeless graph")
+    key = id(graph)
+    entry = _DIRECTED_CACHE.get(key)
+    if entry is not None and entry[0] is graph:
+        return entry[1], entry[2]
+    if len(_DIRECTED_CACHE) >= _DIRECTED_CACHE_LIMIT:
+        _DIRECTED_CACHE.clear()
+    initiators = np.concatenate((graph.edges_u, graph.edges_v))
+    responders = np.concatenate((graph.edges_v, graph.edges_u))
+    _DIRECTED_CACHE[key] = (graph, initiators, responders)
+    return initiators, responders
+
+
+def encode_oriented(
+    edge_indices: np.ndarray, orientations: np.ndarray, n_edges: int
+) -> np.ndarray:
+    """Map the scheduler's ``(edge, orientation)`` draw into pair indices.
+
+    The population scheduler historically decoded ``orientation == 1`` as
+    "edge in stored orientation" (initiator ``u``, responder ``v``) and
+    ``orientation == 0`` as the reverse.  Under :func:`directed_tables`
+    that is index ``edge`` respectively ``edge + m``::
+
+        index = edge + (1 - orientation) * m
+
+    so decoding the returned indices reproduces the historical
+    ``np.where(orientation, u, v)`` endpoints exactly.  Both input
+    arrays are consumed (overwritten) — they are refill temporaries.
+    """
+    np.subtract(1, orientations, out=orientations)
+    orientations *= n_edges
+    edge_indices += orientations
+    return edge_indices
+
+
+def decode_pairs(
+    indices: np.ndarray, initiators: np.ndarray, responders: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Decode pair indices through the directed endpoint tables."""
+    return initiators.take(indices), responders.take(indices)

@@ -1,0 +1,277 @@
+"""The unified interaction sampler behind every seeded pair stream.
+
+:class:`InteractionSource` is the single implementation of buffered
+ordered-pair sampling in this package.  ``RandomScheduler`` (static
+graphs), ``DynamicScheduler`` (time-varying topologies) and the
+analytics trajectory streams are all thin shells over it; before this
+module existed each of the three carried its own refill/consume
+machinery.
+
+Two seeded *dialects* coexist, both defined here and both preserved bit
+for bit:
+
+* the **scheduler dialect** (protocol simulations): refills draw
+  ``integers(0, m)`` (a uniform edge) followed by ``integers(0, 2)`` (a
+  uniform orientation), in that order, with refill size
+  ``max(batch_size, minimum)`` where ``minimum`` is the draws still
+  needed by the current call.  The default ``batch_size`` is
+  :data:`REFILL_SIZE`; because certificate-cadence blocks never exceed
+  it, the refill sequence — and hence every seeded trajectory — is
+  independent of how consumers chunk their reads.
+* the **directed dialect** (analytics streams): demand-sized single
+  draws ``integers(0, 2m)`` straight into the directed pair-index space
+  (:mod:`repro.runtime.pairs`), via :meth:`draw_pair_indices`.
+
+On a dynamic topology a refill is **capped at the current epoch
+boundary**: a pre-sample buffer never crosses an epoch switch, so every
+draw is made — and decoded — against the edge table it will be applied
+to.  For a single-epoch schedule no cap ever fires and the stream is
+bit-identical to the static one on the same seed.
+
+Internally the buffer holds raw directed pair indices; endpoints are
+decoded on consumption through the shared tables.  That lets the
+replica-batched executor (:mod:`repro.runtime.execute`) read undecoded
+indices with :meth:`next_pair_indices` and leave the decode to the C
+kernel, while ``next_batch`` / ``next_arrays`` reproduce the historical
+decoded streams exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..graphs.random_graphs import RngLike, as_rng
+from .pairs import decode_pairs, directed_tables, encode_oriented
+
+#: Pre-sample size per RNG refill in the scheduler dialect.  4096 keeps
+#: the sampling fully vectorised while wasting little work on short runs
+#: (stabilization-bound executions often need only a few thousand
+#: interactions).  The refill size is part of the seeded stream
+#: definition — changing it changes every seeded trajectory (last
+#: changed from 65536 in the engine PR; see CHANGES.md).  This constant
+#: is the single source of truth; ``repro.core.scheduler`` re-exports it
+#: for backward compatibility and the orchestrator hashes it into
+#: scenario content hashes.
+REFILL_SIZE = 4096
+
+Interaction = Tuple[int, int]
+
+
+class InteractionSource:
+    """One seeded ordered-pair stream over a static or dynamic topology.
+
+    Parameters
+    ----------
+    topology:
+        A :class:`~repro.graphs.graph.Graph` (sampled forever) or a
+        :class:`~repro.dynamics.schedule.TopologySchedule` (sampled from
+        the epoch graph active at the current step; duck-typed so this
+        module needs no import of :mod:`repro.dynamics`).
+    rng:
+        Seed or :class:`numpy.random.Generator` for reproducibility.
+    batch_size:
+        Scheduler-dialect pre-sample size per refill (see
+        :data:`REFILL_SIZE`).
+    """
+
+    def __init__(
+        self, topology, rng: RngLike = None, batch_size: int = REFILL_SIZE
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self._rng = as_rng(rng)
+        self._batch_size = int(batch_size)
+        self._buffer: np.ndarray = np.zeros(0, dtype=np.int64)
+        self._cursor = 0
+        self._position = 0
+        if isinstance(topology, Graph):
+            if topology.n_edges == 0:
+                raise ValueError("cannot schedule interactions on an edgeless graph")
+            self._schedule = None
+            self._epoch_graph: Optional[Graph] = topology
+            self._epoch_end: Optional[int] = None
+            self._du, self._dv = directed_tables(topology)
+            self._edge_count = topology.n_edges
+        else:
+            self._schedule = topology
+            self._epoch_graph = None
+            self._epoch_end = 0  # forces epoch activation on the first refill
+            self._du = self._dv = np.zeros(0, dtype=np.int64)
+            self._edge_count = 0
+
+    # ------------------------------------------------------------------
+    # Stream state
+    # ------------------------------------------------------------------
+    @property
+    def steps_emitted(self) -> int:
+        """Total number of interactions handed out so far."""
+        return self._position
+
+    @property
+    def pair_count(self) -> int:
+        """Size ``2m`` of the active epoch's directed pair-index space."""
+        return 2 * self._edge_count
+
+    @property
+    def pair_tables(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The active epoch's directed endpoint tables (kernel decode)."""
+        return self._du, self._dv
+
+    @property
+    def active_graph(self) -> Graph:
+        """The graph the *next* interaction will be drawn from."""
+        if self._schedule is None or self._cursor < self._buffer.shape[0]:
+            assert self._epoch_graph is not None
+            return self._epoch_graph
+        return self._schedule.graph_at(self._position)
+
+    # ------------------------------------------------------------------
+    # Refills (the seeded scheduler dialect, defined exactly once)
+    # ------------------------------------------------------------------
+    def _activate_epoch(self, position: int) -> None:
+        schedule = self._schedule
+        assert schedule is not None
+        index, _, end = schedule.epoch_at(position)
+        graph = schedule.epoch_graph(index)
+        self._epoch_graph = graph
+        self._epoch_end = end
+        self._du, self._dv = directed_tables(graph)
+        self._edge_count = graph.n_edges
+
+    def _refill(self, minimum: int) -> None:
+        """THE seeded pair draw: uniform edge index, then uniform orientation.
+
+        Refills happen only on an empty buffer, with ``minimum`` = the
+        draws still needed by the current call; on a dynamic topology
+        the refill is capped at the current epoch boundary.  The two-call
+        draw order is part of the seeded-stream definition.
+        """
+        position = self._position
+        if self._epoch_end is not None and position >= self._epoch_end:
+            self._activate_epoch(position)
+        size = max(self._batch_size, minimum)
+        if self._epoch_end is not None:
+            size = min(size, self._epoch_end - position)
+        edge_indices = self._rng.integers(0, self._edge_count, size=size)
+        orientations = self._rng.integers(0, 2, size=size)
+        self._buffer = encode_oriented(edge_indices, orientations, self._edge_count)
+        self._cursor = 0
+
+    def _consume(self, size: int) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Yield ``(indices, du, dv)`` chunks totalling ``size`` draws.
+
+        The decode tables are captured per chunk because a refill at a
+        chunk boundary may swap epochs on a dynamic topology.
+        """
+        if size < 0:
+            raise ValueError("batch size must be non-negative")
+        remaining = size
+        while remaining > 0:
+            available = self._buffer.shape[0] - self._cursor
+            if available == 0:
+                self._refill(remaining)
+                available = self._buffer.shape[0]
+            take = min(available, remaining)
+            chunk = self._buffer[self._cursor : self._cursor + take]
+            self._cursor += take
+            self._position += take
+            remaining -= take
+            yield chunk, self._du, self._dv
+
+    # ------------------------------------------------------------------
+    # Consumption (shared by every scheduler shell)
+    # ------------------------------------------------------------------
+    def next_interaction(self) -> Interaction:
+        """The next ordered (initiator, responder) pair."""
+        if self._cursor >= self._buffer.shape[0]:
+            self._refill(1)
+        index = self._buffer[self._cursor]
+        self._cursor += 1
+        self._position += 1
+        return (int(self._du[index]), int(self._dv[index]))
+
+    def next_batch(self, size: int) -> List[Interaction]:
+        """The next ``size`` ordered pairs, in order, as Python tuples."""
+        result: List[Interaction] = []
+        for chunk, du, dv in self._consume(size):
+            result.extend(zip(du.take(chunk).tolist(), dv.take(chunk).tolist()))
+        return result
+
+    def next_arrays(self, size: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Like :meth:`next_batch` but returns numpy arrays (hot loops)."""
+        initiators = np.empty(size, dtype=np.int64)
+        responders = np.empty(size, dtype=np.int64)
+        filled = 0
+        for chunk, du, dv in self._consume(size):
+            take = chunk.shape[0]
+            np.take(du, chunk, out=initiators[filled : filled + take])
+            np.take(dv, chunk, out=responders[filled : filled + take])
+            filled += take
+        return initiators, responders
+
+    def next_pair_indices(self, size: int) -> np.ndarray:
+        """The next ``size`` draws as raw directed pair indices.
+
+        Same stream, undecoded: kernels that hold the directed endpoint
+        tables (:attr:`pair_tables`) decode these themselves, saving two
+        Python-level gathers per block.  Only meaningful while the
+        tables are constant, i.e. on a static topology.
+        """
+        out = np.empty(size, dtype=np.int64)
+        self.next_pair_indices_into(out)
+        return out
+
+    def next_pair_indices_into(self, out: np.ndarray) -> None:
+        """:meth:`next_pair_indices` into a preallocated row (hot path)."""
+        size = out.shape[0]
+        if size < 0:
+            raise ValueError("batch size must be non-negative")
+        buffer = self._buffer
+        cursor = self._cursor
+        filled = 0
+        while filled < size:
+            available = buffer.shape[0] - cursor
+            if available == 0:
+                self._refill(size - filled)
+                buffer = self._buffer
+                cursor = self._cursor
+                available = buffer.shape[0]
+            take = min(available, size - filled)
+            out[filled : filled + take] = buffer[cursor : cursor + take]
+            cursor += take
+            filled += take
+            self._position += take
+        self._cursor = cursor
+
+    # ------------------------------------------------------------------
+    # The directed dialect (analytics trajectory streams)
+    # ------------------------------------------------------------------
+    def draw_pair_indices(self, out: np.ndarray, bound: Optional[int] = None) -> None:
+        """Demand-sized draw straight into the directed pair-index space.
+
+        One bounded-integers call over ``[0, bound)`` — the analytics
+        engine's seeded-stream definition (block sizes are chosen by the
+        caller's lockstep schedule, not by the refill contract).
+        ``bound`` overrides the draw bound (dynamic stacks pass the
+        active epoch's ``2m_k``); the default is the source's own
+        ``2m``.
+        """
+        limit = self.pair_count if bound is None else int(bound)
+        out[...] = self._rng.integers(0, limit, size=out.shape[0])
+
+    def draw_pairs_into(self, initiators: np.ndarray, responders: np.ndarray) -> None:
+        """Directed-dialect draw decoded through the endpoint tables."""
+        draws = self._rng.integers(0, self.pair_count, size=initiators.shape[0])
+        self._du.take(draws, out=initiators)
+        self._dv.take(draws, out=responders)
+
+
+def decode_pair_indices(
+    graph: Graph, indices: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Decode raw pair indices against ``graph``'s directed tables."""
+    du, dv = directed_tables(graph)
+    return decode_pairs(indices, du, dv)

@@ -174,3 +174,46 @@ class TestDegenerateFits:
     def test_healthy_grid_still_fits(self):
         sweep = self._sweep_with([(8, 64.0), (16, 256.0), (32, 1024.0)])
         assert abs(sweep.fit().exponent - 2.0) < 1e-9
+
+
+class TestWallTimePropagation:
+    """Per-trial wall times survive the harness layer (result schema v3)."""
+
+    def test_trial_record_carries_wall_time(self):
+        from repro.core.simulator import run_leader_election
+        from repro.experiments.harness import TRIAL_RECORD_FIELDS, trial_record_from_result
+
+        result = run_leader_election(
+            token_protocol_spec().factory(clique(10), 0), clique(10), rng=3, engine="compiled"
+        )
+        record = trial_record_from_result(result)
+        assert "wall_time_seconds" in TRIAL_RECORD_FIELDS
+        assert record["wall_time_seconds"] == pytest.approx(result.wall_time_seconds)
+        assert record["wall_time_seconds"] > 0.0
+
+    def test_measurement_aggregates_wall_time(self):
+        measurement = measure_protocol_on_graph(
+            token_protocol_spec(), clique(14), repetitions=3, seed=9
+        )
+        assert measurement.wall_time_seconds > 0.0
+        assert measurement.as_dict()["wall_time_seconds"] == pytest.approx(
+            measurement.wall_time_seconds
+        )
+
+    def test_records_without_wall_time_still_aggregate(self):
+        # v2-era records (no wall_time_seconds) must keep aggregating; the
+        # store never serves them (schema hash), but in-process callers may.
+        from repro.experiments.harness import measurement_from_records
+
+        records = [
+            {
+                "stabilization_step": 5,
+                "certified_step": 6,
+                "steps_executed": 6,
+                "stabilized": True,
+                "leaders": 1,
+                "distinct_states": 4,
+            }
+        ]
+        measurement = measurement_from_records("token-6state", clique(8), records, 6)
+        assert measurement.wall_time_seconds == 0.0

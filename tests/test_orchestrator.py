@@ -121,7 +121,7 @@ class TestCacheBehaviour:
         def bomb(*args, **kwargs):  # pragma: no cover - must never run
             raise AssertionError("cache hit must not execute any simulation")
 
-        monkeypatch.setattr(runner_module, "_execute_unit", bomb)
+        monkeypatch.setattr(runner_module, "execute_unit_plan", bomb)
         second = run_scenario(scenario, jobs=1, cache_dir=tmp_path)
         assert second.cache_hits == second.total_units
         assert second.executed_units == 0
@@ -143,7 +143,7 @@ class TestCacheBehaviour:
     def test_resume_after_interrupt_recomputes_only_missing_shards(self, tmp_path, monkeypatch):
         """Kill a sweep partway; the next run reuses every finished shard."""
         scenario = token_clique_scenario()
-        real_execute = runner_module._execute_unit
+        real_execute = runner_module.execute_unit_plan
         calls = {"count": 0}
 
         def dies_after_three(*args, **kwargs):
@@ -152,10 +152,10 @@ class TestCacheBehaviour:
             calls["count"] += 1
             return real_execute(*args, **kwargs)
 
-        monkeypatch.setattr(runner_module, "_execute_unit", dies_after_three)
+        monkeypatch.setattr(runner_module, "execute_unit_plan", dies_after_three)
         with pytest.raises(KeyboardInterrupt):
             run_scenario(scenario, jobs=1, cache_dir=tmp_path)
-        monkeypatch.setattr(runner_module, "_execute_unit", real_execute)
+        monkeypatch.setattr(runner_module, "execute_unit_plan", real_execute)
 
         resumed = run_scenario(scenario, jobs=1, cache_dir=tmp_path)
         assert resumed.cache_hits == 3

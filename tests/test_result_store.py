@@ -29,6 +29,7 @@ def make_payload(unit_key="p00-s00-t0000", n_records=2):
         "stabilized": True,
         "leaders": 1,
         "distinct_states": 3,
+        "wall_time_seconds": 0.25,
     }
     return {
         "version": RESULT_SCHEMA_VERSION,

@@ -67,8 +67,9 @@ class TestTrialSeeds:
         assert len(seeds) == 2200
 
     def test_nearby_bases_do_not_alias(self):
-        # The old affine scheme had base + 7919*t collisions; the mixed
-        # scheme keeps nearby bases' streams disjoint.
+        # The retired affine derivation (see repro.core.seeds) collided
+        # across nearby bases — e.g. base 0 and base 7919 shared values;
+        # the mixed scheme keeps such streams disjoint.
         stream_a = set(trial_seeds(0, range(500)))
         stream_b = set(trial_seeds(7919, range(500)))
         assert not (stream_a & stream_b)
