@@ -33,8 +33,16 @@ from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..engine.native import get_broadcast_multi_kernel, get_influence_multi_kernel
+from ..engine.native import (
+    RNG_STATE_WORDS,
+    get_broadcast_epoch_kernel,
+    get_broadcast_multi_kernel,
+    get_influence_epoch_kernel,
+    get_influence_multi_kernel,
+    kernel_thread_count,
+)
 from ..graphs.graph import Graph
+from ..runtime.source import pack_generator_state, unpack_generator_state
 from .streams import (
     TrajectoryStream,
     block_size,
@@ -53,6 +61,35 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 _SCALAR_MAX_REPLICAS = 4
 
 BUDGET_EXHAUSTED = -1
+
+
+def _pack_stream_states(streams: Sequence[TrajectoryStream]) -> Optional[np.ndarray]:
+    """Export the streams' PCG64 states into kernel RNG rows.
+
+    Returns ``None`` (keeping the stream on the NumPy draw path) if any
+    stream rides a bit generator the kernel cannot continue.
+    """
+    rows = np.zeros((len(streams), RNG_STATE_WORDS), dtype=np.uint64)
+    try:
+        for j, stream in enumerate(streams):
+            pack_generator_state(stream.generator, rows[j])
+    except (KeyError, TypeError, ValueError):
+        return None
+    return rows
+
+
+def _writeback_stream_states(
+    streams: Sequence[TrajectoryStream], rows: np.ndarray, mask: np.ndarray
+) -> None:
+    """Import kernel RNG rows back into the streams selected by ``mask``.
+
+    The v6 kernels burn a finished replica's remaining block draws, so
+    the written-back generator state is exactly where the NumPy path
+    (which pre-draws whole blocks) would have left it.
+    """
+    for j, stream in enumerate(streams):
+        if mask[j]:
+            unpack_generator_state(stream.generator, rows[j])
 
 
 def _active_tables(
@@ -177,6 +214,13 @@ def _run_epidemic_stack(
         else np.ascontiguousarray(stopmasks, dtype=np.uint8)
     )
     kernel = get_broadcast_multi_kernel()
+    epoch_kernel = get_broadcast_epoch_kernel()
+    # v6: draw inside the kernel.  Stream states move into RNG rows and
+    # are written back whenever a stream leaves the stack, so callers
+    # holding the stream (run_single_epidemic) observe exactly the state
+    # the NumPy draw path would have left.
+    rng_rows = None if epoch_kernel is None else _pack_stream_states(schedulers)
+    threads = kernel_thread_count()
     consumed = 0
     round_index = 0
     while schedulers and consumed < max_steps:
@@ -185,34 +229,54 @@ def _run_epidemic_stack(
             graph, schedule, consumed, block
         )
         a = len(schedulers)
-        draws = np.empty((a, block), dtype=np.int64)
-        fill_draw_rows(schedulers, draws, pair_count)
         finish = np.full(a, -1, dtype=np.int64)
-        if kernel is not None:
-            kernel(
+        if rng_rows is not None:
+            bound = 2 * graph.n_edges if pair_count is None else pair_count
+            epoch_kernel(
                 informed.ctypes.data,
-                draws.ctypes.data,
+                rng_rows.ctypes.data,
                 directed_u.ctypes.data,
                 directed_v.ctypes.data,
+                bound,
                 a,
                 block,
                 n,
                 masks.ctypes.data if masks is not None else None,
                 counts.ctypes.data,
                 finish.ctypes.data,
+                threads,
             )
-        elif a >= _SCALAR_MAX_REPLICAS:
-            iu = directed_u.take(draws)
-            iv = directed_v.take(draws)
-            _numpy_epidemic_block(informed, iu, iv, counts, finish, n, masks)
         else:
-            _scalar_epidemic_block(
-                informed, draws, directed_u, directed_v, counts, finish, n, masks
-            )
+            draws = np.empty((a, block), dtype=np.int64)
+            fill_draw_rows(schedulers, draws, pair_count)
+            if kernel is not None:
+                kernel(
+                    informed.ctypes.data,
+                    draws.ctypes.data,
+                    directed_u.ctypes.data,
+                    directed_v.ctypes.data,
+                    a,
+                    block,
+                    n,
+                    masks.ctypes.data if masks is not None else None,
+                    counts.ctypes.data,
+                    finish.ctypes.data,
+                )
+            elif a >= _SCALAR_MAX_REPLICAS:
+                iu = directed_u.take(draws)
+                iv = directed_v.take(draws)
+                _numpy_epidemic_block(informed, iu, iv, counts, finish, n, masks)
+            else:
+                _scalar_epidemic_block(
+                    informed, draws, directed_u, directed_v, counts, finish, n, masks
+                )
         done = finish >= 0
         if done.any():
             results[indices[done]] = consumed + finish[done]
             keep = ~done
+            if rng_rows is not None:
+                _writeback_stream_states(schedulers, rng_rows, done)
+                rng_rows = np.ascontiguousarray(rng_rows[keep])
             informed = np.ascontiguousarray(informed[keep])
             counts = counts[keep]
             indices = indices[keep]
@@ -221,6 +285,10 @@ def _run_epidemic_stack(
             schedulers = [s for s, k in zip(schedulers, keep) if k]
         consumed += block
         round_index += 1
+    if rng_rows is not None and schedulers:
+        _writeback_stream_states(
+            schedulers, rng_rows, np.ones(len(schedulers), dtype=bool)
+        )
 
 
 def _numpy_epidemic_block(
@@ -346,6 +414,9 @@ def _run_influence_stack(
     flags = np.zeros((active, n), dtype=np.uint8)
     counts = np.zeros(active, dtype=np.int64)
     indices = np.arange(result_offset, result_offset + active, dtype=np.int64)
+    epoch_kernel = get_influence_epoch_kernel()
+    rng_rows = None if epoch_kernel is None else _pack_stream_states(schedulers)
+    threads = kernel_thread_count()
     consumed = 0
     round_index = 0
     while schedulers and consumed < max_steps:
@@ -354,15 +425,15 @@ def _run_influence_stack(
             graph, schedule, consumed, block
         )
         a = len(schedulers)
-        draws = np.empty((a, block), dtype=np.int64)
-        fill_draw_rows(schedulers, draws, pair_count)
         finish = np.full(a, -1, dtype=np.int64)
-        if kernel is not None:
-            kernel(
+        if rng_rows is not None:
+            bound = 2 * graph.n_edges if pair_count is None else pair_count
+            epoch_kernel(
                 bits.ctypes.data,
-                draws.ctypes.data,
+                rng_rows.ctypes.data,
                 directed_u.ctypes.data,
                 directed_v.ctypes.data,
+                bound,
                 a,
                 block,
                 n,
@@ -371,15 +442,36 @@ def _run_influence_stack(
                 flags.ctypes.data,
                 counts.ctypes.data,
                 finish.ctypes.data,
+                threads,
             )
         else:
-            iu = directed_u.take(draws)
-            iv = directed_v.take(draws)
-            _numpy_influence_block(bits, iu, iv, full, flags, counts, finish, n)
+            draws = np.empty((a, block), dtype=np.int64)
+            fill_draw_rows(schedulers, draws, pair_count)
+            if kernel is not None:
+                kernel(
+                    bits.ctypes.data,
+                    draws.ctypes.data,
+                    directed_u.ctypes.data,
+                    directed_v.ctypes.data,
+                    a,
+                    block,
+                    n,
+                    words,
+                    full.ctypes.data,
+                    flags.ctypes.data,
+                    counts.ctypes.data,
+                    finish.ctypes.data,
+                )
+            else:
+                iu = directed_u.take(draws)
+                iv = directed_v.take(draws)
+                _numpy_influence_block(bits, iu, iv, full, flags, counts, finish, n)
         done = finish >= 0
         if done.any():
             results[indices[done]] = consumed + finish[done]
             keep = ~done
+            if rng_rows is not None:
+                rng_rows = np.ascontiguousarray(rng_rows[keep])
             bits = np.ascontiguousarray(bits[keep])
             flags = np.ascontiguousarray(flags[keep])
             counts = counts[keep]

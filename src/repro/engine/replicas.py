@@ -51,6 +51,7 @@ def run_replicas(
     backend: str = "auto",
     max_states: int = DEFAULT_MAX_STATES,
     drain_width: Optional[int] = None,
+    threads: Optional[int] = None,
 ) -> List["SimulationResult"]:
     """Run one replica per seed; results match the reference runs exactly.
 
@@ -76,6 +77,10 @@ def run_replicas(
         Stack width at or below which remaining replicas are handed to
         the sequential engine (``mode="lockstep"`` defaults to
         :data:`LOCKSTEP_DRAIN_WIDTH`, ``mode="auto"`` to 0).
+    threads:
+        Replica-axis kernel threads for the v6 stack executor (``None``
+        defers to ``REPRO_KERNEL_THREADS``).  Results are bit-identical
+        for any value.
     """
     if max_steps < 0:
         raise ValueError("max_steps must be non-negative")
@@ -100,5 +105,6 @@ def run_replicas(
         max_states=max_states,
         replica_mode=mode,
         drain_width=int(drain_width),
+        threads=threads,
     )
     return execute_plan(plan)

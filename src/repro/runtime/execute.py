@@ -48,12 +48,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 def execute_plan(plan: ExecutionPlan) -> List["SimulationResult"]:
     """Run every replica of ``plan`` and return results in replica order."""
     if plan.mode == "shared" and _stack_eligible(plan):
+        if _stack_v6_eligible(plan):
+            return _execute_stack_v6(plan)
         return _execute_stack(plan)
     return [_execute_single(plan, index) for index in range(plan.n_replicas)]
 
 
 def _stack_eligible(plan: ExecutionPlan) -> bool:
-    """Whether the replica-batched stack executor can serve this plan."""
+    """Whether a replica-batched stack executor can serve this plan."""
     if plan.replica_mode == "sequential" or plan.n_replicas < 2:
         return False
     if plan.schedule is not None or plan.scheduler is not None:
@@ -63,6 +65,23 @@ def _stack_eligible(plan: ExecutionPlan) -> bool:
     from ..engine.native import get_run_multi_kernel
 
     return get_run_multi_kernel() is not None
+
+
+def _stack_v6_eligible(plan: ExecutionPlan) -> bool:
+    """Whether the v6 epoch executor (in-kernel streams) can serve it.
+
+    First link of the v6 → v5 → NumPy fallback chain: a missing or
+    disabled v6 kernel, or any seed the kernel cannot reproduce (a live
+    Generator, or an integer outside ``[0, 2**64)``), drops the plan to
+    the v5 stack, which itself requires ``repro_run_multi`` and
+    otherwise yields to the per-replica NumPy/scalar paths.
+    """
+    from ..engine.native import get_run_epoch_kernel
+    from .source import kernel_seedable
+
+    if get_run_epoch_kernel() is None:
+        return False
+    return all(kernel_seedable(seed) for seed in plan.seeds)
 
 
 # ----------------------------------------------------------------------
@@ -494,6 +513,197 @@ def _execute_stack(plan: ExecutionPlan) -> List["SimulationResult"]:
     return results  # type: ignore[return-value]
 
 
+def _execute_stack_v6(plan: ExecutionPlan) -> List["SimulationResult"]:
+    """The v6 stack: whole epochs per kernel call, streams in-kernel.
+
+    Control flow mirrors :func:`_execute_stack` — same initial
+    certificate check, same cadence, same certificate sweeps, same
+    compaction and straggler drain — but the per-block Python work
+    (drawing pair indices, one ctypes call per cadence block) collapses
+    into one ``repro_run_epoch`` call that advances *every* active
+    replica to its next stop event: a certificate boundary that needs
+    Python (``BOUNDARY``), a missing table entry (``MISS``), or the step
+    budget (``BUDGET``).  Replicas advance independently, so their
+    per-row steps become heterogeneous; each row's sequence of blocks,
+    certificate checks and draws is still exactly the single-run one,
+    which keeps every result bit-identical to the v5 stack and to
+    standalone runs (pinned by ``tests/test_runtime_plan.py`` and
+    ``tests/test_kernel_rng.py``).
+    """
+    from ..core.configuration import Configuration
+    from ..core.simulator import SimulationResult
+    from ..engine.native import get_run_epoch_kernel, kernel_thread_count
+    from .source import KernelSource
+
+    graph = plan.graph
+    protocol = plan.protocols[0]
+    compiled = plan.compiled
+    assert compiled is not None
+    kernel = get_run_epoch_kernel()
+    assert kernel is not None
+    n = graph.n_nodes
+    replica_count = plan.n_replicas
+    max_steps = plan.max_steps
+    check_interval = plan.check_interval
+    threads = plan.threads if plan.threads is not None else kernel_thread_count()
+    threads = max(1, int(threads))
+
+    start_time = time.perf_counter()
+    initial_states = plan.initial_states()
+    initial_codes = compiled.encode(initial_states)
+    initial_leaders = compiled.leader_count(initial_codes)
+    results: List[Optional[SimulationResult]] = [None] * replica_count
+
+    def finalize(
+        codes_row: np.ndarray, stabilized: bool, step: int, last: int, distinct: int, lead: int
+    ) -> SimulationResult:
+        decoded = compiled.decode_codes(codes_row)
+        return SimulationResult(
+            stabilized=stabilized,
+            certified_step=step,
+            last_output_change_step=last,
+            steps_executed=step,
+            leaders=lead,
+            final_configuration=Configuration(decoded, step=step),
+            distinct_states_observed=distinct,
+            leader_trace=[],
+            wall_time_seconds=0.0,
+        )
+
+    initially_stable = protocol.is_output_stable_configuration(initial_states, graph)
+    if initially_stable or max_steps == 0:
+        wall = time.perf_counter() - start_time
+        distinct = int(np.unique(initial_codes).size)
+        for index in range(replica_count):
+            result = finalize(initial_codes, initially_stable, 0, 0, distinct, initial_leaders)
+            result.wall_time_seconds = wall / replica_count
+            results[index] = result
+        return results  # type: ignore[return-value]
+
+    ksrc = KernelSource(plan.graph, plan.seeds, buffer_capacity=check_interval)
+    directed_u, directed_v = directed_tables(graph)
+    codes = np.tile(np.ascontiguousarray(initial_codes, dtype=np.int64), (replica_count, 1))
+    seen = np.zeros((replica_count, compiled.stride), dtype=np.uint8)
+    seen[:, np.unique(initial_codes)] = 1
+    steps = np.zeros(replica_count, dtype=np.int64)
+    last_change = np.zeros(replica_count, dtype=np.int64)
+    leaders = np.full(replica_count, initial_leaders, dtype=np.int64)
+    status = np.zeros(replica_count, dtype=np.uint8)
+    replica_ids = np.arange(replica_count, dtype=np.int64)
+    precheck = bool(getattr(protocol, "certificate_requires_unique_leader", False))
+
+    while replica_ids.size:
+        if replica_ids.size <= plan.drain_width:
+            for row in range(replica_ids.size):
+                replica = int(replica_ids[row])
+                results[replica] = _drain_replica(
+                    plan,
+                    protocol,
+                    compiled,
+                    ksrc.python_source(row),
+                    codes[row],
+                    int(steps[row]),
+                    int(last_change[row]),
+                    seen[row],
+                    precheck,
+                )
+            break
+        width = replica_ids.size
+        if seen.shape[1] < compiled.stride:
+            grown = np.zeros((width, compiled.stride), dtype=np.uint8)
+            grown[:, : seen.shape[1]] = seen
+            seen = grown
+        kernel(
+            codes.ctypes.data,
+            ksrc.rng_state.ctypes.data,
+            ksrc.src_state.ctypes.data,
+            ksrc.buffers.ctypes.data,
+            ksrc.buffer_capacity,
+            directed_u.ctypes.data,
+            directed_v.ctypes.data,
+            graph.n_edges,
+            width,
+            n,
+            compiled.dpack.ctypes.data,
+            compiled.stride,
+            compiled.kshift,
+            seen.ctypes.data,
+            ksrc.batch_size,
+            check_interval,
+            max_steps,
+            steps.ctypes.data,
+            last_change.ctypes.data,
+            leaders.ctypes.data,
+            status.ctypes.data,
+            int(precheck),
+            threads,
+        )
+        finished_rows: List[int] = []
+        for row in np.nonzero(status[:width] == 2)[0].tolist():
+            # Missing table entry: the row stopped *before* consuming the
+            # draw; fill the entry (possibly growing the tables) and let
+            # the next kernel call resume mid-block.
+            index = int(ksrc.buffers[row, ksrc.src_state[row, 0]])
+            u = int(directed_u[index])
+            v = int(directed_v[index])
+            compiled.scalar_entry(int(codes[row, u]), int(codes[row, v]))
+        for row in np.nonzero(status[:width] == 1)[0].tolist():
+            # Certificate boundary (leader-count prefiltered in-kernel
+            # for precheck protocols, every cadence block otherwise).
+            decoded = compiled.decode_codes(codes[row])
+            if protocol.is_output_stable_configuration(decoded, graph):
+                replica = int(replica_ids[row])
+                results[replica] = finalize(
+                    codes[row],
+                    True,
+                    int(steps[row]),
+                    int(last_change[row]),
+                    int(np.count_nonzero(seen[row])),
+                    int(leaders[row]),
+                )
+                finished_rows.append(row)
+            elif steps[row] >= max_steps:
+                replica = int(replica_ids[row])
+                results[replica] = finalize(
+                    codes[row],
+                    False,
+                    int(steps[row]),
+                    int(last_change[row]),
+                    int(np.count_nonzero(seen[row])),
+                    int(leaders[row]),
+                )
+                finished_rows.append(row)
+        for row in np.nonzero(status[:width] == 0)[0].tolist():
+            # Step budget exhausted without certification.
+            replica = int(replica_ids[row])
+            results[replica] = finalize(
+                codes[row],
+                False,
+                int(steps[row]),
+                int(last_change[row]),
+                int(np.count_nonzero(seen[row])),
+                int(leaders[row]),
+            )
+            finished_rows.append(row)
+        if finished_rows:
+            keep = np.ones(width, dtype=bool)
+            keep[finished_rows] = False
+            codes = np.ascontiguousarray(codes[keep])
+            seen = np.ascontiguousarray(seen[keep])
+            steps = np.ascontiguousarray(steps[keep])
+            last_change = np.ascontiguousarray(last_change[keep])
+            leaders = np.ascontiguousarray(leaders[keep])
+            status = np.ascontiguousarray(status[keep])
+            replica_ids = np.ascontiguousarray(replica_ids[keep])
+            ksrc.compact(keep)
+
+    wall = time.perf_counter() - start_time
+    for result in results:
+        assert result is not None
+        result.wall_time_seconds = wall / replica_count
+    return results  # type: ignore[return-value]
+
+
 def _drain_replica(
     plan: ExecutionPlan,
     protocol,
@@ -524,7 +734,10 @@ def _drain_replica(
     stabilized = False
     certified_step = 0
     while not stabilized and run.step < max_steps:
-        batch = min(check_interval, max_steps - run.step)
+        # A v6 hand-off can arrive mid-block (after a table miss); align
+        # the first batch to the certificate cadence so checks fall on
+        # the same step numbers as a standalone run.
+        batch = min(check_interval - run.step % check_interval, max_steps - run.step)
         initiators, responders = source.next_arrays(batch)
         run.apply_block(initiators, responders)
         if precheck and run.leader_count != 1:

@@ -82,6 +82,10 @@ class ExecutionPlan:
     trace_resolution: int = 64
     replica_mode: str = "auto"
     drain_width: int = 0
+    #: Replica-axis kernel threads for the v6 stack executor; ``None``
+    #: defers to ``REPRO_KERNEL_THREADS`` at execution time.  Purely a
+    #: throughput dial — results are bit-identical for any value.
+    threads: Optional[int] = None
     _initial_states: Optional[List[Any]] = field(default=None, repr=False)
 
     @property
@@ -134,6 +138,7 @@ def compile_plan(
     trace_resolution: int = 64,
     replica_mode: str = "auto",
     drain_width: int = 0,
+    threads: Optional[int] = None,
 ) -> ExecutionPlan:
     """Resolve one workload into an :class:`ExecutionPlan`.
 
@@ -157,6 +162,8 @@ def compile_plan(
         raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
     if replica_mode not in REPLICA_MODES:
         raise ValueError(f"unknown replica mode {replica_mode!r}")
+    if threads is not None and int(threads) < 1:
+        raise ValueError("threads must be positive")
     if schedule is not None:
         if scheduler is not None:
             raise ValueError("pass either schedule or scheduler, not both")
@@ -224,4 +231,5 @@ def compile_plan(
         trace_resolution=trace_resolution,
         replica_mode=replica_mode,
         drain_width=drain_width,
+        threads=None if threads is None else int(threads),
     )

@@ -111,6 +111,11 @@ class InteractionSource:
         return self._position
 
     @property
+    def generator(self) -> np.random.Generator:
+        """The underlying seeded Generator (kernel state export/import)."""
+        return self._rng
+
+    @property
     def pair_count(self) -> int:
         """Size ``2m`` of the active epoch's directed pair-index space."""
         return 2 * self._edge_count
@@ -275,3 +280,145 @@ def decode_pair_indices(
     """Decode raw pair indices against ``graph``'s directed tables."""
     du, dv = directed_tables(graph)
     return decode_pairs(indices, du, dv)
+
+
+# ----------------------------------------------------------------------
+# Kernel-resident streams (the v6 dialect)
+# ----------------------------------------------------------------------
+def pack_generator_state(generator: np.random.Generator, out: np.ndarray) -> None:
+    """Export a PCG64-backed Generator into one kernel RNG state row.
+
+    The row layout mirrors numpy's ``PCG64().state`` dict — state hi/lo,
+    inc hi/lo, ``has_uint32``, ``uinteger`` — so the kernel continues the
+    exact stream, buffered 32-bit half-word included.
+    """
+    state = generator.bit_generator.state
+    if state["bit_generator"] != "PCG64":  # pragma: no cover - guarded by callers
+        raise ValueError("kernel streams require a PCG64 bit generator")
+    inner = state["state"]
+    mask = (1 << 64) - 1
+    out[0] = (inner["state"] >> 64) & mask
+    out[1] = inner["state"] & mask
+    out[2] = (inner["inc"] >> 64) & mask
+    out[3] = inner["inc"] & mask
+    out[4] = int(state["has_uint32"])
+    out[5] = int(state["uinteger"])
+    out[6] = 0
+    out[7] = 0
+
+
+def unpack_generator_state(generator: np.random.Generator, row: np.ndarray) -> None:
+    """Import one kernel RNG state row back into a PCG64-backed Generator."""
+    generator.bit_generator.state = {
+        "bit_generator": "PCG64",
+        "state": {
+            "state": (int(row[0]) << 64) | int(row[1]),
+            "inc": (int(row[2]) << 64) | int(row[3]),
+        },
+        "has_uint32": int(row[4]),
+        "uinteger": int(row[5]),
+    }
+
+
+def kernel_seedable(seed) -> bool:
+    """Whether ``seed`` can seed an in-kernel stream.
+
+    The kernel reimplements ``SeedSequence`` for non-negative integers
+    below ``2**64`` (at most two 32-bit entropy words) — exactly the
+    range the package's own :func:`repro.core.seeds.derive_seed`
+    produces.  Generators and wider seeds stay on the NumPy paths.
+    """
+    return isinstance(seed, (int, np.integer)) and 0 <= int(seed) < (1 << 64)
+
+
+class KernelSource:
+    """Replica-batched scheduler-dialect streams living in kernel state.
+
+    The v6 twin of a row of :class:`InteractionSource` objects: per
+    replica, one PCG64 state row (``rng_state``), one cursor/fill/
+    position triple (``src_state``) and one pre-sample buffer row
+    (``buffers``), all advanced *inside* the C kernel
+    (``repro_run_epoch`` / ``repro_source_fill``).  Seeding, refill
+    sizes and draw order are bit-identical to
+    ``InteractionSource(graph, np.random.default_rng(seed))``, so a
+    replica can leave the kernel mid-stream and continue in Python
+    (:meth:`python_source`) without perturbing a single draw.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        seeds,
+        batch_size: int = REFILL_SIZE,
+        buffer_capacity: Optional[int] = None,
+    ) -> None:
+        from ..engine.native import RNG_STATE_WORDS, SRC_STATE_WORDS, get_rng_kernels
+
+        kernels = get_rng_kernels()
+        if kernels is None:
+            raise RuntimeError("kernel v6 is unavailable; use InteractionSource")
+        if graph.n_edges == 0:
+            raise ValueError("cannot schedule interactions on an edgeless graph")
+        self._graph = graph
+        self._batch = int(batch_size)
+        self._kernels = kernels
+        capacity = max(self._batch, int(buffer_capacity or 0))
+        count = len(seeds)
+        self.rng_state = np.zeros((count, RNG_STATE_WORDS), dtype=np.uint64)
+        self.src_state = np.zeros((count, SRC_STATE_WORDS), dtype=np.int64)
+        self.buffers = np.zeros((count, capacity), dtype=np.int64)
+        seed_words = np.ascontiguousarray([int(seed) for seed in seeds], dtype=np.uint64)
+        kernels["pcg64_init"](seed_words.ctypes.data, count, self.rng_state.ctypes.data)
+
+    @property
+    def batch_size(self) -> int:
+        return self._batch
+
+    @property
+    def buffer_capacity(self) -> int:
+        return self.buffers.shape[1]
+
+    def compact(self, keep: np.ndarray) -> None:
+        """Drop finished replica rows (mirrors the executor's compaction)."""
+        self.rng_state = np.ascontiguousarray(self.rng_state[keep])
+        self.src_state = np.ascontiguousarray(self.src_state[keep])
+        self.buffers = np.ascontiguousarray(self.buffers[keep])
+
+    def fill(self, row: int, out: np.ndarray) -> None:
+        """``next_pair_indices_into`` for one row, drawn in-kernel."""
+        count = out.shape[0]
+        if count > self.buffer_capacity:
+            raise ValueError("draw exceeds the kernel buffer capacity")
+        self._kernels["source_fill"](
+            self.rng_state[row].ctypes.data,
+            self.src_state[row].ctypes.data,
+            self.buffers[row].ctypes.data,
+            self._graph.n_edges,
+            self._batch,
+            count,
+            out.ctypes.data,
+        )
+
+    def export_generator(self, row: int) -> np.random.Generator:
+        """A NumPy Generator continuing row ``row``'s stream exactly."""
+        generator = np.random.Generator(np.random.PCG64())
+        unpack_generator_state(generator, self.rng_state[row])
+        return generator
+
+    def python_source(self, row: int) -> InteractionSource:
+        """Hand row ``row`` back to Python mid-stream (straggler drain).
+
+        The returned :class:`InteractionSource` owns a Generator restored
+        from the kernel state and the row's unconsumed pre-sample buffer,
+        so subsequent draws are bit-identical to never having entered the
+        kernel at all.
+        """
+        source = InteractionSource(
+            self._graph, rng=self.export_generator(row), batch_size=self._batch
+        )
+        cursor = int(self.src_state[row, 0])
+        fill = int(self.src_state[row, 1])
+        source._buffer = self.buffers[row, :fill].copy()
+        source._cursor = cursor
+        source._position = int(self.src_state[row, 2])
+        return source

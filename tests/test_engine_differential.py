@@ -19,6 +19,8 @@ in isolation.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -26,7 +28,8 @@ from repro.analytics.epidemics import run_epidemic_batch
 from repro.core.seeds import derive_seed
 from repro.core.simulator import run_leader_election
 from repro.dynamics import EpochSchedule
-from repro.engine.native import get_kernel
+from repro.engine.native import get_kernel, get_run_epoch_kernel
+from repro.engine.replicas import run_replicas
 from repro.graphs import clique, cycle, star, torus
 from repro.graphs.random_graphs import erdos_renyi
 from repro.protocols.identifier import IdentifierLeaderElection
@@ -161,3 +164,79 @@ def test_replica_widths_bit_identical(case):
             f"dynamic={dynamic}, seed={seed}, width={width}): "
             f"{result.tolist()} != {reference.tolist()}"
         )
+
+
+# ----------------------------------------------------------------------
+# Thread-count invariance (kernel v6's replica-axis threading)
+# ----------------------------------------------------------------------
+def _fast_protocol(graph):
+    from repro.propagation.broadcast import broadcast_time_estimate
+    from repro.protocols.fast import FastLeaderElection
+
+    broadcast = broadcast_time_estimate(graph, repetitions=2, rng=0).value
+    return FastLeaderElection.practical_for_graph(graph, max(broadcast, 1.0))
+
+
+_THREAD_PROTOCOLS = {
+    "token": lambda graph: TokenLeaderElection(),
+    "star": lambda graph: StarLeaderElection(),
+    "identifier": lambda graph: IdentifierLeaderElection(
+        graph.n_nodes, regular=graph.is_regular()
+    ),
+    "fast": _fast_protocol,
+}
+
+
+@pytest.mark.skipif(get_run_epoch_kernel() is None, reason="kernel v6 unavailable")
+@pytest.mark.parametrize("protocol_kind", sorted(_THREAD_PROTOCOLS))
+def test_thread_counts_bit_identical(protocol_kind):
+    """1, 2 and 8 kernel threads produce identical stack results.
+
+    Threading only partitions independent replica rows, so every field of
+    every result — not just aggregates — must be invariant.
+    """
+    graph = clique(18) if protocol_kind != "identifier" else cycle(14)
+    seed = derive_seed(MASTER_SEED, "threads", protocol_kind)
+    seeds = [derive_seed(seed, "replica", r) for r in range(9)]
+    max_steps = 60_000
+    outcomes = {}
+    for threads in (1, 2, 8):
+        protocol = _THREAD_PROTOCOLS[protocol_kind](graph)
+        results = run_replicas(
+            protocol, graph, seeds, max_steps=max_steps, threads=threads
+        )
+        outcomes[threads] = [_result_tuple(result) for result in results]
+    assert outcomes[2] == outcomes[1], f"{protocol_kind}: 2 threads != 1 thread"
+    assert outcomes[8] == outcomes[1], f"{protocol_kind}: 8 threads != 1 thread"
+
+
+@pytest.mark.skipif(get_run_epoch_kernel() is None, reason="kernel v6 unavailable")
+def test_thread_env_invariance_dynamic_schedule():
+    """REPRO_KERNEL_THREADS never changes measured values, dynamic included.
+
+    The dynamic schedule rides the per-replica path and the analytics
+    batch rides the epoch kernels; both must ignore the thread dial in
+    everything but wall time.
+    """
+    graph = clique(16)
+    n = graph.n_nodes
+    schedule = EpochSchedule.from_graphs([graph, cycle(n)], epoch_length=64, repeat=True)
+    seed = derive_seed(MASTER_SEED, "threads-dynamic")
+    sources = [int(s) for s in np.random.default_rng(seed).integers(0, n, size=7)]
+    traj_seeds = [derive_seed(seed, "traj", t) for t in range(7)]
+
+    def run_everything():
+        sim = run_leader_election(
+            TokenLeaderElection(), graph, rng=seed, max_steps=8000,
+            engine="compiled", schedule=schedule,
+        )
+        batch = run_epidemic_batch(graph, sources, traj_seeds, 500_000, schedule=schedule)
+        return _result_tuple(sim), batch.tolist()
+
+    baseline = run_everything()
+    for threads in ("2", "8"):
+        os.environ["REPRO_KERNEL_THREADS"] = threads
+        try:
+            assert run_everything() == baseline, f"{threads} threads changed results"
+        finally:
+            del os.environ["REPRO_KERNEL_THREADS"]

@@ -1,0 +1,230 @@
+"""Differential tests of the in-kernel RNG against the NumPy reference.
+
+Kernel v6 reimplements, in C, every layer this package draws seeded
+streams from: the SplitMix64 word folding of :mod:`repro.core.seeds`,
+NumPy's ``SeedSequence`` entropy pooling, the PCG64 bit generator
+(including its buffered 32-bit half-word), ``Generator.integers``'s
+bounded sampling, and the scheduler-dialect refills of
+:class:`repro.runtime.source.InteractionSource`.  These tests pin each
+layer bit for bit: raw 64-bit words, bounded draws across chunk
+boundaries, decoded pair indices over randomized ``(seed, m, length)``
+triples including epoch-boundary caps at ``REFILL_SIZE``, and the
+mid-stream hand-off from kernel state back to a Python source.
+"""
+
+from __future__ import annotations
+
+import ctypes
+
+import numpy as np
+import pytest
+
+from repro.core.seeds import _word_to_int, derive_seed
+from repro.engine.native import RNG_STATE_WORDS, get_rng_kernels
+from repro.graphs import cycle
+from repro.runtime.source import (
+    REFILL_SIZE,
+    InteractionSource,
+    KernelSource,
+    pack_generator_state,
+    unpack_generator_state,
+)
+
+MASTER_SEED = 20260728 + 6  # PR-6 case stream, disjoint from the other suites
+
+KERNELS = get_rng_kernels()
+
+pytestmark = pytest.mark.skipif(KERNELS is None, reason="kernel v6 unavailable")
+
+
+def _ptr(array: np.ndarray):
+    return array.ctypes.data
+
+
+def _init_state(seed: int) -> np.ndarray:
+    state = np.zeros((1, RNG_STATE_WORDS), dtype=np.uint64)
+    seeds = np.array([seed], dtype=np.uint64)
+    KERNELS["pcg64_init"](_ptr(seeds), 1, _ptr(state))
+    return state
+
+
+def _rng_cases():
+    """24 randomized (seed, m, chunk lengths) triples.
+
+    Chunk patterns straddle the ``REFILL_SIZE`` pre-sample boundary —
+    reads just below, exactly at, and above one refill — so the
+    minimum-driven refill sizing is exercised, not just the steady state.
+    """
+    cases = []
+    chunk_patterns = [
+        [1, 2, 3, 5],
+        [7, 1, 19],
+        [REFILL_SIZE - 1, 3],
+        [REFILL_SIZE, 2],
+        [REFILL_SIZE + 17, 5],
+        [13, REFILL_SIZE - 2, 13, 64],
+    ]
+    for index in range(24):
+        seed = derive_seed(MASTER_SEED, "kernel-rng", index)
+        m = (3, 4, 5, 17, 100, 601, 2048, 5000)[index % 8]
+        cases.append((seed, m, chunk_patterns[index % len(chunk_patterns)]))
+    return cases
+
+
+@pytest.mark.parametrize("seed", [0, 1, 3, 2**31, 2**32 - 1, 2**63 - 1, 2**64 - 1])
+def test_raw_words_match_pcg64(seed):
+    """The in-kernel seeding + raw stream equals numpy's PCG64 exactly."""
+    state = _init_state(seed)
+    out = np.zeros(128, dtype=np.uint64)
+    KERNELS["pcg64_raw"](_ptr(state), out.shape[0], _ptr(out))
+    reference = np.random.PCG64(seed).random_raw(out.shape[0])
+    assert (out == reference).all(), f"raw stream diverges for seed {seed}"
+
+
+@pytest.mark.parametrize(
+    "bound",
+    [1, 2, 3, 17, 1000, 2**31, 2**32 - 1, 2**32, 2**32 + 1, 2**40 + 3, 2**63],
+)
+def test_bounded_draws_match_generator_integers(bound):
+    """Lemire bounded sampling, including the buffered 32-bit fast path.
+
+    Draws are consumed in uneven chunks so the half-word buffer must
+    survive across kernel calls exactly as it does across numpy calls.
+    """
+    seed = derive_seed(MASTER_SEED, "bounded", bound)
+    state = _init_state(seed)
+    chunks = (5, 1, 37, 12, 101)
+    pieces = []
+    for count in chunks:
+        out = np.zeros(count, dtype=np.int64)
+        KERNELS["bounded_fill"](_ptr(state), bound, count, _ptr(out))
+        pieces.append(out)
+    generator = np.random.Generator(np.random.PCG64(seed))
+    reference = np.concatenate(
+        [generator.integers(0, bound, size=count, dtype=np.int64) for count in chunks]
+    )
+    assert (np.concatenate(pieces) == reference).all(), f"bound {bound} diverges"
+
+
+@pytest.mark.parametrize(
+    "case", _rng_cases(), ids=lambda c: f"s{c[0] % 100000}-m{c[1]}-{len(c[2])}chunks"
+)
+def test_source_stream_matches_interaction_source(case):
+    """The in-kernel scheduler dialect ≡ InteractionSource, chunk by chunk.
+
+    Covers the two-call refill draw order (edges then orientations), the
+    ``max(batch, minimum)`` refill sizing, and the encoded ``[0, 2m)``
+    pair-index space, for every chunking of the read sequence.
+    """
+    seed, m, chunks = case
+    graph = cycle(m)
+    assert graph.n_edges == m
+    state = _init_state(seed)
+    source_state = np.zeros(3, dtype=np.int64)
+    buffer = np.zeros(max(REFILL_SIZE, max(chunks)), dtype=np.int64)
+    pieces = []
+    for count in chunks:
+        out = np.zeros(count, dtype=np.int64)
+        KERNELS["source_fill"](
+            _ptr(state), _ptr(source_state), _ptr(buffer), m, REFILL_SIZE, count, _ptr(out)
+        )
+        pieces.append(out)
+    kernel_stream = np.concatenate(pieces)
+    reference_source = InteractionSource(graph, np.random.default_rng(seed))
+    reference = np.concatenate([reference_source.next_pair_indices(c) for c in chunks])
+    assert (kernel_stream == reference).all(), (
+        f"pair-index stream diverges for seed {seed}, m={m}, chunks={chunks}"
+    )
+    assert (kernel_stream >= 0).all() and (kernel_stream < 2 * m).all()
+    assert int(source_state[2]) == sum(chunks) == reference_source.steps_emitted
+
+
+def test_derive_seed_folding_matches_c():
+    """The C word folding ≡ derive_seed for every word shape.
+
+    Words reach the kernel pre-folded by ``_word_to_int`` (strings via
+    crc32, integers masked to 64 bits), so negative integers, >64-bit
+    integers and string tags all reduce to the same uint64 sequence on
+    both sides; the empty word list folds the base alone.
+    """
+    word_lists = [
+        (0,),
+        (12345,),
+        (-1,),
+        (2**64 + 17,),
+        (0, "trial", 3),
+        (-7, "graph", 2**100),
+        (2**63, "x", 10**9),
+        (MASTER_SEED, "kernel-rng", 19),
+    ]
+    for words in word_lists:
+        folded = np.array([_word_to_int(word) for word in words], dtype=np.uint64)
+        got = int(KERNELS["derive_seed"](_ptr(folded), folded.shape[0]))
+        want = derive_seed(words[0], *words[1:])
+        assert got == want, f"derive_seed mismatch for {words!r}: {got} != {want}"
+
+
+def test_splitmix64_matches_reference():
+    from repro.core.seeds import _splitmix64
+
+    for value in (0, 1, 0xDEADBEEF, 2**63, 2**64 - 1):
+        assert int(KERNELS["splitmix64"](value)) == _splitmix64(value)
+
+
+def test_generator_state_round_trip():
+    """pack → unpack restores a Generator mid-stream, half-word included."""
+    generator = np.random.default_rng(derive_seed(MASTER_SEED, "roundtrip"))
+    generator.integers(0, 1000, size=7)  # leaves a buffered 32-bit half-word
+    row = np.zeros(RNG_STATE_WORDS, dtype=np.uint64)
+    pack_generator_state(generator, row)
+    clone = np.random.Generator(np.random.PCG64())
+    unpack_generator_state(clone, row)
+    assert (
+        generator.integers(0, 2**63, size=16) == clone.integers(0, 2**63, size=16)
+    ).all()
+
+
+def test_kernel_source_python_handoff_mid_stream():
+    """KernelSource → python_source continues the stream without a gap.
+
+    A replica that leaves the kernel mid-buffer (the straggler-drain
+    path) must keep producing the exact draws a never-kernelized
+    InteractionSource would have.
+    """
+    graph = cycle(37)
+    seeds = [derive_seed(MASTER_SEED, "handoff", r) for r in range(3)]
+    ksrc = KernelSource(graph, seeds)
+    # Refill sizes depend on consume-call sizes, so the kernel and the
+    # reference must chunk the prefix identically; the last short read
+    # leaves the kernel mid-buffer.
+    prefix_chunks = (REFILL_SIZE, 1000, 123)
+    for row in range(len(seeds)):
+        for count in prefix_chunks:
+            ksrc.fill(row, np.zeros(count, dtype=np.int64))
+    for row, seed in enumerate(seeds):
+        continued = ksrc.python_source(row)
+        reference = InteractionSource(graph, np.random.default_rng(seed))
+        for count in prefix_chunks:
+            reference.next_pair_indices(count)
+        for count in (1, 50, REFILL_SIZE):
+            got = continued.next_pair_indices(count)
+            want = reference.next_pair_indices(count)
+            assert (got == want).all(), f"hand-off diverges for seed {seed}"
+
+
+def test_kernel_source_compaction_preserves_rows():
+    """Compacting finished rows leaves survivors' streams untouched."""
+    graph = cycle(11)
+    seeds = [derive_seed(MASTER_SEED, "compact", r) for r in range(5)]
+    ksrc = KernelSource(graph, seeds)
+    for row in range(len(seeds)):
+        ksrc.fill(row, np.zeros(10, dtype=np.int64))
+    keep = np.array([True, False, True, False, True])
+    ksrc.compact(keep)
+    survivors = [seed for seed, kept in zip(seeds, keep) if kept]
+    for row, seed in enumerate(survivors):
+        out = np.zeros(25, dtype=np.int64)
+        ksrc.fill(row, out)
+        reference = InteractionSource(graph, np.random.default_rng(seed))
+        reference.next_pair_indices(10)
+        assert (out == reference.next_pair_indices(25)).all()

@@ -14,17 +14,25 @@ failure in isolation.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.seeds import derive_seed
 from repro.core.simulator import Simulator, default_check_interval
 from repro.dynamics import EpochSchedule
-from repro.engine.native import get_kernel, get_run_multi_kernel
+from repro.engine.native import (
+    get_kernel,
+    get_run_epoch_kernel,
+    get_run_multi_kernel,
+    reset_kernel_cache,
+)
 from repro.graphs import clique, cycle, star, torus
 from repro.graphs.random_graphs import erdos_renyi
 from repro.protocols import StarLeaderElection, TokenLeaderElection
 from repro.protocols.identifier import IdentifierLeaderElection
 from repro.runtime import compile_plan, execute_plan
+from repro.runtime.execute import _execute_stack, _execute_stack_v6, _stack_v6_eligible
 
 MASTER_SEED = 20260728 + 5  # PR-5 case stream, disjoint from the differential suite
 
@@ -216,6 +224,74 @@ def test_plan_validation_errors():
         compile_plan([token], graph, [0], max_steps=10, engine="warp")
     with pytest.raises(ValueError):
         compile_plan([token], graph, [0], max_steps=10, replica_mode="warp")
+
+
+# ----------------------------------------------------------------------
+# v6 epoch executor and the v6 → v5 → NumPy fallback chain
+# ----------------------------------------------------------------------
+def _chain_plan():
+    graph = clique(15)
+    protocol = TokenLeaderElection()
+    seeds = [derive_seed(MASTER_SEED, "chain", r) for r in range(7)]
+    return compile_plan(
+        [protocol] * len(seeds), graph, seeds, max_steps=50_000, engine="compiled"
+    )
+
+
+@pytest.mark.skipif(get_run_epoch_kernel() is None, reason="kernel v6 unavailable")
+def test_v6_executor_matches_v5_stack():
+    """The in-kernel-stream executor ≡ the v5 refill stack, field for field."""
+    plan = _chain_plan()
+    assert plan.mode == "shared" and _stack_v6_eligible(plan)
+    via_v6 = [_result_tuple(r) for r in _execute_stack_v6(_chain_plan())]
+    via_v5 = [_result_tuple(r) for r in _execute_stack(_chain_plan())]
+    assert via_v6 == via_v5
+
+
+@pytest.mark.skipif(get_run_epoch_kernel() is None, reason="kernel v6 unavailable")
+def test_v6_requires_kernel_seedable_seeds():
+    """Seeds the kernel cannot reproduce drop the plan to the v5 stack."""
+    graph = clique(12)
+    protocol = TokenLeaderElection()
+    seeds = [3, 2**64 + 5, 11]  # >64-bit entropy: NumPy-only seeding
+    plan = compile_plan(
+        [protocol] * len(seeds), graph, seeds, max_steps=50_000, engine="compiled"
+    )
+    assert plan.mode == "shared" and not _stack_v6_eligible(plan)
+    for replica_seed, result in zip(seeds, execute_plan(plan)):
+        single = Simulator(graph, protocol, rng=replica_seed, engine="compiled").run(
+            max_steps=50_000
+        )
+        assert _result_tuple(result) == _result_tuple(single)
+
+
+@pytest.mark.skipif(get_run_epoch_kernel() is None, reason="kernel v6 unavailable")
+def test_fallback_chain_simulated_missing_kernels():
+    """Disabling each kernel tier in turn never changes measured values.
+
+    ``REPRO_DISABLE_NATIVE_V6`` simulates a missing v6 ``.so`` (v5 stack
+    serves the plan); ``REPRO_DISABLE_NATIVE`` plus a cache reset
+    simulates no native kernel at all (per-replica NumPy backends).
+    """
+    baseline = [_result_tuple(r) for r in execute_plan(_chain_plan())]
+    try:
+        os.environ["REPRO_DISABLE_NATIVE_V6"] = "1"
+        plan = _chain_plan()
+        assert not _stack_v6_eligible(plan)
+        via_v5 = [_result_tuple(r) for r in execute_plan(plan)]
+        assert via_v5 == baseline, "v6→v5 fallback changed results"
+
+        os.environ["REPRO_DISABLE_NATIVE"] = "1"
+        reset_kernel_cache()
+        plan = _chain_plan()
+        assert get_run_multi_kernel() is None
+        via_numpy = [_result_tuple(r) for r in execute_plan(plan)]
+        assert via_numpy == baseline, "v5→NumPy fallback changed results"
+    finally:
+        os.environ.pop("REPRO_DISABLE_NATIVE_V6", None)
+        os.environ.pop("REPRO_DISABLE_NATIVE", None)
+        reset_kernel_cache()
+    assert get_run_epoch_kernel() is not None  # chain restored for later tests
 
 
 def test_wall_time_is_reported_per_replica():
