@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""CI gate: the simulation service works end-to-end across real processes.
+
+Boots the full deployment shape on localhost — one ``repro-popsim serve``
+process, two ``repro-popsim worker`` processes — then drives it with two
+``repro-popsim submit`` runs of the same scenario:
+
+1. the first submission must execute every unit on the workers (cold
+   store) and print the sweep tables,
+2. the second must be served *entirely* from the server's result store —
+   zero units executed — and print byte-identical tables,
+
+after which the server is sent SIGTERM and must drain gracefully (exit
+code 0, both workers exiting 0 after their shutdown frames).
+
+Exit code 0 when every stage holds, 1 with a transcript otherwise.
+
+Usage::
+
+    PYTHONPATH=src python scripts/ci_service_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+SCENARIO = ["--scenario", "clique-n100", "--sizes", "10", "14", "--repetitions", "2"]
+STARTUP_DEADLINE = 30.0
+SUBMIT_DEADLINE = 120.0
+
+
+def popen(argv, **kwargs):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *argv],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        **kwargs,
+    )
+
+
+def fail(message, *transcripts):
+    print(f"FAIL: {message}")
+    for label, text in transcripts:
+        print(f"--- {label} ---")
+        print(text if text else "(no output)")
+    return 1
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="ci-service-smoke-") as tmp:
+        port_file = os.path.join(tmp, "port")
+        cache_dir = os.path.join(tmp, "cache")
+        server = popen(
+            ["serve", "--port", "0", "--port-file", port_file, "--cache-dir", cache_dir]
+        )
+        workers = []
+        try:
+            deadline = time.monotonic() + STARTUP_DEADLINE
+            while not os.path.exists(port_file):
+                if server.poll() is not None or time.monotonic() > deadline:
+                    return fail(
+                        "server did not come up",
+                        ("server", server.communicate()[0]),
+                    )
+                time.sleep(0.05)
+            with open(port_file, encoding="ascii") as handle:
+                endpoint = f"127.0.0.1:{handle.read().strip()}"
+
+            workers = [popen(["worker", "--connect", endpoint]) for _ in range(2)]
+
+            def submit():
+                return subprocess.run(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro.cli",
+                        "submit",
+                        "--connect",
+                        endpoint,
+                        *SCENARIO,
+                    ],
+                    env=dict(os.environ, PYTHONPATH="src"),
+                    capture_output=True,
+                    text=True,
+                    timeout=SUBMIT_DEADLINE,
+                )
+
+            first = submit()
+            if first.returncode != 0:
+                return fail(
+                    "first submission failed",
+                    ("submit stdout", first.stdout),
+                    ("submit stderr", first.stderr),
+                )
+            if "0/" not in first.stdout or "from server cache" not in first.stdout:
+                return fail(
+                    "first submission should be a cold-store run",
+                    ("submit stdout", first.stdout),
+                )
+
+            second = submit()
+            if second.returncode != 0:
+                return fail(
+                    "second submission failed",
+                    ("submit stdout", second.stdout),
+                    ("submit stderr", second.stderr),
+                )
+            if "0 executed" not in second.stdout:
+                return fail(
+                    "second submission must be served entirely from cache",
+                    ("submit stdout", second.stdout),
+                )
+
+            def tables(text):
+                lines = text.splitlines()
+                stats = max(
+                    i for i, line in enumerate(lines)
+                    if "units from server cache" in line
+                )
+                return "\n".join(lines[:stats])
+
+            if tables(first.stdout) != tables(second.stdout):
+                return fail(
+                    "cached tables differ from the executed run",
+                    ("first", first.stdout),
+                    ("second", second.stdout),
+                )
+        finally:
+            if server.poll() is None:
+                server.send_signal(signal.SIGTERM)
+            server_out, _ = server.communicate(timeout=60)
+            worker_results = [worker.communicate(timeout=60) for worker in workers]
+
+        if server.returncode != 0:
+            return fail(f"server exited {server.returncode}", ("server", server_out))
+        for worker, (out, _) in zip(workers, worker_results):
+            if worker.returncode != 0:
+                return fail(f"worker exited {worker.returncode}", ("worker", out))
+
+        executed = sum(
+            int(out.rsplit("after ", 1)[1].split()[0]) for out, _ in worker_results
+        )
+        print(
+            "OK: service smoke passed — cold submission executed on the workers "
+            f"({executed} units across {len(workers)} worker processes), repeat "
+            "submission served 100% from the store with identical tables, "
+            "SIGTERM drained cleanly"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,13 @@ Sub-commands:
 * ``sweep``           — run a registered scenario through the parallel
   orchestrator (``--jobs N`` worker processes, persistent result cache
   under ``.repro_cache/``).
+* ``serve``           — start the long-lived job server (asyncio socket
+  front-end; validates submissions, serves cache hits, dispatches unit
+  plans to local and remote workers).
+* ``worker``          — connect a remote shard worker to a job server
+  (``--connect host:port``) and execute shipped unit plans.
+* ``submit``          — submit a registered scenario to a job server,
+  stream per-unit progress, print the same tables as ``sweep``.
 * ``broadcast``       — estimate ``B(G)`` and print the Theorem 6 bounds.
 * ``graph-info``      — structural properties of a workload graph.
 
@@ -30,6 +37,9 @@ Examples::
     repro-popsim broadcast --workload torus --size 64
     repro-popsim sweep --scenario table1-clique --jobs 4
     repro-popsim sweep --scenario clique-n100 --jobs 2 --no-cache
+    repro-popsim serve --port 7070 --local-workers 2
+    repro-popsim worker --connect 127.0.0.1:7070
+    repro-popsim submit --connect 127.0.0.1:7070 --scenario table1-clique
 """
 
 from __future__ import annotations
@@ -131,6 +141,109 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the execution engine",
     )
+    sweep.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        help="kernel threads per execution plan (default: REPRO_KERNEL_THREADS)",
+    )
+
+    serve = subparsers.add_parser(
+        "serve", help="start the long-lived simulation job server"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=0, help="bind port (0 picks a free port)"
+    )
+    serve.add_argument(
+        "--port-file",
+        default=None,
+        help="write the bound port to this file once listening (for scripts)",
+    )
+    serve.add_argument(
+        "--local-workers",
+        type=int,
+        default=0,
+        help="in-process workers executing units on the server machine",
+    )
+    serve.add_argument(
+        "--unit-timeout",
+        type=float,
+        default=600.0,
+        help="seconds a dispatched unit may take before it is re-queued",
+    )
+    serve.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="dispatch attempts per unit before its job fails",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the persistent result store",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-store root (default: .repro_cache/ in the working directory)",
+    )
+
+    worker = subparsers.add_parser(
+        "worker", help="connect a remote shard worker to a job server"
+    )
+    worker.add_argument(
+        "--connect", required=True, metavar="HOST:PORT", help="job server endpoint"
+    )
+    worker.add_argument(
+        "--max-units",
+        type=int,
+        default=None,
+        help="exit after executing this many units (default: run until drained)",
+    )
+
+    submit = subparsers.add_parser(
+        "submit", help="submit a registered scenario to a job server"
+    )
+    submit.add_argument(
+        "--connect", required=True, metavar="HOST:PORT", help="job server endpoint"
+    )
+    submit.add_argument("--scenario", required=True, help="scenario name (see `scenarios`)")
+    submit.add_argument(
+        "--sizes", type=int, nargs="+", default=None, help="override the size grid"
+    )
+    submit.add_argument(
+        "--repetitions", type=int, default=None, help="override the trial count"
+    )
+    submit.add_argument("--seed", type=int, default=None, help="override the base seed")
+    submit.add_argument(
+        "--engine",
+        choices=["auto", "compiled", "reference"],
+        default=None,
+        help="override the execution engine",
+    )
+    submit.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        help="kernel threads per unit on the workers",
+    )
+    submit.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ask the server to bypass its result store for this job",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="overall submission deadline in seconds",
+    )
+    submit.add_argument(
+        "--events",
+        action="store_true",
+        help="print every per-unit progress event as it streams in",
+    )
 
     broadcast = subparsers.add_parser("broadcast", help="estimate B(G) and print bounds")
     _add_graph_arguments(broadcast)
@@ -168,6 +281,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_engines()
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
     if args.command == "elect":
         return _cmd_elect(args)
     if args.command == "compare":
@@ -214,17 +333,25 @@ def _cmd_scenarios() -> int:
     return 0
 
 
+def _scenario_overrides(args: argparse.Namespace) -> dict:
+    """The ``--sizes/--repetitions/--seed/--engine/--threads`` overrides."""
+    overrides = {}
+    if getattr(args, "sizes", None) is not None:
+        overrides["sizes"] = tuple(args.sizes)
+    if getattr(args, "repetitions", None) is not None:
+        overrides["repetitions"] = args.repetitions
+    if getattr(args, "seed", None) is not None:
+        overrides["seed"] = args.seed
+    if getattr(args, "engine", None) is not None:
+        overrides["engine"] = args.engine
+    if getattr(args, "threads", None) is not None:
+        overrides["threads"] = args.threads
+    return overrides
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     scenario = get_scenario(args.scenario)
-    overrides = {}
-    if args.sizes is not None:
-        overrides["sizes"] = tuple(args.sizes)
-    if args.repetitions is not None:
-        overrides["repetitions"] = args.repetitions
-    if args.seed is not None:
-        overrides["seed"] = args.seed
-    if args.engine is not None:
-        overrides["engine"] = args.engine
+    overrides = _scenario_overrides(args)
     if overrides:
         scenario = scenario.with_overrides(**overrides)
     result = run_scenario(
@@ -233,6 +360,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache=not args.no_cache,
         cache_dir=args.cache_dir,
     )
+    _print_scenario_result(scenario, result)
+    served = (
+        f"{result.cache_hits}/{result.total_units} units from cache, "
+        f"{result.executed_units} executed with jobs={result.jobs}"
+        if not args.no_cache
+        else f"{result.executed_units} units executed with jobs={result.jobs} (cache off)"
+    )
+    print(f"{served}; wall time {result.wall_time_seconds:.2f}s")
+    return 0
+
+
+def _print_scenario_result(scenario, result) -> None:
+    """Render the per-protocol sweep tables (shared by sweep and submit)."""
     for sweep in result.sweeps:
         rows = []
         for size, measurement in zip(sweep.sizes, sweep.measurements):
@@ -255,13 +395,106 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(render_table(rows, title=f"{scenario.name} — {sweep.protocol_name}"))
         print(f"  {fit_note}")
         print()
-    served = (
-        f"{result.cache_hits}/{result.total_units} units from cache, "
-        f"{result.executed_units} executed with jobs={result.jobs}"
-        if not args.no_cache
-        else f"{result.executed_units} units executed with jobs={result.jobs} (cache off)"
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from .service.server import JobServer
+
+    async def _serve() -> int:
+        server = JobServer(
+            host=args.host,
+            port=args.port,
+            cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+            local_workers=args.local_workers,
+            unit_timeout=args.unit_timeout,
+            max_attempts=args.max_attempts,
+        )
+        host, port = await server.start()
+        print(
+            f"repro-popsim job server listening on {host}:{port} "
+            f"(local workers: {args.local_workers}, "
+            f"cache: {'off' if args.no_cache else 'on'})",
+            flush=True,
+        )
+        if args.port_file:
+            from pathlib import Path
+
+            Path(args.port_file).write_text(f"{port}\n", encoding="ascii")
+        loop = asyncio.get_running_loop()
+        for signal_number in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signal_number,
+                    lambda: loop.create_task(server.drain(timeout=args.unit_timeout)),
+                )
+            except (NotImplementedError, RuntimeError):  # pragma: no cover - non-POSIX
+                pass
+        await server.wait_closed()
+        print("job server drained and stopped", flush=True)
+        return 0
+
+    return asyncio.run(_serve())
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .service.protocol import ServiceError, parse_endpoint
+    from .service.worker import run_worker
+
+    try:
+        host, port = parse_endpoint(args.connect)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        executed = run_worker(host, port, max_units=args.max_units)
+    except (ServiceError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(f"worker finished after {executed} unit(s)")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service.client import ServiceClient
+    from .service.protocol import ServiceError, parse_endpoint
+
+    try:
+        host, port = parse_endpoint(args.connect)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    overrides = _scenario_overrides(args)
+    threads = overrides.pop("threads", None)
+    if "sizes" in overrides:
+        overrides["sizes"] = list(overrides["sizes"])  # JSON-native
+
+    def _print_event(event: dict) -> None:
+        if not args.events:
+            return
+        note = f" (attempt {event.get('attempts')})" if event.get("attempts") else ""
+        print(f"[{event.get('state')}] {event.get('unit')}{note}", flush=True)
+
+    client = ServiceClient(host, port, timeout=args.timeout)
+    try:
+        result = client.submit(
+            name=args.scenario,
+            overrides={**overrides, **({"threads": threads} if threads else {})},
+            cache=not args.no_cache,
+            on_event=_print_event,
+        )
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    _print_scenario_result(result.scenario, result)
+    print(
+        f"{result.cache_hits}/{result.total_units} units from server cache, "
+        f"{result.executed_units} executed by {result.jobs} worker(s); "
+        f"wall time {result.wall_time_seconds:.2f}s"
     )
-    print(f"{served}; wall time {result.wall_time_seconds:.2f}s")
     return 0
 
 

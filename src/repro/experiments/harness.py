@@ -291,6 +291,7 @@ def run_measurement_trials(
     engine: str = "auto",
     backend: str = "auto",
     schedule: Optional["TopologySchedule"] = None,
+    threads: Optional[int] = None,
 ) -> Tuple[List[SimulationResult], Optional[int]]:
     """Execute an arbitrary subset of a measurement's trials.
 
@@ -316,6 +317,7 @@ def run_measurement_trials(
         engine=engine,
         backend=backend,
         schedule=schedule,
+        threads=threads,
     )
 
 
@@ -327,6 +329,7 @@ def run_trials_with_seeds(
     engine: str = "auto",
     backend: str = "auto",
     schedule: Optional["TopologySchedule"] = None,
+    threads: Optional[int] = None,
 ) -> Tuple[List[SimulationResult], Optional[int]]:
     """Execute trials whose scheduler seeds are already derived.
 
@@ -362,6 +365,7 @@ def run_trials_with_seeds(
         engine=engine,
         backend=backend,
         schedule=schedule,
+        threads=threads,
     )
     return execute_plan(plan), state_space
 
@@ -376,6 +380,7 @@ def measure_protocol_on_graph(
     engine: str = "auto",
     backend: str = "auto",
     schedule: Optional["TopologySchedule"] = None,
+    threads: Optional[int] = None,
 ) -> Measurement:
     """Run ``spec`` on ``graph`` ``repetitions`` times and aggregate.
 
@@ -404,6 +409,7 @@ def measure_protocol_on_graph(
         engine=engine,
         backend=backend,
         schedule=schedule,
+        threads=threads,
     )
     return measurement_from_records(
         spec.name,
@@ -472,6 +478,7 @@ def sweep_protocol_over_sizes(
     max_steps_fn: Optional[Callable[[Graph], int]] = None,
     engine: str = "auto",
     backend: str = "auto",
+    threads: Optional[int] = None,
 ) -> SweepResult:
     """Measure a protocol on a workload for each population size in ``sizes``.
 
@@ -494,6 +501,7 @@ def sweep_protocol_over_sizes(
                 max_steps=max_steps,
                 engine=engine,
                 backend=backend,
+                threads=threads,
             )
         )
     return SweepResult(

@@ -23,9 +23,15 @@ and the invalidation rules.
 from .registry import available_scenarios, get_scenario, register_scenario
 from .runner import (
     ScenarioResult,
+    UnitPlan,
     WorkUnit,
+    aggregate_unit_payloads,
+    build_unit_plans,
     build_work_units,
+    execute_unit_plan,
     run_scenario,
+    unit_plan_from_wire,
+    unit_plan_to_wire,
 )
 from .scenario import (
     RESULT_SCHEMA_VERSION,
@@ -46,11 +52,17 @@ __all__ = [
     "ScenarioError",
     "ScheduleConfig",
     "ScenarioResult",
+    "UnitPlan",
     "WorkUnit",
+    "aggregate_unit_payloads",
     "available_scenarios",
+    "build_unit_plans",
     "build_work_units",
     "default_protocol_configs",
+    "execute_unit_plan",
     "get_scenario",
     "register_scenario",
     "run_scenario",
+    "unit_plan_from_wire",
+    "unit_plan_to_wire",
 ]

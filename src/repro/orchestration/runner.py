@@ -55,7 +55,14 @@ from ..experiments.harness import (
 )
 from ..experiments.workloads import get_workload
 from ..graphs.graph import Graph
-from .scenario import RESULT_SCHEMA_VERSION, ProtocolConfig, Scenario, ScheduleConfig
+from .scenario import (
+    RESULT_SCHEMA_VERSION,
+    ProtocolConfig,
+    Scenario,
+    ScheduleConfig,
+    _freeze,
+    _thaw,
+)
 from .store import ResultStore
 
 
@@ -145,6 +152,11 @@ class UnitPlan:
     step_budget_multiplier: float
     schedule: Optional[Tuple[Tuple[str, Any], ...]] = None  # ScheduleConfig form
     schedule_seed: int = 0
+    #: Replica-axis kernel threads for the runtime executor; ``None``
+    #: defers to ``REPRO_KERNEL_THREADS``.  A throughput dial only —
+    #: results are bit-identical for any value (hence not part of the
+    #: unit's identity or the scenario content hash).
+    threads: Optional[int] = None
 
     def build_graph(self) -> Graph:
         """The unit's interaction graph (served from the process memo)."""
@@ -192,9 +204,93 @@ def build_unit_plans(
                     else None
                 ),
                 schedule_seed=scenario.schedule_seed(unit.size_index),
+                threads=scenario.threads,
             )
         )
     return plans
+
+
+def unit_plan_to_wire(plan: UnitPlan) -> Dict[str, Any]:
+    """The JSON-native wire form of a unit plan.
+
+    This is what the service layer (:mod:`repro.service`) ships to remote
+    workers instead of a pickle: every field is plain JSON, and
+    :func:`unit_plan_from_wire` reconstructs an equal :class:`UnitPlan`
+    (tuples restored), so a remote worker executes exactly the plan a
+    fork-worker would have received.
+    """
+    builder, params = plan.protocol
+    return {
+        "unit": plan.unit_key,
+        "trials": [plan.trial_lo, plan.trial_hi],
+        "workload": plan.workload,
+        "size": plan.size,
+        "graph_seed": plan.graph_seed,
+        "protocol": {"builder": builder, "params": [[k, _thaw(v)] for k, v in params]},
+        "run_seeds": list(plan.run_seeds),
+        "engine": plan.engine,
+        "backend": plan.backend,
+        "step_budget_multiplier": plan.step_budget_multiplier,
+        "schedule": (
+            None
+            if plan.schedule is None
+            else {
+                "kind": plan.schedule[0],
+                "params": [[k, _thaw(v)] for k, v in plan.schedule[1]],
+            }
+        ),
+        "schedule_seed": plan.schedule_seed,
+        "threads": plan.threads,
+    }
+
+
+def unit_plan_from_wire(wire: Dict[str, Any]) -> UnitPlan:
+    """Rebuild a :class:`UnitPlan` from :func:`unit_plan_to_wire` output."""
+    protocol = wire["protocol"]
+    schedule = wire.get("schedule")
+    return UnitPlan(
+        unit_key=str(wire["unit"]),
+        trial_lo=int(wire["trials"][0]),
+        trial_hi=int(wire["trials"][1]),
+        workload=str(wire["workload"]),
+        size=int(wire["size"]),
+        graph_seed=int(wire["graph_seed"]),
+        protocol=(
+            str(protocol["builder"]),
+            tuple((str(k), _freeze(v)) for k, v in protocol["params"]),
+        ),
+        run_seeds=tuple(int(seed) for seed in wire["run_seeds"]),
+        engine=str(wire["engine"]),
+        backend=str(wire["backend"]),
+        step_budget_multiplier=float(wire["step_budget_multiplier"]),
+        schedule=(
+            None
+            if schedule is None
+            else (
+                str(schedule["kind"]),
+                tuple((str(k), _freeze(v)) for k, v in schedule["params"]),
+            )
+        ),
+        schedule_seed=int(wire.get("schedule_seed", 0)),
+        threads=(int(wire["threads"]) if wire.get("threads") is not None else None),
+    )
+
+
+def unit_payload(plan: UnitPlan, results: Sequence[Any], state_space: Optional[int]) -> Dict[str, Any]:
+    """Serialise one executed unit's results into its JSON-native payload.
+
+    The single serialisation point shared by the in-process runner, the
+    multiprocessing pool and the remote service workers — the payload is
+    exactly what the result store persists and what travels back over the
+    service wire, so every placement produces identical bytes.
+    """
+    return {
+        "version": RESULT_SCHEMA_VERSION,
+        "unit": plan.unit_key,
+        "trials": [plan.trial_lo, plan.trial_hi],
+        "records": [trial_record_from_result(result) for result in results],
+        "state_space": state_space,
+    }
 
 
 def execute_unit_plan(plan: UnitPlan) -> Dict[str, Any]:
@@ -215,14 +311,9 @@ def execute_unit_plan(plan: UnitPlan) -> Dict[str, Any]:
         engine=plan.engine,
         backend=plan.backend,
         schedule=schedule,
+        threads=plan.threads,
     )
-    return {
-        "version": RESULT_SCHEMA_VERSION,
-        "unit": plan.unit_key,
-        "trials": [plan.trial_lo, plan.trial_hi],
-        "records": [trial_record_from_result(result) for result in results],
-        "state_space": state_space,
-    }
+    return unit_payload(plan, results, state_space)
 
 
 def _worker_execute(plan: UnitPlan) -> Tuple[str, Dict[str, Any]]:
@@ -414,7 +505,7 @@ def run_scenario(
             for plan in plans:
                 finished(plan.unit_key, execute_unit_plan(plan))
 
-    sweeps = _aggregate(scenario, units, payloads)
+    sweeps = aggregate_unit_payloads(scenario, units, payloads)
     return ScenarioResult(
         scenario=scenario,
         sweeps=sweeps,
@@ -426,10 +517,16 @@ def run_scenario(
     )
 
 
-def _aggregate(
+def aggregate_unit_payloads(
     scenario: Scenario, units: Sequence[WorkUnit], payloads: Dict[str, Dict[str, Any]]
 ) -> List[SweepResult]:
-    """Fold unit payloads into per-protocol sweeps, in global trial order."""
+    """Fold unit payloads into per-protocol sweeps, in global trial order.
+
+    Shared by the local runner and the service client
+    (:class:`repro.service.client.ServiceClient`), so a scenario streamed
+    back from a job server aggregates through exactly the code path a
+    local run uses — the byte-identity invariant rests on this.
+    """
     specs = scenario.protocol_specs()
     graphs = [_build_graph(scenario, index) for index in range(len(scenario.sizes))]
     by_cell: Dict[Tuple[int, int], List[WorkUnit]] = {}

@@ -290,6 +290,14 @@ class Scenario:
         never the per-trial seeds, hence never the results.
     engine / backend:
         Execution engine for the simulations.
+    threads:
+        Optional replica-axis kernel-thread dial, forwarded to every
+        execution plan the scenario produces (``None`` defers to
+        ``REPRO_KERNEL_THREADS`` at execution time, the pre-existing
+        behaviour).  Purely a throughput dial: results are bit-identical
+        for any value, so it is *excluded* from :meth:`config_dict` and
+        the content hash — cached results are shared across thread
+        counts, exactly as they are across worker counts.
     schedule:
         Optional declarative topology schedule (:class:`ScheduleConfig`).
         ``None`` (the default) runs on the static workload graph; a
@@ -317,6 +325,7 @@ class Scenario:
     trials_per_shard: int = 1
     engine: str = "auto"
     backend: str = "auto"
+    threads: Optional[int] = None
     schedule: Optional[ScheduleConfig] = None
     description: str = ""
 
@@ -333,6 +342,10 @@ class Scenario:
             raise ScenarioError(f"scenario {self.name!r}: repetitions must be positive")
         if self.trials_per_shard < 1:
             raise ScenarioError(f"scenario {self.name!r}: trials_per_shard must be positive")
+        if self.threads is not None:
+            object.__setattr__(self, "threads", int(self.threads))
+            if self.threads < 1:
+                raise ScenarioError(f"scenario {self.name!r}: threads must be positive")
 
     # ------------------------------------------------------------------
     # Validation / construction
@@ -383,7 +396,10 @@ class Scenario:
         The ``schedule`` key is present only on dynamic scenarios: static
         configs serialise exactly as they did before schedules existed,
         so their content hashes — and hence their cache directories —
-        are unchanged.
+        are unchanged.  ``threads`` is deliberately absent: it is an
+        execution-throughput dial that never changes measured values, so
+        two runs differing only in thread count share one cache
+        directory (and one canonical result).
         """
         config = {
             "name": self.name,
@@ -441,6 +457,7 @@ class Scenario:
             trials_per_shard=int(config["trials_per_shard"]),
             engine=str(config["engine"]),
             backend=str(config["backend"]),
+            threads=(int(config["threads"]) if config.get("threads") is not None else None),
             schedule=(
                 ScheduleConfig.from_dict(config["schedule"])
                 if config.get("schedule") is not None

@@ -25,6 +25,17 @@ missing unit; the next run recomputes exactly the missing shards and
 reuses the finished ones.  A file that fails to parse or validate — a
 truncated write from a hard kill, manual tampering — is treated as a
 miss, deleted, and recomputed.
+
+Concurrent writers are safe.  ``os.replace`` makes each individual write
+atomic *within* a process, but the service layer can have several
+independent processes (a job server and remote workers, or two servers
+sharing one cache) complete the same unit at nearly the same time.  Each
+unit write therefore takes a per-unit ``O_CREAT|O_EXCL`` lockfile first:
+the loser of the race simply skips its write.  Skipping is sound because
+unit payloads are a pure function of the content-hashed scenario config
+and the unit key — whoever wins writes the same bytes.  A lockfile left
+behind by a hard-killed writer is broken once it is older than
+``lock_stale_seconds``.
 """
 
 from __future__ import annotations
@@ -33,6 +44,7 @@ import json
 import os
 import shutil
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
@@ -44,6 +56,35 @@ DEFAULT_CACHE_DIR = ".repro_cache"
 
 #: Hex digits of the content hash used in directory names.
 _HASH_PREFIX_LEN = 12
+
+#: Age (seconds) past which another writer's lockfile is presumed dead
+#: (its owner was hard-killed mid-write) and broken.  Unit writes take
+#: well under a second, so a minute is conservative.
+DEFAULT_LOCK_STALE_SECONDS = 60.0
+
+
+def valid_unit_payload(payload: Any, unit_key: str, n_trials: int) -> bool:
+    """Whether ``payload`` is a well-formed stored/transmitted unit result.
+
+    Shared by the store (validating files read back from disk) and the
+    job server (validating payloads returned by remote workers before
+    they are persisted or streamed to clients).
+    """
+    if not isinstance(payload, dict):
+        return False
+    if payload.get("version") != RESULT_SCHEMA_VERSION:
+        return False
+    if payload.get("unit") != unit_key:
+        return False
+    records = payload.get("records")
+    if not isinstance(records, list) or len(records) != n_trials:
+        return False
+    for record in records:
+        if not isinstance(record, dict):
+            return False
+        if any(fieldname not in record for fieldname in TRIAL_RECORD_FIELDS):
+            return False
+    return True
 
 
 def _atomic_write_json(path: Path, payload: Any, prefix: str, **dump_kwargs: Any) -> None:
@@ -69,10 +110,18 @@ class ResultStore:
     root:
         Cache root directory.  Created lazily on the first write; reads
         from a non-existent root simply miss.
+    lock_stale_seconds:
+        Age past which a concurrent writer's per-unit lockfile is
+        presumed abandoned (hard-killed owner) and broken.
     """
 
-    def __init__(self, root: Union[str, Path, None] = None) -> None:
+    def __init__(
+        self,
+        root: Union[str, Path, None] = None,
+        lock_stale_seconds: float = DEFAULT_LOCK_STALE_SECONDS,
+    ) -> None:
         self.root = Path(root) if root is not None else Path(DEFAULT_CACHE_DIR)
+        self.lock_stale_seconds = float(lock_stale_seconds)
         # Scenario dirs whose scenario.json this instance already verified,
         # so per-unit writes do not re-read the provenance file every time.
         self._config_written: set = set()
@@ -115,21 +164,7 @@ class ResultStore:
 
     @staticmethod
     def _valid_payload(payload: Any, unit_key: str, n_trials: int) -> bool:
-        if not isinstance(payload, dict):
-            return False
-        if payload.get("version") != RESULT_SCHEMA_VERSION:
-            return False
-        if payload.get("unit") != unit_key:
-            return False
-        records = payload.get("records")
-        if not isinstance(records, list) or len(records) != n_trials:
-            return False
-        for record in records:
-            if not isinstance(record, dict):
-                return False
-            if any(fieldname not in record for fieldname in TRIAL_RECORD_FIELDS):
-                return False
-        return True
+        return valid_unit_payload(payload, unit_key, n_trials)
 
     @staticmethod
     def _discard(path: Path) -> None:
@@ -142,14 +177,67 @@ class ResultStore:
     # Writes
     # ------------------------------------------------------------------
     def save_unit(self, scenario: Scenario, unit_key: str, payload: Dict[str, Any]) -> Path:
-        """Atomically persist one unit's payload; returns the final path."""
+        """Atomically persist one unit's payload; returns the final path.
+
+        Idempotent under concurrent writers: the write is guarded by a
+        per-unit ``O_EXCL`` lockfile, and a process that loses the race
+        returns without writing (the winner persists identical bytes —
+        payloads are pure functions of the content-hashed config, which
+        is also why two workers completing a re-queued unit can never
+        tear the stored result).
+        """
         path = self.unit_path(scenario, unit_key)
         path.parent.mkdir(parents=True, exist_ok=True)
         self._write_scenario_config(scenario)
-        _atomic_write_json(
-            path, payload, prefix=f".{unit_key}.", sort_keys=True, separators=(",", ":")
-        )
+        lock_path = path.parent / (path.name + ".lock")
+        if not self._acquire_lock(lock_path):
+            return path
+        try:
+            _atomic_write_json(
+                path, payload, prefix=f".{unit_key}.", sort_keys=True, separators=(",", ":")
+            )
+        finally:
+            self._release_lock(lock_path)
         return path
+
+    def _acquire_lock(self, lock_path: Path) -> bool:
+        """Take the per-unit write lock; ``False`` = a live writer owns it."""
+        for attempt in range(2):
+            try:
+                descriptor = os.open(
+                    lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+                )
+            except FileExistsError:
+                if attempt == 0 and self._lock_is_stale(lock_path):
+                    # Abandoned by a hard-killed writer: break it and retry
+                    # once (losing a second race to another breaker is fine
+                    # — they will write the same bytes we would have).
+                    self._discard(lock_path)
+                    continue
+                return False
+            except OSError:
+                # Unlockable filesystem: fall back to the plain atomic write.
+                return True
+            try:
+                os.write(descriptor, f"{os.getpid()}\n".encode("ascii"))
+            finally:
+                os.close(descriptor)
+            return True
+        return False
+
+    def _lock_is_stale(self, lock_path: Path) -> bool:
+        try:
+            age = time.time() - os.stat(lock_path).st_mtime
+        except OSError:
+            return False
+        return age > self.lock_stale_seconds
+
+    @staticmethod
+    def _release_lock(lock_path: Path) -> None:
+        try:
+            os.remove(lock_path)
+        except OSError:
+            pass
 
     def _write_scenario_config(self, scenario: Scenario) -> None:
         path = self.scenario_dir(scenario) / "scenario.json"

@@ -1,0 +1,49 @@
+"""Simulation-as-a-service: job server, remote workers, streaming client.
+
+This package turns the single-box orchestrator
+(:mod:`repro.orchestration`) into a long-lived network service:
+
+* :mod:`repro.service.protocol` — the line-delimited-JSON wire protocol
+  (framing, size limits, version handshake) shared by all three roles,
+* :mod:`repro.service.server` — :class:`~repro.service.server.JobServer`,
+  an asyncio front-end that validates scenario requests against the
+  registry, serves cache hits straight from the content-hash result
+  store, and dispatches pending :class:`~repro.orchestration.UnitPlan`\\ s
+  to a pool of local and remote workers with per-unit timeout, bounded
+  retry and graceful drain,
+* :mod:`repro.service.worker` — the remote worker loop
+  (``repro-popsim worker --connect host:port``): executes shipped unit
+  plans through exactly the same :func:`~repro.orchestration.execute_unit_plan`
+  a fork-worker runs,
+* :mod:`repro.service.client` — :class:`~repro.service.client.ServiceClient`
+  (``repro-popsim submit``): streams per-unit progress events and
+  reassembles the same :class:`~repro.orchestration.ScenarioResult` a
+  local :func:`~repro.orchestration.run_scenario` produces.
+
+The design invariant carries over from the orchestrator unchanged: a
+scenario run through the server — with any mix of local and remote
+workers, cache states, retries and worker failures — is byte-identical
+(:meth:`ScenarioResult.canonical_json`) to a serial in-process run.
+See ``docs/ORCHESTRATION.md`` § "Service mode".
+"""
+
+from .client import ServiceClient, submit_scenario
+from .protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    ServiceError,
+)
+from .server import JobServer
+from .worker import run_worker
+
+__all__ = [
+    "JobServer",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServiceClient",
+    "ServiceError",
+    "run_worker",
+    "submit_scenario",
+]

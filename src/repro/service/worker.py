@@ -1,0 +1,129 @@
+"""Remote shard worker (``repro-popsim worker --connect host:port``).
+
+A worker is the shard runner generalised across machine boundaries: it
+connects to a :class:`~repro.service.server.JobServer`, completes the
+protocol-version/schema handshake (a version-skewed worker is rejected
+before it can compute anything), then loops — receive one
+:class:`~repro.orchestration.UnitPlan` envelope, execute it through the
+*same* :func:`~repro.orchestration.execute_unit_plan` a fork-worker or
+the serial path runs, send the JSON payload back.  All seed derivation
+happened in the server's parent process when the plans were built;
+the worker re-derives nothing, which is what makes its results
+byte-identical to any other placement.
+
+The plan executes on an executor thread so the connection stays
+responsive (a ``shutdown`` frame or a dropped socket is noticed even
+mid-unit); one unit runs at a time per worker — parallelism comes from
+connecting more workers, and within a unit from the kernel-thread dial
+(``UnitPlan.threads``).
+
+A unit that raises is reported with a ``unit-error`` frame rather than
+killing the worker: the server counts the failed attempt and re-queues
+(bounded by its ``max_attempts``), so one poisoned unit cannot take the
+whole pool down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Optional
+
+from .protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    ServiceError,
+    hello_frame,
+    open_service_connection,
+    read_frame,
+    write_frame,
+)
+
+
+async def run_worker_async(
+    host: str,
+    port: int,
+    *,
+    max_units: Optional[int] = None,
+    max_frame_bytes: int = MAX_FRAME_BYTES,
+) -> int:
+    """Serve units until the server goes away; returns units completed.
+
+    ``max_units`` bounds how many units this worker executes before
+    disconnecting cleanly (useful for tests and for recycling long-lived
+    workers); ``None`` serves until the server closes the connection or
+    sends ``shutdown``.
+    """
+    # Imported here so the module stays importable without the full
+    # orchestration stack (e.g. for protocol-only tooling).
+    from ..orchestration import runner as _runner
+
+    reader, writer = await open_service_connection(host, port, max_frame_bytes)
+    executed = 0
+    try:
+        await write_frame(writer, hello_frame("worker"), max_frame_bytes)
+        welcome = await read_frame(reader, max_frame_bytes)
+        if welcome is None or welcome.get("type") != "welcome":
+            reason = (welcome or {}).get("reason", "connection closed during handshake")
+            raise ServiceError(f"server refused worker: {reason}")
+        loop = asyncio.get_running_loop()
+        while max_units is None or executed < max_units:
+            frame = await read_frame(reader, max_frame_bytes)
+            if frame is None or frame.get("type") == "shutdown":
+                break
+            if frame.get("type") != "unit":
+                raise ProtocolError(
+                    f"unexpected frame {frame.get('type')!r}; expected unit"
+                )
+            plan = _runner.unit_plan_from_wire(frame["plan"])
+            start = time.perf_counter()
+            try:
+                # Module-attribute lookup so tests can monkeypatch the
+                # executor; runs on a thread to keep the socket serviced.
+                payload = await loop.run_in_executor(
+                    None, _runner.execute_unit_plan, plan
+                )
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:  # noqa: BLE001 — reported, not fatal
+                await write_frame(
+                    writer,
+                    {
+                        "type": "unit-error",
+                        "unit": frame.get("unit"),
+                        "error": f"{type(error).__name__}: {error}",
+                    },
+                    max_frame_bytes,
+                )
+                continue
+            await write_frame(
+                writer,
+                {
+                    "type": "result",
+                    "unit": frame.get("unit"),
+                    "payload": payload,
+                    "wall_time_seconds": time.perf_counter() - start,
+                },
+                max_frame_bytes,
+            )
+            executed += 1
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (OSError, ConnectionError):
+            pass
+    return executed
+
+
+def run_worker(
+    host: str,
+    port: int,
+    *,
+    max_units: Optional[int] = None,
+    max_frame_bytes: int = MAX_FRAME_BYTES,
+) -> int:
+    """Synchronous wrapper around :func:`run_worker_async`."""
+    return asyncio.run(
+        run_worker_async(host, port, max_units=max_units, max_frame_bytes=max_frame_bytes)
+    )

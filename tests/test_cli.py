@@ -29,6 +29,25 @@ class TestParser:
                 ["elect", "--workload", "clique", "--size", "20", "--protocol", "bogus"]
             )
 
+    def test_service_subcommands_parse(self):
+        parser = build_parser()
+        serve = parser.parse_args(["serve", "--port", "7070", "--local-workers", "2"])
+        assert (serve.command, serve.port, serve.local_workers) == ("serve", 7070, 2)
+        worker = parser.parse_args(["worker", "--connect", "10.0.0.5:7070"])
+        assert (worker.command, worker.connect) == ("worker", "10.0.0.5:7070")
+        submit = parser.parse_args(
+            ["submit", "--connect", "h:1", "--scenario", "clique-n100", "--threads", "4"]
+        )
+        assert (submit.command, submit.scenario, submit.threads) == (
+            "submit",
+            "clique-n100",
+            4,
+        )
+
+    def test_worker_requires_endpoint(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])
+
 
 class TestCommands:
     def test_workloads_command(self, capsys):
@@ -218,6 +237,72 @@ class TestCliErrorPaths:
             main(["sweep", "--scenario", "table1-stars", "--engine", "warp-drive"])
         assert excinfo.value.code == 2
         assert "invalid choice" in capsys.readouterr().err
+
+    def test_worker_rejects_malformed_endpoint(self, capsys):
+        assert main(["worker", "--connect", "no-port-here"]) == 2
+        assert "expected host:port" in capsys.readouterr().err
+
+    def test_submit_unreachable_server_is_a_clean_error(self, capsys):
+        code = main(
+            ["submit", "--connect", "127.0.0.1:1", "--scenario", "clique-n100"]
+        )
+        assert code == 1
+        assert "cannot reach job server" in capsys.readouterr().err
+
+    def test_submit_command_end_to_end(self, capsys, tmp_path):
+        """`submit` against a live server prints the same tables as `sweep`."""
+        import asyncio
+        import threading
+
+        from repro.service import JobServer
+
+        ready = threading.Event()
+        endpoint = {}
+        loop = asyncio.new_event_loop()
+
+        def serve():
+            asyncio.set_event_loop(loop)
+
+            async def up():
+                server = JobServer(cache_dir=tmp_path, local_workers=1)
+                endpoint["addr"] = "{}:{}".format(*await server.start())
+                endpoint["server"] = server
+                ready.set()
+
+            loop.run_until_complete(up())
+            loop.run_forever()
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        assert ready.wait(timeout=10)
+        try:
+            code = main(
+                [
+                    "submit",
+                    "--connect",
+                    endpoint["addr"],
+                    "--scenario",
+                    "table1-stars",
+                    "--sizes",
+                    "6",
+                    "10",
+                    "--repetitions",
+                    "1",
+                    "--events",
+                ]
+            )
+            out = capsys.readouterr().out
+            assert code == 0
+            assert "[done]" in out
+            assert "table1-stars" in out
+            assert "executed by" in out
+        finally:
+            asyncio.run_coroutine_threadsafe(
+                endpoint["server"].stop(), loop
+            ).result(timeout=10)
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=10)
+            loop.close()
 
     def test_elect_rejects_bad_engine_value(self, capsys):
         with pytest.raises(SystemExit) as excinfo:

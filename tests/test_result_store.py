@@ -125,3 +125,52 @@ class TestInvalidation:
         store.save_unit(scenario, "p00-s00-t0000", make_payload())
         leftovers = [p for p in store.scenario_dir(scenario).rglob("*.tmp")]
         assert leftovers == []
+
+
+class TestConcurrentWriters:
+    def _lock_path(self, store, scenario, unit_key):
+        path = store.unit_path(scenario, unit_key)
+        return path.parent / (path.name + ".lock")
+
+    def test_lockfile_released_after_save(self, tmp_path, scenario):
+        store = ResultStore(tmp_path)
+        store.save_unit(scenario, "p00-s00-t0000", make_payload())
+        assert not self._lock_path(store, scenario, "p00-s00-t0000").exists()
+        leftovers = list(store.scenario_dir(scenario).rglob("*.lock"))
+        assert leftovers == []
+
+    def test_live_lock_skips_the_write(self, tmp_path, scenario):
+        """The loser of a concurrent-writer race returns without writing."""
+        store = ResultStore(tmp_path)
+        target = store.unit_path(scenario, "p00-s00-t0000")
+        target.parent.mkdir(parents=True, exist_ok=True)
+        lock = self._lock_path(store, scenario, "p00-s00-t0000")
+        lock.write_text("12345\n", encoding="ascii")
+        returned = store.save_unit(scenario, "p00-s00-t0000", make_payload())
+        assert returned == target
+        assert not target.exists()  # skipped: another live writer owns it
+        assert lock.exists()  # and its lock was left alone
+
+    def test_stale_lock_is_broken(self, tmp_path, scenario):
+        """A lockfile abandoned by a hard-killed writer does not wedge the unit."""
+        import os
+        import time
+
+        store = ResultStore(tmp_path, lock_stale_seconds=60.0)
+        target = store.unit_path(scenario, "p00-s00-t0000")
+        target.parent.mkdir(parents=True, exist_ok=True)
+        lock = self._lock_path(store, scenario, "p00-s00-t0000")
+        lock.write_text("666\n", encoding="ascii")
+        ancient = time.time() - 3600
+        os.utime(lock, (ancient, ancient))
+        store.save_unit(scenario, "p00-s00-t0000", make_payload())
+        assert store.load_unit(scenario, "p00-s00-t0000", n_trials=2) is not None
+        assert not lock.exists()
+
+    def test_racing_writers_persist_one_valid_result(self, tmp_path, scenario):
+        """Two store instances saving the same unit interleave safely."""
+        payload = make_payload()
+        for store in (ResultStore(tmp_path), ResultStore(tmp_path)):
+            store.save_unit(scenario, "p00-s00-t0000", payload)
+        loaded = ResultStore(tmp_path).load_unit(scenario, "p00-s00-t0000", n_trials=2)
+        assert loaded == payload
