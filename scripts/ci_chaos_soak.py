@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""CI gate: the service stack survives seeded chaos without moving a byte.
+
+Runs the chaos-soak harness (:func:`repro.resilience.run_chaos_soak`)
+twice with a pinned chaos seed: a job server plus one chaos-wrapped
+remote worker execute a small registry scenario through two submissions
+while the fault engine injects worker crashes, silent stalls, slow
+units, execution errors, delayed/corrupted/truncated/duplicated wire
+frames, and torn/tampered store writes.  The gate holds iff:
+
+1. at least ``MIN_FAULTS`` faults actually fired (the soak is not a
+   no-op),
+2. every fault *kind* in the spec fired at least once across the run
+   (all seams were exercised),
+3. both submissions of both soak runs produced a ``ScenarioResult``
+   byte-identical to the fault-free in-process baseline,
+4. the two runs' canonical fault logs are byte-equal — chaos itself is
+   replayable from ``(seed, spec)``.
+
+Exit code 0 when every stage holds, 1 with a transcript otherwise.
+
+Usage::
+
+    PYTHONPATH=src python scripts/ci_chaos_soak.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+CHAOS_SEED = 20260808
+MIN_FAULTS = 30
+SCENARIO = "table1-stars"
+OVERRIDES = {"sizes": (6, 8), "repetitions": 6}
+CLIENT_TIMEOUT = 100.0
+
+
+def fail(message: str) -> "None":
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> int:
+    from repro.orchestration.registry import get_scenario
+    from repro.resilience import default_fault_spec, run_chaos_soak
+
+    scenario = get_scenario(SCENARIO).with_overrides(**OVERRIDES)
+    spec = default_fault_spec()
+
+    reports = []
+    for attempt in (1, 2):
+        start = time.perf_counter()
+        report = run_chaos_soak(
+            scenario, CHAOS_SEED, spec, client_timeout=CLIENT_TIMEOUT
+        )
+        elapsed = time.perf_counter() - start
+        print(
+            f"soak run {attempt}: {report.injected} faults over "
+            f"{report.units} units in {elapsed:.1f}s "
+            f"({', '.join(f'{k}={v}' for k, v in sorted(report.counts_by_kind.items()))})"
+        )
+        reports.append(report)
+
+    first, second = reports
+    if first.injected < MIN_FAULTS:
+        fail(
+            f"only {first.injected} faults injected; the gate requires "
+            f">= {MIN_FAULTS} (spec or scenario too tame)"
+        )
+    spec_kinds = {kind for kind, rate in spec.rates if rate > 0}
+    missing = sorted(spec_kinds - set(first.counts_by_kind))
+    if missing:
+        fail(f"fault kind(s) never fired: {', '.join(missing)}")
+    for label, report in (("first", first), ("second", second)):
+        if report.first_json != report.baseline_json:
+            fail(f"{label} soak: submission 1 diverged from the fault-free baseline")
+        if report.second_json != report.baseline_json:
+            fail(f"{label} soak: submission 2 diverged from the fault-free baseline")
+    if first.log_json != second.log_json:
+        fail("fault logs differ between identically-seeded runs (chaos not replayable)")
+
+    print(
+        f"OK: {first.injected} faults across every seam, results byte-identical "
+        "to the fault-free run, fault log replayed bit-for-bit"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

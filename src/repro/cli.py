@@ -19,6 +19,10 @@ Sub-commands:
   (``--connect host:port``) and execute shipped unit plans.
 * ``submit``          — submit a registered scenario to a job server,
   stream per-unit progress, print the same tables as ``sweep``.
+* ``chaos``           — run a scenario through the full service stack
+  under a seeded fault schedule (worker crashes, garbled frames, store
+  corruption) and verify the result is byte-identical to a fault-free
+  in-process run.
 * ``broadcast``       — estimate ``B(G)`` and print the Theorem 6 bounds.
 * ``graph-info``      — structural properties of a workload graph.
 
@@ -38,8 +42,9 @@ Examples::
     repro-popsim sweep --scenario table1-clique --jobs 4
     repro-popsim sweep --scenario clique-n100 --jobs 2 --no-cache
     repro-popsim serve --port 7070 --local-workers 2
-    repro-popsim worker --connect 127.0.0.1:7070
+    repro-popsim worker --connect 127.0.0.1:7070 --reconnect-retries 10
     repro-popsim submit --connect 127.0.0.1:7070 --scenario table1-clique
+    repro-popsim chaos --scenario table1-stars --sizes 6 8 --repetitions 6
 """
 
 from __future__ import annotations
@@ -188,6 +193,35 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="result-store root (default: .repro_cache/ in the working directory)",
     )
+    serve.add_argument(
+        "--liveness-timeout",
+        type=float,
+        default=None,
+        help=(
+            "seconds a mid-unit worker may stay silent (no heartbeat) before "
+            "being written off; 0 disables the check (default: 10)"
+        ),
+    )
+    serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        help="consecutive dispatch failures that quarantine a worker",
+    )
+    serve.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=30.0,
+        help="seconds a quarantined worker waits before its probe dispatch",
+    )
+    serve.add_argument(
+        "--degrade-local",
+        action="store_true",
+        help=(
+            "execute queued units in-process whenever no worker is available "
+            "(graceful degradation instead of a hanging job)"
+        ),
+    )
 
     worker = subparsers.add_parser(
         "worker", help="connect a remote shard worker to a job server"
@@ -200,6 +234,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="exit after executing this many units (default: run until drained)",
+    )
+    worker.add_argument(
+        "--reconnect-retries",
+        type=int,
+        default=0,
+        help=(
+            "reconnect this many times (seeded exponential backoff) after a "
+            "lost connection before giving up (default: 0, fail fast)"
+        ),
+    )
+    worker.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=None,
+        help="seconds between mid-unit heartbeat frames (default: 2)",
     )
 
     submit = subparsers.add_parser(
@@ -244,6 +293,58 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print every per-unit progress event as it streams in",
     )
+    submit.add_argument(
+        "--connect-retries",
+        type=int,
+        default=0,
+        help=(
+            "retry an unreachable server this many times with seeded backoff "
+            "(useful when racing the server's startup)"
+        ),
+    )
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="soak a scenario through the service stack under injected faults",
+    )
+    chaos.add_argument(
+        "--scenario", default="table1-stars", help="scenario name (see `scenarios`)"
+    )
+    chaos.add_argument(
+        "--sizes", type=int, nargs="+", default=None, help="override the size grid"
+    )
+    chaos.add_argument(
+        "--repetitions", type=int, default=None, help="override the trial count"
+    )
+    chaos.add_argument("--seed", type=int, default=None, help="override the base seed")
+    chaos.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="seed of the fault schedule (same seed + spec = same faults)",
+    )
+    chaos.add_argument(
+        "--fault",
+        action="append",
+        metavar="KIND=RATE",
+        default=None,
+        help=(
+            "override one fault kind's per-opportunity rate "
+            "(repeatable; e.g. --fault worker-crash=0.3)"
+        ),
+    )
+    chaos.add_argument(
+        "--intensity",
+        type=float,
+        default=1.0,
+        help="scale every default fault rate by this factor",
+    )
+    chaos.add_argument(
+        "--timeout",
+        type=float,
+        default=180.0,
+        help="overall deadline in seconds per chaos submission",
+    )
 
     broadcast = subparsers.add_parser("broadcast", help="estimate B(G) and print bounds")
     _add_graph_arguments(broadcast)
@@ -287,6 +388,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_worker(args)
     if args.command == "submit":
         return _cmd_submit(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "elect":
         return _cmd_elect(args)
     if args.command == "compare":
@@ -403,6 +506,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from .service.server import JobServer
 
+    from .service.protocol import DEFAULT_LIVENESS_TIMEOUT
+
+    liveness = args.liveness_timeout
+    if liveness is None:
+        liveness = DEFAULT_LIVENESS_TIMEOUT
+    elif liveness <= 0:
+        liveness = None  # 0 disables the liveness check entirely
+
     async def _serve() -> int:
         server = JobServer(
             host=args.host,
@@ -412,6 +523,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             local_workers=args.local_workers,
             unit_timeout=args.unit_timeout,
             max_attempts=args.max_attempts,
+            liveness_timeout=liveness,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown=args.breaker_cooldown,
+            degrade_to_local=args.degrade_local,
         )
         host, port = await server.start()
         print(
@@ -421,9 +536,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             flush=True,
         )
         if args.port_file:
+            import os
+            import tempfile
             from pathlib import Path
 
-            Path(args.port_file).write_text(f"{port}\n", encoding="ascii")
+            # Atomic so a script polling the file can never read a
+            # half-written port number.
+            target = Path(args.port_file)
+            descriptor, temp_name = tempfile.mkstemp(
+                prefix=".port.", dir=str(target.parent or Path("."))
+            )
+            with os.fdopen(descriptor, "w", encoding="ascii") as handle:
+                handle.write(f"{port}\n")
+            os.replace(temp_name, target)
         loop = asyncio.get_running_loop()
         for signal_number in (signal.SIGTERM, signal.SIGINT):
             try:
@@ -449,8 +574,16 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    worker_kwargs = {
+        "max_units": args.max_units,
+        "reconnect_retries": args.reconnect_retries,
+    }
+    if args.heartbeat_interval is not None:
+        worker_kwargs["heartbeat_interval"] = (
+            args.heartbeat_interval if args.heartbeat_interval > 0 else None
+        )
     try:
-        executed = run_worker(host, port, max_units=args.max_units)
+        executed = run_worker(host, port, **worker_kwargs)
     except (ServiceError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -478,7 +611,9 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         note = f" (attempt {event.get('attempts')})" if event.get("attempts") else ""
         print(f"[{event.get('state')}] {event.get('unit')}{note}", flush=True)
 
-    client = ServiceClient(host, port, timeout=args.timeout)
+    client = ServiceClient(
+        host, port, timeout=args.timeout, connect_retries=args.connect_retries
+    )
     try:
         result = client.submit(
             name=args.scenario,
@@ -496,6 +631,69 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         f"wall time {result.wall_time_seconds:.2f}s"
     )
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .resilience import FaultSpec, default_fault_spec, run_chaos_soak
+
+    scenario = get_scenario(args.scenario)
+    overrides = _scenario_overrides(args)
+    if overrides:
+        scenario = scenario.with_overrides(**overrides)
+    base = default_fault_spec()
+    rates = {kind: rate for kind, rate in base.rates}
+    if args.intensity != 1.0:
+        if args.intensity < 0:
+            print("error: --intensity must be non-negative", file=sys.stderr)
+            return 2
+        rates = {kind: min(1.0, rate * args.intensity) for kind, rate in rates.items()}
+    for item in args.fault or []:
+        kind, separator, value = item.partition("=")
+        if not separator:
+            print(f"error: --fault expects KIND=RATE, got {item!r}", file=sys.stderr)
+            return 2
+        try:
+            rates[kind.strip()] = float(value)
+        except ValueError:
+            print(f"error: fault rate {value!r} is not a number", file=sys.stderr)
+            return 2
+    try:
+        spec = FaultSpec.from_rates(
+            rates,
+            stall_seconds=base.stall_seconds,
+            slow_seconds=base.slow_seconds,
+            delay_seconds=base.delay_seconds,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        report = run_chaos_soak(
+            scenario, args.chaos_seed, spec, client_timeout=args.timeout
+        )
+    except Exception as error:  # noqa: BLE001 — soak failures are the verdict
+        print(f"error: chaos soak failed: {type(error).__name__}: {error}", file=sys.stderr)
+        return 1
+    rows = [
+        {"fault": kind, "fired": count}
+        for kind, count in sorted(report.counts_by_kind.items())
+    ]
+    if rows:
+        print(
+            render_table(
+                rows,
+                title=f"Chaos soak — {scenario.name} (chaos seed {report.chaos_seed})",
+            )
+        )
+    print(
+        f"{report.injected} fault(s) injected across 2 submissions of "
+        f"{report.units} unit(s)"
+    )
+    if report.byte_identical:
+        print("PASS: both chaos results byte-identical to the fault-free run")
+        return 0
+    print("FAIL: chaos result diverged from the fault-free run", file=sys.stderr)
+    return 1
 
 
 def _cmd_engines() -> int:

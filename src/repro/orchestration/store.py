@@ -19,12 +19,17 @@ stale result — invalidation is purely structural, there is no mtime or
 dependency tracking to get wrong.
 
 Each unit file carries the trial records of one shard plus enough
-metadata to validate it.  Files are written atomically (temp file +
-``os.replace``), so a sweep interrupted mid-write leaves at worst one
+metadata to validate it, and a ``sha256`` checksum of the payload proper
+so silent content corruption (bit rot, a buggy writer, deliberate chaos
+injection) is detected on read, not trusted.  Files are written
+atomically (temp file + ``fsync`` + ``os.replace``), so a sweep
+interrupted mid-write — or a host losing power — leaves at worst one
 missing unit; the next run recomputes exactly the missing shards and
-reuses the finished ones.  A file that fails to parse or validate — a
-truncated write from a hard kill, manual tampering — is treated as a
-miss, deleted, and recomputed.
+reuses the finished ones.  A file that fails to parse, validate or
+checksum is treated as a miss and *quarantined*: moved into the scenario
+directory's ``quarantine/`` sidecar (with a line in ``quarantine.log``
+saying why) rather than silently deleted, so corruption stays
+diagnosable while the unit is transparently recomputed.
 
 Concurrent writers are safe.  ``os.replace`` makes each individual write
 atomic *within* a process, but the service layer can have several
@@ -35,11 +40,13 @@ the loser of the race simply skips its write.  Skipping is sound because
 unit payloads are a pure function of the content-hashed scenario config
 and the unit key — whoever wins writes the same bytes.  A lockfile left
 behind by a hard-killed writer is broken once it is older than
-``lock_stale_seconds``.
+``lock_stale_seconds`` (constructor parameter, defaulting to the
+``REPRO_STORE_LOCK_TTL`` environment variable when set).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import shutil
@@ -61,6 +68,21 @@ _HASH_PREFIX_LEN = 12
 #: (its owner was hard-killed mid-write) and broken.  Unit writes take
 #: well under a second, so a minute is conservative.
 DEFAULT_LOCK_STALE_SECONDS = 60.0
+
+#: Environment override for the lockfile TTL (seconds); lets deployments
+#: with slow shared filesystems raise it without code changes.
+LOCK_TTL_ENV = "REPRO_STORE_LOCK_TTL"
+
+
+def unit_checksum(payload: Any) -> str:
+    """Canonical sha256 of a unit payload (sorted, compact JSON).
+
+    The single checksum definition shared by the store (at-rest
+    integrity), the worker (checksumming result frames) and the server
+    (verifying them): same payload, same digest, everywhere.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def valid_unit_payload(payload: Any, unit_key: str, n_trials: int) -> bool:
@@ -88,12 +110,30 @@ def valid_unit_payload(payload: Any, unit_key: str, n_trials: int) -> bool:
 
 
 def _atomic_write_json(path: Path, payload: Any, prefix: str, **dump_kwargs: Any) -> None:
-    """Write JSON via a same-directory temp file + ``os.replace``."""
+    """Write JSON via a same-directory temp file + ``fsync`` + ``os.replace``.
+
+    The fsync pair (file data before the rename, directory entry after)
+    is what upgrades "atomic against concurrent readers" to "durable
+    against power loss": without it a crash shortly after ``os.replace``
+    can surface a correctly-named file with truncated contents.
+    """
     descriptor, temp_name = tempfile.mkstemp(prefix=prefix, suffix=".tmp", dir=str(path.parent))
     try:
         with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, **dump_kwargs)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(temp_name, path)
+        try:
+            dir_fd = os.open(str(path.parent), os.O_RDONLY)
+        except OSError:
+            return  # platform without directory fds: rename is still atomic
+        try:
+            os.fsync(dir_fd)
+        except OSError:
+            pass
+        finally:
+            os.close(dir_fd)
     except BaseException:
         try:
             os.remove(temp_name)
@@ -112,15 +152,27 @@ class ResultStore:
         from a non-existent root simply miss.
     lock_stale_seconds:
         Age past which a concurrent writer's per-unit lockfile is
-        presumed abandoned (hard-killed owner) and broken.
+        presumed abandoned (hard-killed owner) and broken.  ``None``
+        (the default) reads the ``REPRO_STORE_LOCK_TTL`` environment
+        variable, falling back to :data:`DEFAULT_LOCK_STALE_SECONDS`.
     """
 
     def __init__(
         self,
         root: Union[str, Path, None] = None,
-        lock_stale_seconds: float = DEFAULT_LOCK_STALE_SECONDS,
+        lock_stale_seconds: Optional[float] = None,
     ) -> None:
         self.root = Path(root) if root is not None else Path(DEFAULT_CACHE_DIR)
+        if lock_stale_seconds is None:
+            raw = os.environ.get(LOCK_TTL_ENV)
+            try:
+                lock_stale_seconds = (
+                    float(raw) if raw else DEFAULT_LOCK_STALE_SECONDS
+                )
+            except ValueError:
+                lock_stale_seconds = DEFAULT_LOCK_STALE_SECONDS
+        if lock_stale_seconds <= 0:
+            raise ValueError("lock_stale_seconds must be positive")
         self.lock_stale_seconds = float(lock_stale_seconds)
         # Scenario dirs whose scenario.json this instance already verified,
         # so per-unit writes do not re-read the provenance file every time.
@@ -138,27 +190,46 @@ class ResultStore:
         """File path of one work unit's records."""
         return self.scenario_dir(scenario) / "units" / f"{unit_key}.json"
 
+    def quarantine_dir(self, scenario: Scenario) -> Path:
+        """Sidecar directory corrupt unit files are moved into."""
+        return self.scenario_dir(scenario) / "quarantine"
+
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
     def load_unit(self, scenario: Scenario, unit_key: str, n_trials: int) -> Optional[Dict[str, Any]]:
         """The stored payload for ``unit_key``, or ``None`` on miss.
 
-        A corrupt or schema-mismatched file is deleted and reported as a
-        miss, so callers recompute instead of crashing (or worse, trusting
-        garbage).
+        A corrupt, checksum-mismatched or schema-invalid file is
+        quarantined and reported as a miss, so callers recompute instead
+        of crashing (or worse, trusting garbage).  The returned payload
+        has the at-rest ``sha256`` envelope stripped — it is exactly the
+        payload that was saved.
         """
         path = self.unit_path(scenario, unit_key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
+                record = json.load(handle)
         except FileNotFoundError:
             return None
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-            self._discard(path)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as error:
+            self._quarantine(path, f"unparseable: {error}")
+            return None
+        if not isinstance(record, dict):
+            self._quarantine(path, "not a JSON object")
+            return None
+        payload = dict(record)
+        stored_digest = payload.pop("sha256", None)
+        if stored_digest != unit_checksum(payload):
+            reason = (
+                "missing content checksum"
+                if stored_digest is None
+                else "content checksum mismatch"
+            )
+            self._quarantine(path, reason)
             return None
         if not self._valid_payload(payload, unit_key, n_trials):
-            self._discard(path)
+            self._quarantine(path, "invalid unit payload")
             return None
         return payload
 
@@ -172,6 +243,24 @@ class ResultStore:
             os.remove(path)
         except OSError:
             pass
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a bad unit file into the sidecar dir, logging why.
+
+        Unit files live in ``<scenario-dir>/units/``, so the sidecar is
+        a sibling of ``units/``.  Falls back to plain deletion if the
+        move itself fails (read-only sidecar, cross-device surprise) —
+        a bad file must never be served again, diagnosability is the
+        bonus, not the invariant.
+        """
+        sidecar = path.parent.parent / "quarantine"
+        try:
+            sidecar.mkdir(parents=True, exist_ok=True)
+            os.replace(path, sidecar / path.name)
+            with open(sidecar / "quarantine.log", "a", encoding="utf-8") as handle:
+                handle.write(f"{path.name}\t{reason}\n")
+        except OSError:
+            self._discard(path)
 
     # ------------------------------------------------------------------
     # Writes
@@ -192,9 +281,13 @@ class ResultStore:
         lock_path = path.parent / (path.name + ".lock")
         if not self._acquire_lock(lock_path):
             return path
+        # The at-rest record is the payload plus its own content
+        # checksum; load_unit strips and verifies it symmetrically.
+        record = dict(payload)
+        record["sha256"] = unit_checksum(payload)
         try:
             _atomic_write_json(
-                path, payload, prefix=f".{unit_key}.", sort_keys=True, separators=(",", ":")
+                path, record, prefix=f".{unit_key}.", sort_keys=True, separators=(",", ":")
             )
         finally:
             self._release_lock(lock_path)

@@ -1,0 +1,59 @@
+"""Deterministic fault injection and the defenses it exercises.
+
+This package is the repo's failure discipline made executable.  The core
+contract of the whole reproduction — every result is a pure function of
+``(scenario config, seed)``, byte-identical across execution placements —
+is only worth something if it survives the failures a real deployment
+sees: worker crashes, stalled processes, garbled wire frames, torn store
+writes, duplicate deliveries.  ``repro.resilience`` makes those failures
+a *first-class, seeded, replayable input*:
+
+* :mod:`repro.resilience.faults` — :class:`FaultSpec` (which faults, at
+  what rates) and :class:`FaultSchedule` (seeded through the same
+  :func:`repro.core.seeds.derive_seed` machinery as every other random
+  stream, so a chaos run is exactly reproducible from
+  ``(chaos seed, fault spec)`` and its fault log replays bit-for-bit),
+* :mod:`repro.resilience.backoff` — :class:`BackoffPolicy`, bounded
+  exponential backoff with *seeded* jitter (deterministic, bit-stable
+  across processes) used by worker and client reconnects,
+* :mod:`repro.resilience.breaker` — :class:`CircuitBreaker`, the
+  per-worker quarantine used by the job server to stop feeding units to
+  a repeatedly-failing worker until a cool-down expires,
+* :mod:`repro.resilience.chaos` — the injection seams (transport
+  wrappers around the service's asyncio streams, a fault-injecting
+  result store, worker-execution hooks) and :func:`run_chaos_soak`, the
+  end-to-end harness behind ``repro-popsim chaos`` and
+  ``scripts/ci_chaos_soak.py``: run a registry scenario through
+  serve/worker/submit under a seeded fault schedule and assert the final
+  result is byte-identical to the fault-free in-process run.
+
+See ``docs/RESILIENCE.md`` for the fault-model table (fault → detection
+→ response → invariant preserved).
+"""
+
+from .backoff import BackoffPolicy
+from .breaker import CircuitBreaker
+from .faults import FAULT_KINDS, FaultEvent, FaultSchedule, FaultSpec
+from .chaos import (
+    ChaosReport,
+    ChaosStore,
+    chaos_transport,
+    chaos_unit_hook,
+    default_fault_spec,
+    run_chaos_soak,
+)
+
+__all__ = [
+    "BackoffPolicy",
+    "ChaosReport",
+    "ChaosStore",
+    "CircuitBreaker",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultSpec",
+    "chaos_transport",
+    "chaos_unit_hook",
+    "default_fault_spec",
+    "run_chaos_soak",
+]

@@ -1,0 +1,63 @@
+"""Bounded exponential backoff with seeded jitter.
+
+Reconnect storms are a failure amplifier: a worker pool that retries in
+lockstep turns one server hiccup into a thundering herd.  The standard
+fix is jittered exponential backoff — but naive ``random()`` jitter
+would make reconnect timing (and therefore chaos-run transcripts)
+irreproducible.  :class:`BackoffPolicy` instead derives its jitter from
+the same SplitMix64 stream machinery as every other seed in this package
+(:func:`repro.core.seeds.derive_seed`), so the delay of attempt ``k`` is
+a pure function of ``(policy parameters, seed, k)``: bounded by ``cap``,
+non-decreasing up to the cap (for ``multiplier >= 2`` and
+``jitter <= 0.5``), and bit-stable across processes and platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.seeds import derive_seed
+
+_UNIT = float(1 << 63)
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Deterministic backoff schedule: ``delay(k)`` for attempt ``k``.
+
+    The raw schedule is ``base * multiplier**k`` clamped to ``cap``; the
+    seeded jitter then scales each delay into
+    ``[(1 - jitter) * raw, raw]``.  With the defaults
+    (``multiplier=2``, ``jitter=0.5``) the jittered schedule is still
+    non-decreasing below the cap: the smallest possible next delay,
+    ``2 * raw_k * 0.5``, equals the largest possible current one.
+    """
+
+    base: float = 0.05
+    cap: float = 5.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base <= 0:
+            raise ValueError("base delay must be positive")
+        if self.cap < self.base:
+            raise ValueError("cap must be >= base")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay(self, attempt: int) -> float:
+        """Delay in seconds before retry number ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ValueError("attempt must be non-negative")
+        raw = min(self.cap, self.base * self.multiplier**attempt)
+        uniform = derive_seed(self.seed, "backoff", attempt) / _UNIT
+        return raw * (1.0 - self.jitter * uniform)
+
+    def delays(self, n_attempts: int) -> List[float]:
+        """The first ``n_attempts`` delays (convenience for tests/tools)."""
+        return [self.delay(attempt) for attempt in range(n_attempts)]

@@ -1,0 +1,106 @@
+"""Per-worker circuit breaker for the job server.
+
+A worker that fails every unit it touches — a broken native build, a
+machine out of memory, a version of the code that crashes on one
+protocol — would otherwise burn through the retry budget of every unit
+the dispatcher feeds it.  The breaker turns repeated failure into
+*quarantine*: after ``failure_threshold`` consecutive failures the
+worker stops receiving units for ``cooldown_seconds``, then gets exactly
+one probe unit (half-open); success readmits it fully, another failure
+re-quarantines it.
+
+The breaker gates *where* units run, never *what* they compute — unit
+results are placement-invariant by construction — so its state machine
+needs no persistence and no cross-run determinism, only monotone time
+(injectable ``clock`` for tests).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+
+class CircuitBreaker:
+    """Closed → open (quarantine) → half-open (probe) → closed.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that trip the breaker open.
+    cooldown_seconds:
+        Quarantine length; after it expires one probe dispatch is
+        allowed (half-open).
+    clock:
+        Monotone time source, injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_seconds: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be positive")
+        if cooldown_seconds < 0:
+            raise ValueError("cooldown_seconds must be non-negative")
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown_seconds = float(cooldown_seconds)
+        self._clock = clock
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+
+    @property
+    def state(self) -> str:
+        """``closed`` | ``open`` | ``half-open`` (probe phase)."""
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._consecutive_failures
+
+    def record_success(self) -> None:
+        """A dispatch succeeded: close fully and forget the failure run."""
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._probe_inflight = False
+
+    def record_failure(self) -> None:
+        """A dispatch failed; trips the breaker at the threshold."""
+        self._consecutive_failures += 1
+        if self._state == "half-open" or self._consecutive_failures >= self.failure_threshold:
+            self._state = "open"
+            self._opened_at = self._clock()
+            self._probe_inflight = False
+
+    def allow(self) -> bool:
+        """May the caller dispatch to this worker right now?
+
+        In the open state this returns ``False`` until the cooldown
+        expires, then transitions to half-open and grants exactly one
+        probe; further calls return ``False`` until the probe is
+        resolved by :meth:`record_success` / :meth:`record_failure`.
+        """
+        if self._state == "closed":
+            return True
+        if self._state == "open":
+            if self._clock() - self._opened_at >= self.cooldown_seconds:
+                self._state = "half-open"
+                self._probe_inflight = True
+                return True
+            return False
+        # half-open: one probe at a time
+        if self._probe_inflight:
+            return False
+        self._probe_inflight = True
+        return True
+
+    def retry_after(self) -> float:
+        """Seconds until the quarantine could next admit a dispatch."""
+        if self._state != "open":
+            return 0.0
+        elapsed = self._clock() - self._opened_at
+        return max(0.0, self.cooldown_seconds - elapsed)

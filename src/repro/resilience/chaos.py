@@ -1,0 +1,432 @@
+"""Injection seams and the end-to-end chaos-soak harness.
+
+The chaos engine attacks the service stack at its three seams — worker
+execution, wire frames, store writes — with faults drawn from a shared
+:class:`~repro.resilience.faults.FaultSchedule`, then asserts the one
+property the whole repo is built around: the final
+:class:`~repro.orchestration.ScenarioResult` is **byte-identical** to a
+fault-free in-process run, and the fault log itself replays bit-for-bit
+from ``(chaos seed, fault spec)``.
+
+Determinism under concurrency is the delicate part, and it is carried by
+three rules rather than luck:
+
+1. **Opportunity streams, not wall clocks.**  Every injection decision
+   keys on a per-``(site, kind)`` counter (see ``faults.py``), so the
+   asyncio interleaving of independent seams cannot shift any draw.
+2. **Only frames with deterministic counts are chaos-eligible.**  The
+   transport wrappers sniff the frame type from the line's leading bytes
+   and only perturb ``unit`` (server→worker) and ``result`` /
+   ``unit-error`` (worker→server) frames.  ``hello``/``welcome`` are
+   exempt by construction (the wrap applies post-handshake) and
+   ``heartbeat`` frames pass through untouched — their *count* depends
+   on execution timing, so letting them advance a counter would make two
+   runs of the same schedule diverge.
+3. **Fault timings sit far from deadline boundaries.**  An injected
+   stall (default 1.5 s) must overshoot the soak's liveness deadline
+   (0.6 s) and an injected slow-down (0.15 s) must stay well under it,
+   so a fault's *outcome* (dropped vs tolerated) never races a timer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..core.seeds import derive_seed
+from ..orchestration.store import ResultStore
+from .backoff import BackoffPolicy
+from .faults import FaultSchedule, FaultSpec
+
+#: Wire prefixes of the chaos-eligible frame types.  Exact-prefix sniffing
+#: works because frames are written by ``encode_frame`` with a fixed key
+#: order (``type`` first) and compact separators.
+_UNIT_PREFIX = b'{"type":"unit",'
+_RESULT_PREFIXES = (b'{"type":"result",', b'{"type":"unit-error",')
+
+
+def default_fault_spec() -> FaultSpec:
+    """The soak harness's default: every seam under simultaneous attack.
+
+    Rates are chosen so a ~12-unit scenario comfortably clears the CI
+    gate of 30 injected faults while retry chains still terminate fast
+    (the per-dispatch failure probability stays well under 1).
+    """
+    return FaultSpec.from_rates(
+        {
+            "worker-crash": 0.08,
+            "worker-stall": 0.06,
+            "worker-slow": 0.12,
+            "worker-error": 0.10,
+            "frame-delay": 0.15,
+            "frame-corrupt": 0.08,
+            "frame-truncate": 0.08,
+            "frame-duplicate": 0.12,
+            "store-torn-write": 0.15,
+            "store-corrupt": 0.15,
+        }
+    )
+
+
+class ChaosReader:
+    """StreamReader proxy that perturbs inbound ``unit`` frames.
+
+    Only ``readuntil`` is intercepted — it is the single primitive
+    ``read_frame`` uses — and only for lines carrying a ``unit`` frame,
+    per the determinism rules in the module docstring.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        schedule: FaultSchedule,
+        spec: FaultSpec,
+        site: str,
+    ) -> None:
+        self._reader = reader
+        self._schedule = schedule
+        self._spec = spec
+        self._site = site
+
+    async def readuntil(self, separator: bytes = b"\n") -> bytes:
+        line = await self._reader.readuntil(separator)
+        if not line.startswith(_UNIT_PREFIX):
+            return line
+        # Draw every kind each opportunity (even when an earlier one
+        # already fired) so the counters stay aligned with the frame
+        # index regardless of which faults fire.
+        delay = self._schedule.draw(self._site, "frame-delay")
+        truncate = self._schedule.draw(self._site, "frame-truncate")
+        corrupt = self._schedule.draw(self._site, "frame-corrupt")
+        if delay:
+            await asyncio.sleep(self._spec.delay_seconds)
+        if truncate:
+            # Exactly what a connection dying mid-frame looks like to
+            # read_frame: a partial line with no terminator.
+            raise asyncio.IncompleteReadError(line[: len(line) // 2], None)
+        if corrupt:
+            return b"#" + line[1:]
+        return line
+
+    def at_eof(self) -> bool:
+        return self._reader.at_eof()
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._reader, name)
+
+
+class ChaosWriter:
+    """StreamWriter proxy that perturbs outbound ``result`` frames.
+
+    ``write`` is synchronous (as on the real writer), so async effects
+    are staged: a drawn delay sleeps in the next ``drain``, and a drawn
+    truncation writes half the frame, poisons the writer and tears the
+    connection when ``drain`` is awaited — mirroring a peer dying with
+    a partially flushed buffer.
+    """
+
+    def __init__(
+        self,
+        writer: asyncio.StreamWriter,
+        schedule: FaultSchedule,
+        spec: FaultSpec,
+        site: str,
+    ) -> None:
+        self._writer = writer
+        self._schedule = schedule
+        self._spec = spec
+        self._site = site
+        self._pending_delay = False
+        self._poisoned = False
+
+    def write(self, data: bytes) -> None:
+        if self._poisoned:
+            return
+        if not data.startswith(_RESULT_PREFIXES):
+            self._writer.write(data)
+            return
+        delay = self._schedule.draw(self._site, "frame-delay")
+        truncate = self._schedule.draw(self._site, "frame-truncate")
+        corrupt = self._schedule.draw(self._site, "frame-corrupt")
+        duplicate = self._schedule.draw(self._site, "frame-duplicate")
+        if delay:
+            self._pending_delay = True
+        if truncate:
+            self._writer.write(data[: len(data) // 2])
+            self._poisoned = True
+            return
+        if corrupt:
+            data = b"#" + data[1:]
+        self._writer.write(data)
+        if duplicate:
+            self._writer.write(data)
+
+    async def drain(self) -> None:
+        if self._pending_delay:
+            self._pending_delay = False
+            await asyncio.sleep(self._spec.delay_seconds)
+        if self._poisoned:
+            with contextlib.suppress(Exception):
+                self._writer.close()
+            raise ConnectionResetError("chaos: frame truncated, connection torn")
+        await self._writer.drain()
+
+    def close(self) -> None:
+        self._writer.close()
+
+    def is_closing(self) -> bool:
+        return self._writer.is_closing()
+
+    async def wait_closed(self) -> None:
+        with contextlib.suppress(OSError, ConnectionError):
+            await self._writer.wait_closed()
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._writer, name)
+
+
+def chaos_transport(
+    schedule: FaultSchedule, spec: FaultSpec, site: str
+) -> Callable[[Any, Any], Tuple[Any, Any]]:
+    """A ``transport_wrap`` for :func:`repro.service.worker.run_worker_async`.
+
+    Reader faults log under ``{site}:rx``, writer faults under
+    ``{site}:tx``.  The returned callable builds fresh proxies per
+    session (a torn writer must not poison the reconnect) around the
+    shared schedule, whose counters deliberately persist across
+    reconnects.
+    """
+
+    def wrap(reader: Any, writer: Any) -> Tuple[Any, Any]:
+        return (
+            ChaosReader(reader, schedule, spec, f"{site}:rx"),
+            ChaosWriter(writer, schedule, spec, f"{site}:tx"),
+        )
+
+    return wrap
+
+
+def chaos_unit_hook(
+    schedule: FaultSchedule, spec: FaultSpec, site: str
+) -> Callable[[Dict[str, Any]], Any]:
+    """A ``unit_hook`` injecting execution-level faults before each unit.
+
+    A *stall* sleeps silently (the hook runs before heartbeating starts,
+    so the server sees a dead worker and must liveness-expire it); a
+    *slow* sleeps briefly enough that heartbeats are not even needed; a
+    *crash* abandons the connection mid-unit; an *error* surfaces as an
+    ordinary ``unit-error`` frame.
+    """
+
+    async def hook(frame: Dict[str, Any]) -> None:
+        from ..service.worker import WorkerCrash
+
+        crash = schedule.draw(site, "worker-crash")
+        stall = schedule.draw(site, "worker-stall")
+        slow = schedule.draw(site, "worker-slow")
+        error = schedule.draw(site, "worker-error")
+        if crash:
+            raise WorkerCrash("chaos: injected worker crash")
+        if stall:
+            await asyncio.sleep(spec.stall_seconds)
+        elif slow:
+            await asyncio.sleep(spec.slow_seconds)
+        if error:
+            raise RuntimeError("chaos: injected unit execution failure")
+
+    return hook
+
+
+class ChaosStore(ResultStore):
+    """Result store whose writes are sabotaged after the fact.
+
+    Exercises the integrity layer end to end: a *torn write* truncates
+    the persisted file (host crash between rename and durability), a
+    *corrupt write* re-serialises it with altered content but the stale
+    checksum (silent bit rot).  Both must be caught by ``load_unit``'s
+    verification on the next read, quarantined, and recomputed.
+    """
+
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        spec: FaultSpec,
+        root: Any = None,
+        *,
+        site: str = "store",
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(root, **kwargs)
+        self._schedule = schedule
+        self._spec = spec
+        self._site = site
+
+    def save_unit(self, scenario: Any, unit_key: str, payload: Dict[str, Any]) -> Path:
+        path = super().save_unit(scenario, unit_key, payload)
+        torn = self._schedule.draw(self._site, "store-torn-write")
+        corrupt = self._schedule.draw(self._site, "store-corrupt")
+        try:
+            if torn:
+                data = path.read_bytes()
+                path.write_bytes(data[: max(1, len(data) // 2)])
+            elif corrupt:
+                record = json.loads(path.read_text(encoding="utf-8"))
+                record["chaos_tampered"] = True  # valid JSON, checksum now stale
+                path.write_text(
+                    json.dumps(record, sort_keys=True, separators=(",", ":")),
+                    encoding="utf-8",
+                )
+        except OSError:
+            pass
+        return path
+
+
+@dataclass
+class ChaosReport:
+    """Everything the soak gate needs to pass judgement on one run."""
+
+    scenario_name: str
+    content_hash: str
+    chaos_seed: int
+    injected: int
+    counts_by_kind: Dict[str, int]
+    fault_log: List[Dict[str, Any]]
+    log_json: str
+    baseline_json: str
+    first_json: str
+    second_json: str
+    units: int = 0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def byte_identical(self) -> bool:
+        """Both chaos-run results match the fault-free baseline exactly."""
+        return (
+            self.first_json == self.baseline_json
+            and self.second_json == self.baseline_json
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario_name,
+            "content_hash": self.content_hash,
+            "chaos_seed": self.chaos_seed,
+            "injected": self.injected,
+            "counts_by_kind": dict(sorted(self.counts_by_kind.items())),
+            "byte_identical": self.byte_identical,
+            "units": self.units,
+        }
+
+
+async def _soak(
+    scenario: Any,
+    schedule: FaultSchedule,
+    spec: FaultSpec,
+    store_root: Path,
+    client_timeout: float,
+) -> Tuple[Any, Any]:
+    """One server + one chaos-wrapped worker + two submissions."""
+    from ..service.client import ServiceClient
+    from ..service.server import JobServer
+    from ..service.worker import run_worker_async
+
+    server = JobServer(
+        host="127.0.0.1",
+        port=0,
+        store=ChaosStore(schedule, spec, store_root),
+        local_workers=0,
+        # Short deadlines keep the soak fast; the margins to the
+        # injected stall/slow timings are what keep it deterministic.
+        unit_timeout=10.0,
+        max_attempts=60,
+        liveness_timeout=0.6,
+        breaker_threshold=4,
+        breaker_cooldown=0.4,
+        degrade_to_local=False,
+    )
+    host, port = await server.start()
+    worker = asyncio.ensure_future(
+        run_worker_async(
+            host,
+            port,
+            reconnect_retries=100_000,
+            backoff=BackoffPolicy(
+                base=0.02, cap=0.2, seed=derive_seed(schedule.seed, "backoff")
+            ),
+            heartbeat_interval=0.2,
+            worker_id="chaos-w0",
+            transport_wrap=chaos_transport(schedule, spec, "w0"),
+            unit_hook=chaos_unit_hook(schedule, spec, "w0"),
+        )
+    )
+    try:
+        client = ServiceClient(
+            host, port, timeout=client_timeout, connect_retries=3
+        )
+        first = await client.submit_async(scenario)
+        # The second submission is the store-integrity gauntlet: every
+        # unit the ChaosStore tore or tampered must be quarantined on
+        # load and recomputed (through the still-chaotic worker), and
+        # the reassembled result must not move by a byte.
+        second = await client.submit_async(scenario)
+    finally:
+        worker.cancel()
+        await asyncio.gather(worker, return_exceptions=True)
+        await server.stop()
+    return first, second
+
+
+def run_chaos_soak(
+    scenario: Any,
+    chaos_seed: int,
+    spec: Optional[FaultSpec] = None,
+    *,
+    cache_dir: Any = None,
+    client_timeout: float = 180.0,
+) -> ChaosReport:
+    """Run ``scenario`` through the full service stack under chaos.
+
+    Computes the fault-free baseline in-process first, then drives a
+    ``JobServer`` + one chaos-wrapped remote worker through two
+    submissions of the same scenario (the second resuming from the
+    sabotaged store), and reports byte-identity plus the canonical fault
+    log.  With ``cache_dir=None`` the store lives in a fresh temp
+    directory that is removed afterwards.
+    """
+    from ..orchestration.runner import run_scenario
+
+    spec = default_fault_spec() if spec is None else spec
+    schedule = FaultSchedule(seed=int(chaos_seed), spec=spec)
+    baseline = run_scenario(scenario, jobs=1, cache=False)
+    cleanup = cache_dir is None
+    root = (
+        Path(tempfile.mkdtemp(prefix="repro-chaos-"))
+        if cache_dir is None
+        else Path(cache_dir)
+    )
+    try:
+        first, second = asyncio.run(
+            _soak(scenario, schedule, spec, root, client_timeout)
+        )
+    finally:
+        if cleanup:
+            shutil.rmtree(root, ignore_errors=True)
+    return ChaosReport(
+        scenario_name=scenario.name,
+        content_hash=scenario.content_hash(),
+        chaos_seed=int(chaos_seed),
+        injected=schedule.injected,
+        counts_by_kind=schedule.counts_by_kind(),
+        fault_log=schedule.canonical_log(),
+        log_json=schedule.log_json(),
+        baseline_json=baseline.canonical_json(),
+        first_json=first.canonical_json(),
+        second_json=second.canonical_json(),
+        units=baseline.total_units,
+    )

@@ -1,0 +1,169 @@
+"""Seeded, replayable fault schedules.
+
+A :class:`FaultSchedule` answers one question at every injection seam of
+the service stack: *does fault ``kind`` fire at site ``site``, on this
+site's ``n``-th opportunity?*  The answer is a pure function of
+``(chaos seed, kind, site, n)`` — mixed through the same
+:func:`repro.core.seeds.derive_seed` SplitMix64 derivation every other
+random stream in this package uses — so a chaos run is exactly
+reproducible from ``(seed, fault spec)``: same seed, same spec, same
+sequence of opportunities ⇒ the identical faults fire, and the fault log
+replays bit for bit.
+
+Determinism rests on the *opportunity streams* being deterministic, not
+on wall-clock timing: each ``(site, kind)`` pair keeps its own counter,
+so concurrent sites never perturb each other's draws, and asyncio
+interleaving between sites cannot change any decision.  The canonical
+log (:meth:`FaultSchedule.canonical_log`) is additionally sorted by
+``(site, kind, occurrence)`` so that even the *recording* order is
+interleaving-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Tuple
+
+from ..core.seeds import derive_seed
+
+#: Every fault kind the chaos engine knows how to inject, one per seam
+#: of the service stack (worker execution, wire frames, store writes).
+FAULT_KINDS = (
+    "worker-crash",      # worker drops its connection on dispatch, unit unexecuted
+    "worker-stall",      # worker goes silent (no heartbeats) past the liveness deadline
+    "worker-slow",       # worker delays execution, but stays within liveness
+    "worker-error",      # unit execution raises; reported as a unit-error frame
+    "frame-delay",       # a wire frame is delivered late
+    "frame-corrupt",     # a wire frame's bytes are garbled (JSON no longer parses)
+    "frame-truncate",    # a wire frame is cut mid-line and the connection torn
+    "frame-duplicate",   # a wire frame is delivered twice
+    "store-torn-write",  # a persisted unit file is truncated (simulated host crash)
+    "store-corrupt",     # a persisted unit file's content is silently altered
+)
+
+_UNIT = float(1 << 63)  # derive_seed's range; draws map onto [0, 1)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Which faults to inject and how hard.
+
+    ``rates`` maps a fault kind to its per-opportunity probability; kinds
+    not listed never fire.  The timing knobs parameterise the injected
+    faults themselves (how long a stall lasts, etc.) and should be chosen
+    relative to the service's liveness deadline: a *stall* must overshoot
+    it, a *slow* execution must stay safely under it, so that fault
+    outcomes never race a deadline (racing would break replayability).
+    """
+
+    rates: Tuple[Tuple[str, float], ...]
+    stall_seconds: float = 1.5
+    slow_seconds: float = 0.15
+    delay_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        for kind, rate in self.rates:
+            if kind not in FAULT_KINDS:
+                known = ", ".join(FAULT_KINDS)
+                raise ValueError(f"unknown fault kind {kind!r}; known kinds: {known}")
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"fault rate for {kind!r} must be in [0, 1], got {rate}")
+
+    @classmethod
+    def from_rates(cls, rates: Mapping[str, float], **timing: float) -> "FaultSpec":
+        """Build a spec from a plain ``{kind: rate}`` mapping."""
+        frozen = tuple(sorted((str(k), float(v)) for k, v in rates.items()))
+        return cls(rates=frozen, **timing)
+
+    def rate(self, kind: str) -> float:
+        for name, value in self.rates:
+            if name == kind:
+                return value
+        return 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-native form (part of a chaos run's identity)."""
+        return {
+            "rates": {kind: rate for kind, rate in self.rates},
+            "stall_seconds": self.stall_seconds,
+            "slow_seconds": self.slow_seconds,
+            "delay_seconds": self.delay_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault that actually fired."""
+
+    site: str         # injection seam, e.g. "w0", "w0:tx", "store"
+    kind: str         # one of FAULT_KINDS
+    occurrence: int   # the site/kind opportunity counter when it fired
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"site": self.site, "kind": self.kind, "occurrence": self.occurrence}
+
+
+@dataclass
+class FaultSchedule:
+    """Deterministic per-opportunity fault decisions plus their log.
+
+    ``draw(site, kind)`` is the single decision point: it advances the
+    ``(site, kind)`` opportunity counter and fires iff the seeded uniform
+    for ``(seed, kind, site, counter)`` falls under the spec's rate.
+    Every fired fault is recorded; :meth:`log_json` is the canonical,
+    interleaving-independent transcript used to gate replayability in CI.
+    """
+
+    seed: int
+    spec: FaultSpec
+    _counters: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    _log: List[FaultEvent] = field(default_factory=list)
+
+    def draw(self, site: str, kind: str) -> bool:
+        """Whether ``kind`` fires at ``site`` on this opportunity."""
+        key = (site, kind)
+        occurrence = self._counters.get(key, 0)
+        self._counters[key] = occurrence + 1
+        rate = self.spec.rate(kind)
+        if rate <= 0.0:
+            return False
+        uniform = derive_seed(self.seed, "chaos", kind, site, occurrence) / _UNIT
+        fired = uniform < rate
+        if fired:
+            self._log.append(FaultEvent(site=site, kind=kind, occurrence=occurrence))
+        return fired
+
+    @property
+    def injected(self) -> int:
+        """How many faults have fired so far."""
+        return len(self._log)
+
+    def fault_log(self) -> List[FaultEvent]:
+        """Fired faults in injection order (for human transcripts)."""
+        return list(self._log)
+
+    def canonical_log(self) -> List[Dict[str, Any]]:
+        """Fired faults sorted by ``(site, kind, occurrence)``.
+
+        Sorting removes the one residual degree of freedom — the global
+        interleaving of independent sites — so two runs with the same
+        ``(seed, spec)`` and the same per-site opportunity streams
+        produce byte-equal logs.
+        """
+        ordered = sorted(self._log, key=lambda e: (e.site, e.kind, e.occurrence))
+        return [event.to_dict() for event in ordered]
+
+    def log_json(self) -> str:
+        import json
+
+        return json.dumps(
+            {"seed": self.seed, "spec": self.spec.to_dict(), "faults": self.canonical_log()},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self._log:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts

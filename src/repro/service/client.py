@@ -30,6 +30,7 @@ from ..orchestration.runner import (
     build_work_units,
 )
 from ..orchestration.scenario import Scenario
+from ..resilience.backoff import BackoffPolicy
 from .protocol import (
     MAX_FRAME_BYTES,
     ServiceError,
@@ -57,6 +58,12 @@ class ServiceClient:
         server notices the disconnect and abandons the job (finished
         units stay in its store, so a retry resumes rather than
         recomputes).
+    connect_retries / backoff:
+        With ``connect_retries > 0``, a refused/unreachable TCP connect
+        is retried that many times with deterministic seeded backoff
+        (``backoff``, default :class:`BackoffPolicy`) before giving up —
+        useful when the client races the server's startup.  Handshake
+        rejections (version skew, draining) are never retried.
     """
 
     def __init__(
@@ -66,11 +73,15 @@ class ServiceClient:
         *,
         timeout: Optional[float] = None,
         max_frame_bytes: int = MAX_FRAME_BYTES,
+        connect_retries: int = 0,
+        backoff: Optional[BackoffPolicy] = None,
     ) -> None:
         self.host = host
         self.port = int(port)
         self.timeout = timeout
         self.max_frame_bytes = int(max_frame_bytes)
+        self.connect_retries = int(connect_retries)
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
 
     # ------------------------------------------------------------------
     # Sync entry points
@@ -130,14 +141,7 @@ class ServiceClient:
         on_event: Optional[EventCallback],
     ) -> ScenarioResult:
         start = time.perf_counter()
-        try:
-            reader, writer = await open_service_connection(
-                self.host, self.port, self.max_frame_bytes
-            )
-        except OSError as error:
-            raise ServiceError(
-                f"cannot reach job server at {self.host}:{self.port}: {error}"
-            ) from error
+        reader, writer = await self._connect_with_retry()
         try:
             await write_frame(writer, hello_frame("client"), self.max_frame_bytes)
             welcome = await self._read_expected(reader)
@@ -212,6 +216,22 @@ class ServiceClient:
             wall_time_seconds=time.perf_counter() - start,
         )
 
+    async def _connect_with_retry(self):
+        """TCP connect, retried with seeded backoff when configured."""
+        attempt = 0
+        while True:
+            try:
+                return await open_service_connection(
+                    self.host, self.port, self.max_frame_bytes
+                )
+            except OSError as error:
+                if attempt >= self.connect_retries:
+                    raise ServiceError(
+                        f"cannot reach job server at {self.host}:{self.port}: {error}"
+                    ) from error
+                await asyncio.sleep(self.backoff.delay(attempt))
+                attempt += 1
+
     async def _read_expected(self, reader: asyncio.StreamReader) -> Dict[str, Any]:
         """Next frame, treating EOF mid-conversation as a hard error."""
         frame = await read_frame(reader, self.max_frame_bytes)
@@ -228,7 +248,10 @@ def submit_scenario(
     cache: bool = True,
     timeout: Optional[float] = None,
     on_event: Optional[EventCallback] = None,
+    connect_retries: int = 0,
 ) -> ScenarioResult:
     """One-shot convenience wrapper around :class:`ServiceClient`."""
-    client = ServiceClient(host, port, timeout=timeout)
+    client = ServiceClient(
+        host, port, timeout=timeout, connect_retries=connect_retries
+    )
     return client.submit(scenario, cache=cache, on_event=on_event)

@@ -13,7 +13,10 @@ Frame taxonomy (``type`` field):
 frame                direction  meaning
 ===================  =========  ==============================================
 ``hello``            peer → S   handshake: role + protocol/schema/package
-``welcome``          S → peer   handshake accepted
+                                (+ optional stable ``worker`` id)
+``welcome``          S → peer   handshake accepted; carries the server's
+                                bound ``host``/``port`` (meaningful when
+                                the server was started on port 0)
 ``reject``           S → peer   handshake or submit refused (``reason``)
 ``submit``           client→S   run a scenario (``config`` or ``name`` +
                                 ``overrides``; optional ``threads``, ``cache``)
@@ -28,8 +31,12 @@ frame                direction  meaning
                                 ``wall_time_seconds``)
 ``job-failed``       S→client   a unit exhausted its retry budget (``reason``)
 ``unit``             S→worker   execute one plan (``unit``, ``plan``)
+``heartbeat``        worker→S   liveness beacon while a unit executes
+                                (``unit``); resets the server's per-unit
+                                liveness deadline
 ``result``           worker→S   unit finished (``unit``, ``payload``,
-                                ``wall_time_seconds``)
+                                ``wall_time_seconds``, ``sha256`` payload
+                                checksum)
 ``unit-error``       worker→S   unit raised (``unit``, ``error``)
 ``shutdown``         S→worker   server is draining; disconnect cleanly
 ``error``            S → peer   protocol violation, connection will close
@@ -64,6 +71,16 @@ MAX_FRAME_BYTES = 32 * 1024 * 1024
 
 #: How long a freshly accepted connection gets to complete its handshake.
 HANDSHAKE_TIMEOUT = 10.0
+
+#: How often a worker emits ``heartbeat`` frames while a unit executes.
+#: The server's liveness deadline should be a comfortable multiple of
+#: this (missing several beats = dead, one delayed beat = fine).
+DEFAULT_HEARTBEAT_INTERVAL = 2.0
+
+#: Default server-side liveness deadline: a worker mid-unit that sends
+#: no frame (heartbeat or result) for this long is written off without
+#: waiting for the full unit timeout.
+DEFAULT_LIVENESS_TIMEOUT = 10.0
 
 
 class ServiceError(RuntimeError):
@@ -132,15 +149,24 @@ async def open_service_connection(host: str, port: int, max_bytes: int = MAX_FRA
     return await asyncio.open_connection(host, port, limit=max_bytes + 1024)
 
 
-def hello_frame(role: str) -> Dict[str, Any]:
-    """The handshake a client or worker opens its connection with."""
-    return {
+def hello_frame(role: str, worker: Optional[str] = None) -> Dict[str, Any]:
+    """The handshake a client or worker opens its connection with.
+
+    ``worker`` is an optional stable identity for worker connections;
+    the server keys its per-worker circuit breaker on it, so a worker
+    that reconnects under the same name inherits its quarantine state
+    instead of resetting it.
+    """
+    frame = {
         "type": "hello",
         "role": role,
         "protocol": PROTOCOL_VERSION,
         "schema": RESULT_SCHEMA_VERSION,
         "package": __version__,
     }
+    if worker is not None:
+        frame["worker"] = worker
+    return frame
 
 
 def handshake_mismatch(frame: Dict[str, Any]) -> Optional[str]:

@@ -17,6 +17,24 @@ Robustness model
   ``unit_timeout`` seconds counts as a failed attempt; the worker
   connection is dropped (its eventual late reply would be unreadable
   anyway) and the unit is re-queued.
+* **Liveness deadlines** — workers heartbeat while a unit executes; a
+  worker that sends *no* frame for ``liveness_timeout`` seconds is
+  written off immediately instead of waiting out the full unit timeout.
+  Slow-but-alive workers (still beating) get the whole unit budget.
+* **Per-worker circuit breaker** — a worker whose dispatches keep
+  failing (``breaker_threshold`` consecutive times) is quarantined for
+  ``breaker_cooldown`` seconds, then probed with a single unit before
+  being readmitted.  Breakers are keyed on the stable ``worker`` id from
+  the hello frame, so a flapping worker cannot reset its own quarantine
+  by reconnecting.
+* **Graceful degradation** — with ``degrade_to_local=True`` a server
+  whose remote pool has emptied (every worker gone or quarantined) while
+  units are queued executes them in-process rather than letting jobs
+  hang; results are byte-identical either way, so degradation changes
+  latency only.
+* **Payload integrity** — result frames carry a sha256 checksum of their
+  payload; a mismatch (corruption in flight) is a failed attempt, never
+  an accepted result.
 * **Bounded retry** — each unit gets ``max_attempts`` dispatches (worker
   disconnects, timeouts and execution errors all consume one).  An
   exhausted unit fails its whole job with a ``job-failed`` frame; other
@@ -63,8 +81,10 @@ from ..orchestration.scenario import (
     Scenario,
     ScenarioError,
 )
-from ..orchestration.store import ResultStore, valid_unit_payload
+from ..orchestration.store import ResultStore, unit_checksum, valid_unit_payload
+from ..resilience.breaker import CircuitBreaker
 from .protocol import (
+    DEFAULT_LIVENESS_TIMEOUT,
     HANDSHAKE_TIMEOUT,
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -145,6 +165,20 @@ class JobServer:
         Dispatch budget per unit before its job fails.
     max_frame_bytes:
         Per-connection frame size ceiling (malformed peers are cut off).
+    liveness_timeout:
+        Seconds a mid-unit worker may stay *silent* (no heartbeat, no
+        result) before being written off; ``None`` disables the liveness
+        check and falls back to the plain unit timeout.
+    breaker_threshold / breaker_cooldown:
+        Per-worker circuit breaker: consecutive dispatch failures that
+        trip quarantine, and how long quarantine lasts before the worker
+        is probed with a single unit.
+    degrade_to_local / degrade_after:
+        With ``degrade_to_local`` true, a watchdog polling every
+        ``degrade_after`` seconds executes queued units in-process
+        whenever no worker (local, or remote with a non-open breaker) is
+        available — jobs make progress with an empty pool instead of
+        hanging.
     """
 
     def __init__(
@@ -159,6 +193,11 @@ class JobServer:
         unit_timeout: float = 600.0,
         max_attempts: int = 3,
         max_frame_bytes: int = MAX_FRAME_BYTES,
+        liveness_timeout: Optional[float] = DEFAULT_LIVENESS_TIMEOUT,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 30.0,
+        degrade_to_local: bool = False,
+        degrade_after: float = 1.0,
     ) -> None:
         if local_workers < 0:
             raise ValueError("local_workers must be non-negative")
@@ -166,12 +205,23 @@ class JobServer:
             raise ValueError("max_attempts must be positive")
         if unit_timeout <= 0:
             raise ValueError("unit_timeout must be positive")
+        if liveness_timeout is not None and liveness_timeout <= 0:
+            raise ValueError("liveness_timeout must be positive (or None)")
+        if degrade_after <= 0:
+            raise ValueError("degrade_after must be positive")
         self.host = host
         self.port = port
         self.local_workers = int(local_workers)
         self.unit_timeout = float(unit_timeout)
         self.max_attempts = int(max_attempts)
         self.max_frame_bytes = int(max_frame_bytes)
+        self.liveness_timeout = (
+            None if liveness_timeout is None else float(liveness_timeout)
+        )
+        self.breaker_threshold = int(breaker_threshold)
+        self.breaker_cooldown = float(breaker_cooldown)
+        self.degrade_to_local = bool(degrade_to_local)
+        self.degrade_after = float(degrade_after)
         self._store: Optional[ResultStore] = None
         if cache:
             self._store = store if store is not None else ResultStore(cache_dir)
@@ -182,6 +232,14 @@ class JobServer:
         self._conn_tasks: Set["asyncio.Task"] = set()
         self._local_tasks: List["asyncio.Task"] = []
         self._worker_writers: Set[asyncio.StreamWriter] = set()
+        # Breakers are keyed by stable worker identity (hello frame's
+        # ``worker`` field, peername as fallback) so reconnecting under
+        # the same name inherits quarantine state; the writer map exists
+        # only so availability counting can see each live connection's
+        # breaker.
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._writer_breakers: Dict[asyncio.StreamWriter, CircuitBreaker] = {}
+        self._watchdog_task: Optional["asyncio.Task"] = None
         self._draining = False
         self._closed = asyncio.Event()
 
@@ -201,6 +259,10 @@ class JobServer:
             self._local_tasks.append(
                 asyncio.get_running_loop().create_task(self._run_local_worker())
             )
+        if self.degrade_to_local:
+            self._watchdog_task = asyncio.get_running_loop().create_task(
+                self._degrade_watchdog()
+            )
         return self.host, self.port
 
     async def stop(self) -> None:
@@ -209,13 +271,15 @@ class JobServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        for task in list(self._conn_tasks) + self._local_tasks:
+        extra = [self._watchdog_task] if self._watchdog_task is not None else []
+        for task in list(self._conn_tasks) + self._local_tasks + extra:
             task.cancel()
         await asyncio.gather(
-            *self._conn_tasks, *self._local_tasks, return_exceptions=True
+            *self._conn_tasks, *self._local_tasks, *extra, return_exceptions=True
         )
         self._conn_tasks.clear()
         self._local_tasks.clear()
+        self._watchdog_task = None
         self._closed.set()
 
     async def drain(self, timeout: Optional[float] = None) -> None:
@@ -279,11 +343,15 @@ class JobServer:
                     "protocol": PROTOCOL_VERSION,
                     "schema": RESULT_SCHEMA_VERSION,
                     "package": __version__,
+                    # The *bound* address: with port 0 this is where the
+                    # ephemeral listener actually landed.
+                    "host": self.host,
+                    "port": self.port,
                 },
                 self.max_frame_bytes,
             )
             if hello["role"] == "worker":
-                await self._serve_worker(reader, writer)
+                await self._serve_worker(reader, writer, hello)
             else:
                 await self._serve_client(reader, writer)
         except ProtocolError as error:
@@ -508,13 +576,18 @@ class JobServer:
 
     async def _unit_finished(
         self, task: _UnitTask, payload: Any, wall_time: float
-    ) -> None:
-        """Record one completed unit (idempotent; persists before emitting)."""
+    ) -> bool:
+        """Record one completed unit (idempotent; persists before emitting).
+
+        Returns whether the payload was accepted — ``False`` only for an
+        invalid payload (which is counted as a failed attempt here); the
+        caller uses the verdict to feed its circuit breaker.
+        """
         if task.state == "done":
-            return  # late duplicate after a timeout re-queue
+            return True  # late duplicate after a timeout re-queue
         if not valid_unit_payload(payload, task.unit_key, task.n_trials):
             await self._attempt_failed(task, "worker returned an invalid payload")
-            return
+            return False
         task.state = "done"
         job = task.job
         if job.use_cache and self._store is not None:
@@ -522,7 +595,7 @@ class JobServer:
             # of the same unit are harmless (identical bytes, one winner).
             self._store.save_unit(job.scenario, task.unit_key, payload)
         if job.finished:
-            return  # job failed/abandoned meanwhile; kept only for the store
+            return True  # job failed/abandoned meanwhile; kept only for the store
         job.executed += 1
         await self._send_event(
             task, "done", payload=payload, wall_time_seconds=wall_time
@@ -530,6 +603,7 @@ class JobServer:
         job.pending.discard(task.unit_key)
         if not job.pending:
             job.done.set()
+        return True
 
     async def _attempt_failed(self, task: _UnitTask, reason: str) -> None:
         """Re-queue a failed dispatch, or fail the job once retries run out."""
@@ -548,13 +622,85 @@ class JobServer:
             await self._send_event(task, "queued", error=reason)
             self._queue.put_nowait(task)
 
+    def _breaker_for(
+        self, hello: Dict[str, Any], writer: asyncio.StreamWriter
+    ) -> CircuitBreaker:
+        """The breaker keyed by this worker's stable identity."""
+        label = hello.get("worker")
+        if not isinstance(label, str) or not label:
+            peer = writer.get_extra_info("peername")
+            label = f"anon-{peer[0]}:{peer[1]}" if peer else "anon"
+        return self._breakers.setdefault(
+            label,
+            CircuitBreaker(
+                failure_threshold=self.breaker_threshold,
+                cooldown_seconds=self.breaker_cooldown,
+            ),
+        )
+
+    async def _await_reply(
+        self, reader: asyncio.StreamReader, task: _UnitTask
+    ) -> Dict[str, Any]:
+        """The dispatched unit's reply frame, under both deadlines.
+
+        Heartbeat frames reset the liveness window; ``result`` /
+        ``unit-error`` frames for *other* units (late replies from before
+        a timeout re-queue) are discarded without counting against this
+        dispatch.  Raises :class:`asyncio.TimeoutError` with the right
+        story (liveness vs unit budget) attached as ``args[0]``.
+        """
+        loop = asyncio.get_running_loop()
+        unit_deadline = loop.time() + self.unit_timeout
+        while True:
+            remaining = unit_deadline - loop.time()
+            if remaining <= 0:
+                raise asyncio.TimeoutError(
+                    f"no reply within the {self.unit_timeout:g}s unit timeout"
+                )
+            window = (
+                remaining
+                if self.liveness_timeout is None
+                else min(remaining, self.liveness_timeout)
+            )
+            try:
+                reply = await asyncio.wait_for(
+                    read_frame(reader, self.max_frame_bytes), timeout=window
+                )
+            except asyncio.TimeoutError:
+                if window < remaining:
+                    raise asyncio.TimeoutError(
+                        "worker missed its liveness deadline "
+                        f"({self.liveness_timeout:g}s with no heartbeat)"
+                    ) from None
+                raise asyncio.TimeoutError(
+                    f"no reply within the {self.unit_timeout:g}s unit timeout"
+                ) from None
+            if reply is None:
+                raise ConnectionResetError("worker disconnected mid-unit")
+            reply_type = reply.get("type")
+            if reply_type == "heartbeat":
+                continue
+            if (
+                reply_type in ("result", "unit-error")
+                and reply.get("unit") != task.unit_key
+            ):
+                continue  # late duplicate for a re-queued unit; void
+            return reply
+
     async def _serve_worker(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        hello: Dict[str, Any],
     ) -> None:
         """Feed one connected remote worker, one unit at a time."""
+        breaker = self._breaker_for(hello, writer)
         self._worker_writers.add(writer)
+        self._writer_breakers[writer] = breaker
         try:
             while True:
+                while not breaker.allow():
+                    await asyncio.sleep(min(0.05, max(breaker.retry_after(), 0.005)))
                 task = await self._next_task()
                 if task is None:
                     return
@@ -571,46 +717,70 @@ class JobServer:
                         },
                         self.max_frame_bytes,
                     )
-                    reply = await asyncio.wait_for(
-                        read_frame(reader, self.max_frame_bytes),
-                        timeout=self.unit_timeout,
-                    )
-                except asyncio.TimeoutError:
-                    await self._attempt_failed(
-                        task,
-                        f"no reply within the {self.unit_timeout:g}s unit timeout",
-                    )
+                    reply = await self._await_reply(reader, task)
+                except asyncio.TimeoutError as error:
+                    breaker.record_failure()
+                    await self._attempt_failed(task, str(error))
                     return  # drop the worker; its late reply is void
                 except (ProtocolError, OSError, ConnectionError) as error:
+                    breaker.record_failure()
                     await self._attempt_failed(
                         task, f"worker connection lost mid-unit: {error}"
                     )
                     return
-                if reply is None:
-                    await self._attempt_failed(task, "worker disconnected mid-unit")
-                    return
                 reply_type = reply.get("type")
-                if reply_type == "result" and reply.get("unit") == task.unit_key:
-                    await self._unit_finished(
+                if reply_type == "result":
+                    payload = reply.get("payload")
+                    wire_checksum = reply.get("sha256")
+                    if wire_checksum is not None and wire_checksum != unit_checksum(
+                        payload
+                    ):
+                        breaker.record_failure()
+                        await self._attempt_failed(
+                            task, "result payload failed its sha256 checksum"
+                        )
+                        return  # the stream is suspect; drop the worker
+                    accepted = await self._unit_finished(
                         task,
-                        reply.get("payload"),
+                        payload,
                         float(reply.get("wall_time_seconds") or 0.0),
                     )
+                    if accepted:
+                        breaker.record_success()
+                    else:
+                        breaker.record_failure()
                 elif reply_type == "unit-error":
+                    breaker.record_failure()
                     await self._attempt_failed(
                         task, str(reply.get("error", "unit execution failed"))
                     )
                 else:
+                    breaker.record_failure()
                     await self._attempt_failed(
                         task, f"unexpected worker reply {reply_type!r}"
                     )
                     return
         finally:
             self._worker_writers.discard(writer)
+            self._writer_breakers.pop(writer, None)
+
+    async def _execute_task_locally(self, task: _UnitTask) -> None:
+        """Run one already-claimed unit on an executor thread."""
+        loop = asyncio.get_running_loop()
+        start = time.perf_counter()
+        try:
+            payload = await loop.run_in_executor(None, execute_unit_plan, task.plan)
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # noqa: BLE001 — any unit failure retries
+            await self._attempt_failed(
+                task, f"local worker: {type(error).__name__}: {error}"
+            )
+            return
+        await self._unit_finished(task, payload, time.perf_counter() - start)
 
     async def _run_local_worker(self) -> None:
         """In-process worker: same dispatch loop, executor-thread execution."""
-        loop = asyncio.get_running_loop()
         while True:
             task = await self._next_task()
             if task is None:
@@ -618,16 +788,39 @@ class JobServer:
             task.attempts += 1
             task.state = "running"
             await self._send_event(task, "running")
-            start = time.perf_counter()
-            try:
-                payload = await loop.run_in_executor(
-                    None, execute_unit_plan, task.plan
-                )
-            except asyncio.CancelledError:
-                raise
-            except Exception as error:  # noqa: BLE001 — any unit failure retries
-                await self._attempt_failed(
-                    task, f"local worker: {type(error).__name__}: {error}"
-                )
+            await self._execute_task_locally(task)
+
+    def _available_workers(self) -> int:
+        """Workers that could plausibly take a unit right now."""
+        remote = sum(
+            1
+            for writer in self._worker_writers
+            if self._writer_breakers.get(writer) is None
+            or self._writer_breakers[writer].state != "open"
+        )
+        return len(self._local_tasks) + remote
+
+    async def _degrade_watchdog(self) -> None:
+        """Execute queued units in-process when the worker pool is empty.
+
+        The safety net under ``degrade_to_local``: without it, a server
+        whose remote workers all died or tripped their breakers would
+        hold queued units forever.  Correctness is unaffected — a unit
+        computes the same bytes wherever it runs — so degradation only
+        trades the wait for local CPU time.
+        """
+        while True:
+            await asyncio.sleep(self.degrade_after)
+            if self._queue.qsize() == 0 or self._available_workers() > 0:
                 continue
-            await self._unit_finished(task, payload, time.perf_counter() - start)
+            while self._available_workers() == 0:
+                try:
+                    task = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if task is None or task.state in ("done", "failed") or task.job.finished:
+                    continue
+                task.attempts += 1
+                task.state = "running"
+                await self._send_event(task, "running")
+                await self._execute_task_locally(task)

@@ -17,6 +17,27 @@ mid-unit); one unit runs at a time per worker — parallelism comes from
 connecting more workers, and within a unit from the kernel-thread dial
 (``UnitPlan.threads``).
 
+Resilience behaviours (PR 8):
+
+* **Heartbeats** — while a unit executes, the worker emits ``heartbeat``
+  frames every ``heartbeat_interval`` seconds, so the server can
+  distinguish *slow* (beating) from *dead* (silent past its liveness
+  deadline) without waiting out the full unit timeout.
+* **Reconnect with seeded backoff** — with ``reconnect_retries > 0`` a
+  lost/garbled connection (including the server dropping this worker
+  after a liveness expiry) is retried through a deterministic
+  :class:`~repro.resilience.BackoffPolicy` instead of dying; a clean
+  ``shutdown`` frame still ends the worker immediately, and a refused
+  handshake (version skew) is never retried — that failure is permanent.
+* **Stable identity** — the hello frame carries a ``worker`` id stable
+  across reconnects, so the server's per-worker circuit breaker follows
+  the worker, not the TCP connection.
+* **Injectable seams** — ``transport_wrap`` wraps the post-handshake
+  streams (the chaos engine's frame corruption/truncation/delay lives
+  behind this), and ``unit_hook`` runs before each unit executes
+  (crash/stall/slow/error injection).  Both default to no-ops; raising
+  :class:`WorkerCrash` from the hook simulates an abrupt worker death.
+
 A unit that raises is reported with a ``unit-error`` frame rather than
 killing the worker: the server counts the failed attempt and re-queues
 (bounded by its ``max_attempts``), so one poisoned unit cannot take the
@@ -26,10 +47,15 @@ whole pool down.
 from __future__ import annotations
 
 import asyncio
+import contextlib
+import os
+import socket
 import time
-from typing import Optional
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
 
+from ..resilience.backoff import BackoffPolicy
 from .protocol import (
+    DEFAULT_HEARTBEAT_INTERVAL,
     MAX_FRAME_BYTES,
     ProtocolError,
     ServiceError,
@@ -39,38 +65,109 @@ from .protocol import (
     write_frame,
 )
 
+#: ``transport_wrap(reader, writer) -> (reader, writer)`` — applied after
+#: the handshake so version negotiation itself is never perturbed.
+TransportWrap = Callable[[Any, Any], Tuple[Any, Any]]
 
-async def run_worker_async(
+#: ``unit_hook(frame)`` — awaited before each unit executes.
+UnitHook = Callable[[Dict[str, Any]], Awaitable[None]]
+
+
+class WorkerCrash(Exception):
+    """Raise from a ``unit_hook`` to simulate an abrupt worker death.
+
+    The connection is abandoned mid-unit (no ``unit-error`` frame), which
+    is what a SIGKILL'd or power-cycled worker looks like to the server.
+    """
+
+
+def default_worker_id() -> str:
+    """A worker identity stable across reconnects of one process."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def _payload_checksum(payload: Any) -> str:
+    # Deferred import: keep the protocol-only import surface of this
+    # module minimal (mirrors the runner import below).
+    from ..orchestration.store import unit_checksum
+
+    return unit_checksum(payload)
+
+
+async def _execute_with_heartbeat(
+    loop: asyncio.AbstractEventLoop,
+    writer: asyncio.StreamWriter,
+    unit_key: Any,
+    plan: Any,
+    heartbeat_interval: Optional[float],
+    max_frame_bytes: int,
+) -> Any:
+    """Run one plan on an executor thread, heartbeating while it runs."""
+    from ..orchestration import runner as _runner
+
+    async def beat() -> None:
+        try:
+            while True:
+                await asyncio.sleep(heartbeat_interval)
+                await write_frame(
+                    writer, {"type": "heartbeat", "unit": unit_key}, max_frame_bytes
+                )
+        except (OSError, ConnectionError, ProtocolError):
+            # A dead socket surfaces on the result write; beacons are
+            # best-effort by definition.
+            pass
+
+    beat_task = (
+        asyncio.ensure_future(beat())
+        if heartbeat_interval is not None and heartbeat_interval > 0
+        else None
+    )
+    try:
+        # Module-attribute lookup so tests can monkeypatch the executor;
+        # runs on a thread to keep the socket serviced.
+        return await loop.run_in_executor(None, _runner.execute_unit_plan, plan)
+    finally:
+        if beat_task is not None:
+            beat_task.cancel()
+            await asyncio.gather(beat_task, return_exceptions=True)
+
+
+async def _worker_session(
     host: str,
     port: int,
     *,
-    max_units: Optional[int] = None,
-    max_frame_bytes: int = MAX_FRAME_BYTES,
-) -> int:
-    """Serve units until the server goes away; returns units completed.
+    counter: List[int],
+    max_units: Optional[int],
+    worker_id: str,
+    heartbeat_interval: Optional[float],
+    transport_wrap: Optional[TransportWrap],
+    unit_hook: Optional[UnitHook],
+    max_frame_bytes: int,
+) -> str:
+    """One connection's unit-serving loop.
 
-    ``max_units`` bounds how many units this worker executes before
-    disconnecting cleanly (useful for tests and for recycling long-lived
-    workers); ``None`` serves until the server closes the connection or
-    sends ``shutdown``.
+    Returns how the session ended: ``"shutdown"`` (explicit frame),
+    ``"eof"`` (server closed the socket between frames) or ``"budget"``
+    (``max_units`` reached).  Connection-level failures raise.
     """
-    # Imported here so the module stays importable without the full
-    # orchestration stack (e.g. for protocol-only tooling).
     from ..orchestration import runner as _runner
 
     reader, writer = await open_service_connection(host, port, max_frame_bytes)
-    executed = 0
     try:
-        await write_frame(writer, hello_frame("worker"), max_frame_bytes)
+        await write_frame(writer, hello_frame("worker", worker=worker_id), max_frame_bytes)
         welcome = await read_frame(reader, max_frame_bytes)
         if welcome is None or welcome.get("type") != "welcome":
             reason = (welcome or {}).get("reason", "connection closed during handshake")
             raise ServiceError(f"server refused worker: {reason}")
+        if transport_wrap is not None:
+            reader, writer = transport_wrap(reader, writer)
         loop = asyncio.get_running_loop()
-        while max_units is None or executed < max_units:
+        while max_units is None or counter[0] < max_units:
             frame = await read_frame(reader, max_frame_bytes)
-            if frame is None or frame.get("type") == "shutdown":
-                break
+            if frame is None:
+                return "eof"
+            if frame.get("type") == "shutdown":
+                return "shutdown"
             if frame.get("type") != "unit":
                 raise ProtocolError(
                     f"unexpected frame {frame.get('type')!r}; expected unit"
@@ -78,12 +175,13 @@ async def run_worker_async(
             plan = _runner.unit_plan_from_wire(frame["plan"])
             start = time.perf_counter()
             try:
-                # Module-attribute lookup so tests can monkeypatch the
-                # executor; runs on a thread to keep the socket serviced.
-                payload = await loop.run_in_executor(
-                    None, _runner.execute_unit_plan, plan
+                if unit_hook is not None:
+                    await unit_hook(frame)
+                payload = await _execute_with_heartbeat(
+                    loop, writer, frame.get("unit"), plan, heartbeat_interval,
+                    max_frame_bytes,
                 )
-            except asyncio.CancelledError:
+            except (asyncio.CancelledError, WorkerCrash):
                 raise
             except Exception as error:  # noqa: BLE001 — reported, not fatal
                 await write_frame(
@@ -102,18 +200,82 @@ async def run_worker_async(
                     "type": "result",
                     "unit": frame.get("unit"),
                     "payload": payload,
+                    "sha256": _payload_checksum(payload),
                     "wall_time_seconds": time.perf_counter() - start,
                 },
                 max_frame_bytes,
             )
-            executed += 1
+            counter[0] += 1
+        return "budget"
     finally:
-        writer.close()
-        try:
+        with contextlib.suppress(Exception):
+            writer.close()
+        with contextlib.suppress(OSError, ConnectionError):
             await writer.wait_closed()
-        except (OSError, ConnectionError):
-            pass
-    return executed
+
+
+async def run_worker_async(
+    host: str,
+    port: int,
+    *,
+    max_units: Optional[int] = None,
+    max_frame_bytes: int = MAX_FRAME_BYTES,
+    reconnect_retries: int = 0,
+    backoff: Optional[BackoffPolicy] = None,
+    heartbeat_interval: Optional[float] = DEFAULT_HEARTBEAT_INTERVAL,
+    worker_id: Optional[str] = None,
+    transport_wrap: Optional[TransportWrap] = None,
+    unit_hook: Optional[UnitHook] = None,
+) -> int:
+    """Serve units until the server goes away; returns units completed.
+
+    ``max_units`` bounds how many units this worker executes (across
+    reconnects) before disconnecting cleanly; ``None`` serves until the
+    server sends ``shutdown`` — or, with ``reconnect_retries == 0``,
+    until the connection drops.  With ``reconnect_retries > 0`` a
+    dropped, torn or garbled connection is retried with deterministic
+    seeded backoff (``backoff``, default :class:`BackoffPolicy`); the
+    retry budget counts *consecutive* failures and resets whenever a
+    session is established.  A refused handshake raises immediately —
+    version skew does not heal by retrying.
+    """
+    policy = backoff if backoff is not None else BackoffPolicy()
+    identity = worker_id if worker_id is not None else default_worker_id()
+    counter = [0]
+    consecutive_failures = 0
+    while True:
+        try:
+            ended = await _worker_session(
+                host,
+                port,
+                counter=counter,
+                max_units=max_units,
+                worker_id=identity,
+                heartbeat_interval=heartbeat_interval,
+                transport_wrap=transport_wrap,
+                unit_hook=unit_hook,
+                max_frame_bytes=max_frame_bytes,
+            )
+        except (ProtocolError, OSError, ConnectionError, WorkerCrash):
+            # Note the order: ProtocolError must be tried before its
+            # ServiceError base below, or garbled frames would read as a
+            # permanent handshake refusal.
+            if consecutive_failures >= reconnect_retries:
+                raise
+            await asyncio.sleep(policy.delay(consecutive_failures))
+            consecutive_failures += 1
+            continue
+        except ServiceError:
+            raise  # handshake refused: permanent, never retried
+        if ended in ("shutdown", "budget"):
+            return counter[0]
+        # EOF between frames: a drained server closes this way, but so
+        # does a server that dropped us after a liveness expiry — with a
+        # retry budget we treat it as reconnectable.
+        if consecutive_failures >= reconnect_retries:
+            return counter[0]
+        await asyncio.sleep(policy.delay(consecutive_failures))
+        consecutive_failures += 1
 
 
 def run_worker(
@@ -122,8 +284,21 @@ def run_worker(
     *,
     max_units: Optional[int] = None,
     max_frame_bytes: int = MAX_FRAME_BYTES,
+    reconnect_retries: int = 0,
+    backoff: Optional[BackoffPolicy] = None,
+    heartbeat_interval: Optional[float] = DEFAULT_HEARTBEAT_INTERVAL,
+    worker_id: Optional[str] = None,
 ) -> int:
     """Synchronous wrapper around :func:`run_worker_async`."""
     return asyncio.run(
-        run_worker_async(host, port, max_units=max_units, max_frame_bytes=max_frame_bytes)
+        run_worker_async(
+            host,
+            port,
+            max_units=max_units,
+            max_frame_bytes=max_frame_bytes,
+            reconnect_retries=reconnect_retries,
+            backoff=backoff,
+            heartbeat_interval=heartbeat_interval,
+            worker_id=worker_id,
+        )
     )

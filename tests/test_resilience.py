@@ -1,0 +1,475 @@
+"""Tests for the resilience layer (repro.resilience).
+
+Covers the deterministic fault engine (schedules, specs, the chaos
+transport/unit-hook/store seams) and the defensive machinery it attacks
+(seeded backoff, the circuit breaker).  The end-to-end soak gate lives
+in scripts/ci_chaos_soak.py; these tests pin the component contracts it
+relies on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.resilience import (
+    FAULT_KINDS,
+    BackoffPolicy,
+    ChaosStore,
+    CircuitBreaker,
+    FaultSchedule,
+    FaultSpec,
+    chaos_transport,
+    chaos_unit_hook,
+    default_fault_spec,
+)
+
+
+def spec_of(**rates):
+    return FaultSpec.from_rates(rates)
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            spec_of(**{"worker-teleport": 0.5})
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.5])
+    def test_out_of_range_rate_rejected(self, rate):
+        with pytest.raises(ValueError, match="must be in"):
+            spec_of(**{"worker-crash": rate})
+
+    def test_unlisted_kind_has_rate_zero(self):
+        spec = spec_of(**{"worker-crash": 0.25})
+        assert spec.rate("worker-crash") == 0.25
+        assert spec.rate("frame-delay") == 0.0
+
+    def test_default_spec_covers_every_kind(self):
+        spec = default_fault_spec()
+        for kind in FAULT_KINDS:
+            assert spec.rate(kind) > 0.0
+
+    def test_to_dict_round_trips_rates(self):
+        spec = spec_of(**{"worker-crash": 0.1, "store-corrupt": 0.2})
+        as_dict = spec.to_dict()
+        assert as_dict["rates"] == {"worker-crash": 0.1, "store-corrupt": 0.2}
+        assert as_dict["stall_seconds"] == spec.stall_seconds
+
+
+class TestFaultSchedule:
+    def test_rate_zero_never_fires(self):
+        schedule = FaultSchedule(seed=1, spec=spec_of())
+        assert not any(schedule.draw("w0", "worker-crash") for _ in range(200))
+        assert schedule.injected == 0
+
+    def test_rate_one_always_fires(self):
+        schedule = FaultSchedule(seed=1, spec=spec_of(**{"worker-crash": 1.0}))
+        assert all(schedule.draw("w0", "worker-crash") for _ in range(20))
+        assert schedule.injected == 20
+
+    def test_same_seed_same_decisions(self):
+        spec = spec_of(**{"worker-crash": 0.5, "frame-delay": 0.5})
+        a = FaultSchedule(seed=7, spec=spec)
+        b = FaultSchedule(seed=7, spec=spec)
+        draws_a = [a.draw(site, kind) for site in ("w0", "w1")
+                   for kind in ("worker-crash", "frame-delay") for _ in range(50)]
+        draws_b = [b.draw(site, kind) for site in ("w0", "w1")
+                   for kind in ("worker-crash", "frame-delay") for _ in range(50)]
+        assert draws_a == draws_b
+        assert a.log_json() == b.log_json()
+
+    def test_different_seed_different_log(self):
+        spec = spec_of(**{"worker-crash": 0.5})
+        a = FaultSchedule(seed=7, spec=spec)
+        b = FaultSchedule(seed=8, spec=spec)
+        for schedule in (a, b):
+            for _ in range(64):
+                schedule.draw("w0", "worker-crash")
+        assert a.log_json() != b.log_json()
+
+    def test_sites_are_independent_streams(self):
+        """Interleaving draws at another site cannot shift a site's decisions."""
+        spec = spec_of(**{"worker-crash": 0.5})
+        alone = FaultSchedule(seed=3, spec=spec)
+        interleaved = FaultSchedule(seed=3, spec=spec)
+        solo_draws = [alone.draw("w0", "worker-crash") for _ in range(40)]
+        mixed_draws = []
+        for index in range(40):
+            interleaved.draw("w1", "worker-crash")  # noise on another site
+            if index % 3 == 0:
+                interleaved.draw("w0", "frame-delay")  # noise on another kind
+            mixed_draws.append(interleaved.draw("w0", "worker-crash"))
+        assert mixed_draws == solo_draws
+
+    def test_canonical_log_is_sorted_and_interleaving_free(self):
+        spec = spec_of(**{"worker-crash": 1.0, "frame-delay": 1.0})
+        forward = FaultSchedule(seed=5, spec=spec)
+        backward = FaultSchedule(seed=5, spec=spec)
+        ops = [(site, kind) for site in ("a", "b") for kind in ("worker-crash", "frame-delay")]
+        for site, kind in ops:
+            forward.draw(site, kind)
+        for site, kind in reversed(ops):
+            backward.draw(site, kind)
+        assert forward.fault_log() != backward.fault_log()  # raw order differs
+        assert forward.canonical_log() == backward.canonical_log()
+        assert forward.log_json() == backward.log_json()
+
+    def test_occurrence_counter_advances_per_site_kind(self):
+        schedule = FaultSchedule(seed=0, spec=spec_of(**{"worker-crash": 1.0}))
+        for _ in range(3):
+            schedule.draw("w0", "worker-crash")
+        assert [event.occurrence for event in schedule.fault_log()] == [0, 1, 2]
+
+    def test_counts_by_kind_sums_to_injected(self):
+        spec = spec_of(**{"worker-crash": 0.6, "frame-delay": 0.6})
+        schedule = FaultSchedule(seed=11, spec=spec)
+        for _ in range(30):
+            schedule.draw("w0", "worker-crash")
+            schedule.draw("w0", "frame-delay")
+        assert sum(schedule.counts_by_kind().values()) == schedule.injected > 0
+
+
+class TestBackoffPolicy:
+    def test_delays_bounded_by_cap(self):
+        policy = BackoffPolicy(base=0.05, cap=5.0, seed=9)
+        assert all(0.0 < delay <= policy.cap for delay in policy.delays(40))
+
+    def test_delay_within_jitter_window(self):
+        policy = BackoffPolicy(base=0.1, cap=100.0, multiplier=2.0, jitter=0.5, seed=2)
+        for attempt in range(12):
+            raw = min(policy.cap, policy.base * policy.multiplier**attempt)
+            assert raw * (1.0 - policy.jitter) <= policy.delay(attempt) <= raw
+
+    def test_non_decreasing_below_cap_for_defaults(self):
+        """With multiplier=2, jitter=0.5 the jittered schedule cannot regress
+        while the raw schedule is still doubling (the smallest next delay
+        equals the largest current one)."""
+        policy = BackoffPolicy(seed=13)
+        doubling = [a for a in range(40)
+                    if policy.base * policy.multiplier ** (a + 1) <= policy.cap]
+        delays = policy.delays(max(doubling) + 2)
+        for attempt in doubling:
+            assert delays[attempt + 1] >= delays[attempt]
+
+    def test_deterministic_across_instances(self):
+        assert BackoffPolicy(seed=21).delays(16) == BackoffPolicy(seed=21).delays(16)
+        assert BackoffPolicy(seed=21).delays(8) != BackoffPolicy(seed=22).delays(8)
+
+    def test_bit_stable_across_processes(self):
+        """The schedule is a pure function of (policy, seed, attempt) —
+        a fresh interpreter must reproduce it to the last bit."""
+        policy = BackoffPolicy(base=0.03, cap=2.0, seed=77)
+        script = (
+            "from repro.resilience import BackoffPolicy;"
+            "print(repr(BackoffPolicy(base=0.03, cap=2.0, seed=77).delays(12)))"
+        )
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        output = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+        assert output == repr(policy.delays(12))
+
+    def test_zero_jitter_is_pure_exponential(self):
+        policy = BackoffPolicy(base=1.0, cap=8.0, jitter=0.0, seed=0)
+        assert policy.delays(5) == [1.0, 2.0, 4.0, 8.0, 8.0]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base": 0.0},
+            {"base": 1.0, "cap": 0.5},
+            {"multiplier": 0.5},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BackoffPolicy(**kwargs)
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy().delay(-1)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestCircuitBreaker:
+    def make(self, threshold=3, cooldown=10.0):
+        clock = FakeClock()
+        return CircuitBreaker(threshold, cooldown, clock=clock), clock
+
+    def test_starts_closed_and_allows(self):
+        breaker, _ = self.make()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_failures_below_threshold_stay_closed(self):
+        breaker, _ = self.make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_trips_open_at_threshold(self):
+        breaker, _ = self.make(threshold=3, cooldown=10.0)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.retry_after() == pytest.approx(10.0)
+
+    def test_success_resets_the_failure_run(self):
+        breaker, _ = self.make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_cooldown_grants_exactly_one_probe(self):
+        breaker, clock = self.make(threshold=1, cooldown=5.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(5.0)
+        assert breaker.allow()  # half-open probe
+        assert breaker.state == "half-open"
+        assert not breaker.allow()  # probe still in flight
+
+    def test_probe_success_closes_fully(self):
+        breaker, clock = self.make(threshold=1, cooldown=5.0)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow() and breaker.allow()  # no probe gating
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        breaker, clock = self.make(threshold=2, cooldown=5.0)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()  # one failure suffices in half-open
+        assert breaker.state == "open"
+        assert breaker.retry_after() == pytest.approx(5.0)
+        clock.advance(4.0)
+        assert not breaker.allow()
+        clock.advance(1.0)
+        assert breaker.allow()
+
+    def test_retry_after_zero_when_not_open(self):
+        breaker, _ = self.make()
+        assert breaker.retry_after() == 0.0
+
+    @pytest.mark.parametrize("kwargs", [{"failure_threshold": 0}, {"cooldown_seconds": -1.0}])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CircuitBreaker(**kwargs)
+
+
+class _ScriptedReader:
+    """Minimal StreamReader stand-in: hands out pre-baked lines."""
+
+    def __init__(self, lines):
+        self._lines = list(lines)
+
+    async def readuntil(self, separator=b"\n"):
+        return self._lines.pop(0)
+
+    def at_eof(self):
+        return not self._lines
+
+
+class _CapturingWriter:
+    """Minimal StreamWriter stand-in: records every write."""
+
+    def __init__(self):
+        self.chunks = []
+        self.closed = False
+
+    def write(self, data):
+        self.chunks.append(data)
+
+    async def drain(self):
+        return None
+
+    def close(self):
+        self.closed = True
+
+    def is_closing(self):
+        return self.closed
+
+    async def wait_closed(self):
+        return None
+
+
+UNIT_LINE = b'{"type":"unit","unit":"p00-s00-t0000","plan":{}}\n'
+RESULT_LINE = b'{"type":"result","unit":"p00-s00-t0000","payload":{}}\n'
+HEARTBEAT_LINE = b'{"type":"heartbeat","unit":"p00-s00-t0000"}\n'
+
+
+class TestChaosTransport:
+    def wrap(self, reader, writer, **rates):
+        spec = spec_of(**rates) if rates else spec_of()
+        schedule = FaultSchedule(seed=1, spec=spec)
+        return chaos_transport(schedule, spec, "w0")(reader, writer), schedule
+
+    def test_heartbeats_never_advance_counters(self):
+        """Frames with timing-dependent counts must be chaos-exempt, or two
+        runs of the same schedule would diverge."""
+        (reader, writer), schedule = self.wrap(
+            _ScriptedReader([HEARTBEAT_LINE]), _CapturingWriter(),
+            **{"frame-corrupt": 1.0, "frame-duplicate": 1.0},
+        )
+        line = asyncio.run(reader.readuntil())
+        assert line == HEARTBEAT_LINE
+        writer.write(HEARTBEAT_LINE)
+        assert writer._writer.chunks == [HEARTBEAT_LINE]
+        assert schedule.injected == 0
+
+    def test_inbound_unit_frame_corrupted(self):
+        (reader, _), schedule = self.wrap(
+            _ScriptedReader([UNIT_LINE]), _CapturingWriter(),
+            **{"frame-corrupt": 1.0},
+        )
+        line = asyncio.run(reader.readuntil())
+        assert line.startswith(b"#") and line != UNIT_LINE
+        assert schedule.counts_by_kind() == {"frame-corrupt": 1}
+
+    def test_inbound_truncation_looks_like_a_dead_peer(self):
+        (reader, _), _ = self.wrap(
+            _ScriptedReader([UNIT_LINE]), _CapturingWriter(),
+            **{"frame-truncate": 1.0},
+        )
+        with pytest.raises(asyncio.IncompleteReadError) as excinfo:
+            asyncio.run(reader.readuntil())
+        assert excinfo.value.partial == UNIT_LINE[: len(UNIT_LINE) // 2]
+
+    def test_outbound_result_duplicated(self):
+        (_, writer), schedule = self.wrap(
+            _ScriptedReader([]), _CapturingWriter(),
+            **{"frame-duplicate": 1.0},
+        )
+        writer.write(RESULT_LINE)
+        assert writer._writer.chunks == [RESULT_LINE, RESULT_LINE]
+        assert schedule.counts_by_kind() == {"frame-duplicate": 1}
+
+    def test_outbound_truncation_poisons_until_drain(self):
+        (_, writer), _ = self.wrap(
+            _ScriptedReader([]), _CapturingWriter(),
+            **{"frame-truncate": 1.0},
+        )
+        writer.write(RESULT_LINE)
+        assert writer._writer.chunks == [RESULT_LINE[: len(RESULT_LINE) // 2]]
+        with pytest.raises(ConnectionResetError):
+            asyncio.run(writer.drain())
+
+    def test_reader_and_writer_log_under_distinct_sites(self):
+        (reader, writer), schedule = self.wrap(
+            _ScriptedReader([UNIT_LINE]), _CapturingWriter(),
+            **{"frame-corrupt": 1.0},
+        )
+        asyncio.run(reader.readuntil())
+        writer.write(RESULT_LINE)
+        sites = {event.site for event in schedule.fault_log()}
+        assert sites == {"w0:rx", "w0:tx"}
+
+
+class TestChaosUnitHook:
+    def run_hook(self, **rates):
+        spec = spec_of(**rates) if rates else spec_of()
+        schedule = FaultSchedule(seed=1, spec=spec)
+        hook = chaos_unit_hook(schedule, spec, "w0")
+        asyncio.run(hook({"type": "unit", "unit": "u0"}))
+        return schedule
+
+    def test_no_rates_is_a_no_op(self):
+        assert self.run_hook().injected == 0
+
+    def test_crash_raises_worker_crash(self):
+        from repro.service.worker import WorkerCrash
+
+        with pytest.raises(WorkerCrash):
+            self.run_hook(**{"worker-crash": 1.0})
+
+    def test_error_raises_ordinary_exception(self):
+        with pytest.raises(RuntimeError, match="chaos"):
+            self.run_hook(**{"worker-error": 1.0})
+
+
+class TestChaosStore:
+    def scenario(self):
+        from repro.orchestration import ProtocolConfig, Scenario
+
+        return Scenario(
+            name="chaos-store-test",
+            workload="star",
+            sizes=(6,),
+            protocols=(ProtocolConfig("star"),),
+            repetitions=2,
+        )
+
+    def payload(self):
+        from repro.orchestration.scenario import RESULT_SCHEMA_VERSION
+
+        record = {
+            "stabilization_step": 3,
+            "certified_step": 4,
+            "steps_executed": 4,
+            "stabilized": True,
+            "leaders": 1,
+            "distinct_states": 3,
+            "wall_time_seconds": 0.25,
+        }
+        return {
+            "version": RESULT_SCHEMA_VERSION,
+            "unit": "p00-s00-t0000",
+            "trials": [0, 2],
+            "records": [dict(record) for _ in range(2)],
+            "state_space": 3,
+        }
+
+    def make_store(self, tmp_path, **rates):
+        spec = spec_of(**rates) if rates else spec_of()
+        return ChaosStore(FaultSchedule(seed=1, spec=spec), spec, tmp_path)
+
+    def test_tampered_write_is_caught_on_load(self, tmp_path):
+        store = self.make_store(tmp_path, **{"store-corrupt": 1.0})
+        scenario = self.scenario()
+        store.save_unit(scenario, "p00-s00-t0000", self.payload())
+        assert store.load_unit(scenario, "p00-s00-t0000", n_trials=2) is None
+        quarantined = list(store.quarantine_dir(scenario).glob("*.json"))
+        assert len(quarantined) == 1
+
+    def test_torn_write_is_caught_on_load(self, tmp_path):
+        store = self.make_store(tmp_path, **{"store-torn-write": 1.0})
+        scenario = self.scenario()
+        store.save_unit(scenario, "p00-s00-t0000", self.payload())
+        assert store.load_unit(scenario, "p00-s00-t0000", n_trials=2) is None
+
+    def test_unsabotaged_writes_round_trip(self, tmp_path):
+        store = self.make_store(tmp_path)
+        scenario = self.scenario()
+        payload = self.payload()
+        store.save_unit(scenario, "p00-s00-t0000", payload)
+        assert store.load_unit(scenario, "p00-s00-t0000", n_trials=2) == payload

@@ -8,6 +8,11 @@ import pytest
 
 from repro.orchestration import ProtocolConfig, ResultStore, Scenario
 from repro.orchestration.scenario import RESULT_SCHEMA_VERSION
+from repro.orchestration.store import (
+    DEFAULT_LOCK_STALE_SECONDS,
+    LOCK_TTL_ENV,
+    unit_checksum,
+)
 
 
 @pytest.fixture
@@ -125,6 +130,89 @@ class TestInvalidation:
         store.save_unit(scenario, "p00-s00-t0000", make_payload())
         leftovers = [p for p in store.scenario_dir(scenario).rglob("*.tmp")]
         assert leftovers == []
+
+
+class TestContentIntegrity:
+    def test_on_disk_record_embeds_payload_checksum(self, tmp_path, scenario):
+        store = ResultStore(tmp_path)
+        payload = make_payload()
+        path = store.save_unit(scenario, "p00-s00-t0000", payload)
+        record = json.loads(path.read_text(encoding="utf-8"))
+        assert record.pop("sha256") == unit_checksum(payload)
+        assert record == payload  # envelope is exactly payload + sha256
+
+    def test_silent_tampering_is_a_miss(self, tmp_path, scenario):
+        """Valid JSON with altered content but a stale checksum — the
+        signature of bit rot or a buggy writer — must not be served."""
+        store = ResultStore(tmp_path)
+        path = store.save_unit(scenario, "p00-s00-t0000", make_payload())
+        record = json.loads(path.read_text(encoding="utf-8"))
+        record["records"][0]["leaders"] = 999
+        path.write_text(json.dumps(record), encoding="utf-8")
+        assert store.load_unit(scenario, "p00-s00-t0000", n_trials=2) is None
+
+    def test_missing_checksum_is_a_miss(self, tmp_path, scenario):
+        """A pre-integrity-era file (no sha256 envelope) is recomputed,
+        never trusted."""
+        store = ResultStore(tmp_path)
+        path = store.unit_path(scenario, "p00-s00-t0000")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(make_payload()), encoding="utf-8")
+        assert store.load_unit(scenario, "p00-s00-t0000", n_trials=2) is None
+
+    def test_bad_files_are_quarantined_with_reasons(self, tmp_path, scenario):
+        """Corruption is moved aside and logged, not silently deleted —
+        the unit is recomputed while the evidence stays diagnosable."""
+        store = ResultStore(tmp_path)
+        path = store.save_unit(scenario, "p00-s00-t0000", make_payload())
+        record = json.loads(path.read_text(encoding="utf-8"))
+        record["records"][0]["leaders"] = 999
+        path.write_text(json.dumps(record), encoding="utf-8")
+        store.load_unit(scenario, "p00-s00-t0000", n_trials=2)
+        other = store.save_unit(scenario, "p00-s00-t0001", make_payload("p00-s00-t0001"))
+        other.write_text("{ torn", encoding="utf-8")
+        store.load_unit(scenario, "p00-s00-t0001", n_trials=2)
+
+        sidecar = store.quarantine_dir(scenario)
+        assert sorted(p.name for p in sidecar.glob("*.json")) == [
+            "p00-s00-t0000.json",
+            "p00-s00-t0001.json",
+        ]
+        log = (sidecar / "quarantine.log").read_text(encoding="utf-8")
+        assert "p00-s00-t0000.json\tcontent checksum mismatch" in log
+        assert "p00-s00-t0001.json\tunparseable" in log
+
+    def test_quarantined_unit_is_recomputable(self, tmp_path, scenario):
+        """After quarantine the slot is writable again and round-trips."""
+        store = ResultStore(tmp_path)
+        payload = make_payload()
+        path = store.save_unit(scenario, "p00-s00-t0000", payload)
+        path.write_text("not json", encoding="utf-8")
+        assert store.load_unit(scenario, "p00-s00-t0000", n_trials=2) is None
+        store.save_unit(scenario, "p00-s00-t0000", payload)
+        assert store.load_unit(scenario, "p00-s00-t0000", n_trials=2) == payload
+
+
+class TestLockTTLConfiguration:
+    def test_default_ttl(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(LOCK_TTL_ENV, raising=False)
+        assert ResultStore(tmp_path).lock_stale_seconds == DEFAULT_LOCK_STALE_SECONDS
+
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(LOCK_TTL_ENV, "7.5")
+        assert ResultStore(tmp_path).lock_stale_seconds == 7.5
+
+    def test_constructor_beats_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(LOCK_TTL_ENV, "7.5")
+        assert ResultStore(tmp_path, lock_stale_seconds=120.0).lock_stale_seconds == 120.0
+
+    def test_unparseable_env_falls_back_to_default(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(LOCK_TTL_ENV, "soon")
+        assert ResultStore(tmp_path).lock_stale_seconds == DEFAULT_LOCK_STALE_SECONDS
+
+    def test_non_positive_ttl_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="positive"):
+            ResultStore(tmp_path, lock_stale_seconds=0.0)
 
 
 class TestConcurrentWriters:

@@ -343,6 +343,139 @@ class TestFailurePaths:
         run_service(drain_then_submit, n_workers=0, cache_dir=tmp_path / "server")
 
 
+class TestResiliencePaths:
+    def test_welcome_reports_bound_port(self, tmp_path):
+        """With port=0 the kernel picks the port; the welcome frame must
+        tell the worker (and port-file readers) where the server landed."""
+
+        async def handshake(server, host, port):
+            reader, writer = await open_service_connection(host, port, MAX_FRAME_BYTES)
+            await write_frame(writer, hello_frame("worker"))
+            welcome = await read_frame(reader, MAX_FRAME_BYTES)
+            writer.close()
+            return welcome, host, port
+
+        welcome, host, port = run_service(
+            handshake, n_workers=0, cache_dir=tmp_path / "server"
+        )
+        assert welcome["type"] == "welcome"
+        assert welcome["host"] == host
+        assert welcome["port"] == port > 0
+
+    def test_liveness_deadline_drops_silent_worker(self, tmp_path):
+        """A worker that goes silent mid-unit is written off at the liveness
+        deadline, not after the (much longer) unit timeout."""
+        scenario = star_scenario()
+        local = run_scenario(scenario, jobs=1, cache=False)
+        events = []
+
+        async def silent_then_healthy(server, host, port):
+            client = ServiceClient(host, port)
+            submit = asyncio.ensure_future(
+                client.submit_async(scenario, on_event=events.append)
+            )
+            await asyncio.sleep(0.05)
+            reader, writer = await _worker_handshake(host, port)
+            unit = await read_frame(reader, MAX_FRAME_BYTES)
+            assert unit["type"] == "unit"  # ...then no heartbeat, no result
+            healthy = asyncio.ensure_future(run_worker_async(host, port))
+            try:
+                return await submit
+            finally:
+                writer.close()
+                healthy.cancel()
+                await asyncio.gather(healthy, return_exceptions=True)
+
+        remote = run_service(
+            silent_then_healthy,
+            n_workers=0,
+            unit_timeout=30.0,  # the liveness deadline must beat this
+            liveness_timeout=0.3,
+            cache_dir=tmp_path / "server",
+        )
+        assert remote.canonical_json() == local.canonical_json()
+        requeues = [e for e in events if e["state"] == "queued" and e.get("error")]
+        assert requeues and "liveness" in requeues[0]["error"]
+
+    def test_heartbeats_keep_slow_worker_alive(self, tmp_path, monkeypatch):
+        """Slow is not dead: a unit that outlives the liveness window but
+        keeps heartbeating gets the full unit budget, with no retry."""
+        import time
+
+        scenario = star_scenario()
+        local = run_scenario(scenario, jobs=1, cache=False)
+        real_execute = runner_module.execute_unit_plan
+        calls = {"count": 0}
+
+        def slow_once(plan):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                time.sleep(0.5)  # >> liveness_timeout below
+            return real_execute(plan)
+
+        monkeypatch.setattr(runner_module, "execute_unit_plan", slow_once)
+        events = []
+
+        async def slow_worker(server, host, port):
+            worker = asyncio.ensure_future(
+                run_worker_async(host, port, heartbeat_interval=0.05)
+            )
+            try:
+                return await ServiceClient(host, port).submit_async(
+                    scenario, on_event=events.append
+                )
+            finally:
+                worker.cancel()
+                await asyncio.gather(worker, return_exceptions=True)
+
+        remote = run_service(
+            slow_worker,
+            n_workers=0,
+            unit_timeout=30.0,
+            liveness_timeout=0.2,
+            cache_dir=tmp_path / "server",
+        )
+        assert remote.canonical_json() == local.canonical_json()
+        requeues = [e for e in events if e["state"] == "queued" and e.get("error")]
+        assert requeues == [], "a beating worker must never be written off"
+        assert calls["count"] == len(build_work_units(scenario))
+
+    def test_circuit_breaker_quarantines_then_readmits(self, tmp_path, monkeypatch):
+        """A worker failing every dispatch is quarantined at the breaker
+        threshold, probed after the cooldown, and readmitted once healthy —
+        and none of that moves a byte."""
+        scenario = star_scenario()
+        local = run_scenario(scenario, jobs=1, cache=False)
+        real_execute = runner_module.execute_unit_plan
+        calls = {"count": 0}
+
+        def fails_thrice(plan):
+            calls["count"] += 1
+            if calls["count"] <= 3:
+                raise RuntimeError("synthetic breaker-tripping failure")
+            return real_execute(plan)
+
+        monkeypatch.setattr(runner_module, "execute_unit_plan", fails_thrice)
+
+        async def submit(server, host, port):
+            result = await ServiceClient(host, port).submit_async(scenario)
+            return result, dict(server._breakers)
+
+        remote, breakers = run_service(
+            submit,
+            n_workers=1,
+            max_attempts=10,
+            breaker_threshold=2,  # trips after failures 1+2; probe fails; re-probe succeeds
+            breaker_cooldown=0.1,
+            cache_dir=tmp_path / "server",
+        )
+        assert remote.canonical_json() == local.canonical_json()
+        assert calls["count"] == len(build_work_units(scenario)) + 3
+        # The lone worker's breaker saw the whole arc and ended closed.
+        assert len(breakers) == 1
+        assert next(iter(breakers.values())).state == "closed"
+
+
 class TestWireFormat:
     def test_unit_plan_round_trip(self):
         scenario = star_scenario(threads=3)
