@@ -1,0 +1,135 @@
+"""Experiment SHARDING: million-node capacity under a resident-memory gate.
+
+The sharded engine's claim is *capacity*, not speed: per-shard CSR
+blocks and the ``[0, 2m)`` routing tables live in memory-mapped spool
+files, so a sparse million-node topology runs without the resident
+dense endpoint tables (and without ever being offered the ``(n, n)``
+all-pairs distance matrix, which the graph layer now refuses at this
+size).  This benchmark gates that claim directly:
+
+* ``test_million_node_torus_under_rss_ceiling`` executes the registered
+  ``torus-million`` scenario's workload — a 1000×1000 torus (n = 10^6,
+  m = 2·10^6), token protocol, ~150k steps on 8 shards — in a **child
+  process** and asserts the child's peak RSS stays under the ceiling.
+  A subprocess is mandatory: ``ru_maxrss`` is a process-lifetime
+  high-water mark, so measuring in the pytest process would report the
+  residue of whatever ran before.
+
+The ceiling defaults to 2048 MB and can be tuned for constrained CI
+runners via ``REPRO_BENCH_RSS_MB``.  The child also reports the
+partition fingerprint, pinning the layout the measurement ran on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments import render_table
+
+RSS_CEILING_MB = float(os.environ.get("REPRO_BENCH_RSS_MB", "2048"))
+
+_CHILD_SCRIPT = r"""
+import json
+import resource
+import sys
+import time
+
+from repro.experiments.harness import default_step_budget, token_protocol_spec
+from repro.experiments.workloads import get_workload
+from repro.graphs.graph import DENSE_DISTANCE_MATRIX_LIMIT
+from repro.runtime import compile_plan, execute_plan
+from repro.sharding import PartitionedGraph, sharded_eligible
+
+SIZE = 1_000_000
+SHARDS = 8
+MULTIPLIER = 1e-8  # the torus-million scenario's step budget
+
+build_start = time.perf_counter()
+graph = get_workload("torus").build(SIZE, seed=0)
+assert graph.n_nodes == SIZE
+assert graph.n_nodes > DENSE_DISTANCE_MATRIX_LIMIT  # the guard is live here
+build_seconds = time.perf_counter() - build_start
+
+spec = token_protocol_spec()
+protocol = spec.factory(graph, 0)
+budget = default_step_budget(graph, multiplier=MULTIPLIER)
+plan = compile_plan(
+    [protocol], graph, [20260808], max_steps=budget, shards=SHARDS
+)
+assert sharded_eligible(plan)
+partition = PartitionedGraph(graph, SHARDS)
+
+run_start = time.perf_counter()
+(result,) = execute_plan(plan)
+run_seconds = time.perf_counter() - run_start
+
+peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+json.dump(
+    {
+        "n_nodes": graph.n_nodes,
+        "n_edges": graph.n_edges,
+        "steps": result.steps_executed,
+        "stabilized": result.stabilized,
+        "leaders": result.leaders,
+        "fingerprint": partition.fingerprint,
+        "peak_rss_mb": peak_kb / 1024.0,
+        "build_seconds": build_seconds,
+        "run_seconds": run_seconds,
+    },
+    sys.stdout,
+)
+"""
+
+
+def _run_child() -> dict:
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, "-c", _CHILD_SCRIPT],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=900,
+    )
+    assert completed.returncode == 0, completed.stderr[-4000:]
+    return json.loads(completed.stdout)
+
+
+@pytest.mark.benchmark(group="sharding")
+def test_million_node_torus_under_rss_ceiling():
+    report = _run_child()
+
+    rows = [
+        {
+            "nodes": report["n_nodes"],
+            "edges": report["n_edges"],
+            "steps": report["steps"],
+            "peak RSS (MB)": f"{report['peak_rss_mb']:.0f}",
+            "ceiling (MB)": f"{RSS_CEILING_MB:.0f}",
+            "build (s)": f"{report['build_seconds']:.1f}",
+            "run (s)": f"{report['run_seconds']:.1f}",
+            "partition": report["fingerprint"][:16],
+        }
+    ]
+    print()
+    print(render_table(rows, title="Sharded engine: million-node torus"))
+
+    assert report["n_nodes"] == 1_000_000
+    assert report["steps"] > 0
+    # A ~150k-step prefix cannot elect a leader on a 10^6-node torus;
+    # what matters is that the run *executed* inside the memory budget.
+    assert not report["stabilized"]
+    assert report["peak_rss_mb"] < RSS_CEILING_MB, (
+        f"peak RSS {report['peak_rss_mb']:.0f} MB exceeded the "
+        f"{RSS_CEILING_MB:.0f} MB ceiling (REPRO_BENCH_RSS_MB to adjust)"
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-v", "-s"]))

@@ -7,12 +7,17 @@ Runs a tiny two-protocol scenario three times through the stack —
 * sharded over two fork-worker processes (``jobs=2``),
 * through the simulation service: an in-process job server with two
   *remote* workers connected over real sockets on localhost,
+* on the partitioned graph engine (``shards=4``): every unit executes
+  through :mod:`repro.sharding`'s shard-local executor instead of the
+  replica-batched stack,
 
 with the result store disabled for the local placements and a throwaway
 store for the server (CI must never read from or populate
 ``.repro_cache/``; cached results would mask a divergence, which is
-exactly what this job exists to catch).  All three canonical JSON
-aggregates must match byte for byte.
+exactly what this job exists to catch).  All four canonical JSON
+aggregates must match byte for byte — for the sharded placement this is
+the engine's determinism contract itself (partitioning decides *where*
+a pair is applied, never *which* pair is drawn).
 
 Exit code 0 on equality, 1 with a diff summary otherwise.
 
@@ -64,6 +69,9 @@ def main() -> int:
     placements = {
         "2 fork workers": run_scenario(scenario, jobs=2, cache=False),
         "server + 2 remote workers": run_through_service(scenario),
+        "4-shard engine": run_scenario(
+            scenario.with_overrides(shards=4), jobs=1, cache=False
+        ),
     }
 
     serial_bytes = serial.canonical_json().encode("utf-8")
@@ -75,11 +83,12 @@ def main() -> int:
             print(f"  {label} ({len(result_bytes)} bytes): {result_bytes[:400]!r}")
             return 1
     print(
-        "OK: fork-worker and server placements are byte-identical to the "
-        f"serial path ({len(serial_bytes)} canonical bytes, "
+        "OK: fork-worker, server and sharded placements are byte-identical "
+        f"to the serial path ({len(serial_bytes)} canonical bytes, "
         f"{serial.total_units} work units, serial {serial.wall_time_seconds:.2f}s, "
         f"fork {placements['2 fork workers'].wall_time_seconds:.2f}s, "
-        f"service {placements['server + 2 remote workers'].wall_time_seconds:.2f}s)"
+        f"service {placements['server + 2 remote workers'].wall_time_seconds:.2f}s, "
+        f"sharded {placements['4-shard engine'].wall_time_seconds:.2f}s)"
     )
     return 0
 

@@ -152,6 +152,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="kernel threads per execution plan (default: REPRO_KERNEL_THREADS)",
     )
+    sweep.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="graph shards per execution plan (partitioned executor)",
+    )
 
     serve = subparsers.add_parser(
         "serve", help="start the long-lived simulation job server"
@@ -276,6 +282,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="kernel threads per unit on the workers",
+    )
+    submit.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="graph shards per unit on the workers",
     )
     submit.add_argument(
         "--no-cache",
@@ -437,7 +449,7 @@ def _cmd_scenarios() -> int:
 
 
 def _scenario_overrides(args: argparse.Namespace) -> dict:
-    """The ``--sizes/--repetitions/--seed/--engine/--threads`` overrides."""
+    """The ``--sizes/--repetitions/--seed/--engine/--threads/--shards`` overrides."""
     overrides = {}
     if getattr(args, "sizes", None) is not None:
         overrides["sizes"] = tuple(args.sizes)
@@ -449,6 +461,8 @@ def _scenario_overrides(args: argparse.Namespace) -> dict:
         overrides["engine"] = args.engine
     if getattr(args, "threads", None) is not None:
         overrides["threads"] = args.threads
+    if getattr(args, "shards", None) is not None:
+        overrides["shards"] = args.shards
     return overrides
 
 

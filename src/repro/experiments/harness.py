@@ -292,6 +292,7 @@ def run_measurement_trials(
     backend: str = "auto",
     schedule: Optional["TopologySchedule"] = None,
     threads: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> Tuple[List[SimulationResult], Optional[int]]:
     """Execute an arbitrary subset of a measurement's trials.
 
@@ -318,6 +319,7 @@ def run_measurement_trials(
         backend=backend,
         schedule=schedule,
         threads=threads,
+        shards=shards,
     )
 
 
@@ -330,6 +332,7 @@ def run_trials_with_seeds(
     backend: str = "auto",
     schedule: Optional["TopologySchedule"] = None,
     threads: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> Tuple[List[SimulationResult], Optional[int]]:
     """Execute trials whose scheduler seeds are already derived.
 
@@ -366,6 +369,7 @@ def run_trials_with_seeds(
         backend=backend,
         schedule=schedule,
         threads=threads,
+        shards=shards,
     )
     return execute_plan(plan), state_space
 
@@ -381,6 +385,7 @@ def measure_protocol_on_graph(
     backend: str = "auto",
     schedule: Optional["TopologySchedule"] = None,
     threads: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> Measurement:
     """Run ``spec`` on ``graph`` ``repetitions`` times and aggregate.
 
@@ -410,6 +415,7 @@ def measure_protocol_on_graph(
         backend=backend,
         schedule=schedule,
         threads=threads,
+        shards=shards,
     )
     return measurement_from_records(
         spec.name,
@@ -479,6 +485,7 @@ def sweep_protocol_over_sizes(
     engine: str = "auto",
     backend: str = "auto",
     threads: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> SweepResult:
     """Measure a protocol on a workload for each population size in ``sizes``.
 
@@ -502,6 +509,7 @@ def sweep_protocol_over_sizes(
                 engine=engine,
                 backend=backend,
                 threads=threads,
+                shards=shards,
             )
         )
     return SweepResult(

@@ -16,7 +16,7 @@ bounds) on it.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,6 +25,16 @@ Edge = Tuple[int, int]
 
 class GraphError(ValueError):
     """Raised when a graph is malformed for the population model."""
+
+
+#: Largest node count for which the dense all-pairs distance matrix may
+#: be materialised.  Above this, ``(n, n)`` bool + int16 scratch is
+#: multiple gigabytes (a ~1 TB request at n = 10^6) and dies in the
+#: allocator with an opaque ``MemoryError``; eccentricities route to
+#: per-source BFS instead, and million-node simulations should use the
+#: sharded engine (:mod:`repro.sharding`), which never needs all-pairs
+#: distances.
+DENSE_DISTANCE_MATRIX_LIMIT = 8192
 
 
 class Graph:
@@ -50,10 +60,11 @@ class Graph:
         "_n",
         "_edges_u",
         "_edges_v",
-        "_adjacency",
+        "_adjacency_cache",
         "_degrees",
         "_name",
-        "_edge_index",
+        "_edge_index_cache",
+        "_csr_cache",
         "_diameter_cache",
         "_eccentricity_cache",
     )
@@ -68,24 +79,80 @@ class Graph:
         if n_nodes <= 0:
             raise GraphError("a graph must have at least one node")
         edge_list = self._normalise_edges(n_nodes, edges)
-        self._n = int(n_nodes)
-        self._name = str(name)
         if edge_list:
             arr = np.asarray(edge_list, dtype=np.int64)
-            self._edges_u = np.ascontiguousarray(arr[:, 0])
-            self._edges_v = np.ascontiguousarray(arr[:, 1])
+            edges_u = np.ascontiguousarray(arr[:, 0])
+            edges_v = np.ascontiguousarray(arr[:, 1])
         else:
-            self._edges_u = np.zeros(0, dtype=np.int64)
-            self._edges_v = np.zeros(0, dtype=np.int64)
-        adjacency: List[List[int]] = [[] for _ in range(self._n)]
-        for u, v in edge_list:
-            adjacency[u].append(v)
-            adjacency[v].append(u)
-        self._adjacency = tuple(tuple(sorted(neigh)) for neigh in adjacency)
-        self._degrees = np.array([len(a) for a in self._adjacency], dtype=np.int64)
-        self._edge_index: Dict[Edge, int] = {
-            (u, v): i for i, (u, v) in enumerate(edge_list)
-        }
+            edges_u = np.zeros(0, dtype=np.int64)
+            edges_v = np.zeros(0, dtype=np.int64)
+        self._init_from_arrays(int(n_nodes), edges_u, edges_v, str(name), check_connected)
+
+    @classmethod
+    def from_edge_arrays(
+        cls,
+        n_nodes: int,
+        edges_u: np.ndarray,
+        edges_v: np.ndarray,
+        name: str = "graph",
+        check_connected: bool = True,
+    ) -> "Graph":
+        """Build a graph from flat endpoint arrays without a Python edge loop.
+
+        The vectorised twin of the constructor for large sparse families
+        (a million-node torus has four million endpoints; normalising them
+        tuple by tuple costs hundreds of megabytes of transient Python
+        objects).  Validation — range, self-loop and duplicate checks,
+        ``(min, max)`` orientation — happens in whole-array operations;
+        edge *order* is taken as given, so callers own the ordering
+        contract the seeded pair streams depend on.
+        """
+        if n_nodes <= 0:
+            raise GraphError("a graph must have at least one node")
+        edges_u = np.ascontiguousarray(edges_u, dtype=np.int64)
+        edges_v = np.ascontiguousarray(edges_v, dtype=np.int64)
+        if edges_u.shape != edges_v.shape or edges_u.ndim != 1:
+            raise GraphError("edge endpoint arrays must be parallel 1-d arrays")
+        if edges_u.size:
+            low = np.minimum(edges_u, edges_v)
+            high = np.maximum(edges_u, edges_v)
+            if int(low.min()) < 0 or int(high.max()) >= n_nodes:
+                raise GraphError(f"edge endpoint out of range for n={n_nodes}")
+            if bool((low == high).any()):
+                node = int(low[low == high][0])
+                raise GraphError(f"self-loop on node {node} is not allowed")
+            keys = low * np.int64(n_nodes) + high
+            if np.unique(keys).size != keys.size:
+                raise GraphError("duplicate edge in endpoint arrays")
+            edges_u, edges_v = np.ascontiguousarray(low), np.ascontiguousarray(high)
+        graph = cls.__new__(cls)
+        graph._init_from_arrays(
+            int(n_nodes), edges_u, edges_v, str(name), check_connected
+        )
+        return graph
+
+    def _init_from_arrays(
+        self,
+        n_nodes: int,
+        edges_u: np.ndarray,
+        edges_v: np.ndarray,
+        name: str,
+        check_connected: bool,
+    ) -> None:
+        self._n = n_nodes
+        self._name = name
+        self._edges_u = edges_u
+        self._edges_v = edges_v
+        counts = np.bincount(edges_u, minlength=self._n) + np.bincount(
+            edges_v, minlength=self._n
+        )
+        self._degrees = counts.astype(np.int64)
+        # Adjacency tuples, the edge-index dict and the CSR used by BFS
+        # are derived lazily: at million-node scale the Python-object
+        # forms cost gigabytes, and the vectorised paths never need them.
+        self._adjacency_cache: Optional[Tuple[Tuple[int, ...], ...]] = None
+        self._edge_index_cache: Optional[Dict[Edge, int]] = None
+        self._csr_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._diameter_cache: int | None = None
         self._eccentricity_cache: Tuple[int, ...] | None = None
         if self._n > 1 and check_connected:
@@ -93,6 +160,42 @@ class Graph:
                 raise GraphError("a multi-node connected graph must have at least one edge")
             if not self._is_connected():
                 raise GraphError(f"graph {name!r} is not connected")
+
+    # ------------------------------------------------------------------
+    # Lazily derived forms
+    # ------------------------------------------------------------------
+    def _csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Compressed sparse rows of the symmetric adjacency (sorted)."""
+        if self._csr_cache is None:
+            src = np.concatenate((self._edges_u, self._edges_v))
+            dst = np.concatenate((self._edges_v, self._edges_u))
+            order = np.lexsort((dst, src))
+            indptr = np.zeros(self._n + 1, dtype=np.int64)
+            np.cumsum(np.bincount(src, minlength=self._n), out=indptr[1:])
+            self._csr_cache = (indptr, np.ascontiguousarray(dst[order]))
+        return self._csr_cache
+
+    @property
+    def _adjacency(self) -> Tuple[Tuple[int, ...], ...]:
+        if self._adjacency_cache is None:
+            indptr, indices = self._csr()
+            flat = indices.tolist()
+            bounds = indptr.tolist()
+            self._adjacency_cache = tuple(
+                tuple(flat[bounds[v] : bounds[v + 1]]) for v in range(self._n)
+            )
+        return self._adjacency_cache
+
+    @property
+    def _edge_index(self) -> Dict[Edge, int]:
+        if self._edge_index_cache is None:
+            self._edge_index_cache = {
+                (u, v): i
+                for i, (u, v) in enumerate(
+                    zip(self._edges_u.tolist(), self._edges_v.tolist())
+                )
+            }
+        return self._edge_index_cache
 
     @staticmethod
     def _normalise_edges(n_nodes: int, edges: Iterable[Edge]) -> List[Edge]:
@@ -203,20 +306,35 @@ class Graph:
     # Distances
     # ------------------------------------------------------------------
     def bfs_distances(self, source: int) -> np.ndarray:
-        """Distances from ``source`` to every node (``-1`` if unreachable)."""
+        """Distances from ``source`` to every node (``-1`` if unreachable).
+
+        Level-synchronous and fully vectorised over the CSR adjacency:
+        each node enters the frontier exactly once, so a whole BFS costs
+        ``O(m)`` array work regardless of diameter — the connectivity
+        check on a million-node torus takes milliseconds instead of the
+        minutes the per-node Python walk needed.
+        """
+        indptr, indices = self._csr()
         dist = np.full(self._n, -1, dtype=np.int64)
         dist[source] = 0
-        frontier = [source]
+        frontier = np.array([source], dtype=np.int64)
         d = 0
-        while frontier:
+        while frontier.size:
             d += 1
-            next_frontier: List[int] = []
-            for u in frontier:
-                for w in self._adjacency[u]:
-                    if dist[w] < 0:
-                        dist[w] = d
-                        next_frontier.append(w)
-            frontier = next_frontier
+            starts = indptr[frontier]
+            counts = indptr[frontier + 1] - starts
+            total = int(counts.sum())
+            if total == 0:
+                break
+            within = np.arange(total, dtype=np.int64) - np.repeat(
+                np.cumsum(counts) - counts, counts
+            )
+            candidates = indices[np.repeat(starts, counts) + within]
+            fresh = candidates[dist[candidates] < 0]
+            if fresh.size == 0:
+                break
+            dist[fresh] = d
+            frontier = np.unique(fresh)
         return dist
 
     def distance(self, u: int, v: int) -> int:
@@ -235,9 +353,11 @@ class Graph:
             n = self._n
             if n <= 1:
                 self._eccentricity_cache = tuple(0 for _ in range(n))
-            elif self.n_edges * 8 >= n * (n - 1):
+            elif n <= DENSE_DISTANCE_MATRIX_LIMIT and self.n_edges * 8 >= n * (n - 1):
                 # Dense graphs have small diameters: a handful of matrix
-                # levels beats n Python BFS walks.
+                # levels beats n BFS walks.  Above the size limit the
+                # (n, n) scratch is unaffordable and BFS is used even on
+                # dense graphs.
                 self._eccentricity_cache = self._eccentricities_matrix()
             else:
                 eccs = []
@@ -249,6 +369,16 @@ class Graph:
 
     def _eccentricities_matrix(self) -> Tuple[int, ...]:
         n = self._n
+        if n > DENSE_DISTANCE_MATRIX_LIMIT:
+            raise GraphError(
+                f"all-pairs distance matrix on {n} nodes needs two (n, n) "
+                f"arrays (~{n * n * 3 / 1e9:.0f} GB) and is refused above "
+                f"n={DENSE_DISTANCE_MATRIX_LIMIT}; use per-source "
+                "bfs_distances() for the few sources you need, or run "
+                "large sparse topologies through the sharded engine "
+                "(repro.sharding), which never builds dense distance "
+                "tables"
+            )
         # Boolean semiring: numpy's bool matmul is a logical OR of ANDs,
         # so the frontier product cannot wrap no matter how many (256 or
         # more) frontier nodes share an unvisited neighbour — the case

@@ -157,6 +157,10 @@ class UnitPlan:
     #: results are bit-identical for any value (hence not part of the
     #: unit's identity or the scenario content hash).
     threads: Optional[int] = None
+    #: Shard count for the partitioned executor (:mod:`repro.sharding`);
+    #: like ``threads``, a capacity dial only — never part of the unit's
+    #: identity.
+    shards: Optional[int] = None
 
     def build_graph(self) -> Graph:
         """The unit's interaction graph (served from the process memo)."""
@@ -205,6 +209,7 @@ def build_unit_plans(
                 ),
                 schedule_seed=scenario.schedule_seed(unit.size_index),
                 threads=scenario.threads,
+                shards=scenario.shards,
             )
         )
     return plans
@@ -241,6 +246,7 @@ def unit_plan_to_wire(plan: UnitPlan) -> Dict[str, Any]:
         ),
         "schedule_seed": plan.schedule_seed,
         "threads": plan.threads,
+        "shards": plan.shards,
     }
 
 
@@ -273,6 +279,7 @@ def unit_plan_from_wire(wire: Dict[str, Any]) -> UnitPlan:
         ),
         schedule_seed=int(wire.get("schedule_seed", 0)),
         threads=(int(wire["threads"]) if wire.get("threads") is not None else None),
+        shards=(int(wire["shards"]) if wire.get("shards") is not None else None),
     )
 
 
@@ -312,6 +319,7 @@ def execute_unit_plan(plan: UnitPlan) -> Dict[str, Any]:
         backend=plan.backend,
         schedule=schedule,
         threads=plan.threads,
+        shards=plan.shards,
     )
     return unit_payload(plan, results, state_space)
 

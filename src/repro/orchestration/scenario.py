@@ -298,6 +298,13 @@ class Scenario:
         for any value, so it is *excluded* from :meth:`config_dict` and
         the content hash — cached results are shared across thread
         counts, exactly as they are across worker counts.
+    shards:
+        Optional shard count for the partitioned executor
+        (:mod:`repro.sharding`), forwarded to every execution plan the
+        scenario produces.  Like ``threads`` it is purely a capacity
+        dial — results are bit-identical for any value (gated by
+        ``tests/test_sharding.py``), so it too is *excluded* from
+        :meth:`config_dict` and the content hash.
     schedule:
         Optional declarative topology schedule (:class:`ScheduleConfig`).
         ``None`` (the default) runs on the static workload graph; a
@@ -326,6 +333,7 @@ class Scenario:
     engine: str = "auto"
     backend: str = "auto"
     threads: Optional[int] = None
+    shards: Optional[int] = None
     schedule: Optional[ScheduleConfig] = None
     description: str = ""
 
@@ -346,6 +354,10 @@ class Scenario:
             object.__setattr__(self, "threads", int(self.threads))
             if self.threads < 1:
                 raise ScenarioError(f"scenario {self.name!r}: threads must be positive")
+        if self.shards is not None:
+            object.__setattr__(self, "shards", int(self.shards))
+            if self.shards < 1:
+                raise ScenarioError(f"scenario {self.name!r}: shards must be positive")
 
     # ------------------------------------------------------------------
     # Validation / construction
@@ -396,10 +408,10 @@ class Scenario:
         The ``schedule`` key is present only on dynamic scenarios: static
         configs serialise exactly as they did before schedules existed,
         so their content hashes — and hence their cache directories —
-        are unchanged.  ``threads`` is deliberately absent: it is an
-        execution-throughput dial that never changes measured values, so
-        two runs differing only in thread count share one cache
-        directory (and one canonical result).
+        are unchanged.  ``threads`` and ``shards`` are deliberately
+        absent: both are execution dials that never change measured
+        values, so runs differing only in thread or shard count share
+        one cache directory (and one canonical result).
         """
         config = {
             "name": self.name,
@@ -458,6 +470,7 @@ class Scenario:
             engine=str(config["engine"]),
             backend=str(config["backend"]),
             threads=(int(config["threads"]) if config.get("threads") is not None else None),
+            shards=(int(config["shards"]) if config.get("shards") is not None else None),
             schedule=(
                 ScheduleConfig.from_dict(config["schedule"])
                 if config.get("schedule") is not None

@@ -47,6 +47,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 def execute_plan(plan: ExecutionPlan) -> List["SimulationResult"]:
     """Run every replica of ``plan`` and return results in replica order."""
+    if plan.shards is not None:
+        from ..sharding.executor import execute_sharded, sharded_eligible
+
+        if sharded_eligible(plan):
+            return execute_sharded(plan)
     if plan.mode == "shared" and _stack_eligible(plan):
         if _stack_v6_eligible(plan):
             return _execute_stack_v6(plan)

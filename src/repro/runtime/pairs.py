@@ -24,7 +24,8 @@ Everything here is pure array arithmetic; the seeded RNG calls stay in
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from collections import OrderedDict
+from typing import Tuple
 
 import numpy as np
 
@@ -32,8 +33,11 @@ from ..graphs.graph import Graph
 
 #: Directed endpoint tables per graph, keyed by object identity (the
 #: entry holds the graph so a live key can never be recycled).  Bounded
-#: like the orchestrator's graph memo.
-_DIRECTED_CACHE: Dict[int, Tuple[Graph, np.ndarray, np.ndarray]] = {}
+#: like the orchestrator's graph memo, but evicted LRU-style: a hit
+#: refreshes the entry and a full cache drops only its oldest entry, so
+#: a hot graph survives any number of cold inserts (per-shard subgraphs
+#: would otherwise thrash the whole cache every 16 builds).
+_DIRECTED_CACHE: "OrderedDict[int, Tuple[Graph, np.ndarray, np.ndarray]]" = OrderedDict()
 _DIRECTED_CACHE_LIMIT = 16
 
 
@@ -56,9 +60,10 @@ def directed_tables(graph: Graph) -> Tuple[np.ndarray, np.ndarray]:
     key = id(graph)
     entry = _DIRECTED_CACHE.get(key)
     if entry is not None and entry[0] is graph:
+        _DIRECTED_CACHE.move_to_end(key)
         return entry[1], entry[2]
-    if len(_DIRECTED_CACHE) >= _DIRECTED_CACHE_LIMIT:
-        _DIRECTED_CACHE.clear()
+    while len(_DIRECTED_CACHE) >= _DIRECTED_CACHE_LIMIT:
+        _DIRECTED_CACHE.popitem(last=False)
     initiators = np.concatenate((graph.edges_u, graph.edges_v))
     responders = np.concatenate((graph.edges_v, graph.edges_u))
     _DIRECTED_CACHE[key] = (graph, initiators, responders)
@@ -78,13 +83,13 @@ def encode_oriented(
         index = edge + (1 - orientation) * m
 
     so decoding the returned indices reproduces the historical
-    ``np.where(orientation, u, v)`` endpoints exactly.  Both input
-    arrays are consumed (overwritten) — they are refill temporaries.
+    ``np.where(orientation, u, v)`` endpoints exactly.  The result is
+    a fresh array; neither input is modified, so callers may keep using
+    their edge/orientation draws after encoding.
     """
-    np.subtract(1, orientations, out=orientations)
-    orientations *= n_edges
-    edge_indices += orientations
-    return edge_indices
+    reversed_mask = np.subtract(1, orientations)
+    reversed_mask *= n_edges
+    return np.add(edge_indices, reversed_mask)
 
 
 def decode_pairs(

@@ -86,6 +86,11 @@ class ExecutionPlan:
     #: defers to ``REPRO_KERNEL_THREADS`` at execution time.  Purely a
     #: throughput dial — results are bit-identical for any value.
     threads: Optional[int] = None
+    #: Shard count for the partitioned executor
+    #: (:mod:`repro.sharding`); ``None`` keeps the plan on the batched
+    #: stack.  Purely a capacity dial — results are bit-identical for
+    #: any value, and ineligible plans fall through unchanged.
+    shards: Optional[int] = None
     _initial_states: Optional[List[Any]] = field(default=None, repr=False)
 
     @property
@@ -139,6 +144,7 @@ def compile_plan(
     replica_mode: str = "auto",
     drain_width: int = 0,
     threads: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> ExecutionPlan:
     """Resolve one workload into an :class:`ExecutionPlan`.
 
@@ -164,6 +170,8 @@ def compile_plan(
         raise ValueError(f"unknown replica mode {replica_mode!r}")
     if threads is not None and int(threads) < 1:
         raise ValueError("threads must be positive")
+    if shards is not None and int(shards) < 1:
+        raise ValueError("shards must be positive")
     if schedule is not None:
         if scheduler is not None:
             raise ValueError("pass either schedule or scheduler, not both")
@@ -232,4 +240,5 @@ def compile_plan(
         replica_mode=replica_mode,
         drain_width=drain_width,
         threads=None if threads is None else int(threads),
+        shards=None if shards is None else int(shards),
     )

@@ -93,7 +93,13 @@ class InteractionSource:
             self._schedule = None
             self._epoch_graph: Optional[Graph] = topology
             self._epoch_end: Optional[int] = None
-            self._du, self._dv = directed_tables(topology)
+            # Decode tables are built on first *decoded* consumption:
+            # undecoded readers (the stack executors' next_pair_indices
+            # paths and the sharded engine, which routes raw indices
+            # through memory-mapped per-shard tables) never materialise
+            # the resident 2m endpoint arrays.
+            self._du: Optional[np.ndarray] = None
+            self._dv: Optional[np.ndarray] = None
             self._edge_count = topology.n_edges
         else:
             self._schedule = topology
@@ -123,6 +129,13 @@ class InteractionSource:
     @property
     def pair_tables(self) -> Tuple[np.ndarray, np.ndarray]:
         """The active epoch's directed endpoint tables (kernel decode)."""
+        return self._tables()
+
+    def _tables(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The decode tables, built lazily on a static topology."""
+        if self._du is None:
+            assert self._epoch_graph is not None
+            self._du, self._dv = directed_tables(self._epoch_graph)
         return self._du, self._dv
 
     @property
@@ -184,7 +197,8 @@ class InteractionSource:
             self._cursor += take
             self._position += take
             remaining -= take
-            yield chunk, self._du, self._dv
+            du, dv = self._tables()
+            yield chunk, du, dv
 
     # ------------------------------------------------------------------
     # Consumption (shared by every scheduler shell)
@@ -196,7 +210,8 @@ class InteractionSource:
         index = self._buffer[self._cursor]
         self._cursor += 1
         self._position += 1
-        return (int(self._du[index]), int(self._dv[index]))
+        du, dv = self._tables()
+        return (int(du[index]), int(dv[index]))
 
     def next_batch(self, size: int) -> List[Interaction]:
         """The next ``size`` ordered pairs, in order, as Python tuples."""
@@ -270,8 +285,9 @@ class InteractionSource:
     def draw_pairs_into(self, initiators: np.ndarray, responders: np.ndarray) -> None:
         """Directed-dialect draw decoded through the endpoint tables."""
         draws = self._rng.integers(0, self.pair_count, size=initiators.shape[0])
-        self._du.take(draws, out=initiators)
-        self._dv.take(draws, out=responders)
+        du, dv = self._tables()
+        du.take(draws, out=initiators)
+        dv.take(draws, out=responders)
 
 
 def decode_pair_indices(

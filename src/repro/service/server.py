@@ -474,6 +474,8 @@ class JobServer:
                 raise ScenarioError("submit needs a scenario 'config' or 'name'")
             if frame.get("threads") is not None:
                 scenario = scenario.with_overrides(threads=int(frame["threads"]))
+            if frame.get("shards") is not None:
+                scenario = scenario.with_overrides(shards=int(frame["shards"]))
             scenario.validate()
         except (ScenarioError, KeyError, TypeError, ValueError) as error:
             await self._best_effort(writer, {"type": "reject", "reason": str(error)})

@@ -1,0 +1,282 @@
+"""The sharded plan executor (capacity twin of the replica-batched stack).
+
+:func:`execute_sharded` runs an :class:`~repro.runtime.plan.ExecutionPlan`
+whose ``shards`` dial is set: node state lives in per-shard local arrays,
+every drawn pair is routed to its owning shard(s) through the partition's
+memory-mapped tables, and cross-shard pairs go through the explicit
+:class:`~repro.sharding.source.ExchangeQueue` handshake.  The global
+seeded stream, the ``min(check_interval, remaining)`` block sizes, the
+certificate cadence, the unique-leader precheck and all per-replica
+bookkeeping (last output change, leader count, distinct-code mask)
+mirror :func:`repro.runtime.execute._execute_stack` exactly, so results
+are bit-identical to the batched path — 1 shard vs the stack and
+k shards vs 1 shard are both gated in CI.
+
+Sharding is a *capacity* path: interactions apply in global draw order
+(that is the determinism contract), so the win is bounded resident
+memory — no ``2m`` endpoint tables, no dense per-graph scratch — not
+wall-clock speed.  The registered million-node scenarios run here; small
+dense sweeps should keep using the kernel stack.
+
+Probe-and-fallback (the v6 -> v5 -> NumPy idiom): a plan is served here
+only when :func:`sharded_eligible` accepts it — static topology, no
+stream override or trace, compilable homogeneous protocol, and
+``REPRO_DISABLE_SHARDING`` unset.  Everything else falls through to the
+existing executor chain, where the ``shards`` dial is simply ignored
+(results are identical either way, which is what makes the dial safe to
+thread through scenarios and services).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import TYPE_CHECKING, Any, List, Optional
+
+import numpy as np
+
+from ..runtime.plan import ExecutionPlan
+from .partition import MAX_SHARDS, PartitionedGraph
+from .source import ExchangeQueue, ShardedInteractionSource
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.simulator import SimulationResult
+    from ..engine.compiler import CompiledProtocol
+
+_MISSING = object()
+
+
+def sharded_eligible(plan: ExecutionPlan) -> bool:
+    """Whether the sharded executor can serve this plan (the probe).
+
+    Mirrors the v6 probe: any refusal silently drops the plan to the
+    existing executor chain.  ``REPRO_DISABLE_SHARDING=1`` simulates an
+    unavailable engine (the fallback-chain tests use it).
+    """
+    if plan.shards is None or int(plan.shards) < 1:
+        return False
+    if os.environ.get("REPRO_DISABLE_SHARDING"):
+        return False
+    if plan.schedule is not None or plan.scheduler is not None:
+        return False
+    if plan.record_leader_trace:
+        return False
+    if plan.mode == "reference" or plan.engine == "reference":
+        return False
+    if plan.graph.n_edges == 0:
+        return False
+    from ..runtime.plan import _homogeneous
+
+    if not _homogeneous(plan.protocols):
+        return False
+    return _resolve_compiled(plan) is not None
+
+
+def _resolve_compiled(plan: ExecutionPlan) -> Optional["CompiledProtocol"]:
+    """The plan's shared table set, compiling on demand (None on failure)."""
+    if plan.compiled is not None:
+        return plan.compiled
+    from ..engine.compiler import (
+        DEFAULT_MAX_STATES,
+        ProtocolCompilationError,
+        get_compiled,
+    )
+
+    try:
+        return get_compiled(
+            plan.protocols[0],
+            max_states=plan.max_states if plan.max_states is not None else DEFAULT_MAX_STATES,
+        )
+    except ProtocolCompilationError:
+        return None
+
+
+def execute_sharded(
+    plan: ExecutionPlan, partition: Optional[PartitionedGraph] = None
+) -> List["SimulationResult"]:
+    """Run every replica of ``plan`` shard-locally, in replica order.
+
+    ``partition`` injects a prebuilt layout (the differential tests pass
+    hash partitions); by default the plan's graph is range-partitioned
+    into ``min(plan.shards, n, MAX_SHARDS)`` shards.
+    """
+    from ..core.configuration import Configuration
+    from ..core.simulator import SimulationResult
+    from ..engine.compiler import ProtocolCompilationError
+
+    graph = plan.graph
+    protocol = plan.protocols[0]
+    compiled = _resolve_compiled(plan)
+    assert compiled is not None
+    replica_count = plan.n_replicas
+    max_steps = plan.max_steps
+
+    start_time = time.perf_counter()
+    initial_states = plan.initial_states()
+    initial_codes = compiled.encode(initial_states)
+    initial_leaders = compiled.leader_count(initial_codes)
+
+    def finalize(
+        codes_row: np.ndarray, stabilized: bool, step: int, last: int, distinct: int, lead: int
+    ) -> "SimulationResult":
+        decoded = compiled.decode_codes(codes_row)
+        return SimulationResult(
+            stabilized=stabilized,
+            certified_step=step,
+            last_output_change_step=last,
+            steps_executed=step,
+            leaders=lead,
+            final_configuration=Configuration(decoded, step=step),
+            distinct_states_observed=distinct,
+            leader_trace=[],
+            wall_time_seconds=0.0,
+        )
+
+    initially_stable = protocol.is_output_stable_configuration(initial_states, graph)
+    if initially_stable or max_steps == 0:
+        wall = time.perf_counter() - start_time
+        distinct = int(np.unique(initial_codes).size)
+        results = []
+        for _ in range(replica_count):
+            result = finalize(initial_codes, initially_stable, 0, 0, distinct, initial_leaders)
+            result.wall_time_seconds = wall / replica_count
+            results.append(result)
+        return results
+
+    if partition is None:
+        shards = max(1, min(int(plan.shards or 1), graph.n_nodes, MAX_SHARDS))
+        partition = PartitionedGraph(graph, shards)
+
+    try:
+        results = [
+            _run_replica(
+                plan, protocol, compiled, partition, seed, initial_codes, initial_leaders
+            )
+            for seed in plan.seeds
+        ]
+    except ProtocolCompilationError:
+        # Lazy state discovery outgrew the table bound mid-run.  Every
+        # scenario seed is a plain integer, so the streams are
+        # re-creatable: drop the whole plan to the unsharded chain (the
+        # same demotion the single-run engine performs).
+        if not all(isinstance(seed, (int, np.integer)) for seed in plan.seeds):
+            raise
+        from ..runtime.execute import _execute_single
+
+        return [_execute_single(plan, index) for index in range(replica_count)]
+
+    wall = time.perf_counter() - start_time
+    for result in results:
+        result.wall_time_seconds = wall / replica_count
+    return results
+
+
+def _run_replica(
+    plan: ExecutionPlan,
+    protocol: Any,
+    compiled: "CompiledProtocol",
+    partition: PartitionedGraph,
+    seed: Any,
+    initial_codes: np.ndarray,
+    initial_leaders: int,
+) -> "SimulationResult":
+    """One replica, shard-local state, global-order application."""
+    from ..core.configuration import Configuration
+    from ..core.scheduler import RandomScheduler
+    from ..core.simulator import SimulationResult
+    from ..engine.compiler import _SCALAR_STRIDE
+
+    graph = plan.graph
+    max_steps = plan.max_steps
+    check_interval = plan.check_interval
+    n_shards = partition.n_shards
+
+    routed = ShardedInteractionSource(RandomScheduler(graph, rng=seed), partition)
+    exchange = ExchangeQueue(n_shards)
+
+    # Shard-local state: plain Python lists (codes are small stable ints;
+    # list indexing is the fastest scalar access CPython offers).
+    local_codes: List[List[int]] = [
+        initial_codes[partition.shard_members(s)].tolist() for s in range(n_shards)
+    ]
+    seen: List[int] = [0] * compiled.stride
+    for code in np.unique(initial_codes).tolist():
+        seen[code] = 1
+    leaders = int(initial_leaders)
+    last_change = 0
+    step = 0
+    stabilized = False
+    certified_step = 0
+    precheck = bool(getattr(protocol, "certificate_requires_unique_leader", False))
+    scalar = compiled.scalar
+    scalar_entry = compiled.scalar_entry
+
+    def assemble() -> np.ndarray:
+        out = np.empty(graph.n_nodes, dtype=np.int64)
+        for s in range(n_shards):
+            out[partition.shard_members(s)] = local_codes[s]
+        return out
+
+    while not stabilized and step < max_steps:
+        chunk = min(check_interval, max_steps - step)
+        _, init_shard, init_local, resp_shard, resp_local = routed.next_routed(chunk)
+        si_list = init_shard.tolist()
+        li_list = init_local.tolist()
+        sj_list = resp_shard.tolist()
+        lj_list = resp_local.tolist()
+        for pos in range(chunk):
+            si = si_list[pos]
+            li = li_list[pos]
+            sj = sj_list[pos]
+            lj = lj_list[pos]
+            codes_i = local_codes[si]
+            codes_j = local_codes[sj]
+            a = codes_i[li]
+            b = codes_j[lj]
+            entry = scalar.get(a * _SCALAR_STRIDE + b, _MISSING)
+            if entry is _MISSING:
+                entry = scalar_entry(a, b)
+                if len(seen) < compiled.stride:
+                    seen.extend([0] * (compiled.stride - len(seen)))
+            if entry is None:
+                continue
+            na, nb, dl, chg = entry
+            if si != sj:
+                # Boundary pair: hand the responder's half across the
+                # shard fabric (synchronous FIFO handshake — delivery
+                # order is global draw order by construction).
+                exchange.post(si, sj, (li, lj))
+                exchange.deliver(si, sj)
+            codes_i[li] = na
+            codes_j[lj] = nb
+            seen[na] = 1
+            seen[nb] = 1
+            if dl:
+                leaders += dl
+            if chg:
+                last_change = step + pos + 1
+        step += chunk
+        # Certificate boundary: the exchange fabric must be globally
+        # quiescent, then the same precheck-gated certificate the stack
+        # executor runs.
+        exchange.assert_quiescent()
+        if precheck and leaders != 1:
+            continue
+        decoded = compiled.decode_codes(assemble())
+        if protocol.is_output_stable_configuration(decoded, graph):
+            stabilized = True
+            certified_step = step
+
+    final_codes = assemble()
+    decoded = compiled.decode_codes(final_codes)
+    return SimulationResult(
+        stabilized=stabilized,
+        certified_step=certified_step if stabilized else step,
+        last_output_change_step=last_change,
+        steps_executed=step,
+        leaders=leaders,
+        final_configuration=Configuration(decoded, step=step),
+        distinct_states_observed=sum(seen),
+        leader_trace=[],
+        wall_time_seconds=0.0,
+    )

@@ -1,0 +1,265 @@
+"""Graph partitioning with memory-mapped per-shard tables.
+
+A :class:`PartitionedGraph` splits a :class:`~repro.graphs.graph.Graph`
+into ``k`` shards: every node is owned by exactly one shard (contiguous
+``range`` assignment or seeded ``hash`` assignment), every shard holds
+the CSR adjacency block of its members, and the directed ``[0, 2m)``
+pair-index space carries four parallel *routing tables* mapping each
+pair index to (initiator shard, initiator local id, responder shard,
+responder local id).
+
+All per-shard and per-pair tables live in ``np.memmap`` files under a
+spool directory, so the resident footprint of a partitioned million-node
+topology is a few small index arrays — the page cache, not the heap,
+holds the edge data.  This is what lets the sharded executor run sparse
+families at n >= 10^6 without the resident dense endpoint tables of
+:func:`repro.runtime.pairs.directed_tables` (see
+``benchmarks/bench_sharding.py`` for the gated RSS ceiling).
+
+The node assignment is deterministic in ``(mode, shards, seed, graph)``
+and digested into :attr:`PartitionedGraph.fingerprint`, so a drifting
+partitioner can never silently re-route pairs — the seeded golden
+fixture in ``tests/test_sharding.py`` pins both the assignment and the
+fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import shutil
+import tempfile
+import weakref
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..graphs.graph import Graph, GraphError
+
+#: Supported node-assignment modes.
+PARTITION_MODES = ("range", "hash")
+
+#: Routing tables are written in chunks of this many pair indices, so
+#: building them never materialises whole-``2m`` temporaries beyond the
+#: chunk itself.
+_ROUTE_CHUNK = 1 << 18
+
+#: Upper bound on the shard count (int16 shard ids in the routing
+#: tables; far above any sensible machine anyway).
+MAX_SHARDS = 4096
+
+
+def _splitmix64(values: np.ndarray) -> np.ndarray:
+    """Vectorised SplitMix64 finaliser (the package's seeded-hash idiom)."""
+    z = values + np.uint64(0x9E3779B97F4A7C15)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))
+
+
+def node_assignment(
+    n_nodes: int, shards: int, mode: str = "range", seed: int = 0
+) -> np.ndarray:
+    """The shard owning each node, as an ``int16`` array of length ``n``.
+
+    ``range`` gives contiguous balanced blocks (shard boundaries at
+    ``ceil`` spacing, the classic PE-grid layout); ``hash`` scatters
+    nodes by a seeded SplitMix64 of the node id, so adversarially
+    ordered topologies still balance.  Both are pure functions of their
+    arguments — the partition fingerprint depends on this.
+    """
+    if mode not in PARTITION_MODES:
+        raise GraphError(
+            f"unknown partition mode {mode!r}; expected one of {PARTITION_MODES}"
+        )
+    if not 1 <= shards <= min(n_nodes, MAX_SHARDS):
+        raise GraphError(
+            f"shards must lie in [1, min(n, {MAX_SHARDS})] = "
+            f"[1, {min(n_nodes, MAX_SHARDS)}], got {shards}"
+        )
+    nodes = np.arange(n_nodes, dtype=np.int64)
+    if mode == "range":
+        assignment = (nodes * shards) // n_nodes
+    else:
+        # The seed mixes in as a 1-element array: numpy's *scalar* uint64
+        # arithmetic warns on the (intentional) wrapping multiplies,
+        # array arithmetic wraps silently.
+        seed_mix = _splitmix64(
+            np.array([int(seed) & 0xFFFFFFFFFFFFFFFF], dtype=np.uint64)
+        )
+        mixed = _splitmix64(nodes.astype(np.uint64) ^ seed_mix)
+        assignment = (mixed % np.uint64(shards)).astype(np.int64)
+    return assignment.astype(np.int16)
+
+
+class PartitionedGraph:
+    """A graph split into per-shard CSR blocks plus pair routing tables.
+
+    Parameters
+    ----------
+    graph:
+        The topology to partition (must carry at least one edge).
+    shards:
+        Number of shards ``k`` (``1 <= k <= min(n, MAX_SHARDS)``).
+    mode / seed:
+        Node-assignment policy (see :func:`node_assignment`).
+    spool_dir:
+        Directory for the memory-mapped tables.  ``None`` (the default)
+        creates a private temporary directory removed when the partition
+        is garbage-collected.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        shards: int,
+        mode: str = "range",
+        seed: int = 0,
+        spool_dir: Union[str, Path, None] = None,
+    ) -> None:
+        if graph.n_edges == 0:
+            raise GraphError("cannot partition an edgeless graph")
+        self.graph = graph
+        self.mode = str(mode)
+        self.seed = int(seed)
+        self.n_shards = int(shards)
+        self.assignment = node_assignment(graph.n_nodes, self.n_shards, mode, seed)
+        self.assignment.flags.writeable = False
+
+        if spool_dir is None:
+            spool = Path(tempfile.mkdtemp(prefix="repro-shards-"))
+            self._finalizer = weakref.finalize(
+                self, shutil.rmtree, str(spool), ignore_errors=True
+            )
+        else:
+            spool = Path(spool_dir)
+            spool.mkdir(parents=True, exist_ok=True)
+            self._finalizer = None
+        self.spool_dir = spool
+
+        # Local ids: each shard's members keep their global order, so
+        # local id = rank of the node among its shard's members.
+        n = graph.n_nodes
+        self._members: List[np.ndarray] = [
+            np.flatnonzero(self.assignment == s) for s in range(self.n_shards)
+        ]
+        local = np.empty(n, dtype=np.int32)
+        for members in self._members:
+            local[members] = np.arange(members.size, dtype=np.int32)
+        self.shard_sizes = np.array([m.size for m in self._members], dtype=np.int64)
+
+        self._build_shard_csr()
+        self._build_routing_tables(local)
+        self._fingerprint: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Table construction (memory-mapped)
+    # ------------------------------------------------------------------
+    def _mmap(self, name: str, dtype, length: int) -> np.ndarray:
+        return np.memmap(
+            self.spool_dir / name, dtype=dtype, mode="w+", shape=(max(length, 1),)
+        )
+
+    def _build_shard_csr(self) -> None:
+        """Per-shard CSR adjacency blocks (neighbor lists in global ids)."""
+        indptr, indices = self.graph._csr()
+        self._csr_indptr: List[np.ndarray] = []
+        self._csr_indices: List[np.ndarray] = []
+        for s, members in enumerate(self._members):
+            counts = indptr[members + 1] - indptr[members]
+            total = int(counts.sum())
+            shard_ptr = self._mmap(f"csr-indptr-{s:04d}.mm", np.int64, members.size + 1)
+            shard_ptr[0] = 0
+            np.cumsum(counts, out=shard_ptr[1 : members.size + 1])
+            shard_idx = self._mmap(f"csr-indices-{s:04d}.mm", np.int64, total)
+            if total:
+                within = np.arange(total, dtype=np.int64) - np.repeat(
+                    np.cumsum(counts) - counts, counts
+                )
+                shard_idx[:total] = indices[np.repeat(indptr[members], counts) + within]
+            self._csr_indptr.append(shard_ptr)
+            self._csr_indices.append(shard_idx)
+
+    def _build_routing_tables(self, local: np.ndarray) -> None:
+        """Pair index -> (init shard, init local, resp shard, resp local)."""
+        m = self.graph.n_edges
+        self.pair_init_shard = self._mmap("route-init-shard.mm", np.int16, 2 * m)
+        self.pair_init_local = self._mmap("route-init-local.mm", np.int32, 2 * m)
+        self.pair_resp_shard = self._mmap("route-resp-shard.mm", np.int16, 2 * m)
+        self.pair_resp_local = self._mmap("route-resp-local.mm", np.int32, 2 * m)
+        assignment = self.assignment
+        edges_u, edges_v = self.graph.edges_u, self.graph.edges_v
+        for lo in range(0, m, _ROUTE_CHUNK):
+            hi = min(lo + _ROUTE_CHUNK, m)
+            u, v = edges_u[lo:hi], edges_v[lo:hi]
+            # Index r < m: edge r in stored orientation (u -> v) …
+            self.pair_init_shard[lo:hi] = assignment[u]
+            self.pair_init_local[lo:hi] = local[u]
+            self.pair_resp_shard[lo:hi] = assignment[v]
+            self.pair_resp_local[lo:hi] = local[v]
+            # … index r >= m: the reverse (v -> u).
+            self.pair_init_shard[m + lo : m + hi] = assignment[v]
+            self.pair_init_local[m + lo : m + hi] = local[v]
+            self.pair_resp_shard[m + lo : m + hi] = assignment[u]
+            self.pair_resp_local[m + lo : m + hi] = local[u]
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def shard_members(self, shard: int) -> np.ndarray:
+        """Global node ids owned by ``shard``, in local-id order."""
+        return self._members[shard]
+
+    def shard_csr(self, shard: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The shard's CSR adjacency block ``(indptr, neighbor ids)``.
+
+        ``indptr`` is indexed by local id; neighbor ids are *global* (a
+        neighbor may live on any shard — that is what the exchange
+        queues are for).
+        """
+        members = self._members[shard]
+        indptr = self._csr_indptr[shard][: members.size + 1]
+        return indptr, self._csr_indices[shard][: int(indptr[members.size])]
+
+    def boundary_matrix(self) -> np.ndarray:
+        """Directed boundary-pair counts: entry ``(i, j)`` is the number
+        of ordered scheduler pairs whose initiator lives on shard ``i``
+        and responder on shard ``j != i``."""
+        k = self.n_shards
+        matrix = np.zeros((k, k), dtype=np.int64)
+        au = self.assignment[self.graph.edges_u].astype(np.int64)
+        av = self.assignment[self.graph.edges_v].astype(np.int64)
+        np.add.at(matrix, (au, av), 1)
+        np.add.at(matrix, (av, au), 1)
+        np.fill_diagonal(matrix, 0)
+        return matrix
+
+    def boundary_pair_count(self) -> int:
+        """Number of directed pairs whose endpoints live on different shards."""
+        return int(self.boundary_matrix().sum())
+
+    @property
+    def fingerprint(self) -> str:
+        """SHA-256 digest of the partition layout.
+
+        Covers the assignment policy *and* the realised assignment, so
+        any drift in the partitioner (a changed hash constant, a changed
+        rounding rule) changes the fingerprint.  Recorded alongside
+        benchmark results and pinned by the golden fixture test.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            header = (
+                f"repro-partition-v1|mode={self.mode}|shards={self.n_shards}|"
+                f"seed={self.seed}|n={self.graph.n_nodes}|m={self.graph.n_edges}|"
+            )
+            digest.update(header.encode("utf-8"))
+            digest.update(np.ascontiguousarray(self.assignment).tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitionedGraph(graph={self.graph.name!r}, shards={self.n_shards}, "
+            f"mode={self.mode!r}, seed={self.seed})"
+        )

@@ -1,0 +1,121 @@
+"""Partition-aware pair sampling and boundary exchange.
+
+:class:`ShardedInteractionSource` wraps the package's single seeded
+stream (:class:`~repro.runtime.source.InteractionSource`, consumed
+*undecoded* through ``next_pair_indices``) and routes every drawn pair
+index through the partition's memory-mapped routing tables — the same
+draws, in the same global order, annotated with the owning shards and
+local node ids.  Because the wrapped source is THE seeded stream, a
+sharded run consumes bit-for-bit the refill sequence a batched run
+consumes; partitioning decides *where* a pair is applied, never *which*
+pair is drawn.
+
+:class:`ExchangeQueue` is the explicit inter-shard message fabric (the
+Network element of the PE-grid decomposition): a boundary pair — one
+whose initiator and responder live on different shards — is posted to
+the ordered FIFO channel ``(initiator shard -> responder shard)``,
+handed over, and acknowledged within the same interaction.  The
+handshake is synchronous, so delivery order equals global draw order by
+construction, and the per-block quiescence check (every channel empty
+at a certificate boundary) asserts the global-order contract instead of
+assuming it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Tuple
+
+import numpy as np
+
+from ..runtime.source import InteractionSource
+from .partition import PartitionedGraph
+
+
+class ExchangeError(RuntimeError):
+    """A boundary-exchange invariant was violated (lost/reordered message)."""
+
+
+class ExchangeQueue:
+    """Deterministic FIFO channels between ordered shard pairs.
+
+    Tracks per-channel posted/delivered counters; :meth:`assert_quiescent`
+    is the global quiescence check run at every certificate boundary.
+    """
+
+    def __init__(self, shards: int) -> None:
+        self.n_shards = int(shards)
+        self._channels: Dict[Tuple[int, int], Deque[Tuple[int, int]]] = {}
+        self.posted = np.zeros((self.n_shards, self.n_shards), dtype=np.int64)
+        self.delivered = np.zeros((self.n_shards, self.n_shards), dtype=np.int64)
+
+    def post(self, src: int, dst: int, payload: Tuple[int, int]) -> None:
+        """Enqueue one boundary interaction on the ``src -> dst`` channel."""
+        self._channels.setdefault((src, dst), deque()).append(payload)
+        self.posted[src, dst] += 1
+
+    def deliver(self, src: int, dst: int) -> Tuple[int, int]:
+        """Dequeue the oldest message of the channel (FIFO)."""
+        channel = self._channels.get((src, dst))
+        if not channel:
+            raise ExchangeError(f"delivery from empty channel {src} -> {dst}")
+        self.delivered[src, dst] += 1
+        return channel.popleft()
+
+    @property
+    def in_flight(self) -> int:
+        """Messages posted but not yet delivered, across all channels."""
+        return int(self.posted.sum() - self.delivered.sum())
+
+    def assert_quiescent(self) -> None:
+        """The global quiescence check: every channel drained."""
+        if self.in_flight:
+            lagging = [
+                (int(src), int(dst), int(self.posted[src, dst] - self.delivered[src, dst]))
+                for src in range(self.n_shards)
+                for dst in range(self.n_shards)
+                if self.posted[src, dst] != self.delivered[src, dst]
+            ]
+            raise ExchangeError(f"boundary exchange not quiescent: {lagging}")
+
+
+class ShardedInteractionSource:
+    """The global seeded pair stream, routed to owning shards.
+
+    Parameters
+    ----------
+    source:
+        The seeded stream to consume (any object with
+        ``next_pair_indices(size)`` — an ``InteractionSource`` or a
+        ``RandomScheduler``).
+    partition:
+        The :class:`PartitionedGraph` whose routing tables annotate the
+        draws.
+    """
+
+    def __init__(self, source: InteractionSource, partition: PartitionedGraph) -> None:
+        self.source = source
+        self.partition = partition
+
+    @property
+    def steps_emitted(self) -> int:
+        return self.source.steps_emitted
+
+    def next_routed(
+        self, size: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The next ``size`` global draws, annotated with their routing.
+
+        Returns ``(indices, init_shard, init_local, resp_shard,
+        resp_local)``; the gathers read only the routing-table pages the
+        block touches (the tables are memory-mapped).
+        """
+        indices = self.source.next_pair_indices(size)
+        p = self.partition
+        return (
+            indices,
+            np.take(p.pair_init_shard, indices),
+            np.take(p.pair_init_local, indices),
+            np.take(p.pair_resp_shard, indices),
+            np.take(p.pair_resp_local, indices),
+        )

@@ -241,3 +241,33 @@ def test_eccentricities_with_wide_bfs_frontiers():
     assert wide._eccentricities_matrix() == tuple(
         int(wide.bfs_distances(v).max()) for v in range(wide.n_nodes)
     )
+
+
+class TestDenseMatrixGuard:
+    def test_matrix_form_refused_above_limit(self, monkeypatch):
+        """The all-pairs matrix must refuse, not MemoryError, above the cap.
+
+        Monkeypatching the limit down lets a 6-node clique stand in for
+        the million-node graph that motivated the guard; the error must
+        be actionable (name the per-source alternative and the sharded
+        engine).
+        """
+        from repro.graphs import graph as graph_module
+
+        g = clique(6)
+        monkeypatch.setattr(graph_module, "DENSE_DISTANCE_MATRIX_LIMIT", 4)
+        with pytest.raises(GraphError, match=r"bfs_distances|sharded"):
+            g._eccentricities_matrix()
+
+    def test_eccentricities_route_around_the_guard(self, monkeypatch):
+        """Above the limit eccentricities() silently uses per-source BFS."""
+        from repro.graphs import graph as graph_module
+
+        reference = clique(6).eccentricities()
+        monkeypatch.setattr(graph_module, "DENSE_DISTANCE_MATRIX_LIMIT", 4)
+        assert clique(6).eccentricities() == reference
+
+    def test_matrix_and_bfs_agree_below_limit(self):
+        g = cycle(9)
+        bfs = tuple(int(g.bfs_distances(v).max()) for v in range(g.n_nodes))
+        assert g.eccentricities() == bfs

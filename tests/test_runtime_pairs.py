@@ -112,3 +112,59 @@ class TestDialectConsistency:
         raw = b.next_pair_indices(777)
         ru, rv = decode_pairs(raw, *directed_tables(graph))
         assert (iu == ru).all() and (iv == rv).all()
+
+
+class TestEncodeOrientedPurity:
+    def test_inputs_are_not_mutated(self):
+        """encode_oriented must never write into its argument arrays.
+
+        The scheduler's refill path reuses its draw buffers across
+        blocks; an in-place encode silently corrupts the next block's
+        orientation draws (the historical bug this pins).
+        """
+        rng = np.random.default_rng(11)
+        edges = rng.integers(0, 40, size=256)
+        orientations = rng.integers(0, 2, size=256)
+        edges_before = edges.copy()
+        orientations_before = orientations.copy()
+        result = encode_oriented(edges, orientations, 40)
+        assert (edges == edges_before).all()
+        assert (orientations == orientations_before).all()
+        assert result is not edges and result is not orientations
+
+    def test_result_matches_formula(self):
+        edges = np.array([0, 3, 7], dtype=np.int64)
+        orientations = np.array([1, 0, 1], dtype=np.int64)
+        assert encode_oriented(edges, orientations, 9).tolist() == [0, 12, 7]
+
+
+class TestDirectedCacheLRU:
+    def test_hot_graph_survives_cold_insert_storm(self):
+        """A recently used graph's tables must not be evicted by churn.
+
+        The cache is bounded; eviction must be least-recently-used, so a
+        graph that is touched between inserts keeps its identical table
+        objects while untouched cold entries age out.
+        """
+        from repro.runtime import pairs
+
+        hot = cycle(9)
+        hot_tables = directed_tables(hot)
+        for size in range(3, 3 + pairs._DIRECTED_CACHE_LIMIT + 4):
+            directed_tables(clique(size))
+            refreshed = directed_tables(hot)
+            assert refreshed[0] is hot_tables[0]
+            assert refreshed[1] is hot_tables[1]
+
+    def test_untouched_entries_age_out(self):
+        from repro.runtime import pairs
+
+        cold = star(6)
+        cold_tables = directed_tables(cold)
+        for size in range(3, 3 + pairs._DIRECTED_CACHE_LIMIT + 4):
+            directed_tables(cycle(3 * size))
+        assert id(cold) not in pairs._DIRECTED_CACHE
+        # A re-request rebuilds (fresh arrays, same values).
+        rebuilt = directed_tables(cold)
+        assert rebuilt[0] is not cold_tables[0]
+        assert (rebuilt[0] == cold_tables[0]).all()
