@@ -10,11 +10,14 @@ Runs a tiny two-protocol scenario three times through the stack —
 * on the partitioned graph engine (``shards=4``): every unit executes
   through :mod:`repro.sharding`'s shard-local executor instead of the
   replica-batched stack,
+* on the shard-worker pool (``shards=4, shard_workers=4``): the same
+  sharded units, but every chunk fans out across four forked shard
+  workers over shared-memory state,
 
 with the result store disabled for the local placements and a throwaway
 store for the server (CI must never read from or populate
 ``.repro_cache/``; cached results would mask a divergence, which is
-exactly what this job exists to catch).  All four canonical JSON
+exactly what this job exists to catch).  All five canonical JSON
 aggregates must match byte for byte — for the sharded placement this is
 the engine's determinism contract itself (partitioning decides *where*
 a pair is applied, never *which* pair is drawn).
@@ -72,6 +75,9 @@ def main() -> int:
         "4-shard engine": run_scenario(
             scenario.with_overrides(shards=4), jobs=1, cache=False
         ),
+        "4-shard engine + 4 shard workers": run_scenario(
+            scenario.with_overrides(shards=4, shard_workers=4), jobs=1, cache=False
+        ),
     }
 
     serial_bytes = serial.canonical_json().encode("utf-8")
@@ -88,7 +94,8 @@ def main() -> int:
         f"{serial.total_units} work units, serial {serial.wall_time_seconds:.2f}s, "
         f"fork {placements['2 fork workers'].wall_time_seconds:.2f}s, "
         f"service {placements['server + 2 remote workers'].wall_time_seconds:.2f}s, "
-        f"sharded {placements['4-shard engine'].wall_time_seconds:.2f}s)"
+        f"sharded {placements['4-shard engine'].wall_time_seconds:.2f}s, "
+        f"pool {placements['4-shard engine + 4 shard workers'].wall_time_seconds:.2f}s)"
     )
     return 0
 

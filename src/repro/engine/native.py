@@ -24,7 +24,7 @@ import os
 import shutil
 import subprocess
 
-_KERNEL_VERSION = 6
+_KERNEL_VERSION = 8
 
 #: The v5 function set: protocol stepping, epidemics, influence — all fed
 #: pre-drawn pair indices from Python.  Compiles standalone (no pthread,
@@ -77,6 +77,133 @@ int64_t repro_run_block(int64_t *codes,
         if (pk & 1)
             last = step0 + i + 1;
         leaders += ((pk >> 1) & 7) - 2;
+    }
+    *last_change_io = last;
+    *leaders_io = leaders;
+    return i;
+}
+
+/* A shard-local run: repro_run_block against one shard's contiguous code
+ * block, with an explicit per-draw global step number instead of the
+ * step0 + i + 1 arithmetic.
+ *
+ * The sharded executor reorders commuting draws (all of one shard's
+ * local interactions between two boundary events run back to back), so
+ * a run's draws are not consecutive in the global stream; steps[i] is
+ * draw i's true global step, and last-change bookkeeping records it
+ * directly.  Callers pass *last_change_io = 0 and fold the result in
+ * with max() — within a run steps[] is increasing, so the kernel's
+ * final value is the run's last output change (or 0).
+ *
+ * Returns the number of interactions applied; a return value < nsteps
+ * means entry (iu[ret], iv[ret]) is missing and must be filled by the
+ * caller before resuming at offset ret (the v5 miss-resume discipline).
+ */
+int64_t repro_run_shard_block(int64_t *codes,
+                              const int64_t *iu,
+                              const int64_t *iv,
+                              const int64_t *steps,
+                              int64_t nsteps,
+                              const int32_t *dpack,
+                              int64_t k,
+                              int32_t kshift,
+                              uint8_t *seen,
+                              int64_t *last_change_io,
+                              int64_t *leaders_io)
+{
+    const int64_t kmask = k - 1;
+    int64_t last = *last_change_io;
+    int64_t leaders = *leaders_io;
+    int64_t i;
+    for (i = 0; i < nsteps; i++) {
+        int64_t u = iu[i];
+        int64_t v = iv[i];
+        int64_t a = codes[u];
+        int64_t b = codes[v];
+        int32_t pk = dpack[a * k + b];
+        int64_t val, na, nb;
+        if (pk < 0)
+            break;
+        val = (int64_t)(pk >> 4);
+        na = val >> kshift;
+        nb = val & kmask;
+        codes[u] = na;
+        codes[v] = nb;
+        seen[na] = 1;
+        seen[nb] = 1;
+        if (pk & 1)
+            last = steps[i];
+        leaders += ((pk >> 1) & 7) - 2;
+    }
+    *last_change_io = last;
+    *leaders_io = leaders;
+    return i;
+}
+
+/* One whole routed chunk of the sharded executor, global draw order.
+ *
+ * The in-process sharded path needs no run regrouping at all: node
+ * state is one global code array, so every draw — shard-local or
+ * boundary — applies in exact draw order with global endpoint indices,
+ * and the chunk is a single kernel call.  The only thing the executor
+ * still owes the shard fabric is the exchange accounting for the
+ * boundary events, so for each chunk position listed in boundary_pos
+ * (ascending) the kernel records into applied[] whether that draw's
+ * transition was non-null (na != a || nb != b; the packed tables encode
+ * a null transition as the identity with zero deltas) — the caller
+ * bumps the posted/delivered matrices from that flag vector in one
+ * vectorised pass.
+ *
+ * start > 0 resumes mid-chunk after a miss-resume table fill; steps are
+ * step0 + i + 1 (the chunk is contiguous in the global stream).
+ * Returns the chunk position of the first missing entry, or nsteps.
+ */
+int64_t repro_run_sharded_chunk(int64_t *codes,
+                                const int64_t *iu,
+                                const int64_t *iv,
+                                int64_t start,
+                                int64_t nsteps,
+                                int64_t step0,
+                                const int64_t *boundary_pos,
+                                int64_t n_boundary,
+                                uint8_t *applied,
+                                const int32_t *dpack,
+                                int64_t k,
+                                int32_t kshift,
+                                uint8_t *seen,
+                                int64_t *last_change_io,
+                                int64_t *leaders_io)
+{
+    const int64_t kmask = k - 1;
+    int64_t last = *last_change_io;
+    int64_t leaders = *leaders_io;
+    int64_t j = 0;
+    int64_t i;
+    while (j < n_boundary && boundary_pos[j] < start)
+        j++;
+    for (i = start; i < nsteps; i++) {
+        int64_t u = iu[i];
+        int64_t v = iv[i];
+        int64_t a = codes[u];
+        int64_t b = codes[v];
+        int32_t pk = dpack[a * k + b];
+        int64_t val, na, nb;
+        if (pk < 0)
+            break;
+        val = (int64_t)(pk >> 4);
+        na = val >> kshift;
+        nb = val & kmask;
+        codes[u] = na;
+        codes[v] = nb;
+        seen[na] = 1;
+        seen[nb] = 1;
+        if (pk & 1)
+            last = step0 + i + 1;
+        leaders += ((pk >> 1) & 7) - 2;
+        if (j < n_boundary && boundary_pos[j] == i) {
+            applied[j] = (na != a || nb != b);
+            j++;
+        }
     }
     *last_change_io = last;
     *leaders_io = leaders;
@@ -1250,6 +1377,40 @@ def _bind_kernels(library, with_v6):
         ctypes.POINTER(ctypes.c_int64),  # last_change_io
         ctypes.POINTER(ctypes.c_int64),  # leaders_io
     ]
+    run_shard_block = library.repro_run_shard_block
+    run_shard_block.restype = ctypes.c_int64
+    run_shard_block.argtypes = [
+        ctypes.c_void_p,  # codes (one shard's contiguous block)
+        ctypes.c_void_p,  # iu (shard-local initiator indices)
+        ctypes.c_void_p,  # iv (shard-local responder indices)
+        ctypes.c_void_p,  # steps (per-draw global step numbers)
+        ctypes.c_int64,  # nsteps
+        ctypes.c_void_p,  # dpack
+        ctypes.c_int64,  # k
+        ctypes.c_int32,  # kshift
+        ctypes.c_void_p,  # seen
+        ctypes.POINTER(ctypes.c_int64),  # last_change_io
+        ctypes.POINTER(ctypes.c_int64),  # leaders_io
+    ]
+    run_sharded_chunk = library.repro_run_sharded_chunk
+    run_sharded_chunk.restype = ctypes.c_int64
+    run_sharded_chunk.argtypes = [
+        ctypes.c_void_p,  # codes (the global code array)
+        ctypes.c_void_p,  # iu (global initiator indices, draw order)
+        ctypes.c_void_p,  # iv (global responder indices, draw order)
+        ctypes.c_int64,  # start (resume offset within the chunk)
+        ctypes.c_int64,  # nsteps
+        ctypes.c_int64,  # step0
+        ctypes.c_void_p,  # boundary_pos (ascending chunk positions)
+        ctypes.c_int64,  # n_boundary
+        ctypes.c_void_p,  # applied (out: non-null flag per boundary)
+        ctypes.c_void_p,  # dpack
+        ctypes.c_int64,  # k
+        ctypes.c_int32,  # kshift
+        ctypes.c_void_p,  # seen
+        ctypes.POINTER(ctypes.c_int64),  # last_change_io
+        ctypes.POINTER(ctypes.c_int64),  # leaders_io
+    ]
     broadcast_block = library.repro_broadcast_block
     broadcast_block.restype = ctypes.c_int64
     broadcast_block.argtypes = [
@@ -1311,6 +1472,8 @@ def _bind_kernels(library, with_v6):
     ]
     kernels = {
         "run_block": run_block,
+        "run_shard_block": run_shard_block,
+        "run_sharded_chunk": run_sharded_chunk,
         "broadcast_block": broadcast_block,
         "broadcast_multi": broadcast_multi,
         "influence_multi": influence_multi,
@@ -1353,6 +1516,18 @@ def get_kernel():
     """The compiled protocol-stepping entry point, or ``None``."""
     kernels = _kernels()
     return None if kernels is None else kernels["run_block"]
+
+
+def get_run_shard_kernel():
+    """The shard-local block-run entry point (explicit step array), or ``None``."""
+    kernels = _kernels()
+    return None if kernels is None else kernels["run_shard_block"]
+
+
+def get_run_sharded_chunk_kernel():
+    """The whole-chunk sharded entry point (global indices), or ``None``."""
+    kernels = _kernels()
+    return None if kernels is None else kernels["run_sharded_chunk"]
 
 
 def get_broadcast_kernel():

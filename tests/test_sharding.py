@@ -353,3 +353,356 @@ class TestScenarioDial:
         assert plans and all(plan.shards == 3 for plan in plans)
         for plan in plans:
             assert unit_plan_from_wire(unit_plan_to_wire(plan)) == plan
+
+
+class TestSpanSchedule:
+    """The span schedule: global-endpoint draws in original draw order,
+    annotated so that only the boundary events are order-critical."""
+
+    def _twin_sources(self, graph, shards, seed_offset=0):
+        from repro.core.scheduler import RandomScheduler
+
+        partition = PartitionedGraph(graph, shards, mode="hash", seed=3)
+        routed = ShardedInteractionSource(
+            RandomScheduler(graph, rng=SEED + seed_offset), partition
+        )
+        spans = ShardedInteractionSource(
+            RandomScheduler(graph, rng=SEED + seed_offset), partition
+        )
+        return routed, spans, partition
+
+    def test_span_schedule_matches_the_routed_twin(self):
+        graph = torus(3, 4)
+        routed, spans, partition = self._twin_sources(graph, 3)
+        _, si, li, sj, lj = routed.next_routed(512)
+        block = spans.next_spans(512)
+
+        assert block.size == 512 and block.gu.size == 512
+        # Shard annotations agree draw for draw with the memory-mapped
+        # routing tables, and the boundary positions are exactly the
+        # cross-shard draws.
+        assert (block.init_shard == si).all()
+        assert (block.resp_shard == sj).all()
+        assert block.boundary_pos.tolist() == np.flatnonzero(si != sj).tolist()
+        # The global endpoints decode to the same nodes the routing
+        # tables localised: shard_members[shard][local] == global id.
+        for s in range(partition.n_shards):
+            members = partition.shard_members(s)
+            mask = si == s
+            assert (block.gu[mask] == members[li[mask]]).all()
+            mask = sj == s
+            assert (block.gv[mask] == members[lj[mask]]).all()
+
+    def test_spans_between_boundaries_are_shard_local(self):
+        graph = cycle(24)
+        _, spans, _ = self._twin_sources(graph, 4, seed_offset=1)
+        block = spans.next_spans(768)
+        local = np.ones(768, dtype=bool)
+        local[block.boundary_pos] = False
+        # Every non-boundary draw has both endpoints on one shard: the
+        # stretch between two boundary positions commutes per shard, so
+        # it may run as one native call (or fan out across workers).
+        assert (block.init_shard[local] == block.resp_shard[local]).all()
+        assert block.n_boundary == int((block.init_shard != block.resp_shard).sum())
+
+    def test_single_shard_yields_no_boundaries(self):
+        graph = clique(10)
+        partition = PartitionedGraph(graph, 1)
+        from repro.core.scheduler import RandomScheduler
+
+        source = ShardedInteractionSource(
+            RandomScheduler(graph, rng=SEED), partition
+        )
+        block = source.next_spans(128)
+        assert block.n_boundary == 0
+        assert (block.init_shard == 0).all()
+
+
+class TestKernelShardLoops:
+    """The kernel-backed shard loop is byte-identical to the per-pair
+    Python loop (the PR-9 path, kept behind REPRO_DISABLE_SHARD_KERNEL)."""
+
+    @pytest.mark.parametrize("graph_kind", sorted(_GRAPHS))
+    @pytest.mark.parametrize("protocol_kind", sorted(_PROTOCOLS))
+    def test_kernel_loop_matches_python_loop(
+        self, graph_kind, protocol_kind, monkeypatch
+    ):
+        graph = _GRAPHS[graph_kind]()
+        seeds = [SEED + 800 + index for index in range(2)]
+        plan = _plan(graph, protocol_kind, seeds, shards=4)
+        kernel = [result_tuple(r) for r in execute_plan(plan)]
+        monkeypatch.setenv("REPRO_DISABLE_SHARD_KERNEL", "1")
+        python = [result_tuple(r) for r in execute_plan(plan)]
+        assert kernel == python
+
+
+class TestShardWorkerPool:
+    """Byte-identity of the fork-based worker pool for every worker
+    count, against both the in-process sharded path and the unsharded
+    batched stack (the ISSUE-10 differential suite)."""
+
+    @pytest.mark.parametrize("k", [2, 4])
+    @pytest.mark.parametrize("graph_kind", sorted(_GRAPHS))
+    @pytest.mark.parametrize("protocol_kind", sorted(_PROTOCOLS))
+    def test_worker_counts_are_byte_identical(self, k, graph_kind, protocol_kind):
+        graph = _GRAPHS[graph_kind]()
+        seeds = [SEED + 900 + index for index in range(2)]
+        batched = [
+            result_tuple(r) for r in execute_plan(_plan(graph, protocol_kind, seeds))
+        ]
+        in_process = [
+            result_tuple(r)
+            for r in execute_plan(_plan(graph, protocol_kind, seeds, shards=k))
+        ]
+        assert in_process == batched
+        for workers in (0, 2, 4):
+            pooled = [
+                result_tuple(r)
+                for r in execute_plan(
+                    _plan(
+                        graph, protocol_kind, seeds, shards=k, shard_workers=workers
+                    )
+                )
+            ]
+            assert pooled == in_process, (k, graph_kind, protocol_kind, workers)
+
+    def test_pool_requires_complete_tables(self):
+        """Lazy-discovery protocols demote to in-process silently (the
+        worker pool must never assign state codes concurrently)."""
+        from repro.sharding.executor import _maybe_start_pool, _resolve_compiled
+
+        graph = cycle(9)
+        seeds = [SEED + 950]
+        plan = _plan(graph, "identifier", seeds, shards=3, shard_workers=2)
+        compiled = _resolve_compiled(plan)
+        assert compiled is not None and not compiled.tables_complete
+        partition = PartitionedGraph(graph, 3)
+        assert _maybe_start_pool(plan, partition, compiled) is None
+
+    def test_pool_used_when_eligible(self):
+        from repro.sharding.executor import _maybe_start_pool, _resolve_compiled
+
+        graph = torus(3, 4)
+        seeds = [SEED + 960]
+        plan = _plan(graph, "token", seeds, shards=3, shard_workers=2)
+        compiled = _resolve_compiled(plan)
+        assert compiled is not None and compiled.tables_complete
+        partition = PartitionedGraph(graph, 3)
+        pool = _maybe_start_pool(plan, partition, compiled)
+        assert pool is not None
+        try:
+            assert pool.n_workers == 2
+        finally:
+            pool.close()
+
+
+class TestWorkerPoolFailure:
+    """Failure paths: a broken or unavailable pool demotes to the
+    in-process sharded path byte-identically."""
+
+    def test_disable_env_var_skips_the_pool(self, monkeypatch):
+        from repro.sharding.executor import _maybe_start_pool, _resolve_compiled
+
+        graph = torus(3, 4)
+        seeds = [SEED + 1000, SEED + 1001]
+        plan = _plan(graph, "token", seeds, shards=4, shard_workers=2)
+        base = [result_tuple(r) for r in execute_plan(plan)]
+        monkeypatch.setenv("REPRO_DISABLE_SHARD_WORKERS", "1")
+        compiled = _resolve_compiled(plan)
+        assert _maybe_start_pool(plan, PartitionedGraph(graph, 4), compiled) is None
+        disabled = [result_tuple(r) for r in execute_plan(plan)]
+        assert disabled == base
+
+    def test_worker_killed_mid_super_step_demotes_identically(self, monkeypatch):
+        graph = torus(3, 4)
+        seeds = [SEED + 1100 + index for index in range(3)]
+        base = [
+            result_tuple(r)
+            for r in execute_plan(_plan(graph, "token", seeds, shards=4))
+        ]
+        # Every worker os._exit(1)s at the start of its third super-step:
+        # the parent sees the dead pipe mid-chunk, closes the pool and
+        # reruns the replica (and all later ones) in-process.
+        monkeypatch.setenv("REPRO_SHARD_WORKER_KILL_AFTER_CHUNKS", "2")
+        killed = [
+            result_tuple(r)
+            for r in execute_plan(
+                _plan(graph, "token", seeds, shards=4, shard_workers=2)
+            )
+        ]
+        assert killed == base
+
+    def test_worker_killed_immediately_demotes_identically(self, monkeypatch):
+        graph = cycle(16)
+        seeds = [SEED + 1200]
+        base = [
+            result_tuple(r)
+            for r in execute_plan(_plan(graph, "token", seeds, shards=4))
+        ]
+        monkeypatch.setenv("REPRO_SHARD_WORKER_KILL_AFTER_CHUNKS", "0")
+        killed = [
+            result_tuple(r)
+            for r in execute_plan(
+                _plan(graph, "token", seeds, shards=4, shard_workers=4)
+            )
+        ]
+        assert killed == base
+
+
+class TestPerReplicaTiming:
+    """wall_time_seconds is measured per replica, never smeared."""
+
+    def _tick(self, monkeypatch):
+        import itertools
+
+        import repro.sharding.executor as executor_module
+
+        counter = itertools.count()
+        monkeypatch.setattr(
+            executor_module.time, "perf_counter", lambda: float(next(counter))
+        )
+
+    def test_each_replica_times_itself(self, monkeypatch):
+        from repro.sharding import execute_sharded
+
+        graph = torus(3, 4)
+        seeds = [SEED + 1300 + index for index in range(3)]
+        plan = _plan(graph, "token", seeds, shards=3)
+        self._tick(monkeypatch)
+        results = execute_sharded(plan)
+        # The fake clock advances 1.0 per call; each replica makes
+        # exactly one start/end pair, so a smeared wall (total / 3)
+        # would read ~1.67 while per-replica timing reads exactly 1.0.
+        assert [r.wall_time_seconds for r in results] == [1.0, 1.0, 1.0]
+
+    def test_initially_stable_replicas_time_individually(self, monkeypatch):
+        from repro.sharding import execute_sharded
+
+        graph = star(8)
+        seeds = [SEED + 1400, SEED + 1401]
+        protocols = [StarLeaderElection() for _ in seeds]
+        plan = compile_plan(protocols, graph, seeds, max_steps=5000, shards=2)
+        self._tick(monkeypatch)
+        results = execute_sharded(plan)
+        assert [r.wall_time_seconds for r in results] == [1.0, 1.0]
+
+
+class TestShardStats:
+    """Opt-in per-shard observability (never part of canonical records)."""
+
+    def test_stats_absent_by_default(self):
+        graph = torus(3, 4)
+        plan = _plan(graph, "token", [SEED + 1500], shards=3)
+        (result,) = execute_plan(plan)
+        assert result.shard_stats is None
+
+    def test_stats_shape_and_accounting(self):
+        graph = torus(3, 4)
+        plan = _plan(
+            graph, "token", [SEED + 1500], shards=3, collect_shard_stats=True
+        )
+        (result,) = execute_plan(plan)
+        stats = result.shard_stats
+        assert stats is not None
+        assert stats["path"] == "kernel"
+        assert stats["shards"] == 3
+        assert stats["workers"] == 0
+        assert len(stats["steps_applied"]) == 3
+        # Every local draw counts once, every boundary draw once per
+        # touched shard; local + boundary = total steps executed.
+        assert (
+            sum(stats["steps_applied"])
+            == result.steps_executed + stats["boundary_pairs"]
+        )
+        assert stats["boundary_pairs"] > 0
+        # The histogram buckets all local runs, and the exchange drained.
+        local_draws = result.steps_executed - stats["boundary_pairs"]
+        histogram = {int(k): v for k, v in stats["run_length_histogram"].items()}
+        assert sum(length * count for length, count in histogram.items()) <= local_draws
+        assert all(length & (length - 1) == 0 for length in histogram)
+        assert stats["exchange_posted"] == stats["exchange_delivered"]
+        assert stats["exchange_in_flight"] == 0
+
+    def test_pool_stats_report_the_pool_path(self):
+        graph = torus(3, 4)
+        plan = _plan(
+            graph,
+            "token",
+            [SEED + 1500],
+            shards=3,
+            shard_workers=2,
+            collect_shard_stats=True,
+        )
+        (result,) = execute_plan(plan)
+        baseline = execute_plan(
+            _plan(graph, "token", [SEED + 1500], shards=3, collect_shard_stats=True)
+        )[0]
+        assert result.shard_stats["path"] == "pool"
+        assert result.shard_stats["workers"] == 2
+        # The schedule — hence the stats — is placement-invariant.
+        for key in ("steps_applied", "boundary_pairs", "run_length_histogram"):
+            assert result.shard_stats[key] == baseline.shard_stats[key]
+
+    def test_stats_excluded_from_trial_records(self):
+        from repro.experiments.harness import trial_record_from_result
+
+        graph = torus(3, 4)
+        plan = _plan(
+            graph, "token", [SEED + 1500], shards=3, collect_shard_stats=True
+        )
+        (result,) = execute_plan(plan)
+        record = trial_record_from_result(result)
+        assert "shard_stats" not in record
+
+
+class TestShardWorkersDial:
+    def test_shard_workers_excluded_from_content_hash(self):
+        from repro.orchestration import get_scenario
+
+        scenario = get_scenario("table1-clique")
+        assert (
+            scenario.with_overrides(shards=4, shard_workers=4).content_hash()
+            == scenario.content_hash()
+        )
+
+    def test_negative_shard_workers_rejected(self):
+        from repro.orchestration.scenario import Scenario, ScenarioError
+
+        with pytest.raises(ScenarioError, match="shard_workers"):
+            Scenario(
+                name="bad-workers",
+                workload="cycle",
+                sizes=(12,),
+                shard_workers=-1,
+            )
+        with pytest.raises(ValueError, match="shard_workers"):
+            compile_plan(
+                [TokenLeaderElection()],
+                cycle(8),
+                [SEED],
+                max_steps=100,
+                shard_workers=-2,
+            )
+
+    def test_unit_plan_wire_round_trip_carries_shard_workers(self):
+        from repro.orchestration.runner import (
+            build_unit_plans,
+            build_work_units,
+            unit_plan_from_wire,
+            unit_plan_to_wire,
+        )
+        from repro.orchestration.scenario import Scenario
+
+        scenario = Scenario(
+            name="wire-shard-workers",
+            workload="cycle",
+            sizes=(12,),
+            repetitions=2,
+            shards=3,
+            shard_workers=2,
+        )
+        units = build_work_units(scenario)
+        plans = build_unit_plans(scenario, units)
+        assert plans and all(plan.shard_workers == 2 for plan in plans)
+        for plan in plans:
+            assert unit_plan_from_wire(unit_plan_to_wire(plan)) == plan
